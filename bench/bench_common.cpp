@@ -1,0 +1,172 @@
+#include "bench_common.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::bench {
+
+namespace {
+
+/// Min of `count` pings from one testbed relay host to another's address —
+/// the paper's "direct, all-pairs ping measurements" run on the testbed.
+double ping_min_between(scenario::Testbed& tb, simnet::HostId from,
+                        IpAddr to, int count) {
+  double best = 1e18;
+  int remaining = count;
+  bool done = false;
+  std::function<void()> step = [&]() {
+    tb.net().ping(from, to, [&](std::optional<Duration> rtt) {
+      if (rtt.has_value()) best = std::min(best, rtt->ms());
+      if (--remaining > 0) {
+        step();
+      } else {
+        done = true;
+      }
+    });
+  };
+  step();
+  tb.loop().run_while_waiting_for([&] { return done; },
+                                  Duration::seconds(3600));
+  TING_CHECK(done);
+  return best;
+}
+
+std::optional<std::vector<AccuracyRow>> load_accuracy_cache() {
+  if (fresh_requested()) return std::nullopt;
+  std::ifstream f(kAccuracyCachePath);
+  if (!f.good()) return std::nullopt;
+  std::vector<AccuracyRow> rows;
+  std::string line;
+  std::getline(f, line);  // header
+  while (std::getline(f, line)) {
+    if (trim(line).empty()) continue;
+    const auto cols = split(line, ',');
+    if (cols.size() != 6) return std::nullopt;
+    AccuracyRow r;
+    r.i = std::stoul(cols[0]);
+    r.j = std::stoul(cols[1]);
+    r.ting_1000_ms = std::stod(cols[2]);
+    r.ting_200_ms = std::stod(cols[3]);
+    r.ping_ms = std::stod(cols[4]);
+    r.truth_ms = std::stod(cols[5]);
+    rows.push_back(r);
+  }
+  if (rows.empty()) return std::nullopt;
+  return rows;
+}
+
+}  // namespace
+
+std::vector<AccuracyRow> planetlab_accuracy_dataset() {
+  if (auto cached = load_accuracy_cache(); cached.has_value()) {
+    std::fprintf(stderr, "[bench] reusing %s (%zu pairs)\n",
+                 kAccuracyCachePath, cached->size());
+    return *cached;
+  }
+
+  const int hi_samples = scaled(1000, 250);
+  std::fprintf(stderr,
+               "[bench] measuring 465 PlanetLab pairs at %d samples "
+               "(cached afterwards)...\n",
+               hi_samples);
+  scenario::TestbedOptions options;
+  options.seed = 403;
+  scenario::Testbed tb = scenario::planetlab31(options);
+
+  meas::TingConfig cfg;
+  cfg.samples = hi_samples;
+  cfg.keep_raw_samples = true;  // the 200-sample arm is a prefix (§4.4)
+  meas::TingMeasurer measurer(tb.ting(), cfg);
+
+  std::vector<AccuracyRow> rows;
+  for (std::size_t i = 0; i < tb.relay_count(); ++i) {
+    for (std::size_t j = i + 1; j < tb.relay_count(); ++j) {
+      const auto x = tb.fp(i), y = tb.fp(j);
+      const meas::PairResult r = measurer.measure_blocking(x, y);
+      if (!r.ok) {
+        std::fprintf(stderr, "[bench] pair (%zu,%zu) failed: %s\n", i, j,
+                     r.error.c_str());
+        continue;
+      }
+      AccuracyRow row;
+      row.i = i;
+      row.j = j;
+      row.ting_1000_ms = r.rtt_ms;
+      row.ting_200_ms = r.estimate_with_prefix(std::min(200, hi_samples));
+      row.ping_ms = ping_min_between(tb, tb.host_of(x),
+                                     tb.net().ip_of(tb.host_of(y)), 100);
+      row.truth_ms = tb.net()
+                         .latency()
+                         .rtt(tb.host_of(x), tb.host_of(y),
+                              simnet::Protocol::kTor)
+                         .ms();
+      rows.push_back(row);
+    }
+  }
+
+  std::ofstream out(kAccuracyCachePath);
+  out << "i,j,ting_1000_ms,ting_200_ms,ping_ms,truth_ms\n";
+  for (const auto& r : rows)
+    out << r.i << "," << r.j << "," << r.ting_1000_ms << "," << r.ting_200_ms
+        << "," << r.ping_ms << "," << r.truth_ms << "\n";
+  return rows;
+}
+
+FiftyNodeDataset fifty_node_dataset() {
+  // The topology (and thus fingerprints/weights) regenerates cheaply and
+  // deterministically; only the measurements are worth caching.
+  scenario::TestbedOptions options;
+  options.seed = 1150;
+  options.start_measurement_host = false;
+  scenario::Testbed tb = scenario::live_tor(50, options);
+
+  FiftyNodeDataset ds;
+  for (std::size_t i = 0; i < tb.relay_count(); ++i)
+    ds.nodes.push_back(tb.fp(i));
+  std::sort(ds.nodes.begin(), ds.nodes.end());
+  for (const auto& fp : ds.nodes)
+    ds.weights.push_back(tb.consensus().find(fp)->bandwidth);
+
+  if (!fresh_requested()) {
+    std::ifstream f(kFiftyNodeCachePath);
+    if (f.good()) {
+      std::stringstream buf;
+      buf << f.rdbuf();
+      meas::RttMatrix m = meas::RttMatrix::from_csv(buf.str());
+      // Sanity: the cache must cover this topology.
+      if (m.size() == 50 * 49 / 2 && m.contains(ds.nodes[0], ds.nodes[1])) {
+        std::fprintf(stderr, "[bench] reusing %s (%zu pairs)\n",
+                     kFiftyNodeCachePath, m.size());
+        ds.matrix = std::move(m);
+        return ds;
+      }
+    }
+  }
+
+  const int samples = scaled(200, 50);
+  std::fprintf(stderr,
+               "[bench] measuring 50-node all-pairs matrix at %d samples "
+               "(cached afterwards)...\n",
+               samples);
+  tb.ting().start_blocking();
+  meas::TingConfig cfg;
+  cfg.samples = samples;
+  meas::TingMeasurer measurer(tb.ting(), cfg);
+  for (std::size_t i = 0; i < ds.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < ds.nodes.size(); ++j) {
+      const meas::PairResult r =
+          measurer.measure_blocking(ds.nodes[i], ds.nodes[j]);
+      TING_CHECK_MSG(r.ok, "50-node pair failed: " << r.error);
+      ds.matrix.set(ds.nodes[i], ds.nodes[j], r.rtt_ms, tb.loop().now(),
+                    samples);
+    }
+  }
+  ds.matrix.save_csv(kFiftyNodeCachePath);
+  return ds;
+}
+
+}  // namespace ting::bench

@@ -1,0 +1,82 @@
+// Shared plumbing for the figure-regeneration benches.
+//
+// Every bench prints the same series the corresponding paper figure plots
+// (tab-separated, gnuplot-ready), plus the headline statistics the paper
+// quotes in prose, so EXPERIMENTS.md can record paper-vs-measured.
+//
+// Expensive datasets (the 465-pair PlanetLab accuracy run, the 50-node
+// all-pairs Ting matrix) are computed once and cached as CSV files in the
+// working directory; later benches in the sweep reload them. Delete the
+// *.csv files (or set TING_BENCH_FRESH=1) to force remeasurement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/testbed.h"
+#include "ting/measurer.h"
+#include "ting/rtt_matrix.h"
+#include "util/stats.h"
+
+namespace ting::bench {
+
+/// TING_BENCH_SCALE scales sample counts / pair counts (default 1.0).
+inline double scale() {
+  const char* s = std::getenv("TING_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline int scaled(int n, int floor_value = 1) {
+  const int v = static_cast<int>(static_cast<double>(n) * scale());
+  return v < floor_value ? floor_value : v;
+}
+
+inline bool fresh_requested() {
+  const char* s = std::getenv("TING_BENCH_FRESH");
+  return s != nullptr && s[0] == '1';
+}
+
+inline void header(const std::string& figure, const std::string& what) {
+  std::printf("# %s — %s\n", figure.c_str(), what.c_str());
+}
+
+inline void print_cdf(const Cdf& cdf, const std::string& x_label,
+                      std::size_t max_rows = 40) {
+  std::printf("# %s\tcum_fraction\n", x_label.c_str());
+  std::fputs(cdf.gnuplot_rows(max_rows).c_str(), stdout);
+}
+
+// ---- cached PlanetLab accuracy dataset (feeds Figs 3, 4, 7) ----------------
+
+struct AccuracyRow {
+  std::size_t i = 0, j = 0;      ///< relay indices in the testbed
+  double ting_1000_ms = 0;       ///< Ting estimate, high-sample arm
+  double ting_200_ms = 0;        ///< Ting estimate, 200-sample arm
+  double ping_ms = 0;            ///< min of 100 pings x->y ("real")
+  double truth_ms = 0;           ///< simulator ground truth (Tor class)
+};
+
+inline const char* kAccuracyCachePath = "ting_planetlab_accuracy.csv";
+
+/// Compute (or reload) the all-pairs PlanetLab accuracy dataset. The
+/// high-sample arm uses `hi_samples` (paper: 1000; scaled by
+/// TING_BENCH_SCALE), the low arm 200.
+std::vector<AccuracyRow> planetlab_accuracy_dataset();
+
+// ---- cached 50-node live-Tor Ting matrix (feeds Figs 11–17) ----------------
+
+inline const char* kFiftyNodeCachePath = "ting_50node_matrix.csv";
+
+struct FiftyNodeDataset {
+  meas::RttMatrix matrix;
+  std::vector<dir::Fingerprint> nodes;  ///< stable order (sorted)
+  std::vector<double> weights;          ///< consensus bandwidths, same order
+};
+
+FiftyNodeDataset fifty_node_dataset();
+
+}  // namespace ting::bench

@@ -1,0 +1,47 @@
+// Figure 4: the Figure-3 accuracy CDF split into latency regimes
+// (<50ms, 50–150ms, 150–250ms, >250ms).
+//
+// Paper shape: accuracy improves with true RTT — each successive regime's
+// CDF is more vertical and centred on 1.0; most outliers live in <50ms,
+// where a large relative error is a small absolute one.
+#include "bench_common.h"
+
+int main() {
+  using namespace ting;
+  using namespace ting::bench;
+  header("Figure 4", "Ting accuracy CDFs by true-latency regime");
+
+  const auto rows = planetlab_accuracy_dataset();
+  struct Regime {
+    const char* label;
+    double lo, hi;
+    std::vector<double> ratios;
+  };
+  Regime regimes[] = {{"<50ms", 0, 50, {}},
+                      {"50-150ms", 50, 150, {}},
+                      {"150-250ms", 150, 250, {}},
+                      {">250ms", 250, 1e9, {}}};
+  for (const auto& r : rows) {
+    for (auto& regime : regimes) {
+      if (r.ping_ms >= regime.lo && r.ping_ms < regime.hi)
+        regime.ratios.push_back(r.ting_1000_ms / r.ping_ms);
+    }
+  }
+
+  for (const auto& regime : regimes) {
+    std::printf("\n# regime %s (%zu pairs)\n", regime.label,
+                regime.ratios.size());
+    if (regime.ratios.empty()) continue;
+    print_cdf(Cdf(regime.ratios), "measured/real", 20);
+  }
+
+  std::printf("\n# spread (p90-p10 of the ratio) per regime — should shrink "
+              "with RTT\n");
+  for (const auto& regime : regimes) {
+    if (regime.ratios.size() < 5) continue;
+    const Cdf cdf(regime.ratios);
+    std::printf("%s\t%.4f\n", regime.label,
+                cdf.value_at(0.9) - cdf.value_at(0.1));
+  }
+  return 0;
+}

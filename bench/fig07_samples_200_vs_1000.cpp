@@ -1,0 +1,31 @@
+// Figure 7: accuracy CDF (estimate/real) taking 200 samples per circuit vs
+// 1000 — the justification for Ting's 200-sample default.
+//
+// Paper shape: the two CDFs are almost identical.
+#include "bench_common.h"
+
+int main() {
+  using namespace ting;
+  using namespace ting::bench;
+  header("Figure 7", "200-sample vs 1000-sample accuracy on 465 pairs");
+
+  const auto rows = planetlab_accuracy_dataset();
+  std::vector<double> ratio_hi, ratio_200;
+  for (const auto& r : rows) {
+    ratio_hi.push_back(r.ting_1000_ms / r.ping_ms);
+    ratio_200.push_back(r.ting_200_ms / r.ping_ms);
+  }
+
+  std::printf("\n# series 1000 samples\n");
+  print_cdf(Cdf(ratio_hi), "estimated/real", 30);
+  std::printf("\n# series 200 samples\n");
+  print_cdf(Cdf(ratio_200), "estimated/real", 30);
+
+  // How far apart are the two CDFs?
+  const double ks = ks_distance(Cdf(ratio_hi), Cdf(ratio_200));
+  std::printf("\n# max CDF gap (KS distance)\t%.4f (paper: \"almost "
+              "identical\")\n", ks);
+  std::printf("# median ratio 1000 vs 200\t%.4f vs %.4f\n",
+              quantile(ratio_hi, 0.5), quantile(ratio_200, 0.5));
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 11: CDF of the RTTs in the 50-node all-pairs Ting dataset that
+// drives the §5 applications. This bench also *creates* that dataset (a
+// real all-pairs Ting measurement), cached for the later figure benches.
+//
+// Paper shape: consistent with Fig 8's latency distribution — most pairs
+// below ~150 ms, a tail to ~400 ms.
+#include "bench_common.h"
+
+int main() {
+  using namespace ting;
+  using namespace ting::bench;
+  header("Figure 11", "all-pairs RTT CDF of the 50-node Ting dataset");
+
+  const FiftyNodeDataset ds = fifty_node_dataset();
+  const std::vector<double> values = ds.matrix.values();
+  print_cdf(Cdf(values), "inter-tor-node-rtt_ms", 40);
+
+  const Summary s = summarize(values);
+  std::printf("\n# pairs\t%zu\n", values.size());
+  std::printf("# median\t%.1f ms\n", s.median);
+  std::printf("# p90\t%.1f ms\n", quantile(values, 0.9));
+  std::printf("# max\t%.1f ms (paper: tail to ~400 ms)\n", s.max);
+  std::printf("# mean (the mu of Algorithm 1)\t%.1f ms\n", s.mean);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 18: total running relays and unique /24 prefixes over the
+// Feb 28 – Apr 28 2015 window, plus the §5.3 residential/datacenter
+// classification of the final consensus.
+//
+// Paper headline: 5426–6044 unique /24s throughout; ~61% of relays with an
+// rDNS name classify as residential; 361 at named hosting sites plus 345 in
+// Digital Ocean's ranges.
+#include "bench_common.h"
+
+#include "analysis/coverage.h"
+#include "scenario/timeline.h"
+
+int main() {
+  using namespace ting;
+  using namespace ting::bench;
+  header("Figure 18", "relays and unique /24s over two months");
+
+  scenario::TimelineOptions options;
+  options.days = 60;
+  options.initial_relays = static_cast<std::size_t>(scaled(6400, 1000));
+  const scenario::ConsensusTimeline tl = scenario::make_timeline(options);
+
+  std::printf("# date\ttotal_relays\tunique_slash24\n");
+  for (const auto& d : tl.days)
+    std::printf("%s\t%zu\t%zu\n", d.date.c_str(), d.total_relays,
+                d.unique_slash24);
+
+  std::size_t min24 = SIZE_MAX, max24 = 0;
+  for (const auto& d : tl.days) {
+    min24 = std::min(min24, d.unique_slash24);
+    max24 = std::max(max24, d.unique_slash24);
+  }
+  std::printf("\n# unique /24 range over the window\t%zu-%zu "
+              "(paper: 5426-6044)\n", min24, max24);
+  std::printf("# net relay growth\t%+.1f%% (paper: ~30%%/year)\n",
+              100.0 * (static_cast<double>(tl.days.back().total_relays) /
+                           static_cast<double>(tl.days.front().total_relays) -
+                       1.0));
+
+  // ---- §5.3 classification of the final consensus -------------------------
+  const analysis::CoverageStats stats =
+      analysis::coverage_stats(tl.final_consensus);
+  std::printf("\n# §5.3 host-type classification (final day)\n");
+  std::printf("total relays\t%zu\n", stats.total_relays);
+  std::printf("with rDNS name\t%zu (%.0f%%)\n", stats.with_rdns,
+              100.0 * static_cast<double>(stats.with_rdns) /
+                  static_cast<double>(stats.total_relays));
+  std::printf("residential (of named)\t%zu (%.0f%%; paper: ~61%%)\n",
+              stats.residential, 100.0 * stats.residential_fraction_of_named());
+  std::printf("datacenter-named\t%zu (paper: 361 named + 345 DO)\n",
+              stats.datacenter_named);
+  std::printf("unclassified named\t%zu\n", stats.unclassified_named);
+  std::printf("countries represented\t%zu (paper: 77)\n", stats.countries);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the hot primitives under every
+// simulated measurement: cell crypto, the sponge hash, X25519, cell codec,
+// event-loop scheduling, and end-to-end echo sampling through a circuit.
+#include <benchmark/benchmark.h>
+
+#include "cells/cell.h"
+#include "cells/relay_payload.h"
+#include "crypto/chacha.h"
+#include "crypto/hash.h"
+#include "crypto/x25519.h"
+#include "scenario/testbed.h"
+#include "simnet/event_loop.h"
+#include "ting/measurer.h"
+
+namespace {
+
+using namespace ting;
+
+void BM_ChaChaCellPayload(benchmark::State& state) {
+  crypto::Key key{};
+  key.fill(7);
+  crypto::Nonce nonce{};
+  crypto::ChaChaCipher cipher(key, nonce);
+  Bytes payload(cells::kPayloadSize, 0xab);
+  for (auto _ : state) {
+    cipher.apply(std::span<std::uint8_t>(payload.data(), payload.size()));
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_ChaChaCellPayload);
+
+void BM_TingHashCellPayload(benchmark::State& state) {
+  Bytes payload(cells::kPayloadSize, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hash(
+        std::span<const std::uint8_t>(payload.data(), payload.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_TingHashCellPayload);
+
+void BM_X25519(benchmark::State& state) {
+  crypto::X25519Key scalar{};
+  scalar.fill(9);
+  for (auto _ : state) {
+    scalar = crypto::x25519_base(scalar);
+    benchmark::DoNotOptimize(scalar);
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_CellEncodeDecode(benchmark::State& state) {
+  const cells::Cell cell =
+      cells::Cell::make(42, cells::CellCommand::kRelay, Bytes(100, 1));
+  for (auto _ : state) {
+    const Bytes wire = cell.encode();
+    benchmark::DoNotOptimize(
+        cells::Cell::decode(std::span<const std::uint8_t>(wire.data(),
+                                                          wire.size())));
+  }
+}
+BENCHMARK(BM_CellEncodeDecode);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::EventLoop loop;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      loop.schedule(Duration::micros(i), [&fired]() { ++fired; });
+    loop.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_TingPairMeasurement(benchmark::State& state) {
+  scenario::TestbedOptions options;
+  options.seed = 31337;
+  scenario::Testbed tb = scenario::planetlab31(options);
+  meas::TingConfig cfg;
+  cfg.samples = static_cast<int>(state.range(0));
+  meas::TingMeasurer measurer(tb.ting(), cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto r = measurer.measure_blocking(tb.fp(i % 31),
+                                             tb.fp((i + 7) % 31));
+    benchmark::DoNotOptimize(r.rtt_ms);
+    ++i;
+  }
+}
+BENCHMARK(BM_TingPairMeasurement)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#include "analysis/circuits.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace ting::analysis {
+
+double circuit_rtt_ms(const meas::RttMatrix& matrix,
+                      const std::vector<dir::Fingerprint>& nodes,
+                      const std::vector<std::size_t>& path) {
+  TING_CHECK(path.size() >= 2);
+  double total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto r = matrix.rtt(nodes.at(path[i]), nodes.at(path[i + 1]));
+    TING_CHECK_MSG(r.has_value(), "missing RTT along circuit");
+    total += *r;
+  }
+  return total;
+}
+
+std::vector<CircuitSample> sample_circuits(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    std::size_t len, std::size_t count, Rng& rng) {
+  TING_CHECK(len >= 2 && len <= nodes.size());
+  std::vector<CircuitSample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CircuitSample s;
+    s.path = rng.sample_indices(nodes.size(), len);
+    s.rtt_ms = circuit_rtt_ms(matrix, nodes, s.path);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double n_choose_k(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  double result = 1;
+  for (std::size_t i = 0; i < k; ++i)
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  return result;
+}
+
+CircuitRttHistogram circuit_rtt_histogram(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    std::size_t len, std::size_t sample_count, double bin_ms,
+    std::size_t nbins, Rng& rng) {
+  CircuitRttHistogram out;
+  out.length = len;
+  out.bin_ms = bin_ms;
+  out.scaled_counts.assign(nbins, 0.0);
+  out.median_node_probability.assign(nbins, 0.0);
+
+  const auto samples = sample_circuits(matrix, nodes, len, sample_count, rng);
+
+  // Raw counts per bin, plus per-bin per-node membership counts.
+  std::vector<double> raw(nbins, 0.0);
+  std::vector<std::vector<double>> node_in_bin(
+      nbins, std::vector<double>(nodes.size(), 0.0));
+  for (const auto& s : samples) {
+    std::size_t bin = static_cast<std::size_t>(s.rtt_ms / bin_ms);
+    if (bin >= nbins) bin = nbins - 1;
+    raw[bin] += 1;
+    for (std::size_t node : s.path) node_in_bin[bin][node] += 1;
+  }
+
+  // Scale sampled counts to the full population C(n, len) (the paper's
+  // procedure for Fig 16).
+  const double scale = n_choose_k(nodes.size(), len) /
+                       static_cast<double>(sample_count);
+  for (std::size_t b = 0; b < nbins; ++b)
+    out.scaled_counts[b] = raw[b] * scale;
+
+  // Fig 17: for each bin, P(node on a circuit with RTT in the bin) over the
+  // whole circuit sample, median across nodes. Peaks at intermediate RTTs
+  // (many circuits and broad node participation); tiny at the extremes,
+  // where the few feasible circuits reuse few nodes.
+  for (std::size_t b = 0; b < nbins; ++b) {
+    if (raw[b] == 0) continue;
+    std::vector<double> probs;
+    probs.reserve(nodes.size());
+    for (std::size_t node = 0; node < nodes.size(); ++node)
+      probs.push_back(node_in_bin[b][node] /
+                      static_cast<double>(sample_count));
+    out.median_node_probability[b] = quantile(std::move(probs), 0.5);
+  }
+  return out;
+}
+
+}  // namespace ting::analysis

@@ -1,0 +1,53 @@
+// Long-circuit analysis (§5.2.2): sample random circuits of lengths 3–10
+// from an all-pairs RTT dataset, bin their end-to-end RTTs, scale counts to
+// the full combinatorial population C(n, ℓ), and measure the "entropy" of
+// low-latency circuits — the median probability that a given node sits on a
+// circuit in each RTT bin (Figs 16 and 17).
+#pragma once
+
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "ting/rtt_matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ting::analysis {
+
+struct CircuitSample {
+  std::vector<std::size_t> path;  ///< node indices, length ℓ
+  double rtt_ms = 0;              ///< sum of inter-relay RTTs along the path
+};
+
+/// Sum of consecutive-hop RTTs for a path of node indices.
+double circuit_rtt_ms(const meas::RttMatrix& matrix,
+                      const std::vector<dir::Fingerprint>& nodes,
+                      const std::vector<std::size_t>& path);
+
+/// Draw `count` random simple circuits (distinct relays) of length `len`.
+std::vector<CircuitSample> sample_circuits(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    std::size_t len, std::size_t count, Rng& rng);
+
+/// C(n, l) as a double (overflows are fine at double precision — Fig 16's
+/// y-axis is logarithmic).
+double n_choose_k(std::size_t n, std::size_t k);
+
+struct CircuitRttHistogram {
+  std::size_t length = 0;
+  double bin_ms = 50.0;
+  /// Estimated number of circuits per RTT bin, scaled from the sample to
+  /// the full population C(n, length).
+  std::vector<double> scaled_counts;
+  /// Per-bin median (over nodes) probability that a node is on a circuit
+  /// whose RTT falls in the bin — Fig 17's metric.
+  std::vector<double> median_node_probability;
+};
+
+/// Build the Fig 16/17 statistics for one circuit length.
+CircuitRttHistogram circuit_rtt_histogram(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    std::size_t len, std::size_t sample_count, double bin_ms,
+    std::size_t nbins, Rng& rng);
+
+}  // namespace ting::analysis

@@ -1,0 +1,132 @@
+#include "analysis/congestion.h"
+
+#include <cmath>
+
+#include "echo/echo.h"
+#include "util/stats.h"
+
+namespace ting::analysis {
+
+namespace {
+
+/// One blocking victim RTT sample (pumps the shared loop, so the attacker's
+/// scheduled flood keeps running concurrently).
+std::optional<double> sample_victim(simnet::EventLoop& loop,
+                                    const tor::OnionProxy::StreamPtr& stream) {
+  std::optional<std::optional<Duration>> rtt;
+  echo::measure_stream_rtt(loop, stream,
+                           [&rtt](std::optional<Duration> r) { rtt = r; },
+                           Duration::seconds(10));
+  loop.run_while_waiting_for([&rtt] { return rtt.has_value(); },
+                             Duration::seconds(30));
+  if (!rtt.has_value() || !rtt->has_value()) return std::nullopt;
+  return (*rtt)->ms();
+}
+
+}  // namespace
+
+CongestionVerdict congestion_probe(
+    meas::MeasurementHost& attacker,
+    const tor::OnionProxy::StreamPtr& victim_stream,
+    const dir::Fingerprint& candidate, const CongestionProbeConfig& config) {
+  CongestionVerdict verdict;
+  simnet::EventLoop& loop = attacker.loop();
+
+  // 1. The attacker's own circuit through the candidate: (w, candidate, z),
+  //    with an echo stream it can flood.
+  bool built = false, failed = false;
+  tor::CircuitHandle circuit = 0;
+  attacker.op().build_circuit(
+      {attacker.w_fp(), candidate, attacker.z_fp()},
+      [&](tor::CircuitHandle h) {
+        built = true;
+        circuit = h;
+      },
+      [&](const std::string&) { failed = true; });
+  loop.run_while_waiting_for([&] { return built || failed; },
+                             Duration::seconds(120));
+  if (!built) {
+    verdict.error = "attacker circuit through candidate failed";
+    return verdict;
+  }
+  bool attack_connected = false, attack_failed = false;
+  auto attack_stream = attacker.op().open_stream(
+      circuit, attacker.echo_endpoint(), [&] { attack_connected = true; },
+      [&](const std::string&) { attack_failed = true; });
+  loop.run_while_waiting_for(
+      [&] { return attack_connected || attack_failed; },
+      Duration::seconds(120));
+  if (!attack_connected) {
+    verdict.error = "attacker stream failed";
+    return verdict;
+  }
+  attack_stream->set_on_message([](Bytes) {});  // discard flood echoes
+
+  // 2. Flood machinery: a self-rescheduling tick, gated by a flag.
+  auto flooding = std::make_shared<bool>(false);
+  auto alive = std::make_shared<bool>(true);
+  auto flood_cells = std::make_shared<std::size_t>(0);
+  auto tick = std::make_shared<std::function<void()>>();
+  const Bytes payload(400, 0xfb);
+  *tick = [&loop, flooding, alive, flood_cells, tick, attack_stream, payload,
+           spacing = config.burst_spacing]() {
+    if (!*alive) {
+      *tick = {};
+      return;
+    }
+    if (*flooding) {
+      attack_stream->send(payload);
+      ++*flood_cells;
+    }
+    loop.schedule(spacing, [tick]() {
+      if (*tick) (*tick)();
+    });
+  };
+  (*tick)();
+
+  // 3. Alternate ON/OFF phases, sampling the victim in each.
+  std::vector<double> on_samples, off_samples;
+  for (int round = 0; round < config.rounds; ++round) {
+    for (const bool on : {true, false}) {
+      *flooding = on;
+      // Let the phase's congestion (or decay) establish itself.
+      loop.run_until(loop.now() + config.phase / 4);
+      const TimePoint phase_end = loop.now() + config.phase;
+      int taken = 0;
+      while (taken < config.victim_samples_per_phase &&
+             loop.now() < phase_end) {
+        const auto ms = sample_victim(loop, victim_stream);
+        if (ms.has_value()) {
+          (on ? on_samples : off_samples).push_back(*ms);
+          ++taken;
+        }
+      }
+      loop.run_until(phase_end);
+    }
+  }
+  *alive = false;
+  *flooding = false;
+  attack_stream->close();
+  attacker.op().close_circuit(circuit);
+
+  if (on_samples.size() < 4 || off_samples.size() < 4) {
+    verdict.error = "not enough victim samples";
+    return verdict;
+  }
+
+  // 4. Decision: normalized latency shift (Cohen's d).
+  const double mean_on = mean_of(on_samples);
+  const double mean_off = mean_of(off_samples);
+  const double sd_on = stddev_of(on_samples), sd_off = stddev_of(off_samples);
+  const double pooled =
+      std::sqrt((sd_on * sd_on + sd_off * sd_off) / 2.0) + 1e-9;
+  verdict.ok = true;
+  verdict.mean_on_ms = mean_on;
+  verdict.mean_off_ms = mean_off;
+  verdict.effect_size = (mean_on - mean_off) / pooled;
+  verdict.on_path = verdict.effect_size > config.effect_threshold;
+  verdict.flood_cells = *flood_cells;
+  return verdict;
+}
+
+}  // namespace ting::analysis

@@ -1,0 +1,52 @@
+// Murdoch–Danezis congestion probing.
+//
+// §5.1 *assumes* "the existence of a technique such as that described by
+// Murdoch and Danezis to brute-force probe whether a given Tor node is on a
+// circuit"; this module implements that technique against the simulated
+// network, closing the loop: the attacker builds its own circuit through a
+// candidate relay, alternates burst (ON) and idle (OFF) phases, and watches
+// whether the victim stream's latency rises during ON phases. Relays'
+// queueing delay grows with their recent cell rate (RelayConfig::
+// load_factor), which is the physical side channel the probe exploits.
+//
+// This is expensive by design — the paper's §5.1 point is precisely that
+// each such probe is costly, which is why Ting's RTT-based candidate
+// pruning (Algorithm 1) matters.
+#pragma once
+
+#include <vector>
+
+#include "ting/measurement_host.h"
+#include "tor/onion_proxy.h"
+
+namespace ting::analysis {
+
+struct CongestionProbeConfig {
+  int rounds = 8;               ///< ON/OFF pairs
+  Duration phase = Duration::millis(800);
+  Duration burst_spacing = Duration::millis(4);  ///< flood pace during ON
+  int victim_samples_per_phase = 6;
+  /// Decision threshold on the normalized latency shift (Cohen's d).
+  double effect_threshold = 1.0;
+};
+
+struct CongestionVerdict {
+  bool ok = false;         ///< probe infrastructure worked
+  std::string error;
+  bool on_path = false;    ///< decision
+  double effect_size = 0;  ///< (mean_on − mean_off) / pooled stddev
+  double mean_on_ms = 0, mean_off_ms = 0;
+  std::size_t flood_cells = 0;  ///< attack cost, in cells sent
+};
+
+/// Probe whether `candidate` is on the victim's circuit. The victim is an
+/// already-connected echo stream (its RTT can be sampled); the attacker
+/// uses its own measurement host to build a (w, candidate, z) circuit and
+/// flood it. Blocking: pumps the shared event loop.
+CongestionVerdict congestion_probe(
+    meas::MeasurementHost& attacker,
+    const tor::OnionProxy::StreamPtr& victim_stream,
+    const dir::Fingerprint& candidate,
+    const CongestionProbeConfig& config = {});
+
+}  // namespace ting::analysis

@@ -1,0 +1,111 @@
+#include "analysis/coordinates.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace ting::analysis {
+
+namespace {
+
+double norm(const std::vector<double>& v) {
+  double acc = 0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+std::vector<double> diff(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace
+
+VivaldiSystem::VivaldiSystem(VivaldiConfig config) : config_(config) {
+  TING_CHECK(config_.dimensions >= 2);
+  TING_CHECK(config_.rounds >= 1);
+}
+
+void VivaldiSystem::fit(const meas::RttMatrix& observations,
+                        const std::vector<dir::Fingerprint>& nodes, Rng& rng,
+                        double sample_fraction) {
+  TING_CHECK(sample_fraction > 0 && sample_fraction <= 1.0);
+  coords_.clear();
+  for (const auto& n : nodes) {
+    NodeState s;
+    s.position.resize(static_cast<std::size_t>(config_.dimensions));
+    for (double& x : s.position) x = rng.normal(0, 1.0);
+    coords_[n] = s;
+  }
+
+  // Training set: a random subset of the observed pairs.
+  std::vector<std::tuple<dir::Fingerprint, dir::Fingerprint, double>> obs;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const auto rtt = observations.rtt(nodes[i], nodes[j]);
+      if (!rtt.has_value()) continue;
+      if (sample_fraction < 1.0 && !rng.chance(sample_fraction)) continue;
+      obs.emplace_back(nodes[i], nodes[j], *rtt);
+    }
+  }
+  TING_CHECK_MSG(!obs.empty(), "no observations to fit on");
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    rng.shuffle(obs);
+    for (const auto& [a, b, rtt] : obs) {
+      NodeState& sa = coords_[a];
+      NodeState& sb = coords_[b];
+      std::vector<double> d = diff(sa.position, sb.position);
+      double dist = norm(d);
+      if (dist < 1e-9) {
+        // Coincident points: pick a random separation direction.
+        for (double& x : d) x = rng.normal(0, 1e-3);
+        dist = norm(d);
+      }
+      // Vivaldi update (both endpoints, symmetric observation).
+      const double w = sa.error / (sa.error + sb.error);
+      const double es = std::abs(dist - rtt) / rtt;
+      sa.error = es * config_.ce * w + sa.error * (1 - config_.ce * w);
+      const double delta = config_.cc * w;
+      const double force = delta * (rtt - dist);
+      for (std::size_t k = 0; k < d.size(); ++k)
+        sa.position[k] += force * (d[k] / dist);
+      // Mirror update for b (observation is symmetric).
+      const double wb = sb.error / (sa.error + sb.error);
+      sb.error = es * config_.ce * wb + sb.error * (1 - config_.ce * wb);
+      const double force_b = config_.cc * wb * (rtt - dist);
+      for (std::size_t k = 0; k < d.size(); ++k) {
+        const double unit = -d[k] / dist;
+        sb.position[k] += force_b * unit;
+      }
+    }
+  }
+}
+
+double VivaldiSystem::estimate_ms(const dir::Fingerprint& a,
+                                  const dir::Fingerprint& b) const {
+  auto ia = coords_.find(a);
+  auto ib = coords_.find(b);
+  TING_CHECK_MSG(ia != coords_.end() && ib != coords_.end(),
+                 "node not fitted");
+  return norm(diff(ia->second.position, ib->second.position));
+}
+
+std::vector<double> VivaldiSystem::relative_errors(
+    const meas::RttMatrix& truth) const {
+  std::vector<double> errs;
+  const auto nodes = truth.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (!coords_.contains(nodes[i]) || !coords_.contains(nodes[j])) continue;
+      const auto rtt = truth.rtt(nodes[i], nodes[j]);
+      if (!rtt.has_value() || *rtt <= 0) continue;
+      errs.push_back(std::abs(estimate_ms(nodes[i], nodes[j]) - *rtt) / *rtt);
+    }
+  }
+  return errs;
+}
+
+}  // namespace ting::analysis

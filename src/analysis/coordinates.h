@@ -1,0 +1,63 @@
+// Vivaldi-style network coordinates — the landmark/embedding alternative
+// to direct measurement that §2 discusses (Vivaldi [6], GNP [18],
+// Octant [33]): "such estimation systems offer considerably greater
+// coverage than Ting ... but suffer from the fact that Internet latencies
+// are inherently difficult to estimate accurately, e.g., due to triangle
+// inequality violations."
+//
+// This implements the classic decentralized spring-relaxation algorithm
+// over d-dimensional Euclidean coordinates, fit from (a subset of) pairwise
+// observations. Because the embedding is a metric space, it provably cannot
+// represent a TIV — the structural argument for Ting's direct measurement,
+// demonstrated quantitatively in bench/ablation_coordinates.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "ting/rtt_matrix.h"
+#include "util/rng.h"
+
+namespace ting::analysis {
+
+struct VivaldiConfig {
+  int dimensions = 5;
+  double ce = 0.25;  ///< adaptive error gain
+  double cc = 0.25;  ///< coordinate update gain
+  int rounds = 200;  ///< passes over the observation set
+};
+
+class VivaldiSystem {
+ public:
+  explicit VivaldiSystem(VivaldiConfig config = {});
+
+  /// Fit coordinates from observations. `sample_fraction` in (0, 1] selects
+  /// a random subset of pairs to train on (coordinate systems' selling
+  /// point is needing far fewer than all-pairs measurements).
+  void fit(const meas::RttMatrix& observations,
+           const std::vector<dir::Fingerprint>& nodes, Rng& rng,
+           double sample_fraction = 1.0);
+
+  /// Predicted RTT between two fitted nodes (Euclidean distance).
+  double estimate_ms(const dir::Fingerprint& a,
+                     const dir::Fingerprint& b) const;
+
+  bool has(const dir::Fingerprint& node) const {
+    return coords_.contains(node);
+  }
+  const VivaldiConfig& config() const { return config_; }
+
+  /// Relative error |est − true| / true over all pairs of `truth`.
+  std::vector<double> relative_errors(const meas::RttMatrix& truth) const;
+
+ private:
+  struct NodeState {
+    std::vector<double> position;
+    double error = 1.0;  ///< confidence weight, shrinks as the fit improves
+  };
+  VivaldiConfig config_;
+  std::map<dir::Fingerprint, NodeState> coords_;
+};
+
+}  // namespace ting::analysis

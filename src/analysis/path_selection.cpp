@@ -1,0 +1,96 @@
+#include "analysis/path_selection.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.h"
+
+namespace ting::analysis {
+
+std::vector<CircuitSample> find_circuits_in_band(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    const BandQuery& query, Rng& rng) {
+  TING_CHECK(query.length >= 2 && query.length <= nodes.size());
+  std::vector<CircuitSample> hits;
+  std::set<std::vector<std::size_t>> seen;
+  for (std::size_t iter = 0;
+       iter < query.max_iterations && hits.size() < query.want; ++iter) {
+    CircuitSample s;
+    s.path = rng.sample_indices(nodes.size(), query.length);
+    s.rtt_ms = circuit_rtt_ms(matrix, nodes, s.path);
+    if (s.rtt_ms < query.rtt_lo_ms || s.rtt_ms > query.rtt_hi_ms) continue;
+    if (!seen.insert(s.path).second) continue;
+    hits.push_back(std::move(s));
+  }
+  return hits;
+}
+
+CircuitSample optimize_low_rtt_circuit(const meas::RttMatrix& matrix,
+                                       const std::vector<dir::Fingerprint>& nodes,
+                                       std::size_t length, Rng& rng,
+                                       int restarts) {
+  TING_CHECK(length >= 2 && length <= nodes.size());
+  TING_CHECK(restarts >= 1);
+  CircuitSample best;
+  best.rtt_ms = 1e18;
+  for (int r = 0; r < restarts; ++r) {
+    CircuitSample current;
+    current.path = rng.sample_indices(nodes.size(), length);
+    current.rtt_ms = circuit_rtt_ms(matrix, nodes, current.path);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // Try replacing each position with each unused node.
+      for (std::size_t pos = 0; pos < length && !improved; ++pos) {
+        const std::set<std::size_t> used(current.path.begin(),
+                                         current.path.end());
+        for (std::size_t candidate = 0; candidate < nodes.size();
+             ++candidate) {
+          if (used.contains(candidate)) continue;
+          std::vector<std::size_t> trial = current.path;
+          trial[pos] = candidate;
+          const double rtt = circuit_rtt_ms(matrix, nodes, trial);
+          if (rtt < current.rtt_ms - 1e-12) {
+            current.path = std::move(trial);
+            current.rtt_ms = rtt;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (current.rtt_ms < best.rtt_ms) best = std::move(current);
+  }
+  return best;
+}
+
+double circuit_options_in_band(const meas::RttMatrix& matrix,
+                               const std::vector<dir::Fingerprint>& nodes,
+                               std::size_t length, double rtt_lo_ms,
+                               double rtt_hi_ms, std::size_t sample_count,
+                               Rng& rng) {
+  const auto samples = sample_circuits(matrix, nodes, length, sample_count, rng);
+  std::size_t in_band = 0;
+  for (const auto& s : samples)
+    if (s.rtt_ms >= rtt_lo_ms && s.rtt_ms <= rtt_hi_ms) ++in_band;
+  return static_cast<double>(in_band) / static_cast<double>(sample_count) *
+         n_choose_k(nodes.size(), length);
+}
+
+std::optional<BandRecommendation> recommend_length_for_band(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    double rtt_lo_ms, double rtt_hi_ms, std::size_t max_length,
+    std::size_t sample_count, Rng& rng) {
+  TING_CHECK(max_length >= 3);
+  std::optional<BandRecommendation> best;
+  for (std::size_t len = 3; len <= std::min(max_length, nodes.size()); ++len) {
+    const double options = circuit_options_in_band(
+        matrix, nodes, len, rtt_lo_ms, rtt_hi_ms, sample_count, rng);
+    if (options <= 0) continue;
+    if (!best.has_value() || options > best->options)
+      best = BandRecommendation{len, options};
+  }
+  return best;
+}
+
+}  // namespace ting::analysis

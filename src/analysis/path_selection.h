@@ -1,0 +1,62 @@
+// Latency-aware path selection (§5.2's constructive application, and the
+// future-work direction §6 sketches): given an all-pairs RTT dataset, find
+// circuits that are fast, or that sit in an "entropic" RTT band where many
+// alternative circuits exist (so an attacker who learns the end-to-end RTT
+// and length still faces a large candidate set — Fig 17's defence).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/circuits.h"
+#include "dir/fingerprint.h"
+#include "ting/rtt_matrix.h"
+#include "util/rng.h"
+
+namespace ting::analysis {
+
+struct BandQuery {
+  std::size_t length = 3;
+  double rtt_lo_ms = 0;
+  double rtt_hi_ms = 1e18;
+  std::size_t want = 10;           ///< stop after this many hits
+  std::size_t max_iterations = 20000;
+};
+
+/// Rejection-sample circuits whose end-to-end RTT lands in the band.
+/// Returns up to `want` distinct circuits (may be fewer if the band is
+/// sparse within the iteration budget).
+std::vector<CircuitSample> find_circuits_in_band(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    const BandQuery& query, Rng& rng);
+
+/// Local-search optimizer: start from random circuits of `length` and
+/// improve by single-node swaps until no swap lowers the RTT; keep the best
+/// across `restarts`. Finds circuits far faster than random selection would
+/// (exploiting TIVs where they help).
+CircuitSample optimize_low_rtt_circuit(const meas::RttMatrix& matrix,
+                                       const std::vector<dir::Fingerprint>& nodes,
+                                       std::size_t length, Rng& rng,
+                                       int restarts = 8);
+
+/// Estimated number of distinct circuits of `length` in the band, scaled to
+/// the full C(n, length) population (the anonymity-set size of Fig 16/17).
+double circuit_options_in_band(const meas::RttMatrix& matrix,
+                               const std::vector<dir::Fingerprint>& nodes,
+                               std::size_t length, double rtt_lo_ms,
+                               double rtt_hi_ms, std::size_t sample_count,
+                               Rng& rng);
+
+/// The §5.2.2 defence: among lengths [3, max_length], pick the length whose
+/// anonymity set within the band is largest. Returns nullopt if no length
+/// has any circuit in the band.
+struct BandRecommendation {
+  std::size_t length = 0;
+  double options = 0;  ///< scaled circuit count in the band
+};
+std::optional<BandRecommendation> recommend_length_for_band(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    double rtt_lo_ms, double rtt_hi_ms, std::size_t max_length,
+    std::size_t sample_count, Rng& rng);
+
+}  // namespace ting::analysis

@@ -1,0 +1,57 @@
+#include "analysis/tiv.h"
+
+namespace ting::analysis {
+
+std::optional<TivFinding> best_tiv(const meas::RttMatrix& matrix,
+                                   const dir::Fingerprint& a,
+                                   const dir::Fingerprint& b) {
+  const auto direct = matrix.rtt(a, b);
+  if (!direct.has_value()) return std::nullopt;
+  std::optional<TivFinding> best;
+  for (const dir::Fingerprint& r : matrix.nodes()) {
+    if (r == a || r == b) continue;
+    const auto leg1 = matrix.rtt(a, r);
+    const auto leg2 = matrix.rtt(r, b);
+    if (!leg1.has_value() || !leg2.has_value()) continue;
+    const double detour = *leg1 + *leg2;
+    if (detour >= *direct) continue;
+    if (!best.has_value() || detour < best->detour_ms) {
+      TivFinding f;
+      f.a = a;
+      f.b = b;
+      f.detour = r;
+      f.direct_ms = *direct;
+      f.detour_ms = detour;
+      best = f;
+    }
+  }
+  return best;
+}
+
+std::vector<TivFinding> find_all_tivs(const meas::RttMatrix& matrix) {
+  std::vector<TivFinding> out;
+  const auto nodes = matrix.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (auto f = best_tiv(matrix, nodes[i], nodes[j]); f.has_value())
+        out.push_back(*f);
+    }
+  }
+  return out;
+}
+
+double fraction_pairs_with_tiv(const meas::RttMatrix& matrix) {
+  const auto nodes = matrix.nodes();
+  std::size_t pairs = 0, with_tiv = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (!matrix.contains(nodes[i], nodes[j])) continue;
+      ++pairs;
+      if (best_tiv(matrix, nodes[i], nodes[j]).has_value()) ++with_tiv;
+    }
+  }
+  if (pairs == 0) return 0;
+  return static_cast<double>(with_tiv) / static_cast<double>(pairs);
+}
+
+}  // namespace ting::analysis

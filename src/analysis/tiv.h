@@ -1,0 +1,36 @@
+// Triangle-inequality violations in the Tor latency graph (§5.2.1): pairs
+// (s, d) where some relay r gives R(s,r) + R(r,d) < R(s,d). The paper finds
+// a TIV for 69% of pairs in the 50-node dataset, with a median best saving
+// of 7.5% and a top-decile saving of 28%+.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "ting/rtt_matrix.h"
+
+namespace ting::analysis {
+
+struct TivFinding {
+  dir::Fingerprint a, b;      ///< the endpoint pair
+  dir::Fingerprint detour;    ///< best (lowest-detour-RTT) relay r
+  double direct_ms = 0;       ///< R(a, b)
+  double detour_ms = 0;       ///< R(a, r) + R(r, b)
+  /// Fractional saving, (direct − detour) / direct, in (0, 1).
+  double savings() const { return (direct_ms - detour_ms) / direct_ms; }
+};
+
+/// The best TIV for (a, b) over all candidate relays in the matrix, or
+/// nullopt if no relay beats the direct path.
+std::optional<TivFinding> best_tiv(const meas::RttMatrix& matrix,
+                                   const dir::Fingerprint& a,
+                                   const dir::Fingerprint& b);
+
+/// Best TIVs for every pair that has one.
+std::vector<TivFinding> find_all_tivs(const meas::RttMatrix& matrix);
+
+/// Fraction of pairs with at least one TIV (the paper's 69% statistic).
+double fraction_pairs_with_tiv(const meas::RttMatrix& matrix);
+
+}  // namespace ting::analysis

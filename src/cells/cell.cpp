@@ -1,0 +1,56 @@
+#include "cells/cell.h"
+
+#include "util/assert.h"
+
+namespace ting::cells {
+
+std::string command_name(CellCommand c) {
+  switch (c) {
+    case CellCommand::kPadding: return "PADDING";
+    case CellCommand::kCreate: return "CREATE";
+    case CellCommand::kCreated: return "CREATED";
+    case CellCommand::kRelay: return "RELAY";
+    case CellCommand::kDestroy: return "DESTROY";
+    case CellCommand::kVersions: return "VERSIONS";
+    case CellCommand::kNetinfo: return "NETINFO";
+  }
+  return "UNKNOWN";
+}
+
+void Cell::normalize() {
+  TING_CHECK_MSG(payload.size() <= kPayloadSize,
+                 "cell payload too large: " << payload.size());
+  payload.resize(kPayloadSize, 0);
+}
+
+Bytes Cell::encode() const {
+  TING_CHECK(payload.size() == kPayloadSize);
+  ByteWriter w;
+  w.u32(circ_id);
+  w.u8(static_cast<std::uint8_t>(command));
+  w.raw(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  return w.take();
+}
+
+Cell Cell::decode(std::span<const std::uint8_t> wire) {
+  TING_CHECK_MSG(wire.size() == kCellSize,
+                 "cell must be exactly " << kCellSize << " bytes, got "
+                                         << wire.size());
+  ByteReader r(wire);
+  Cell c;
+  c.circ_id = r.u32();
+  c.command = static_cast<CellCommand>(r.u8());
+  c.payload = r.raw(kPayloadSize);
+  return c;
+}
+
+Cell Cell::make(CircuitId circ, CellCommand cmd, Bytes payload) {
+  Cell c;
+  c.circ_id = circ;
+  c.command = cmd;
+  c.payload = std::move(payload);
+  c.normalize();
+  return c;
+}
+
+}  // namespace ting::cells

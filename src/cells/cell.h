@@ -1,0 +1,62 @@
+// Tor cells: the fixed-size (512-byte) link-layer unit of the onion-routing
+// protocol. Layout mirrors Tor's: a 4-byte circuit id, a 1-byte command,
+// and a fixed payload. CREATE/CREATED carry handshake material in the
+// clear; RELAY payloads are onion-encrypted hop by hop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace ting::cells {
+
+inline constexpr std::size_t kCellSize = 512;
+inline constexpr std::size_t kCellHeader = 5;  // circ_id(4) + command(1)
+inline constexpr std::size_t kPayloadSize = kCellSize - kCellHeader;  // 507
+
+using CircuitId = std::uint32_t;
+
+enum class CellCommand : std::uint8_t {
+  kPadding = 0,
+  kCreate = 1,
+  kCreated = 2,
+  kRelay = 3,
+  kDestroy = 4,
+  kVersions = 7,  ///< link handshake: version negotiation
+  kNetinfo = 8,   ///< link handshake: timestamps + observed addresses
+};
+
+std::string command_name(CellCommand c);
+
+struct Cell {
+  CircuitId circ_id = 0;
+  CellCommand command = CellCommand::kPadding;
+  Bytes payload;  ///< always kPayloadSize after normalize()/decode()
+
+  /// Zero-pad or truncate payload to exactly kPayloadSize.
+  void normalize();
+  /// Wire encoding, exactly kCellSize bytes.
+  Bytes encode() const;
+  /// Parse a wire cell; throws CheckError unless exactly kCellSize bytes.
+  static Cell decode(std::span<const std::uint8_t> wire);
+
+  static Cell make(CircuitId circ, CellCommand cmd, Bytes payload = {});
+};
+
+/// CREATE payload: the client's ephemeral X25519 public key (32 bytes).
+/// CREATED payload: relay ephemeral public key (32) + auth tag (32).
+inline constexpr std::size_t kCreatePayloadLen = 32;
+inline constexpr std::size_t kCreatedPayloadLen = 64;
+
+/// DESTROY payload: single reason byte.
+enum class DestroyReason : std::uint8_t {
+  kNone = 0,
+  kProtocol = 1,
+  kRequested = 3,
+  kDestroyed = 5,
+  kNoSuchCircuit = 10,
+};
+
+}  // namespace ting::cells

@@ -1,0 +1,146 @@
+#include "cells/relay_payload.h"
+
+#include <cstring>
+
+#include "cells/cell.h"
+#include "util/assert.h"
+
+namespace ting::cells {
+
+std::string relay_command_name(RelayCommand c) {
+  switch (c) {
+    case RelayCommand::kBegin: return "BEGIN";
+    case RelayCommand::kData: return "DATA";
+    case RelayCommand::kEnd: return "END";
+    case RelayCommand::kConnected: return "CONNECTED";
+    case RelayCommand::kSendme: return "SENDME";
+    case RelayCommand::kExtend: return "EXTEND";
+    case RelayCommand::kExtended: return "EXTENDED";
+    case RelayCommand::kDrop: return "DROP";
+  }
+  return "UNKNOWN";
+}
+
+std::uint32_t RollingDigest::absorb(
+    std::span<const std::uint8_t> payload_with_zero_digest) {
+  crypto::Hasher h;
+  h.update(std::span<const std::uint8_t>(state_.data(), state_.size()));
+  h.update(payload_with_zero_digest);
+  state_ = h.finalize();
+  return static_cast<std::uint32_t>(state_[0]) << 24 |
+         static_cast<std::uint32_t>(state_[1]) << 16 |
+         static_cast<std::uint32_t>(state_[2]) << 8 |
+         static_cast<std::uint32_t>(state_[3]);
+}
+
+Bytes encode_relay(const RelayPayload& p, RollingDigest& digest) {
+  TING_CHECK_MSG(p.data.size() <= kRelayDataMax,
+                 "relay data too large: " << p.data.size());
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(p.command));
+  w.u16(0);  // recognized
+  w.u16(p.stream_id);
+  w.u32(0);  // digest placeholder
+  w.u16(static_cast<std::uint16_t>(p.data.size()));
+  w.raw(std::span<const std::uint8_t>(p.data.data(), p.data.size()));
+  w.pad_to(kPayloadSize);
+  Bytes out = w.take();
+  const std::uint32_t d =
+      digest.absorb(std::span<const std::uint8_t>(out.data(), out.size()));
+  out[5] = static_cast<std::uint8_t>(d >> 24);
+  out[6] = static_cast<std::uint8_t>(d >> 16);
+  out[7] = static_cast<std::uint8_t>(d >> 8);
+  out[8] = static_cast<std::uint8_t>(d);
+  return out;
+}
+
+std::optional<RelayPayload> try_parse_relay(
+    std::span<const std::uint8_t> payload, RollingDigest& digest) {
+  if (payload.size() != kPayloadSize) return std::nullopt;
+  // recognized must be zero.
+  if (payload[1] != 0 || payload[2] != 0) return std::nullopt;
+  const std::uint32_t claimed = static_cast<std::uint32_t>(payload[5]) << 24 |
+                                static_cast<std::uint32_t>(payload[6]) << 16 |
+                                static_cast<std::uint32_t>(payload[7]) << 8 |
+                                static_cast<std::uint32_t>(payload[8]);
+  // Recompute over the payload with the digest field zeroed. Trial-absorb on
+  // a copy of the digest state: only commit on a match.
+  Bytes zeroed(payload.begin(), payload.end());
+  zeroed[5] = zeroed[6] = zeroed[7] = zeroed[8] = 0;
+  RollingDigest trial = digest;
+  const std::uint32_t computed =
+      trial.absorb(std::span<const std::uint8_t>(zeroed.data(), zeroed.size()));
+  if (computed != claimed) return std::nullopt;
+  digest = trial;
+
+  ByteReader r(std::span<const std::uint8_t>(zeroed.data(), zeroed.size()));
+  RelayPayload p;
+  p.command = static_cast<RelayCommand>(r.u8());
+  r.u16();  // recognized
+  p.stream_id = r.u16();
+  r.u32();  // digest
+  const std::uint16_t len = r.u16();
+  if (len > kRelayDataMax) return std::nullopt;
+  p.data = r.raw(len);
+  return p;
+}
+
+Bytes ExtendRequest::encode() const {
+  ByteWriter w;
+  w.u32(address.value());
+  w.u16(or_port);
+  w.raw(std::span<const std::uint8_t>(fingerprint.data(), fingerprint.size()));
+  w.raw(std::span<const std::uint8_t>(client_public.data(), client_public.size()));
+  return w.take();
+}
+
+ExtendRequest ExtendRequest::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ExtendRequest req;
+  req.address = IpAddr(r.u32());
+  req.or_port = r.u16();
+  const Bytes fp = r.raw(req.fingerprint.size());
+  std::memcpy(req.fingerprint.data(), fp.data(), fp.size());
+  const Bytes pk = r.raw(req.client_public.size());
+  std::memcpy(req.client_public.data(), pk.data(), pk.size());
+  return req;
+}
+
+Bytes ExtendedReply::encode() const {
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(relay_public.data(), relay_public.size()));
+  w.raw(std::span<const std::uint8_t>(auth.data(), auth.size()));
+  return w.take();
+}
+
+ExtendedReply ExtendedReply::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ExtendedReply rep;
+  const Bytes pk = r.raw(rep.relay_public.size());
+  std::memcpy(rep.relay_public.data(), pk.data(), pk.size());
+  const Bytes auth = r.raw(rep.auth.size());
+  std::memcpy(rep.auth.data(), auth.data(), auth.size());
+  return rep;
+}
+
+Bytes encode_begin(const Endpoint& target) {
+  const std::string s = target.str();
+  return Bytes(s.begin(), s.end());
+}
+
+std::optional<Endpoint> decode_begin(std::span<const std::uint8_t> data) {
+  const std::string s(data.begin(), data.end());
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const auto ip = IpAddr::parse(s.substr(0, colon));
+  if (!ip.has_value()) return std::nullopt;
+  int port = 0;
+  for (char c : s.substr(colon + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  return Endpoint{*ip, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace ting::cells

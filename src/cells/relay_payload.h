@@ -1,0 +1,92 @@
+// RELAY cell payload framing and the per-hop rolling digest.
+//
+// Plaintext layout inside the (onion-encrypted) 507-byte relay payload:
+//   relay_command(1) recognized(2) stream_id(2) digest(4) length(2) data(...)
+// "recognized" is zero in plaintext; a relay that strips its onion layer and
+// sees recognized==0 AND a matching rolling digest knows the cell is
+// addressed to it (otherwise it forwards the still-encrypted payload on).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/hash.h"
+#include "util/bytes.h"
+#include "util/ip.h"
+
+namespace ting::cells {
+
+inline constexpr std::size_t kRelayHeader = 1 + 2 + 2 + 4 + 2;  // 11
+inline constexpr std::size_t kRelayDataMax = 507 - kRelayHeader;
+
+enum class RelayCommand : std::uint8_t {
+  kBegin = 1,      ///< open a TCP stream from the exit
+  kData = 2,       ///< stream payload
+  kEnd = 3,        ///< stream closed
+  kConnected = 4,  ///< exit completed the BEGIN
+  kSendme = 5,     ///< flow control (accepted, ignored by relays here)
+  kExtend = 6,     ///< extend the circuit by one hop
+  kExtended = 7,   ///< the new hop answered
+  kDrop = 10,      ///< long-range padding, discarded at the endpoint
+};
+
+std::string relay_command_name(RelayCommand c);
+
+struct RelayPayload {
+  RelayCommand command = RelayCommand::kDrop;
+  std::uint16_t stream_id = 0;
+  Bytes data;
+};
+
+/// Rolling digest for one direction of one hop. Both endpoints feed it the
+/// same plaintext payloads; 4 bytes of its state authenticate each cell.
+class RollingDigest {
+ public:
+  RollingDigest() = default;
+  explicit RollingDigest(const crypto::Digest& seed) : state_(seed) {}
+
+  /// Absorb a full 507-byte plaintext payload whose digest field is zeroed,
+  /// returning the 4 digest bytes to place into (or compare against) it.
+  std::uint32_t absorb(std::span<const std::uint8_t> payload_with_zero_digest);
+
+ private:
+  crypto::Digest state_{};
+};
+
+/// Build the 507-byte plaintext payload for a relay cell. `digest` must
+/// already reflect this payload (compute via RollingDigest on the payload
+/// with a zeroed digest field — encode_relay does this dance internally).
+Bytes encode_relay(const RelayPayload& p, RollingDigest& digest);
+
+/// Attempt to parse a just-decrypted payload. Returns the payload if
+/// recognized (recognized field zero and digest matching), nullopt if this
+/// hop is not the destination. Advances `digest` only when recognized.
+std::optional<RelayPayload> try_parse_relay(
+    std::span<const std::uint8_t> payload, RollingDigest& digest);
+
+// ---- typed EXTEND/EXTENDED bodies ----------------------------------------
+
+struct ExtendRequest {
+  IpAddr address;
+  std::uint16_t or_port = 0;
+  std::array<std::uint8_t, 20> fingerprint{};
+  std::array<std::uint8_t, 32> client_public{};
+
+  Bytes encode() const;
+  static ExtendRequest decode(std::span<const std::uint8_t> data);
+};
+
+struct ExtendedReply {
+  std::array<std::uint8_t, 32> relay_public{};
+  std::array<std::uint8_t, 32> auth{};
+
+  Bytes encode() const;
+  static ExtendedReply decode(std::span<const std::uint8_t> data);
+};
+
+/// BEGIN body: "<ip>:<port>" ASCII, like Tor's address:port.
+Bytes encode_begin(const Endpoint& target);
+std::optional<Endpoint> decode_begin(std::span<const std::uint8_t> data);
+
+}  // namespace ting::cells

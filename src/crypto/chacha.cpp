@@ -1,0 +1,88 @@
+#include "crypto/chacha.h"
+
+#include <cstring>
+
+namespace ting::crypto {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+inline std::uint32_t load32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline void store32_le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void chacha_block(const std::uint32_t in[16], std::uint32_t out[16]) {
+  std::uint32_t x[16];
+  std::memcpy(x, in, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    // Diagonal rounds.
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) out[i] = x[i] + in[i];
+}
+
+ChaChaCipher::ChaChaCipher(const Key& key, const Nonce& nonce,
+                           std::uint32_t counter) {
+  // "expand 32-byte k" sigma constants.
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load32_le(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load32_le(nonce.data() + 4 * i);
+}
+
+void ChaChaCipher::refill() {
+  std::uint32_t out[16];
+  chacha_block(state_, out);
+  for (int i = 0; i < 16; ++i) store32_le(block_ + 4 * i, out[i]);
+  ++state_[12];  // block counter
+  block_pos_ = 0;
+}
+
+void ChaChaCipher::apply(std::span<std::uint8_t> data) {
+  for (std::uint8_t& b : data) {
+    if (block_pos_ == 64) refill();
+    b ^= block_[block_pos_++];
+  }
+}
+
+Bytes ChaChaCipher::transform(std::span<const std::uint8_t> data) {
+  Bytes out(data.begin(), data.end());
+  apply(out);
+  return out;
+}
+
+}  // namespace ting::crypto

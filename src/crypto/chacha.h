@@ -1,0 +1,50 @@
+// ChaCha-style stream cipher.
+//
+// This is the ChaCha20 construction (16-word state, 20 rounds of
+// quarter-rounds, counter mode) implemented from scratch. It is used for the
+// per-hop onion layers, so every relayed cell really is encrypted and
+// decrypted once per hop — the relay "crypto cost" in the forwarding-delay
+// model corresponds to real work. We make no interoperability claim against
+// RFC 7539 test vectors (none are available offline); all properties the
+// library relies on (determinism, involution of encrypt/decrypt, key
+// sensitivity) are property-tested.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace ting::crypto {
+
+inline constexpr std::size_t kKeyLen = 32;
+inline constexpr std::size_t kNonceLen = 12;
+
+using Key = std::array<std::uint8_t, kKeyLen>;
+using Nonce = std::array<std::uint8_t, kNonceLen>;
+
+/// The ChaCha permutation applied to a 16-word state (20 rounds, with the
+/// feed-forward addition). Exposed for the sponge hash.
+void chacha_block(const std::uint32_t in[16], std::uint32_t out[16]);
+
+/// Stateful keystream cipher. Encrypting twice with the same starting
+/// position is the identity (XOR stream), which is how onion layers peel.
+class ChaChaCipher {
+ public:
+  ChaChaCipher(const Key& key, const Nonce& nonce, std::uint32_t counter = 0);
+
+  /// XOR the keystream into `data` in place, advancing the stream position.
+  void apply(std::span<std::uint8_t> data);
+
+  /// Convenience: returns the transformed copy.
+  Bytes transform(std::span<const std::uint8_t> data);
+
+ private:
+  void refill();
+  std::uint32_t state_[16];
+  std::uint8_t block_[64];
+  std::size_t block_pos_ = 64;  // exhausted; refill on first use
+};
+
+}  // namespace ting::crypto

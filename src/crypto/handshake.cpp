@@ -1,0 +1,93 @@
+#include "crypto/handshake.h"
+
+#include <cstring>
+
+namespace ting::crypto {
+
+namespace {
+
+X25519Key random_scalar(Rng& rng) {
+  X25519Key k;
+  for (std::size_t i = 0; i < k.size(); i += 8) {
+    const std::uint64_t r = rng.next_u64();
+    for (std::size_t j = 0; j < 8; ++j)
+      k[i + j] = static_cast<std::uint8_t>(r >> (8 * j));
+  }
+  return k;
+}
+
+constexpr const char* kProtoId = "ting-ntor-chacha-v1";
+
+/// Derive hop keys from the two DH shared secrets and the transcript.
+HopKeys derive_keys(const X25519Key& dh_ephemeral, const X25519Key& dh_identity,
+                    const X25519Key& client_public,
+                    const X25519Key& relay_ephemeral_public,
+                    const X25519Key& relay_identity_public) {
+  ByteWriter ikm;
+  ikm.raw(std::span<const std::uint8_t>(dh_ephemeral.data(), 32));
+  ikm.raw(std::span<const std::uint8_t>(dh_identity.data(), 32));
+  ikm.raw(std::span<const std::uint8_t>(client_public.data(), 32));
+  ikm.raw(std::span<const std::uint8_t>(relay_ephemeral_public.data(), 32));
+  ikm.raw(std::span<const std::uint8_t>(relay_identity_public.data(), 32));
+
+  static const std::uint8_t salt[] = {'t', 'i', 'n', 'g', '-', 's', 'a', 'l', 't'};
+  const Bytes okm = hkdf(std::span<const std::uint8_t>(ikm.bytes().data(),
+                                                       ikm.bytes().size()),
+                         std::span<const std::uint8_t>(salt, sizeof(salt)),
+                         kProtoId, 2 * kKeyLen + 3 * kDigestLen);
+
+  HopKeys keys;
+  std::size_t off = 0;
+  std::memcpy(keys.forward_key.data(), okm.data() + off, kKeyLen);
+  off += kKeyLen;
+  std::memcpy(keys.backward_key.data(), okm.data() + off, kKeyLen);
+  off += kKeyLen;
+  std::memcpy(keys.forward_digest_seed.data(), okm.data() + off, kDigestLen);
+  off += kDigestLen;
+  std::memcpy(keys.backward_digest_seed.data(), okm.data() + off, kDigestLen);
+  off += kDigestLen;
+  std::memcpy(keys.auth.data(), okm.data() + off, kDigestLen);
+  return keys;
+}
+
+}  // namespace
+
+IdentityKeys IdentityKeys::generate(Rng& rng) {
+  IdentityKeys id;
+  id.secret = random_scalar(rng);
+  id.public_key = x25519_base(id.secret);
+  return id;
+}
+
+ClientHandshake ClientHandshake::start(Rng& rng) {
+  ClientHandshake hs;
+  hs.ephemeral_secret = random_scalar(rng);
+  hs.ephemeral_public = x25519_base(hs.ephemeral_secret);
+  return hs;
+}
+
+std::optional<HopKeys> ClientHandshake::finish(
+    const X25519Key& relay_identity_public,
+    const X25519Key& relay_ephemeral_public, const Digest& auth) const {
+  const X25519Key dh_eph = x25519(ephemeral_secret, relay_ephemeral_public);
+  const X25519Key dh_id = x25519(ephemeral_secret, relay_identity_public);
+  HopKeys keys = derive_keys(dh_eph, dh_id, ephemeral_public,
+                             relay_ephemeral_public, relay_identity_public);
+  if (keys.auth != auth) return std::nullopt;
+  return keys;
+}
+
+RelayHandshakeResult relay_handshake(const IdentityKeys& identity,
+                                     const X25519Key& client_public,
+                                     Rng& rng) {
+  RelayHandshakeResult out;
+  const X25519Key eph_secret = random_scalar(rng);
+  out.ephemeral_public = x25519_base(eph_secret);
+  const X25519Key dh_eph = x25519(eph_secret, client_public);
+  const X25519Key dh_id = x25519(identity.secret, client_public);
+  out.keys = derive_keys(dh_eph, dh_id, client_public, out.ephemeral_public,
+                         identity.public_key);
+  return out;
+}
+
+}  // namespace ting::crypto

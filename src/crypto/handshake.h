@@ -1,0 +1,62 @@
+// ntor-style circuit handshake.
+//
+// Mirrors Tor's ntor: the client sends an ephemeral X25519 public key in the
+// CREATE cell; the relay replies with its own ephemeral public key plus an
+// authentication tag. Both sides derive the shared secret from the two DH
+// results (client-ephemeral × relay-ephemeral and client-ephemeral ×
+// relay-identity) through HKDF, yielding the forward/backward cipher keys
+// and the rolling digest seeds for that hop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/chacha.h"
+#include "crypto/hash.h"
+#include "crypto/x25519.h"
+#include "util/rng.h"
+
+namespace ting::crypto {
+
+/// Key material for one circuit hop, shared by client and relay.
+struct HopKeys {
+  Key forward_key;    ///< client→exit direction cipher key
+  Key backward_key;   ///< exit→client direction cipher key
+  Digest forward_digest_seed;
+  Digest backward_digest_seed;
+  Digest auth;        ///< handshake authentication tag
+};
+
+/// A relay's long-lived identity keypair.
+struct IdentityKeys {
+  X25519Key secret;
+  X25519Key public_key;
+
+  static IdentityKeys generate(Rng& rng);
+};
+
+/// Client side, phase 1: ephemeral keypair + the onionskin to send.
+struct ClientHandshake {
+  X25519Key ephemeral_secret;
+  X25519Key ephemeral_public;  ///< goes into the CREATE/EXTEND cell
+
+  static ClientHandshake start(Rng& rng);
+
+  /// Phase 2: process the relay's reply. Returns std::nullopt if the auth
+  /// tag does not verify (e.g. wrong identity key — a MITM in real Tor).
+  std::optional<HopKeys> finish(const X25519Key& relay_identity_public,
+                                const X25519Key& relay_ephemeral_public,
+                                const Digest& auth) const;
+};
+
+/// Relay side: consume a client's onionskin, produce the reply and keys.
+struct RelayHandshakeResult {
+  X25519Key ephemeral_public;  ///< goes into the CREATED/EXTENDED cell
+  HopKeys keys;
+};
+RelayHandshakeResult relay_handshake(const IdentityKeys& identity,
+                                     const X25519Key& client_public,
+                                     Rng& rng);
+
+}  // namespace ting::crypto

@@ -1,0 +1,56 @@
+// TingHash — a 256-bit sponge hash over the ChaCha permutation — plus HMAC
+// and HKDF built on it.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): Tor uses SHA-1/SHA-256; no certified
+// implementation is available offline, so the cell digests, fingerprints,
+// and key derivation in this reproduction use TingHash instead. The
+// construction is a classic overwrite-mode sponge: 64-byte state, 32-byte
+// rate, ChaCha block function as the permutation, simple 0x80...len padding.
+// All structural uses of the hash (collision-freeness in practice,
+// determinism, avalanche) are what the protocol machinery relies on, and are
+// property-tested.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace ting::crypto {
+
+inline constexpr std::size_t kDigestLen = 32;
+using Digest = std::array<std::uint8_t, kDigestLen>;
+
+/// Incremental hash. Absorb with update(), squeeze with finalize().
+class Hasher {
+ public:
+  Hasher();
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+  /// Finalize; the Hasher must not be reused afterwards.
+  Digest finalize();
+
+ private:
+  void absorb_block(const std::uint8_t* block);  // 32-byte rate block
+  std::uint32_t state_[16];
+  std::uint8_t buf_[32];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot hash.
+Digest hash(std::span<const std::uint8_t> data);
+Digest hash(const std::string& s);
+
+/// HMAC(key, msg) with the standard ipad/opad construction over TingHash.
+Digest hmac(std::span<const std::uint8_t> key,
+            std::span<const std::uint8_t> msg);
+
+/// HKDF extract-and-expand producing `out_len` bytes.
+Bytes hkdf(std::span<const std::uint8_t> ikm, std::span<const std::uint8_t> salt,
+           const std::string& info, std::size_t out_len);
+
+}  // namespace ting::crypto

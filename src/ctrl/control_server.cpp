@@ -1,0 +1,235 @@
+#include "ctrl/control_server.h"
+
+#include <sstream>
+
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace ting::ctrl {
+
+namespace {
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+const char* circuit_state_name(tor::CircuitState s) {
+  switch (s) {
+    case tor::CircuitState::kBuilding: return "LAUNCHED";
+    case tor::CircuitState::kBuilt: return "BUILT";
+    case tor::CircuitState::kFailed: return "FAILED";
+    case tor::CircuitState::kClosed: return "CLOSED";
+  }
+  return "?";
+}
+}  // namespace
+
+ControlServer::ControlServer(tor::OnionProxy& op, std::uint16_t port,
+                             std::string password)
+    : op_(op), port_(port), password_(std::move(password)) {
+  simnet::Listener* listener = op_.net().listen(op_.host(), port_);
+  listener->set_on_accept([this](simnet::ConnPtr conn) {
+    auto session = std::make_shared<Session>();
+    session->conn = conn;
+    sessions_[conn.get()] = session;
+    conn->set_on_close([this, raw = conn.get()]() { sessions_.erase(raw); });
+    conn->set_on_message([this, session](Bytes msg) {
+      handle_command(session, std::string(msg.begin(), msg.end()));
+    });
+  });
+  op_.set_event_sink([this](std::string event) { broadcast_event(event); });
+}
+
+Endpoint ControlServer::endpoint() const {
+  return Endpoint{op_.net().ip_of(op_.host()), port_};
+}
+
+void ControlServer::broadcast_event(const std::string& event) {
+  const bool is_circ = starts_with(event, "CIRC");
+  const bool is_stream = starts_with(event, "STREAM");
+  for (auto& [raw, session] : sessions_) {
+    if (!session->authenticated) continue;
+    if ((is_circ && session->events_circ) ||
+        (is_stream && session->events_stream))
+      session->conn->send(bytes_of("650 " + event));
+  }
+}
+
+void ControlServer::handle_command(const std::shared_ptr<Session>& session,
+                                   const std::string& raw_line) {
+  const std::string line = trim(raw_line);
+  const std::size_t space = line.find(' ');
+  const std::string verb = to_upper(line.substr(0, space));
+  const std::string args =
+      space == std::string::npos ? "" : trim(line.substr(space + 1));
+  auto reply = [&](const std::string& text) {
+    session->conn->send(bytes_of(text));
+  };
+
+  if (verb == "PROTOCOLINFO") {
+    reply("250-PROTOCOLINFO 1\n250-AUTH METHODS=" +
+          std::string(password_.empty() ? "NULL" : "HASHEDPASSWORD") +
+          "\n250-VERSION Tor=\"0.2.4.22-ting-sim\"\n250 OK");
+    return;
+  }
+  if (verb == "AUTHENTICATE") {
+    std::string given = args;
+    if (given.size() >= 2 && given.front() == '"' && given.back() == '"')
+      given = given.substr(1, given.size() - 2);
+    if (given == password_) {
+      session->authenticated = true;
+      reply("250 OK");
+    } else {
+      reply("515 Authentication failed");
+    }
+    return;
+  }
+  if (verb == "QUIT") {
+    reply("250 closing connection");
+    session->conn->close();
+    return;
+  }
+  if (!session->authenticated) {
+    reply("514 Authentication required");
+    return;
+  }
+
+  if (verb == "SETEVENTS") {
+    session->events_circ = false;
+    session->events_stream = false;
+    bool ok = true;
+    for (const std::string& ev : split(args, ' ')) {
+      const std::string e = to_upper(trim(ev));
+      if (e == "CIRC") session->events_circ = true;
+      else if (e == "STREAM") session->events_stream = true;
+      else if (!e.empty()) ok = false;
+    }
+    reply(ok ? "250 OK" : "552 Unrecognized event");
+    return;
+  }
+  if (verb == "SETCONF") {
+    reply(cmd_setconf(args));
+    return;
+  }
+  if (verb == "GETINFO") {
+    reply(cmd_getinfo(args));
+    return;
+  }
+  if (verb == "EXTENDCIRCUIT") {
+    reply(cmd_extendcircuit(session, args));
+    return;
+  }
+  if (verb == "ATTACHSTREAM") {
+    reply(cmd_attachstream(args));
+    return;
+  }
+  if (verb == "SIGNAL") {
+    if (to_upper(args) == "NEWNYM") {
+      op_.new_identity();
+      reply("250 OK");
+    } else {
+      reply("552 Unrecognized signal");
+    }
+    return;
+  }
+  if (verb == "CLOSECIRCUIT") {
+    try {
+      const auto handle =
+          static_cast<tor::CircuitHandle>(std::stoul(args));
+      op_.close_circuit(handle);
+      reply("250 OK");
+    } catch (const std::exception&) {
+      reply("552 Unknown circuit");
+    }
+    return;
+  }
+  reply("510 Unrecognized command \"" + verb + "\"");
+}
+
+std::string ControlServer::cmd_setconf(const std::string& args) {
+  for (const std::string& kv : split(args, ' ')) {
+    const auto parts = split(trim(kv), '=');
+    if (parts.size() != 2) continue;
+    if (parts[0] == "__LeaveStreamsUnattached") {
+      op_.set_leave_streams_unattached(parts[1] == "1");
+      return "250 OK";
+    }
+  }
+  return "552 Unrecognized option";
+}
+
+std::string ControlServer::cmd_getinfo(const std::string& arg) {
+  if (arg == "version")
+    return "250-version=0.2.4.22-ting-sim\n250 OK";
+  if (arg == "circuit-status") {
+    std::ostringstream os;
+    os << "250+circuit-status=\n";
+    for (const tor::CircuitHandle h : op_.circuit_handles()) {
+      os << h << " " << circuit_state_name(op_.circuit_state(h));
+      const auto path = op_.circuit_path(h);
+      for (std::size_t i = 0; i < path.size(); ++i)
+        os << (i == 0 ? " $" : ",$") << path[i].hex();
+      os << "\n";
+    }
+    os << ".\n250 OK";
+    return os.str();
+  }
+  if (arg == "stream-status") {
+    std::ostringstream os;
+    os << "250+stream-status=\n";
+    for (const auto& s : op_.unattached_streams())
+      os << s->id() << " NEW 0 " << s->target().str() << "\n";
+    os << ".\n250 OK";
+    return os.str();
+  }
+  if (arg == "entry-guards") {
+    std::ostringstream os;
+    os << "250+entry-guards=\n";
+    for (const auto& fp : op_.guard_set()) os << "$" << fp.hex() << " up\n";
+    os << ".\n250 OK";
+    return os.str();
+  }
+  if (arg == "ns/all") {
+    std::ostringstream os;
+    os << "250+ns/all=\n";
+    for (const auto& r : op_.consensus().relays())
+      os << "r " << r.nickname << " $" << r.fingerprint.hex() << " "
+         << r.address.str() << " " << r.or_port << " " << r.bandwidth << "\n";
+    os << ".\n250 OK";
+    return os.str();
+  }
+  return "552 Unrecognized key \"" + arg + "\"";
+}
+
+std::string ControlServer::cmd_extendcircuit(
+    const std::shared_ptr<Session>& session, const std::string& args) {
+  // Grammar: "0 fp1,fp2,..." — 0 means "new circuit" (extending existing
+  // circuits mid-flight is not needed by Ting and not supported).
+  const auto parts = split(args, ' ');
+  if (parts.size() != 2 || parts[0] != "0")
+    return "512 syntax: EXTENDCIRCUIT 0 fp,fp,...";
+  std::vector<dir::Fingerprint> path;
+  try {
+    for (const std::string& fp : split(parts[1], ','))
+      path.push_back(dir::Fingerprint::from_hex(trim(fp)));
+  } catch (const CheckError&) {
+    return "552 malformed fingerprint";
+  }
+  // Failure surfaces asynchronously as a 650 CIRC ... FAILED event, exactly
+  // like tor; the synchronous reply only confirms launch.
+  const tor::CircuitHandle h = op_.build_circuit(path, {}, {});
+  (void)session;
+  return "250 EXTENDED " + std::to_string(h);
+}
+
+std::string ControlServer::cmd_attachstream(const std::string& args) {
+  const auto parts = split(args, ' ');
+  if (parts.size() != 2) return "512 syntax: ATTACHSTREAM <stream> <circuit>";
+  try {
+    const auto sid = static_cast<std::uint16_t>(std::stoul(parts[0]));
+    const auto circ = static_cast<tor::CircuitHandle>(std::stoul(parts[1]));
+    if (op_.attach_stream(sid, circ)) return "250 OK";
+    return "552 Unknown stream or circuit not built";
+  } catch (const std::exception&) {
+    return "552 malformed ATTACHSTREAM";
+  }
+}
+
+}  // namespace ting::ctrl

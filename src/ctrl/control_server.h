@@ -1,0 +1,65 @@
+// The Tor control port, server side.
+//
+// Ting drives measurement entirely through this interface (the original
+// implementation uses the Stem library against tor's control port), so the
+// protocol surface it needs is implemented faithfully:
+//
+//   PROTOCOLINFO                      -> 250-PROTOCOLINFO ... 250 OK
+//   AUTHENTICATE [pw]                 -> 250 OK (gates everything else)
+//   SETEVENTS [CIRC] [STREAM]         -> choose which 650 events arrive
+//   SETCONF __LeaveStreamsUnattached=1-> toggle manual stream attachment
+//   EXTENDCIRCUIT 0 fp1,fp2,...      -> 250 EXTENDED <id>, then 650 CIRC
+//   ATTACHSTREAM <stream> <circuit>   -> 250 OK
+//   CLOSECIRCUIT <circuit>            -> 250 OK
+//   GETINFO circuit-status|stream-status|ns/all|version
+//   QUIT                              -> 250 closing connection
+//
+// Transport framing: one control command per message, one (possibly
+// multi-line) reply per message; asynchronous events are separate messages
+// beginning with "650 " (a documented simplification of CRLF line framing —
+// the command grammar and status codes follow the control spec).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "simnet/network.h"
+#include "tor/onion_proxy.h"
+
+namespace ting::ctrl {
+
+inline constexpr std::uint16_t kControlPort = 9051;
+
+class ControlServer {
+ public:
+  /// Binds the control port on the OP's host and hooks the OP's event sink.
+  ControlServer(tor::OnionProxy& op, std::uint16_t port = kControlPort,
+                std::string password = "");
+
+  std::uint16_t port() const { return port_; }
+  Endpoint endpoint() const;
+
+ private:
+  struct Session {
+    simnet::ConnPtr conn;
+    bool authenticated = false;
+    bool events_circ = false;
+    bool events_stream = false;
+  };
+
+  void handle_command(const std::shared_ptr<Session>& session,
+                      const std::string& line);
+  std::string cmd_getinfo(const std::string& arg);
+  std::string cmd_extendcircuit(const std::shared_ptr<Session>& session,
+                                const std::string& args);
+  std::string cmd_attachstream(const std::string& args);
+  std::string cmd_setconf(const std::string& args);
+  void broadcast_event(const std::string& event);
+
+  tor::OnionProxy& op_;
+  std::uint16_t port_;
+  std::string password_;
+  std::map<simnet::Connection*, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace ting::ctrl

@@ -1,0 +1,164 @@
+#include "ctrl/controller.h"
+
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace ting::ctrl {
+
+namespace {
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+}  // namespace
+
+void Controller::create(simnet::Network& net, simnet::HostId from,
+                        Endpoint control_endpoint, const std::string& password,
+                        std::function<void(Ptr)> on_ready,
+                        std::function<void(std::string)> on_fail) {
+  net.connect(
+      from, control_endpoint, simnet::Protocol::kTcp,
+      [password, on_ready = std::move(on_ready),
+       on_fail](simnet::ConnPtr conn) {
+        auto ctl = Ptr(new Controller());
+        ctl->wire(std::move(conn));
+        // Handshake: AUTHENTICATE, then subscribe to CIRC/STREAM events.
+        ctl->raw_command(
+            "AUTHENTICATE \"" + password + "\"",
+            [ctl, on_ready, on_fail](std::string reply) {
+              if (!starts_with(reply, "250")) {
+                if (on_fail) on_fail("authentication failed: " + reply);
+                ctl->conn_->close();
+                return;
+              }
+              ctl->raw_command("SETEVENTS CIRC STREAM",
+                               [ctl, on_ready](std::string) { on_ready(ctl); });
+            });
+      },
+      on_fail);
+}
+
+void Controller::wire(simnet::ConnPtr conn) {
+  conn_ = std::move(conn);
+  auto self = shared_from_this();
+  conn_->set_on_message([self](Bytes msg) {
+    self->on_message(std::string(msg.begin(), msg.end()));
+  });
+}
+
+void Controller::on_message(const std::string& text) {
+  if (starts_with(text, "650 ")) {
+    handle_event(text.substr(4));
+    return;
+  }
+  if (pending_replies_.empty()) {
+    TING_WARN("controller: unsolicited reply: " << text);
+    return;
+  }
+  auto handler = std::move(pending_replies_.front());
+  pending_replies_.pop_front();
+  if (handler) handler(text);
+}
+
+void Controller::raw_command(const std::string& command,
+                             std::function<void(std::string)> on_reply) {
+  TING_CHECK_MSG(conn_ && conn_->is_open(), "controller connection closed");
+  pending_replies_.push_back(std::move(on_reply));
+  conn_->send(bytes_of(command));
+}
+
+void Controller::handle_event(const std::string& event) {
+  if (on_event_) {
+    // Invoke a copy: the handler may replace itself mid-call.
+    auto fn = on_event_;
+    fn(event);
+  }
+  const auto parts = split(event, ' ');
+  if (parts.size() >= 3 && parts[0] == "CIRC") {
+    const auto handle =
+        static_cast<tor::CircuitHandle>(std::stoul(parts[1]));
+    auto it = build_watches_.find(handle);
+    if (it != build_watches_.end()) {
+      if (parts[2] == "BUILT") {
+        auto watch = std::move(it->second);
+        build_watches_.erase(it);
+        if (watch.on_built) watch.on_built(handle);
+      } else if (parts[2] == "FAILED" || parts[2] == "CLOSED") {
+        auto watch = std::move(it->second);
+        build_watches_.erase(it);
+        if (watch.on_fail) watch.on_fail(event);
+      }
+    }
+    return;
+  }
+  // "STREAM <id> NEW 0 <ip:port>"
+  if (parts.size() >= 5 && parts[0] == "STREAM" && parts[2] == "NEW") {
+    if (on_stream_new_) {
+      auto fn = on_stream_new_;
+      fn(static_cast<std::uint16_t>(std::stoul(parts[1])), parts[4]);
+    }
+  }
+}
+
+void Controller::extend_circuit(
+    const std::vector<dir::Fingerprint>& path,
+    std::function<void(tor::CircuitHandle)> on_built,
+    std::function<void(std::string)> on_fail) {
+  std::string fps;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) fps += ",";
+    fps += path[i].hex();
+  }
+  auto self = shared_from_this();
+  raw_command(
+      "EXTENDCIRCUIT 0 " + fps,
+      [self, on_built = std::move(on_built),
+       on_fail = std::move(on_fail)](std::string reply) mutable {
+        if (!starts_with(reply, "250 EXTENDED ")) {
+          if (on_fail) on_fail(reply);
+          return;
+        }
+        const auto handle = static_cast<tor::CircuitHandle>(
+            std::stoul(reply.substr(std::string("250 EXTENDED ").size())));
+        self->build_watches_[handle] =
+            BuildWatch{std::move(on_built), std::move(on_fail)};
+      });
+}
+
+void Controller::attach_stream(std::uint16_t stream_id,
+                               tor::CircuitHandle circuit,
+                               std::function<void(bool)> on_done) {
+  raw_command("ATTACHSTREAM " + std::to_string(stream_id) + " " +
+                  std::to_string(circuit),
+              [on_done = std::move(on_done)](std::string reply) {
+                if (on_done) on_done(starts_with(reply, "250"));
+              });
+}
+
+void Controller::close_circuit(tor::CircuitHandle circuit,
+                               std::function<void()> on_done) {
+  raw_command("CLOSECIRCUIT " + std::to_string(circuit),
+              [on_done = std::move(on_done)](std::string) {
+                if (on_done) on_done();
+              });
+}
+
+void Controller::set_leave_streams_unattached(bool value,
+                                              std::function<void()> on_done) {
+  raw_command(std::string("SETCONF __LeaveStreamsUnattached=") +
+                  (value ? "1" : "0"),
+              [on_done = std::move(on_done)](std::string) {
+                if (on_done) on_done();
+              });
+}
+
+void Controller::get_info(const std::string& key,
+                          std::function<void(std::string)> on_reply) {
+  raw_command("GETINFO " + key, std::move(on_reply));
+}
+
+void Controller::quit() {
+  if (conn_ && conn_->is_open()) {
+    raw_command("QUIT", {});
+    conn_->close();
+  }
+}
+
+}  // namespace ting::ctrl

@@ -1,0 +1,92 @@
+// Controller: the client side of the control protocol — the role the Stem
+// library plays for the original Ting implementation (§3.1). Wraps the raw
+// command/reply exchange in a typed, callback-based API:
+//
+//   Controller::create(...)            connect + AUTHENTICATE + SETEVENTS
+//   extend_circuit(path, ...)          EXTENDCIRCUIT 0 fp,... then wait for
+//                                      the 650 CIRC <id> BUILT/FAILED event
+//   attach_stream(stream, circuit, ..) ATTACHSTREAM
+//   close_circuit(circuit)             CLOSECIRCUIT
+//   set_leave_streams_unattached(b)    SETCONF __LeaveStreamsUnattached
+//   get_info(key, ...)                 GETINFO
+//
+// Stream-NEW notifications (650 STREAM <id> NEW ...) arrive through
+// set_on_stream_new, which is how Ting learns the stream id it must attach.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "simnet/network.h"
+#include "tor/onion_proxy.h"
+
+namespace ting::ctrl {
+
+class Controller : public std::enable_shared_from_this<Controller> {
+ public:
+  using Ptr = std::shared_ptr<Controller>;
+
+  /// Connect to a control port and authenticate. `on_ready` receives the
+  /// live controller; `on_fail` fires on connect/auth errors.
+  static void create(simnet::Network& net, simnet::HostId from,
+                     Endpoint control_endpoint, const std::string& password,
+                     std::function<void(Ptr)> on_ready,
+                     std::function<void(std::string)> on_fail = {});
+
+  /// Launch a new circuit through `path`; resolves when BUILT (or fails).
+  void extend_circuit(const std::vector<dir::Fingerprint>& path,
+                      std::function<void(tor::CircuitHandle)> on_built,
+                      std::function<void(std::string)> on_fail);
+
+  void attach_stream(std::uint16_t stream_id, tor::CircuitHandle circuit,
+                     std::function<void(bool)> on_done);
+
+  void close_circuit(tor::CircuitHandle circuit,
+                     std::function<void()> on_done = {});
+
+  void set_leave_streams_unattached(bool value,
+                                    std::function<void()> on_done = {});
+
+  void get_info(const std::string& key,
+                std::function<void(std::string)> on_reply);
+
+  /// Raw command escape hatch: `on_reply` gets the whole reply text.
+  void raw_command(const std::string& command,
+                   std::function<void(std::string)> on_reply);
+
+  /// Called with (stream_id, target) when an unattached stream appears.
+  void set_on_stream_new(
+      std::function<void(std::uint16_t, std::string)> fn) {
+    on_stream_new_ = std::move(fn);
+  }
+  /// All 650 events, verbatim minus the "650 " prefix.
+  void set_on_event(std::function<void(std::string)> fn) {
+    on_event_ = std::move(fn);
+  }
+
+  void quit();
+  bool is_open() const { return conn_ && conn_->is_open(); }
+
+ private:
+  Controller() = default;
+  void wire(simnet::ConnPtr conn);
+  void on_message(const std::string& text);
+  void handle_event(const std::string& event);
+
+  simnet::ConnPtr conn_;
+  std::deque<std::function<void(std::string)>> pending_replies_;
+  struct BuildWatch {
+    std::function<void(tor::CircuitHandle)> on_built;
+    std::function<void(std::string)> on_fail;
+  };
+  std::map<tor::CircuitHandle, BuildWatch> build_watches_;
+  std::function<void(std::uint16_t, std::string)> on_stream_new_;
+  std::function<void(std::string)> on_event_;
+};
+
+}  // namespace ting::ctrl

@@ -1,0 +1,95 @@
+#include "dir/authority.h"
+
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace ting::dir {
+
+namespace {
+std::string text_of(const Bytes& b) { return std::string(b.begin(), b.end()); }
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+}  // namespace
+
+Authority::Authority(simnet::Network& net, simnet::HostId host,
+                     std::uint16_t port)
+    : net_(net) {
+  endpoint_ = Endpoint{net.ip_of(host), port};
+  simnet::Listener* listener = net.listen(host, port);
+  listener->set_on_accept([this](simnet::ConnPtr conn) {
+    conn->set_on_message([this, conn](Bytes msg) {
+      handle(conn, text_of(msg));
+    });
+  });
+}
+
+void Authority::inject(RelayDescriptor desc) {
+  published_at_[desc.fingerprint] = net_.loop().now();
+  consensus_.add(std::move(desc));
+}
+
+void Authority::expire_stale_descriptors() {
+  if (descriptor_ttl_.ns() <= 0) return;
+  const TimePoint now = net_.loop().now();
+  std::vector<Fingerprint> stale;
+  for (const auto& [fp, when] : published_at_)
+    if (now - when > descriptor_ttl_) stale.push_back(fp);
+  for (const auto& fp : stale) {
+    consensus_.remove(fp);
+    published_at_.erase(fp);
+  }
+}
+
+void Authority::handle(const simnet::ConnPtr& conn,
+                       const std::string& request) {
+  if (starts_with(request, "PUBLISH\n")) {
+    try {
+      RelayDescriptor desc = RelayDescriptor::parse(request.substr(8));
+      published_at_[desc.fingerprint] = net_.loop().now();
+      consensus_.add(std::move(desc));
+      conn->send(bytes_of("250 OK"));
+    } catch (const CheckError& e) {
+      conn->send(bytes_of(std::string("550 bad descriptor: ") + e.what()));
+    }
+    return;
+  }
+  if (trim(request) == "GET CONSENSUS") {
+    expire_stale_descriptors();
+    conn->send(bytes_of(consensus_.serialize()));
+    return;
+  }
+  conn->send(bytes_of("510 unrecognized request"));
+}
+
+void Authority::fetch_consensus(simnet::Network& net, simnet::HostId from,
+                                Endpoint authority,
+                                std::function<void(Consensus)> on_done,
+                                std::function<void(std::string)> on_fail) {
+  net.connect(
+      from, authority, simnet::Protocol::kTcp,
+      [on_done = std::move(on_done)](simnet::ConnPtr conn) {
+        conn->set_on_message([conn, on_done](Bytes msg) {
+          Consensus c = Consensus::parse(text_of(msg));
+          conn->close();
+          on_done(std::move(c));
+        });
+        conn->send(bytes_of("GET CONSENSUS"));
+      },
+      std::move(on_fail));
+}
+
+void Authority::publish(simnet::Network& net, simnet::HostId from,
+                        Endpoint authority, const RelayDescriptor& desc,
+                        std::function<void()> on_done) {
+  net.connect(from, authority, simnet::Protocol::kTcp,
+              [desc, on_done = std::move(on_done)](simnet::ConnPtr conn) {
+                conn->set_on_message([conn, on_done](Bytes msg) {
+                  if (!starts_with(text_of(msg), "250"))
+                    TING_WARN("descriptor publication rejected");
+                  conn->close();
+                  if (on_done) on_done();
+                });
+                conn->send(bytes_of("PUBLISH\n" + desc.serialize()));
+              });
+}
+
+}  // namespace ting::dir

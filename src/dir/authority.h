@@ -1,0 +1,66 @@
+// A directory authority: a network application that accepts descriptor
+// publications from relays and serves the consensus to clients.
+//
+// The request/response protocol is one message per request:
+//   "PUBLISH\n<descriptor block>"  -> "250 OK"
+//   "GET CONSENSUS"                -> the serialized consensus
+// Relays may also be injected directly (inject()), mirroring the paper's
+// note that one can run with "PublishDescriptors 0" and hard-code
+// descriptors into the client.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "dir/consensus.h"
+#include "simnet/network.h"
+
+namespace ting::dir {
+
+inline constexpr std::uint16_t kDirPort = 9030;
+
+class Authority {
+ public:
+  /// Binds the directory port on `host`.
+  Authority(simnet::Network& net, simnet::HostId host,
+            std::uint16_t port = kDirPort);
+
+  /// Directly install a descriptor (bypasses the network).
+  void inject(RelayDescriptor desc);
+
+  /// Descriptor freshness: relays must republish within this window or
+  /// they are dropped from the consensus (real authorities age descriptors
+  /// out the same way — it is what makes Fig 18's "running relays" a live
+  /// quantity). Zero disables expiry.
+  void set_descriptor_ttl(Duration ttl) { descriptor_ttl_ = ttl; }
+  /// Drop descriptors older than the TTL. Called automatically on every
+  /// consensus fetch; callable directly for tests/cron-style sweeps.
+  void expire_stale_descriptors();
+
+  const Consensus& consensus() const { return consensus_; }
+  Consensus& consensus() { return consensus_; }
+  Endpoint endpoint() const { return endpoint_; }
+
+  /// Client helper: fetch and parse the consensus from an authority.
+  static void fetch_consensus(simnet::Network& net, simnet::HostId from,
+                              Endpoint authority,
+                              std::function<void(Consensus)> on_done,
+                              std::function<void(std::string)> on_fail = {});
+
+  /// Client helper: publish a descriptor to an authority.
+  static void publish(simnet::Network& net, simnet::HostId from,
+                      Endpoint authority, const RelayDescriptor& desc,
+                      std::function<void()> on_done = {});
+
+ private:
+  void handle(const simnet::ConnPtr& conn, const std::string& request);
+
+  simnet::Network& net_;
+  Consensus consensus_;
+  Endpoint endpoint_;
+  Duration descriptor_ttl_ = Duration::seconds(0);  // disabled by default
+  std::map<Fingerprint, TimePoint> published_at_;
+};
+
+}  // namespace ting::dir

@@ -1,0 +1,91 @@
+#include "dir/consensus.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::dir {
+
+void Consensus::add(RelayDescriptor desc) {
+  auto it = index_.find(desc.fingerprint);
+  if (it != index_.end()) {
+    relays_[it->second] = std::move(desc);  // refresh existing entry
+    return;
+  }
+  index_[desc.fingerprint] = relays_.size();
+  relays_.push_back(std::move(desc));
+}
+
+bool Consensus::remove(const Fingerprint& fp) {
+  auto it = index_.find(fp);
+  if (it == index_.end()) return false;
+  relays_.erase(relays_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  reindex();
+  return true;
+}
+
+void Consensus::reindex() {
+  index_.clear();
+  for (std::size_t i = 0; i < relays_.size(); ++i)
+    index_[relays_[i].fingerprint] = i;
+}
+
+const RelayDescriptor* Consensus::find(const Fingerprint& fp) const {
+  auto it = index_.find(fp);
+  if (it == index_.end()) return nullptr;
+  return &relays_[it->second];
+}
+
+const RelayDescriptor* Consensus::find_nickname(
+    const std::string& nickname) const {
+  for (const auto& r : relays_)
+    if (r.nickname == nickname) return &r;
+  return nullptr;
+}
+
+double Consensus::total_bandwidth() const {
+  double total = 0;
+  for (const auto& r : relays_) total += r.bandwidth;
+  return total;
+}
+
+const RelayDescriptor* Consensus::sample_weighted(
+    Rng& rng, std::uint32_t required_flags) const {
+  std::vector<double> weights;
+  weights.reserve(relays_.size());
+  double total = 0;
+  for (const auto& r : relays_) {
+    const double w =
+        ((r.flags & required_flags) == required_flags) ? r.bandwidth : 0.0;
+    weights.push_back(w);
+    total += w;
+  }
+  if (total <= 0) return nullptr;
+  return &relays_[rng.weighted_index(weights)];
+}
+
+std::string Consensus::serialize() const {
+  std::ostringstream os;
+  os << "network-status-version 3\n";
+  os << "relay-count " << relays_.size() << "\n";
+  for (const auto& r : relays_) os << r.serialize();
+  return os.str();
+}
+
+Consensus Consensus::parse(const std::string& text) {
+  Consensus c;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t start = text.find("router ", pos);
+    if (start == std::string::npos) break;
+    std::size_t end = text.find("router-end", start);
+    TING_CHECK_MSG(end != std::string::npos, "truncated consensus");
+    end += std::string("router-end").size();
+    c.add(RelayDescriptor::parse(text.substr(start, end - start)));
+    pos = end;
+  }
+  return c;
+}
+
+}  // namespace ting::dir

@@ -1,0 +1,45 @@
+// The network consensus: the set of currently known relays plus bandwidth
+// weighting, as clients use for path selection. Also the artifact the §5.3
+// coverage analysis consumes (a timeline of consensus snapshots).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dir/descriptor.h"
+#include "util/rng.h"
+
+namespace ting::dir {
+
+class Consensus {
+ public:
+  Consensus() = default;
+
+  void add(RelayDescriptor desc);
+  /// Remove by fingerprint; returns true if present.
+  bool remove(const Fingerprint& fp);
+
+  std::size_t size() const { return relays_.size(); }
+  const std::vector<RelayDescriptor>& relays() const { return relays_; }
+  const RelayDescriptor* find(const Fingerprint& fp) const;
+  const RelayDescriptor* find_nickname(const std::string& nickname) const;
+
+  /// Sum of bandwidth weights over all relays.
+  double total_bandwidth() const;
+  /// Bandwidth-weighted random relay (Tor's default selection), optionally
+  /// requiring flags. Returns nullptr if no relay qualifies.
+  const RelayDescriptor* sample_weighted(Rng& rng,
+                                         std::uint32_t required_flags = 0) const;
+
+  std::string serialize() const;
+  static Consensus parse(const std::string& text);
+
+ private:
+  std::vector<RelayDescriptor> relays_;
+  std::unordered_map<Fingerprint, std::size_t> index_;
+  void reindex();
+};
+
+}  // namespace ting::dir

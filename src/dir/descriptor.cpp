@@ -1,0 +1,107 @@
+#include "dir/descriptor.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::dir {
+
+std::string flags_str(std::uint32_t flags) {
+  std::ostringstream os;
+  bool first = true;
+  auto emit = [&](std::uint32_t bit, const char* name) {
+    if (flags & bit) {
+      if (!first) os << " ";
+      os << name;
+      first = false;
+    }
+  };
+  emit(kFlagRunning, "Running");
+  emit(kFlagValid, "Valid");
+  emit(kFlagGuard, "Guard");
+  emit(kFlagExit, "Exit");
+  emit(kFlagFast, "Fast");
+  emit(kFlagStable, "Stable");
+  return os.str();
+}
+
+std::uint32_t flags_from_str(const std::string& s) {
+  std::uint32_t flags = 0;
+  for (const std::string& word : split(s, ' ')) {
+    const std::string w = trim(word);
+    if (w == "Running") flags |= kFlagRunning;
+    else if (w == "Valid") flags |= kFlagValid;
+    else if (w == "Guard") flags |= kFlagGuard;
+    else if (w == "Exit") flags |= kFlagExit;
+    else if (w == "Fast") flags |= kFlagFast;
+    else if (w == "Stable") flags |= kFlagStable;
+    else if (!w.empty())
+      TING_CHECK_MSG(false, "unknown relay flag: " << w);
+  }
+  return flags;
+}
+
+std::string RelayDescriptor::serialize() const {
+  std::ostringstream os;
+  os << "router " << nickname << " " << address.str() << " " << or_port << "\n";
+  os << "fingerprint " << fingerprint.hex() << "\n";
+  os << "ntor-onion-key "
+     << to_hex(std::span<const std::uint8_t>(onion_key.data(), onion_key.size()))
+     << "\n";
+  os << "bandwidth " << bandwidth << "\n";
+  os << "flags " << flags_str(flags) << "\n";
+  if (!country_code.empty()) os << "country " << country_code << "\n";
+  if (!reverse_dns.empty()) os << "rdns " << reverse_dns << "\n";
+  for (const PolicyRule& r : exit_policy.rules()) os << r.str() << "\n";
+  os << "router-end\n";
+  return os.str();
+}
+
+RelayDescriptor RelayDescriptor::parse(const std::string& block) {
+  RelayDescriptor d;
+  d.exit_policy = ExitPolicy();  // rules appended below
+  std::vector<PolicyRule> rules;
+  bool saw_router = false, saw_end = false;
+  for (const std::string& raw : split(block, '\n')) {
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (starts_with(line, "router ")) {
+      const auto parts = split(line, ' ');
+      TING_CHECK_MSG(parts.size() == 4, "bad router line: " << line);
+      d.nickname = parts[1];
+      const auto ip = IpAddr::parse(parts[2]);
+      TING_CHECK_MSG(ip.has_value(), "bad router address: " << line);
+      d.address = *ip;
+      d.or_port = static_cast<std::uint16_t>(std::stoi(parts[3]));
+      saw_router = true;
+    } else if (starts_with(line, "fingerprint ")) {
+      d.fingerprint = Fingerprint::from_hex(trim(line.substr(12)));
+    } else if (starts_with(line, "ntor-onion-key ")) {
+      const Bytes raw_key = from_hex(trim(line.substr(15)));
+      TING_CHECK_MSG(raw_key.size() == d.onion_key.size(), "bad onion key");
+      std::memcpy(d.onion_key.data(), raw_key.data(), raw_key.size());
+    } else if (starts_with(line, "bandwidth ")) {
+      d.bandwidth = static_cast<std::uint32_t>(std::stoul(line.substr(10)));
+    } else if (starts_with(line, "flags ")) {
+      d.flags = flags_from_str(line.substr(6));
+    } else if (starts_with(line, "country ")) {
+      d.country_code = trim(line.substr(8));
+    } else if (starts_with(line, "rdns ")) {
+      d.reverse_dns = trim(line.substr(5));
+    } else if (starts_with(line, "accept ") || starts_with(line, "reject ")) {
+      rules.push_back(PolicyRule::parse(line));
+    } else if (line == "router-end") {
+      saw_end = true;
+      break;
+    } else {
+      TING_CHECK_MSG(false, "unknown descriptor line: " << line);
+    }
+  }
+  TING_CHECK_MSG(saw_router && saw_end, "truncated descriptor");
+  d.exit_policy = ExitPolicy(std::move(rules));
+  return d;
+}
+
+}  // namespace ting::dir

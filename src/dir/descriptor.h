@@ -1,0 +1,49 @@
+// Relay descriptors: what a relay publishes to the directory and what
+// clients need to extend circuits to it (address, ORPort, ntor onion key,
+// exit policy, consensus bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/x25519.h"
+#include "dir/exit_policy.h"
+#include "dir/fingerprint.h"
+#include "util/ip.h"
+
+namespace ting::dir {
+
+/// Router status flags, a bitmask subset of Tor's.
+enum RelayFlags : std::uint32_t {
+  kFlagRunning = 1u << 0,
+  kFlagValid = 1u << 1,
+  kFlagGuard = 1u << 2,
+  kFlagExit = 1u << 3,
+  kFlagFast = 1u << 4,
+  kFlagStable = 1u << 5,
+};
+
+std::string flags_str(std::uint32_t flags);
+std::uint32_t flags_from_str(const std::string& s);
+
+struct RelayDescriptor {
+  std::string nickname;
+  Fingerprint fingerprint;
+  crypto::X25519Key onion_key{};   ///< ntor identity/onion public key
+  IpAddr address;
+  std::uint16_t or_port = 0;
+  std::uint32_t bandwidth = 0;     ///< consensus weight (KB/s)
+  std::uint32_t flags = kFlagRunning | kFlagValid;
+  ExitPolicy exit_policy;          ///< default: reject all (non-exit)
+  std::string country_code;        ///< convenience metadata for analysis
+  std::string reverse_dns;         ///< rDNS name, "" if none (§5.3)
+
+  /// Tor-ish text block, "router ... router-end".
+  std::string serialize() const;
+  /// Parse one block; throws CheckError on malformed input.
+  static RelayDescriptor parse(const std::string& block);
+
+  bool has_flag(RelayFlags f) const { return (flags & f) != 0; }
+};
+
+}  // namespace ting::dir

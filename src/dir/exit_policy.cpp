@@ -1,0 +1,155 @@
+#include "dir/exit_policy.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::dir {
+
+namespace {
+
+bool parse_u16(const std::string& s, std::uint16_t& out) {
+  if (s.empty() || s.size() > 5) return false;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+    if (v > 65535) return false;
+  }
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+}  // namespace
+
+PolicyRule PolicyRule::parse(const std::string& line) {
+  const std::string t = trim(line);
+  PolicyRule rule;
+  std::string rest;
+  if (starts_with(t, "accept ")) {
+    rule.accept = true;
+    rest = trim(t.substr(7));
+  } else if (starts_with(t, "reject ")) {
+    rule.accept = false;
+    rest = trim(t.substr(7));
+  } else {
+    TING_CHECK_MSG(false, "policy rule must start with accept/reject: " << line);
+  }
+
+  const std::size_t colon = rest.rfind(':');
+  TING_CHECK_MSG(colon != std::string::npos, "policy rule needs ':' — " << line);
+  const std::string addr_part = rest.substr(0, colon);
+  const std::string port_part = rest.substr(colon + 1);
+
+  if (addr_part == "*") {
+    rule.any_addr = true;
+  } else {
+    rule.any_addr = false;
+    std::string ip_str = addr_part;
+    const std::size_t slash = addr_part.find('/');
+    if (slash != std::string::npos) {
+      ip_str = addr_part.substr(0, slash);
+      const std::string len_str = addr_part.substr(slash + 1);
+      std::uint16_t len = 0;
+      TING_CHECK_MSG(parse_u16(len_str, len) && len >= 1 && len <= 32,
+                     "bad prefix length: " << line);
+      rule.prefix_len = len;
+    }
+    const auto ip = IpAddr::parse(ip_str);
+    TING_CHECK_MSG(ip.has_value(), "bad address in policy rule: " << line);
+    rule.addr = *ip;
+  }
+
+  if (port_part == "*") {
+    rule.port_lo = 0;
+    rule.port_hi = 65535;
+  } else {
+    const std::size_t dash = port_part.find('-');
+    if (dash == std::string::npos) {
+      TING_CHECK_MSG(parse_u16(port_part, rule.port_lo),
+                     "bad port in policy rule: " << line);
+      rule.port_hi = rule.port_lo;
+    } else {
+      TING_CHECK_MSG(parse_u16(port_part.substr(0, dash), rule.port_lo) &&
+                         parse_u16(port_part.substr(dash + 1), rule.port_hi) &&
+                         rule.port_lo <= rule.port_hi,
+                     "bad port range in policy rule: " << line);
+    }
+  }
+  return rule;
+}
+
+std::string PolicyRule::str() const {
+  std::ostringstream os;
+  os << (accept ? "accept " : "reject ");
+  if (any_addr) {
+    os << "*";
+  } else {
+    os << addr.str();
+    if (prefix_len != 32) os << "/" << prefix_len;
+  }
+  os << ":";
+  if (port_lo == 0 && port_hi == 65535) {
+    os << "*";
+  } else if (port_lo == port_hi) {
+    os << port_lo;
+  } else {
+    os << port_lo << "-" << port_hi;
+  }
+  return os.str();
+}
+
+bool PolicyRule::matches(IpAddr ip, std::uint16_t port) const {
+  if (port < port_lo || port > port_hi) return false;
+  if (any_addr) return true;
+  return ip.prefix_bits(prefix_len) == addr.prefix_bits(prefix_len);
+}
+
+ExitPolicy ExitPolicy::reject_all() {
+  return ExitPolicy({PolicyRule::parse("reject *:*")});
+}
+
+ExitPolicy ExitPolicy::accept_all() {
+  return ExitPolicy({PolicyRule::parse("accept *:*")});
+}
+
+ExitPolicy ExitPolicy::accept_only(const std::vector<IpAddr>& addrs) {
+  std::vector<PolicyRule> rules;
+  for (const IpAddr& a : addrs)
+    rules.push_back(PolicyRule::parse("accept " + a.str() + ":*"));
+  rules.push_back(PolicyRule::parse("reject *:*"));
+  return ExitPolicy(std::move(rules));
+}
+
+ExitPolicy ExitPolicy::parse(const std::string& text) {
+  std::vector<PolicyRule> rules;
+  for (const std::string& line : split(text, '\n')) {
+    if (trim(line).empty()) continue;
+    rules.push_back(PolicyRule::parse(line));
+  }
+  return ExitPolicy(std::move(rules));
+}
+
+bool ExitPolicy::allows(IpAddr ip, std::uint16_t port) const {
+  for (const PolicyRule& r : rules_)
+    if (r.matches(ip, port)) return r.accept;
+  return false;
+}
+
+bool ExitPolicy::allows_anything() const {
+  for (const PolicyRule& r : rules_)
+    if (r.accept) return true;
+  return false;
+}
+
+std::string ExitPolicy::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (i) os << "\n";
+    os << rules_[i].str();
+  }
+  return os.str();
+}
+
+}  // namespace ting::dir

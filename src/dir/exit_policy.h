@@ -1,0 +1,58 @@
+// Tor exit policies: ordered accept/reject rules matched first-wins.
+//
+// The paper's ground-truth relays ran "a restrictive exit policy that only
+// allowed exiting to two specific IP addresses under our control"; the
+// measurement host's z relay must allow exiting to the echo server. The
+// grammar here is the subset of Tor's policy language those setups need:
+//   accept|reject <addr>[/prefixlen]|*:<port>|<lo>-<hi>|*
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ip.h"
+
+namespace ting::dir {
+
+struct PolicyRule {
+  bool accept = false;
+  bool any_addr = true;
+  IpAddr addr;
+  int prefix_len = 32;
+  std::uint16_t port_lo = 0;       ///< 0..0 with any_port=true means '*'
+  std::uint16_t port_hi = 65535;
+
+  /// Parse one line, e.g. "reject *:*", "accept 10.0.0.1:7",
+  /// "accept 10.1.0.0/16:80-443". Throws CheckError on bad syntax.
+  static PolicyRule parse(const std::string& line);
+  std::string str() const;
+  bool matches(IpAddr ip, std::uint16_t port) const;
+};
+
+class ExitPolicy {
+ public:
+  /// Default policy is reject-everything (a non-exit relay).
+  ExitPolicy() = default;
+  explicit ExitPolicy(std::vector<PolicyRule> rules) : rules_(std::move(rules)) {}
+
+  static ExitPolicy reject_all();
+  static ExitPolicy accept_all();
+  /// The paper's testbed policy: exit only to the given addresses.
+  static ExitPolicy accept_only(const std::vector<IpAddr>& addrs);
+  /// Parse newline-separated rules.
+  static ExitPolicy parse(const std::string& text);
+
+  /// First matching rule decides; no match rejects (Tor's implicit default).
+  bool allows(IpAddr ip, std::uint16_t port) const;
+  /// True if some address/port is accepted (the relay can be an exit at all).
+  bool allows_anything() const;
+
+  const std::vector<PolicyRule>& rules() const { return rules_; }
+  std::string str() const;  ///< newline-separated rules
+
+ private:
+  std::vector<PolicyRule> rules_;
+};
+
+}  // namespace ting::dir

@@ -1,0 +1,35 @@
+#include "dir/fingerprint.h"
+
+#include <cstring>
+
+#include "crypto/hash.h"
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::dir {
+
+Fingerprint Fingerprint::of_identity(const crypto::X25519Key& identity_public) {
+  const crypto::Digest d = crypto::hash(
+      std::span<const std::uint8_t>(identity_public.data(), identity_public.size()));
+  Fingerprint f;
+  std::memcpy(f.id_.data(), d.data(), kLen);
+  return f;
+}
+
+Fingerprint Fingerprint::from_hex(const std::string& hex) {
+  std::string h = hex;
+  if (!h.empty() && h[0] == '$') h = h.substr(1);
+  TING_CHECK_MSG(h.size() == 2 * kLen, "fingerprint must be 40 hex digits");
+  const Bytes raw = ting::from_hex(h);
+  Fingerprint f;
+  std::memcpy(f.id_.data(), raw.data(), kLen);
+  return f;
+}
+
+std::string Fingerprint::hex() const {
+  return to_hex(std::span<const std::uint8_t>(id_.data(), id_.size()));
+}
+
+std::string Fingerprint::short_name() const { return hex().substr(0, 8); }
+
+}  // namespace ting::dir

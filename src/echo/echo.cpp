@@ -1,0 +1,75 @@
+#include "echo/echo.h"
+
+namespace ting::echo {
+
+EchoServer::EchoServer(simnet::Network& net, simnet::HostId host,
+                       std::uint16_t port) {
+  endpoint_ = Endpoint{net.ip_of(host), port};
+  simnet::Listener* listener = net.listen(host, port);
+  listener->set_on_accept([this](simnet::ConnPtr conn) {
+    conn->set_on_message([this, conn](Bytes msg) {
+      ++echoes_;
+      conn->send(std::move(msg));
+    });
+  });
+}
+
+void measure_stream_rtt(simnet::EventLoop& loop,
+                        const tor::OnionProxy::StreamPtr& stream,
+                        std::function<void(std::optional<Duration>)> on_done,
+                        Duration timeout) {
+  const TimePoint sent_at = loop.now();
+  auto done = std::make_shared<bool>(false);
+  const simnet::EventId timer =
+      loop.schedule(timeout, [done, stream, on_done]() {
+        if (*done) return;
+        *done = true;
+        stream->set_on_message({});
+        on_done(std::nullopt);
+      });
+  stream->set_on_message([&loop, sent_at, done, timer, stream,
+                          on_done](Bytes) {
+    if (*done) return;
+    *done = true;
+    loop.cancel(timer);
+    stream->set_on_message({});
+    on_done(loop.now() - sent_at);
+  });
+  stream->send(Bytes{'p', 'i', 'n', 'g'});
+}
+
+void measure_direct_rtt(simnet::Network& net, simnet::HostId from,
+                        Endpoint echo_server,
+                        std::function<void(std::optional<Duration>)> on_done,
+                        Duration timeout) {
+  auto done = std::make_shared<bool>(false);
+  const simnet::EventId timer =
+      net.loop().schedule(timeout, [done, on_done]() {
+        if (*done) return;
+        *done = true;
+        on_done(std::nullopt);
+      });
+  net.connect(
+      from, echo_server, simnet::Protocol::kTcp,
+      [&net, done, timer, on_done](simnet::ConnPtr conn) {
+        const TimePoint sent_at = net.loop().now();
+        conn->set_on_message([&net, sent_at, done, timer, conn,
+                              on_done](Bytes) {
+          if (*done) return;
+          *done = true;
+          net.loop().cancel(timer);
+          const Duration rtt = net.loop().now() - sent_at;
+          conn->close();
+          on_done(rtt);
+        });
+        conn->send(Bytes{'p', 'i', 'n', 'g'});
+      },
+      [done, &net, timer, on_reply = on_done](const std::string&) {
+        if (*done) return;
+        *done = true;
+        net.loop().cancel(timer);
+        on_reply(std::nullopt);
+      });
+}
+
+}  // namespace ting::echo

@@ -1,0 +1,44 @@
+// The echo pair (§3.1): a minimal TCP echo server (d) and a measuring echo
+// client (s). The client can probe either directly over the simulated
+// network or through a Tor circuit via an OnionProxy stream; Ting always
+// uses the latter.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "simnet/network.h"
+#include "tor/onion_proxy.h"
+
+namespace ting::echo {
+
+inline constexpr std::uint16_t kEchoPort = 4242;
+
+/// A TCP echo server: every message is sent straight back.
+class EchoServer {
+ public:
+  EchoServer(simnet::Network& net, simnet::HostId host,
+             std::uint16_t port = kEchoPort);
+  Endpoint endpoint() const { return endpoint_; }
+  std::uint64_t echoes() const { return echoes_; }
+
+ private:
+  Endpoint endpoint_;
+  std::uint64_t echoes_ = 0;
+};
+
+/// Measure one echo RTT over an established OnionProxy stream: send a small
+/// payload, time until the echoed copy returns. The stream must be connected.
+void measure_stream_rtt(simnet::EventLoop& loop,
+                        const tor::OnionProxy::StreamPtr& stream,
+                        std::function<void(std::optional<Duration>)> on_done,
+                        Duration timeout = Duration::seconds(30));
+
+/// Measure one echo RTT over a raw TCP connection (used for ground truth and
+/// the §3.2 strawman, never by Ting itself).
+void measure_direct_rtt(simnet::Network& net, simnet::HostId from,
+                        Endpoint echo_server,
+                        std::function<void(std::optional<Duration>)> on_done,
+                        Duration timeout = Duration::seconds(30));
+
+}  // namespace ting::echo

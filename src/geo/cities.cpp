@@ -1,0 +1,194 @@
+#include "geo/cities.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace ting::geo {
+
+namespace {
+
+// Coordinates are approximate city centroids; precision beyond ~10 km is
+// irrelevant at Internet-latency scale. tor_weight reflects the paper-era
+// concentration of relays: heavy in Germany/France/Netherlands/US, light
+// elsewhere.
+const City kCities[] = {
+    // ---- United States (9+ states) -----------------------------------
+    {"New York", "US", "NY", Region::kUS, 40.71, -74.01, 3.0},
+    {"Buffalo", "US", "NY", Region::kUS, 42.89, -78.88, 0.6},
+    {"Los Angeles", "US", "CA", Region::kUS, 34.05, -118.24, 2.5},
+    {"San Francisco", "US", "CA", Region::kUS, 37.77, -122.42, 2.5},
+    {"San Jose", "US", "CA", Region::kUS, 37.34, -121.89, 1.5},
+    {"Seattle", "US", "WA", Region::kUS, 47.61, -122.33, 1.8},
+    {"Chicago", "US", "IL", Region::kUS, 41.88, -87.63, 1.8},
+    {"Houston", "US", "TX", Region::kUS, 29.76, -95.37, 1.0},
+    {"Dallas", "US", "TX", Region::kUS, 32.78, -96.80, 1.4},
+    {"Austin", "US", "TX", Region::kUS, 30.27, -97.74, 0.9},
+    {"Miami", "US", "FL", Region::kUS, 25.76, -80.19, 0.9},
+    {"Atlanta", "US", "GA", Region::kUS, 33.75, -84.39, 1.1},
+    {"Boston", "US", "MA", Region::kUS, 42.36, -71.06, 1.2},
+    {"Denver", "US", "CO", Region::kUS, 39.74, -104.99, 0.9},
+    {"Phoenix", "US", "AZ", Region::kUS, 33.45, -112.07, 0.6},
+    {"Portland", "US", "OR", Region::kUS, 45.52, -122.68, 0.8},
+    {"Salt Lake City", "US", "UT", Region::kUS, 40.76, -111.89, 0.5},
+    {"Minneapolis", "US", "MN", Region::kUS, 44.98, -93.27, 0.6},
+    {"St. Louis", "US", "MO", Region::kUS, 38.63, -90.20, 0.5},
+    {"Philadelphia", "US", "PA", Region::kUS, 39.95, -75.17, 0.8},
+    {"Pittsburgh", "US", "PA", Region::kUS, 40.44, -79.99, 0.5},
+    {"Washington", "US", "DC", Region::kUS, 38.91, -77.04, 1.2},
+    {"Ashburn", "US", "VA", Region::kUS, 39.04, -77.49, 1.6},
+    {"Raleigh", "US", "NC", Region::kUS, 35.78, -78.64, 0.5},
+    {"Nashville", "US", "TN", Region::kUS, 36.16, -86.78, 0.4},
+    {"Detroit", "US", "MI", Region::kUS, 42.33, -83.05, 0.5},
+    {"Columbus", "US", "OH", Region::kUS, 39.96, -83.00, 0.5},
+    {"Kansas City", "US", "KS", Region::kUS, 39.10, -94.58, 0.4},
+    {"Las Vegas", "US", "NV", Region::kUS, 36.17, -115.14, 0.4},
+    {"Albuquerque", "US", "NM", Region::kUS, 35.08, -106.65, 0.3},
+    {"New Orleans", "US", "LA", Region::kUS, 29.95, -90.07, 0.3},
+    {"Anchorage", "US", "AK", Region::kUS, 61.22, -149.90, 0.1},
+    {"Honolulu", "US", "HI", Region::kUS, 21.31, -157.86, 0.1},
+    // ---- Canada --------------------------------------------------------
+    {"Toronto", "CA", "", Region::kCanada, 43.65, -79.38, 0.9},
+    {"Montreal", "CA", "", Region::kCanada, 45.50, -73.57, 0.8},
+    {"Vancouver", "CA", "", Region::kCanada, 49.28, -123.12, 0.5},
+    // ---- Europe (many countries; 6+ for the testbed) -------------------
+    {"London", "GB", "", Region::kEurope, 51.51, -0.13, 2.4},
+    {"Manchester", "GB", "", Region::kEurope, 53.48, -2.24, 0.6},
+    {"Paris", "FR", "", Region::kEurope, 48.86, 2.35, 2.6},
+    {"Roubaix", "FR", "", Region::kEurope, 50.69, 3.17, 2.0},
+    {"Marseille", "FR", "", Region::kEurope, 43.30, 5.37, 0.5},
+    {"Berlin", "DE", "", Region::kEurope, 52.52, 13.40, 2.2},
+    {"Frankfurt", "DE", "", Region::kEurope, 50.11, 8.68, 3.0},
+    {"Munich", "DE", "", Region::kEurope, 48.14, 11.58, 1.2},
+    {"Hamburg", "DE", "", Region::kEurope, 53.55, 9.99, 0.9},
+    {"Nuremberg", "DE", "", Region::kEurope, 49.45, 11.08, 1.4},
+    {"Amsterdam", "NL", "", Region::kEurope, 52.37, 4.90, 2.8},
+    {"Rotterdam", "NL", "", Region::kEurope, 51.92, 4.48, 0.7},
+    {"Brussels", "BE", "", Region::kEurope, 50.85, 4.35, 0.5},
+    {"Zurich", "CH", "", Region::kEurope, 47.38, 8.54, 0.9},
+    {"Geneva", "CH", "", Region::kEurope, 46.20, 6.14, 0.4},
+    {"Vienna", "AT", "", Region::kEurope, 48.21, 16.37, 0.8},
+    {"Stockholm", "SE", "", Region::kEurope, 59.33, 18.06, 1.0},
+    {"Gothenburg", "SE", "", Region::kEurope, 57.71, 11.97, 0.3},
+    {"Oslo", "NO", "", Region::kEurope, 59.91, 10.75, 0.4},
+    {"Copenhagen", "DK", "", Region::kEurope, 55.68, 12.57, 0.5},
+    {"Helsinki", "FI", "", Region::kEurope, 60.17, 24.94, 0.5},
+    {"Madrid", "ES", "", Region::kEurope, 40.42, -3.70, 0.6},
+    {"Barcelona", "ES", "", Region::kEurope, 41.39, 2.17, 0.4},
+    {"Lisbon", "PT", "", Region::kEurope, 38.72, -9.14, 0.3},
+    {"Rome", "IT", "", Region::kEurope, 41.90, 12.50, 0.6},
+    {"Milan", "IT", "", Region::kEurope, 45.46, 9.19, 0.7},
+    {"Warsaw", "PL", "", Region::kEurope, 52.23, 21.01, 0.5},
+    {"Prague", "CZ", "", Region::kEurope, 50.08, 14.44, 0.6},
+    {"Budapest", "HU", "", Region::kEurope, 47.50, 19.04, 0.4},
+    {"Bucharest", "RO", "", Region::kEurope, 44.43, 26.10, 0.7},
+    {"Athens", "GR", "", Region::kEurope, 37.98, 23.73, 0.2},
+    {"Dublin", "IE", "", Region::kEurope, 53.35, -6.26, 0.4},
+    {"Kyiv", "UA", "", Region::kEurope, 50.45, 30.52, 0.4},
+    {"Moscow", "RU", "", Region::kEurope, 55.76, 37.62, 0.9},
+    {"St. Petersburg", "RU", "", Region::kEurope, 59.93, 30.34, 0.4},
+    {"Reykjavik", "IS", "", Region::kEurope, 64.15, -21.94, 0.2},
+    {"Luxembourg", "LU", "", Region::kEurope, 49.61, 6.13, 0.3},
+    {"Ljubljana", "SI", "", Region::kEurope, 46.06, 14.51, 0.2},
+    {"Zagreb", "HR", "", Region::kEurope, 45.81, 15.98, 0.2},
+    {"Sofia", "BG", "", Region::kEurope, 42.70, 23.32, 0.2},
+    {"Vilnius", "LT", "", Region::kEurope, 54.69, 25.28, 0.2},
+    {"Tallinn", "EE", "", Region::kEurope, 59.44, 24.75, 0.2},
+    {"Riga", "LV", "", Region::kEurope, 56.95, 24.11, 0.2},
+    // ---- Asia ----------------------------------------------------------
+    {"Tokyo", "JP", "", Region::kAsia, 35.68, 139.69, 0.5},
+    {"Osaka", "JP", "", Region::kAsia, 34.69, 135.50, 0.2},
+    {"Seoul", "KR", "", Region::kAsia, 37.57, 126.98, 0.3},
+    {"Hong Kong", "HK", "", Region::kAsia, 22.32, 114.17, 0.4},
+    {"Singapore", "SG", "", Region::kAsia, 1.35, 103.82, 0.5},
+    {"Taipei", "TW", "", Region::kAsia, 25.03, 121.57, 0.2},
+    {"Bangkok", "TH", "", Region::kAsia, 13.76, 100.50, 0.1},
+    {"Mumbai", "IN", "", Region::kAsia, 19.08, 72.88, 0.2},
+    {"Bangalore", "IN", "", Region::kAsia, 12.97, 77.59, 0.1},
+    {"Kuala Lumpur", "MY", "", Region::kAsia, 3.14, 101.69, 0.1},
+    {"Jakarta", "ID", "", Region::kAsia, -6.21, 106.85, 0.1},
+    {"Manila", "PH", "", Region::kAsia, 14.60, 120.98, 0.1},
+    // ---- South America --------------------------------------------------
+    {"Sao Paulo", "BR", "", Region::kSouthAmerica, -23.55, -46.63, 0.3},
+    {"Rio de Janeiro", "BR", "", Region::kSouthAmerica, -22.91, -43.17, 0.2},
+    {"Buenos Aires", "AR", "", Region::kSouthAmerica, -34.60, -58.38, 0.2},
+    {"Santiago", "CL", "", Region::kSouthAmerica, -33.45, -70.67, 0.1},
+    {"Bogota", "CO", "", Region::kSouthAmerica, 4.71, -74.07, 0.1},
+    {"Lima", "PE", "", Region::kSouthAmerica, -12.05, -77.04, 0.1},
+    // ---- Australia / Oceania --------------------------------------------
+    {"Sydney", "AU", "", Region::kAustralia, -33.87, 151.21, 0.3},
+    {"Melbourne", "AU", "", Region::kAustralia, -37.81, 144.96, 0.2},
+    {"Perth", "AU", "", Region::kAustralia, -31.95, 115.86, 0.1},
+    {"Auckland", "NZ", "", Region::kAustralia, -36.85, 174.76, 0.1},
+    // ---- Middle East ----------------------------------------------------
+    {"Tel Aviv", "IL", "", Region::kMiddleEast, 32.09, 34.78, 0.2},
+    {"Istanbul", "TR", "", Region::kMiddleEast, 41.01, 28.98, 0.3},
+    {"Dubai", "AE", "", Region::kMiddleEast, 25.20, 55.27, 0.1},
+    {"Amman", "JO", "", Region::kMiddleEast, 31.96, 35.95, 0.05},
+    // ---- Africa ---------------------------------------------------------
+    {"Johannesburg", "ZA", "", Region::kAfrica, -26.20, 28.05, 0.1},
+    {"Cape Town", "ZA", "", Region::kAfrica, -33.92, 18.42, 0.1},
+    {"Cairo", "EG", "", Region::kAfrica, 30.04, 31.24, 0.05},
+    {"Nairobi", "KE", "", Region::kAfrica, -1.29, 36.82, 0.05},
+};
+
+}  // namespace
+
+std::string region_name(Region r) {
+  switch (r) {
+    case Region::kUS: return "US";
+    case Region::kEurope: return "Europe";
+    case Region::kAsia: return "Asia";
+    case Region::kSouthAmerica: return "South America";
+    case Region::kAustralia: return "Australia";
+    case Region::kMiddleEast: return "Middle East";
+    case Region::kAfrica: return "Africa";
+    case Region::kCanada: return "Canada";
+  }
+  return "?";
+}
+
+std::span<const City> all_cities() {
+  return std::span<const City>(kCities, std::size(kCities));
+}
+
+std::vector<const City*> cities_in_region(Region r) {
+  std::vector<const City*> out;
+  for (const City& c : kCities)
+    if (c.region == r) out.push_back(&c);
+  return out;
+}
+
+std::vector<const City*> cities_in_country(const std::string& country_code) {
+  std::vector<const City*> out;
+  for (const City& c : kCities)
+    if (country_code == c.country_code) out.push_back(&c);
+  return out;
+}
+
+const City& sample_city_tor_weighted(Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(std::size(kCities));
+  for (const City& c : kCities) weights.push_back(c.tor_weight);
+  return kCities[rng.weighted_index(weights)];
+}
+
+const City& sample_city_in_region(Region r, Rng& rng) {
+  const auto pool = cities_in_region(r);
+  TING_CHECK(!pool.empty());
+  return *pool[rng.next_below(pool.size())];
+}
+
+GeoPoint jitter_location(const GeoPoint& p, double radius_km, Rng& rng) {
+  // ~111 km per degree latitude; longitude scaled by cos(lat).
+  const double dlat = rng.uniform(-radius_km, radius_km) / 111.0;
+  const double coslat = std::max(0.1, std::cos(p.lat * 3.14159265358979 / 180.0));
+  const double dlon = rng.uniform(-radius_km, radius_km) / (111.0 * coslat);
+  GeoPoint out{p.lat + dlat, p.lon + dlon};
+  out.lat = std::min(89.9, std::max(-89.9, out.lat));
+  if (out.lon > 180) out.lon -= 360;
+  if (out.lon < -180) out.lon += 360;
+  return out;
+}
+
+}  // namespace ting::geo

@@ -1,0 +1,59 @@
+// An embedded world-city table used to place simulated hosts. Substitutes
+// for real host placement: the paper's PlanetLab testbed spans 6 EU
+// countries, 9 US states, and at least one relay each in Asia, South
+// America, Australia, and the Middle East; the live Tor network concentrates
+// in the US and Europe. `tor_weight` encodes that concentration for
+// region-weighted sampling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/rng.h"
+
+namespace ting::geo {
+
+enum class Region : std::uint8_t {
+  kUS,
+  kEurope,
+  kAsia,
+  kSouthAmerica,
+  kAustralia,
+  kMiddleEast,
+  kAfrica,
+  kCanada,
+};
+
+std::string region_name(Region r);
+
+struct City {
+  const char* name;
+  const char* country_code;   ///< ISO-3166 alpha-2
+  const char* admin_region;   ///< US state, or "" elsewhere
+  Region region;
+  double lat;
+  double lon;
+  double tor_weight;  ///< relative probability of hosting a relay
+};
+
+/// The full embedded table.
+std::span<const City> all_cities();
+
+/// Cities filtered by region / country.
+std::vector<const City*> cities_in_region(Region r);
+std::vector<const City*> cities_in_country(const std::string& country_code);
+
+/// Sample a city according to tor_weight (models Tor's US/EU concentration).
+const City& sample_city_tor_weighted(Rng& rng);
+
+/// Sample uniformly within a region.
+const City& sample_city_in_region(Region r, Rng& rng);
+
+/// Perturb a city's coordinates by up to `radius_km` to de-duplicate hosts
+/// placed in the same city.
+GeoPoint jitter_location(const GeoPoint& p, double radius_km, Rng& rng);
+
+}  // namespace ting::geo

@@ -1,0 +1,39 @@
+#include "geo/geo.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace ting::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+/// Speed of light in fibre, km per millisecond: (2/3) * 299792.458 km/s.
+constexpr double kFibreKmPerMs = (2.0 / 3.0) * 299792.458 / 1000.0;
+
+double deg2rad(double d) { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+std::string GeoPoint::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "(%.4f, %.4f)", lat, lon);
+  return buf;
+}
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = deg2rad(a.lat), phi2 = deg2rad(b.lat);
+  const double dphi = deg2rad(b.lat - a.lat);
+  const double dlambda = deg2rad(b.lon - a.lon);
+  const double s = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                       std::sin(dlambda / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double min_rtt_ms_for_distance(double km) { return 2.0 * km / kFibreKmPerMs; }
+
+double max_distance_km_for_rtt(double rtt_ms) {
+  return rtt_ms * kFibreKmPerMs / 2.0;
+}
+
+}  // namespace ting::geo

@@ -1,0 +1,27 @@
+// Geographic coordinates and great-circle geometry. Fig 8 compares Ting
+// RTTs against great-circle distances and a (2/3)·c propagation bound; the
+// latency model also derives base propagation from these distances.
+#pragma once
+
+#include <string>
+
+namespace ting::geo {
+
+/// A point on the globe in decimal degrees.
+struct GeoPoint {
+  double lat = 0;  ///< latitude, -90..90
+  double lon = 0;  ///< longitude, -180..180
+  std::string str() const;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double great_circle_km(const GeoPoint& a, const GeoPoint& b);
+
+/// The generally accepted floor on Internet RTT over a distance: light in
+/// fibre travels at roughly (2/3)·c, and an RTT covers the distance twice.
+double min_rtt_ms_for_distance(double km);
+
+/// Inverse of the above: the distance implied by an RTT at (2/3)·c.
+double max_distance_km_for_rtt(double rtt_ms);
+
+}  // namespace ting::geo

@@ -1,0 +1,36 @@
+#include "geo/geolocation.h"
+
+namespace ting::geo {
+
+GeolocationService::GeolocationService(GeolocationConfig config)
+    : config_(config) {}
+
+void GeolocationService::register_host(IpAddr ip, const GeoPoint& truth) {
+  truth_[ip] = truth;
+  // Derive the reported location deterministically from the address so that
+  // repeated lookups agree (as a real database would).
+  Rng rng(mix64(config_.seed ^ ip.value()));
+  if (rng.chance(config_.gross_error_rate)) {
+    // Gross error: the database thinks this host is in some random city.
+    const City& wrong = all_cities()[rng.next_below(all_cities().size())];
+    reported_[ip] = GeoPoint{wrong.lat, wrong.lon};
+    return;
+  }
+  GeoPoint p = truth;
+  const double err_km = std::abs(rng.normal(0.0, config_.typical_error_km));
+  reported_[ip] = jitter_location(p, err_km, rng);
+}
+
+std::optional<GeoPoint> GeolocationService::lookup(IpAddr ip) const {
+  auto it = reported_.find(ip);
+  if (it == reported_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<GeoPoint> GeolocationService::ground_truth(IpAddr ip) const {
+  auto it = truth_.find(ip);
+  if (it == truth_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ting::geo

@@ -1,0 +1,46 @@
+// A simulated IP-geolocation service standing in for Neustar (§4.5, Fig 8).
+//
+// Real geolocation databases are mostly right to within tens of kilometres
+// but contain a small fraction of grossly wrong entries; the paper observes
+// that the handful of Fig 8 points below the (2/3)c line "are almost all
+// likely errors in the underlying geolocation database". The error model
+// here reproduces both behaviours.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "geo/cities.h"
+#include "geo/geo.h"
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace ting::geo {
+
+struct GeolocationConfig {
+  double typical_error_km = 30.0;  ///< stddev of the usual placement error
+  double gross_error_rate = 0.01;  ///< fraction of entries placed randomly
+  std::uint64_t seed = 77;
+};
+
+class GeolocationService {
+ public:
+  explicit GeolocationService(GeolocationConfig config = {});
+
+  /// Record the true location of an address (the simulator knows it).
+  void register_host(IpAddr ip, const GeoPoint& true_location);
+
+  /// The service's (noisy) answer. Deterministic per address. Returns
+  /// std::nullopt for unregistered addresses.
+  std::optional<GeoPoint> lookup(IpAddr ip) const;
+
+  /// True coordinates, for evaluating the service itself.
+  std::optional<GeoPoint> ground_truth(IpAddr ip) const;
+
+ private:
+  GeolocationConfig config_;
+  std::map<IpAddr, GeoPoint> truth_;
+  std::map<IpAddr, GeoPoint> reported_;
+};
+
+}  // namespace ting::geo

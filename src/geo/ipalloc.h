@@ -1,0 +1,52 @@
+// Deterministic IPv4 allocation for simulated hosts.
+//
+// Addresses are grouped into country-specific pools so that /16 and /24
+// prefixes are geographically meaningful (Tor's path selection requires
+// distinct /16s; the coverage analysis of §5.3 counts distinct /24s).
+// Residential allocations scatter across many /24s (one host per /24, like
+// home connections); datacenter allocations pack many hosts into few /24s.
+// Pools grow by claiming additional /12 blocks as they fill.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace ting::geo {
+
+enum class HostKind : std::uint8_t { kResidential, kDatacenter };
+
+class IpAllocator {
+ public:
+  explicit IpAllocator(std::uint64_t seed = 1);
+
+  /// Allocate a fresh address for a host in `country_code` of `kind`.
+  /// Never returns the same address twice.
+  IpAddr allocate(const std::string& country_code, HostKind kind);
+
+  /// Number of addresses handed out so far.
+  std::size_t allocated() const { return count_; }
+
+ private:
+  struct SubPool {
+    std::uint32_t base = 0;       ///< /12-aligned block
+    std::uint32_t next_net = 0;   ///< next /24 index within the block
+    std::uint32_t next_host = 0;  ///< host index within the current /24
+  };
+  struct Pool {
+    SubPool residential;
+    SubPool datacenter;
+  };
+  std::uint32_t fresh_block();
+
+  Rng rng_;
+  std::map<std::string, Pool> pools_;
+  std::set<std::uint32_t> used_blocks_;  ///< claimed /12 prefixes
+  std::size_t count_ = 0;
+};
+
+}  // namespace ting::geo

@@ -1,0 +1,67 @@
+#include "scenario/rdns.h"
+
+#include <cstdio>
+
+namespace ting::scenario {
+
+namespace {
+
+// US-style residential suffixes (ISP + regional qualifier).
+const char* kUsResidential[] = {
+    "hsd1.%s.comcast-sim.net", "res.spectrum-sim.com",
+    "lightspeed.%sslca.sbcglobal-sim.net", "dsl.%s.frontier-sim.net",
+    "fios.verizon-sim.net", "cable.rcn-sim.com",
+};
+
+// European residential patterns.
+const char* kEuResidential[] = {
+    "dip0.t-ipconnect-sim.de", "dynamic.kabel-deutschland-sim.de",
+    "abo.wanadoo-sim.fr", "dsl.telefonica-sim.es",
+    "cust.bredbandsbolaget-sim.se", "dynamic.ziggo-sim.nl",
+    "plus.com-sim.uk", "clients.your-isp-sim.ch",
+};
+
+// Hosting providers (the paper names linode, amazonaws, ovh, cloudatcost,
+// your-server.de, leaseweb, and Digital Ocean).
+const char* kDatacenter[] = {
+    "linode-sim.com",      "amazonaws-sim.com",  "ovh-sim.com",
+    "cloudatcost-sim.com", "your-server-sim.de", "leaseweb-sim.com",
+    "digitalocean-sim.com",
+};
+
+std::string low_state(Rng& rng) {
+  static const char* states[] = {"ga", "ca", "wa", "tx", "il", "fl", "ny",
+                                 "ma", "co", "or", "pa", "va"};
+  return states[rng.next_below(std::size(states))];
+}
+
+}  // namespace
+
+std::string make_rdns(IpAddr ip, HostClass cls, const std::string& country,
+                      Rng& rng) {
+  if (cls == HostClass::kNoRdns) return "";
+  const std::uint32_t v = ip.value();
+  char buf[128];
+  if (cls == HostClass::kDatacenter) {
+    const char* provider = kDatacenter[rng.next_below(std::size(kDatacenter))];
+    std::snprintf(buf, sizeof(buf), "server-%u-%u.%s", (v >> 8) & 0xff,
+                  v & 0xff, provider);
+    return buf;
+  }
+  // Residential: octets or hex of the address + ISP suffix. The classifier
+  // keys on numbers in the name plus a known access-network suffix.
+  if (country == "US") {
+    const char* pattern =
+        kUsResidential[rng.next_below(std::size(kUsResidential))];
+    char suffix[96];
+    std::snprintf(suffix, sizeof(suffix), pattern, low_state(rng).c_str());
+    std::snprintf(buf, sizeof(buf), "c-%u-%u-%u-%u.%s", (v >> 24) & 0xff,
+                  (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff, suffix);
+    return buf;
+  }
+  const char* suffix = kEuResidential[rng.next_below(std::size(kEuResidential))];
+  std::snprintf(buf, sizeof(buf), "p%08X.%s", v, suffix);
+  return buf;
+}
+
+}  // namespace ting::scenario

@@ -1,0 +1,21 @@
+// Reverse-DNS name synthesis for simulated relays, matching the structure
+// the §5.3 residential-classification technique (Schulman & Spring) keys on:
+// residential names embed the IP octets/hex and an access-network suffix;
+// datacenter names name the hosting provider; some hosts have no rDNS.
+#pragma once
+
+#include <string>
+
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace ting::scenario {
+
+enum class HostClass { kResidential, kDatacenter, kNoRdns };
+
+/// Generate a plausible rDNS name for `ip` of the given class in `country`.
+/// Returns "" for kNoRdns.
+std::string make_rdns(IpAddr ip, HostClass cls, const std::string& country,
+                      Rng& rng);
+
+}  // namespace ting::scenario

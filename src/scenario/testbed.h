@@ -1,0 +1,100 @@
+// Testbed builders: assemble a complete simulated world — network, relays,
+// measurement host — for the paper's two experimental settings:
+//
+//  - planetlab31(): the §4.1 ground-truth testbed. 31 relays spanning 6
+//    European countries, 9 US states, and at least one relay each in Asia,
+//    South America, Australia, and the Middle East, with restrictive exit
+//    policies; a configurable fraction of their networks treat
+//    ICMP/TCP/Tor traffic differently (the §4.3 anomaly).
+//
+//  - live_tor(n): an approximation of the live network (§4.5): n relays
+//    placed with Tor's US/EU concentration, bandwidth-weighted flags,
+//    residential/datacenter membership and rDNS names (§5.3).
+//
+//  - build_testbed(): the general entry point taking explicit RelaySpecs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dir/consensus.h"
+#include "geo/cities.h"
+#include "geo/geolocation.h"
+#include "geo/ipalloc.h"
+#include "scenario/rdns.h"
+#include "simnet/network.h"
+#include "ting/measurement_host.h"
+#include "tor/relay.h"
+
+namespace ting::scenario {
+
+struct TestbedOptions {
+  std::uint64_t seed = 1;
+  /// Fraction of relay networks with protocol-differential treatment
+  /// (Fig 5 finds ~35% anomalous on PlanetLab).
+  double differential_fraction = 0.35;
+  /// Latency/jitter configuration of the underlying network.
+  simnet::LatencyConfig latency;
+  /// Start the measurement host's controller session (blocking).
+  bool start_measurement_host = true;
+};
+
+/// One relay to instantiate.
+struct RelaySpec {
+  const geo::City* city = nullptr;
+  geo::HostKind kind = geo::HostKind::kDatacenter;
+  std::uint32_t bandwidth = 1000;
+  std::uint32_t flags = 0;
+  HostClass host_class = HostClass::kDatacenter;
+};
+
+class Testbed {
+ public:
+  simnet::EventLoop& loop() { return *loop_; }
+  simnet::Network& net() { return *net_; }
+  meas::MeasurementHost& ting() { return *ting_host_; }
+  geo::GeolocationService& geolocation() { return geolocation_; }
+  const dir::Consensus& consensus() const { return consensus_; }
+
+  std::size_t relay_count() const { return relays_.size(); }
+  tor::Relay& relay(std::size_t i) { return *relays_.at(i); }
+  const dir::Fingerprint& fp(std::size_t i) const {
+    return relays_.at(i)->fingerprint();
+  }
+  std::vector<dir::Fingerprint> all_fingerprints() const;
+
+  /// Host id of a relay, for ground-truth queries against the latency model.
+  simnet::HostId host_of(const dir::Fingerprint& fp) const;
+  /// Ground-truth RTT between two relays (what Ting should estimate),
+  /// measured at the neutral TCP class (no jitter, no forwarding delay).
+  double true_rtt_ms(const dir::Fingerprint& a, const dir::Fingerprint& b) const;
+  /// Ground-truth RTT as ICMP ping sees it (the paper's "real" baseline).
+  double ping_rtt_ms(const dir::Fingerprint& a, const dir::Fingerprint& b) const;
+
+  simnet::HostId measurement_host() const { return measurement_host_; }
+
+ private:
+  friend Testbed build_testbed(const std::vector<RelaySpec>&,
+                               const TestbedOptions&);
+
+  std::unique_ptr<simnet::EventLoop> loop_;
+  std::unique_ptr<simnet::Network> net_;
+  std::vector<std::unique_ptr<tor::Relay>> relays_;
+  std::map<dir::Fingerprint, simnet::HostId> host_by_fp_;
+  dir::Consensus consensus_;
+  geo::GeolocationService geolocation_;
+  std::unique_ptr<meas::MeasurementHost> ting_host_;
+  simnet::HostId measurement_host_ = 0;
+};
+
+/// Instantiate a world from explicit specs.
+Testbed build_testbed(const std::vector<RelaySpec>& specs,
+                      const TestbedOptions& options);
+
+/// The §4.1 PlanetLab-style ground-truth testbed (31 relays).
+Testbed planetlab31(const TestbedOptions& options = {});
+
+/// A live-Tor-like network with `n` relays.
+Testbed live_tor(std::size_t n, const TestbedOptions& options = {});
+
+}  // namespace ting::scenario

@@ -1,0 +1,103 @@
+#include "scenario/timeline.h"
+
+#include <cstdio>
+#include <set>
+
+#include "geo/cities.h"
+#include "geo/ipalloc.h"
+#include "scenario/rdns.h"
+#include "util/rng.h"
+
+namespace ting::scenario {
+
+namespace {
+
+/// Dates for Fig 18's window starting 2015-02-28.
+std::string date_label(int day) {
+  static const int month_days[] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+  int month = 1, dom = 28 + day;  // day 0 = Feb 28 (month index 1)
+  while (dom > month_days[month]) {
+    dom -= month_days[month];
+    month = (month + 1) % 12;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "2015-%02d-%02d", month + 1, dom);
+  return buf;
+}
+
+dir::RelayDescriptor make_relay(Rng& rng, geo::IpAllocator& ipalloc,
+                                std::size_t ordinal) {
+  const geo::City& city = geo::sample_city_tor_weighted(rng);
+  HostClass cls;
+  geo::HostKind kind;
+  const double u = rng.uniform();
+  if (u < 0.17) {
+    cls = HostClass::kNoRdns;
+    kind = rng.chance(0.5) ? geo::HostKind::kResidential
+                           : geo::HostKind::kDatacenter;
+  } else if (u < 0.17 + 0.51) {
+    cls = HostClass::kResidential;
+    kind = geo::HostKind::kResidential;
+  } else {
+    cls = HostClass::kDatacenter;
+    kind = geo::HostKind::kDatacenter;
+  }
+  dir::RelayDescriptor d;
+  d.nickname = "r" + std::to_string(ordinal);
+  crypto::X25519Key key;
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    const std::uint64_t r = rng.next_u64();
+    for (std::size_t j = 0; j < 8; ++j)
+      key[i + j] = static_cast<std::uint8_t>(r >> (8 * j));
+  }
+  d.onion_key = key;
+  d.fingerprint = dir::Fingerprint::of_identity(key);
+  d.address = ipalloc.allocate(city.country_code, kind);
+  d.or_port = 9001;
+  d.bandwidth = static_cast<std::uint32_t>(
+      std::min(50000.0, 20.0 + rng.lognormal(6.0, 1.4)));
+  d.country_code = city.country_code;
+  d.reverse_dns = make_rdns(d.address, cls, city.country_code, rng);
+  return d;
+}
+
+}  // namespace
+
+ConsensusTimeline make_timeline(const TimelineOptions& options) {
+  Rng rng(options.seed);
+  geo::IpAllocator ipalloc(options.seed + 3);
+  ConsensusTimeline out;
+
+  dir::Consensus consensus;
+  std::size_t ordinal = 0;
+  for (std::size_t i = 0; i < options.initial_relays; ++i)
+    consensus.add(make_relay(rng, ipalloc, ordinal++));
+
+  for (int day = 0; day < options.days; ++day) {
+    if (day > 0) {
+      // Churn: some relays leave, slightly more join (the paper notes ~30%
+      // year-over-year growth).
+      const std::size_t n = consensus.size();
+      const auto leave =
+          static_cast<std::size_t>(static_cast<double>(n) * options.daily_leave_rate);
+      std::vector<dir::Fingerprint> fps;
+      fps.reserve(n);
+      for (const auto& r : consensus.relays()) fps.push_back(r.fingerprint);
+      for (const std::size_t idx : rng.sample_indices(fps.size(), leave))
+        consensus.remove(fps[idx]);
+      const auto join =
+          static_cast<std::size_t>(static_cast<double>(n) * options.daily_join_rate);
+      for (std::size_t i = 0; i < join; ++i)
+        consensus.add(make_relay(rng, ipalloc, ordinal++));
+    }
+    std::set<std::uint32_t> nets;
+    for (const auto& r : consensus.relays()) nets.insert(r.address.slash24());
+    out.days.push_back(DailySnapshot{day, date_label(day), consensus.size(),
+                                     nets.size()});
+  }
+  out.final_consensus = std::move(consensus);
+  return out;
+}
+
+}  // namespace ting::scenario

@@ -1,0 +1,41 @@
+// A synthetic two-month consensus history standing in for the Tor Metrics
+// archives of Feb 28 – Apr 28 2015 (§5.3, Fig 18): daily snapshots of a
+// churning, slowly growing relay population with realistic address
+// allocation (residential vs datacenter /24 packing) and rDNS names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dir/consensus.h"
+
+namespace ting::scenario {
+
+struct TimelineOptions {
+  std::uint64_t seed = 2015;
+  int days = 60;
+  /// Initial population, tuned to the paper's Feb 2015 figures (~6500
+  /// running relays, 5426–6044 unique /24s).
+  std::size_t initial_relays = 6400;
+  double daily_leave_rate = 0.020;   ///< fraction of relays lost per day
+  /// Slightly above the leave rate: ~+0.08%/day ≈ the paper's ~30%/year.
+  double daily_join_rate = 0.0208;
+};
+
+struct DailySnapshot {
+  int day = 0;                ///< days since the timeline start
+  std::string date;           ///< "2015-02-28" style label
+  std::size_t total_relays = 0;
+  std::size_t unique_slash24 = 0;
+};
+
+struct ConsensusTimeline {
+  std::vector<DailySnapshot> days;
+  /// The final day's full consensus (descriptors with rDNS and addresses),
+  /// used by the §5.3 residential/datacenter classification.
+  dir::Consensus final_consensus;
+};
+
+ConsensusTimeline make_timeline(const TimelineOptions& options = {});
+
+}  // namespace ting::scenario

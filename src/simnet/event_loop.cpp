@@ -1,0 +1,74 @@
+#include "simnet/event_loop.h"
+
+#include "util/assert.h"
+
+namespace ting::simnet {
+
+EventId EventLoop::schedule(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId EventLoop::schedule_at(TimePoint when, std::function<void()> fn) {
+  TING_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  if (handlers_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool EventLoop::run_one() {
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // was cancelled
+    auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) continue;
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = ev.when;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (run_one()) {
+  }
+}
+
+void EventLoop::run_until(TimePoint deadline) {
+  while (!heap_.empty()) {
+    // Peek without firing cancelled entries.
+    const Event ev = heap_.top();
+    if (cancelled_.erase(ev.id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    if (ev.when > deadline) break;
+    run_one();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool EventLoop::run_while_waiting_for(const std::function<bool()>& pred,
+                                      Duration timeout) {
+  const TimePoint deadline = now_ + timeout;
+  while (!pred()) {
+    // Drop cancelled entries so a stale top can't trigger a spurious timeout.
+    while (!heap_.empty() && cancelled_.erase(heap_.top().id) > 0) heap_.pop();
+    if (heap_.empty()) return false;
+    if (heap_.top().when > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    run_one();
+  }
+  return true;
+}
+
+}  // namespace ting::simnet

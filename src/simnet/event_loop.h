@@ -1,0 +1,72 @@
+// The discrete-event engine that drives every simulation in the library.
+//
+// All network transmission, relay forwarding, and application behaviour is
+// expressed as events on one EventLoop with virtual time, so an entire
+// evaluation (e.g. 930 pairs × 1000 samples) runs in seconds of wall-clock
+// and reproduces exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ting::simnet {
+
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` from now. Returns an id for cancel().
+  EventId schedule(Duration delay, std::function<void()> fn);
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Cancel a pending event. No-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Run a single event; returns false when the queue is empty.
+  bool run_one();
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Run events with timestamp <= deadline; afterwards now() == deadline
+  /// (even if the queue drained early).
+  void run_until(TimePoint deadline);
+
+  /// Pump events until `pred()` holds. Returns false if the queue drained
+  /// or `timeout` elapsed first. This is what lets measurement code read as
+  /// straight-line logic instead of a callback pyramid.
+  bool run_while_waiting_for(const std::function<bool()>& pred,
+                             Duration timeout);
+
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ting::simnet

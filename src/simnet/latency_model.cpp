@@ -1,0 +1,87 @@
+#include "simnet/latency_model.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace ting::simnet {
+
+LatencyModel::LatencyModel(LatencyConfig config) : config_(config) {
+  TING_CHECK(config_.inflation_min >= 1.0);
+  TING_CHECK(config_.inflation_max >= config_.inflation_min);
+}
+
+HostId LatencyModel::add_host(const geo::GeoPoint& location,
+                              NetworkPolicy policy, std::uint32_t group_tag) {
+  hosts_.push_back(HostInfo{location, policy, group_tag});
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+std::uint32_t LatencyModel::group_tag(HostId h) const {
+  TING_CHECK(h < hosts_.size());
+  return hosts_[h].group_tag;
+}
+
+const geo::GeoPoint& LatencyModel::location(HostId h) const {
+  TING_CHECK(h < hosts_.size());
+  return hosts_[h].location;
+}
+
+const NetworkPolicy& LatencyModel::policy(HostId h) const {
+  TING_CHECK(h < hosts_.size());
+  return hosts_[h].policy;
+}
+
+void LatencyModel::set_policy(HostId h, NetworkPolicy policy) {
+  TING_CHECK(h < hosts_.size());
+  hosts_[h].policy = policy;
+}
+
+double LatencyModel::inflation(HostId a, HostId b) const {
+  // Deterministic per unordered pair: hash (seed, min, max) to a uniform
+  // draw in [inflation_min, inflation_max].
+  const HostId lo = std::min(a, b), hi = std::max(a, b);
+  const std::uint64_t h = mix64(config_.seed ^ mix64((std::uint64_t(lo) << 32) | hi));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return config_.inflation_min +
+         u * (config_.inflation_max - config_.inflation_min);
+}
+
+Duration LatencyModel::base_rtt(HostId a, HostId b) const {
+  TING_CHECK(a < hosts_.size() && b < hosts_.size());
+  if (a == b) return Duration::from_ms(config_.intra_host_rtt_ms);
+  const double km =
+      geo::great_circle_km(hosts_[a].location, hosts_[b].location);
+  double ms = geo::min_rtt_ms_for_distance(km) * inflation(a, b);
+  if (hosts_[a].group_tag != hosts_[b].group_tag &&
+      config_.cross_group_extra_max > 0) {
+    // Deterministic extra stretch for cross-border paths.
+    const HostId lo = std::min(a, b), hi = std::max(a, b);
+    const std::uint64_t h = mix64(config_.seed ^ 0xb0cde5 ^
+                                  mix64((std::uint64_t(lo) << 32) | hi));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    ms *= 1.0 + config_.cross_group_extra_min +
+          u * (config_.cross_group_extra_max - config_.cross_group_extra_min);
+  }
+  return Duration::from_ms(std::max(ms, config_.min_rtt_ms));
+}
+
+Duration LatencyModel::rtt(HostId a, HostId b, Protocol p) const {
+  Duration base = base_rtt(a, b);
+  if (a == b) return base;  // loopback never leaves the host's network
+  const double extra =
+      hosts_[a].policy.extra_ms(p) + hosts_[b].policy.extra_ms(p);
+  // A negative total bias (a network that fast-paths a protocol) can at most
+  // erase the path latency, never make it negative.
+  return std::max(Duration::from_ms(0.01), base + Duration::from_ms(extra));
+}
+
+Duration LatencyModel::sample_one_way(HostId a, HostId b, Protocol p,
+                                      Rng& rng) const {
+  double jitter_ms = rng.exponential(config_.jitter_mean_ms);
+  if (rng.chance(config_.jitter_spike_prob))
+    jitter_ms += rng.exponential(config_.jitter_spike_ms);
+  return rtt(a, b, p) / 2 + Duration::from_ms(jitter_ms);
+}
+
+}  // namespace ting::simnet

@@ -1,0 +1,113 @@
+// The ground-truth latency model.
+//
+// Pairwise RTTs are synthesized once, deterministically, from host geography:
+//   base_rtt(a,b) = (2/3)c propagation over great-circle distance
+//                   × a per-pair path-inflation factor.
+// Independent per-pair inflation produces natural triangle-inequality
+// violations, the phenomenon §5.2.1 studies. On top of the base RTT, each
+// endpoint's network may treat ICMP, plain TCP, and Tor traffic differently
+// (per-protocol additive one-way biases) — the effect that breaks the
+// strawman of §3.2 and produces the "negative forwarding delays" of Fig 5.
+// Individual packets additionally experience queueing jitter, so minima over
+// many samples converge to the true RTT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ting::simnet {
+
+using HostId = std::uint32_t;
+
+/// Traffic classes a network may treat differently. Tor traffic is TCP on
+/// the wire, but some operators special-case it (by port or DPI), so it is
+/// modelled as its own class.
+enum class Protocol : std::uint8_t { kIcmp = 0, kTcp = 1, kTor = 2 };
+
+/// Per-host, per-protocol one-way extra delay in milliseconds. Zero for
+/// well-behaved networks; nonzero values model firewalls/shapers that delay
+/// ICMP or Tor differently (observed in §3.2/§4.3).
+struct NetworkPolicy {
+  double icmp_extra_ms = 0;
+  double tcp_extra_ms = 0;
+  double tor_extra_ms = 0;
+
+  double extra_ms(Protocol p) const {
+    switch (p) {
+      case Protocol::kIcmp: return icmp_extra_ms;
+      case Protocol::kTcp: return tcp_extra_ms;
+      case Protocol::kTor: return tor_extra_ms;
+    }
+    return 0;
+  }
+};
+
+struct LatencyConfig {
+  // Path stretch over the great-circle minimum. The defaults are tuned so
+  // the TIV statistics of §5.2.1 reproduce on *Ting-measured* matrices
+  // (which carry per-edge forwarding-delay inflation): a majority of
+  // 50-node pairs have a violation, with a single-digit median saving.
+  double inflation_min = 1.25;
+  double inflation_max = 1.7;
+  double intra_host_rtt_ms = 0.08;  ///< loopback RTT (processes on one host)
+  double min_rtt_ms = 0.2;          ///< floor for distinct-host pairs
+  double jitter_mean_ms = 0.15;     ///< exponential queueing jitter per one-way
+  double jitter_spike_prob = 0.01;  ///< occasional congestion spike...
+  double jitter_spike_ms = 8.0;     ///< ...of this mean size
+  std::uint64_t seed = 4242;        ///< drives the per-pair inflation draw
+
+  // Optional cross-group (international) inflation: pairs whose hosts carry
+  // different group tags get an extra multiplicative stretch drawn from
+  // [1 + cross_group_extra_min, 1 + cross_group_extra_max]. Disabled by
+  // default; Fig 8's bench enables it to study the paper's speculation that
+  // international links carry extra latency.
+  double cross_group_extra_min = 0.0;
+  double cross_group_extra_max = 0.0;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyConfig config = {});
+
+  /// Register a host; ids are dense and assigned in order. `group_tag`
+  /// identifies the host's routing domain (e.g. country) for the optional
+  /// cross-group inflation; 0 is a fine default when unused.
+  HostId add_host(const geo::GeoPoint& location, NetworkPolicy policy = {},
+                  std::uint32_t group_tag = 0);
+  std::uint32_t group_tag(HostId h) const;
+
+  std::size_t host_count() const { return hosts_.size(); }
+  const geo::GeoPoint& location(HostId h) const;
+  const NetworkPolicy& policy(HostId h) const;
+  void set_policy(HostId h, NetworkPolicy policy);
+
+  /// Ground-truth RTT for neutral TCP traffic (no protocol bias, no jitter).
+  /// Symmetric. This is what Ting estimates.
+  Duration base_rtt(HostId a, HostId b) const;
+
+  /// RTT including both endpoints' per-protocol biases (still no jitter):
+  /// what an infinite-sample minimum of protocol `p` probes converges to.
+  Duration rtt(HostId a, HostId b, Protocol p) const;
+
+  /// One random one-way delay sample for a packet (rtt/2 + queueing jitter).
+  Duration sample_one_way(HostId a, HostId b, Protocol p, Rng& rng) const;
+
+  const LatencyConfig& config() const { return config_; }
+
+ private:
+  double inflation(HostId a, HostId b) const;
+
+  LatencyConfig config_;
+  struct HostInfo {
+    geo::GeoPoint location;
+    NetworkPolicy policy;
+    std::uint32_t group_tag = 0;
+  };
+  std::vector<HostInfo> hosts_;
+};
+
+}  // namespace ting::simnet

@@ -1,0 +1,203 @@
+#include "simnet/network.h"
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace ting::simnet {
+
+void Connection::send(Bytes msg) {
+  if (!open_) return;
+  ConnPtr peer = peer_.lock();
+  if (!peer) return;
+  net_->deliver(peer, std::move(msg));
+}
+
+void Connection::close() {
+  if (!open_) return;
+  open_ = false;
+  on_message_ = {};
+  if (ConnPtr peer = peer_.lock()) net_->deliver_close(peer);
+  if (on_close_) {
+    auto fn = std::move(on_close_);
+    on_close_ = {};
+    fn();
+  }
+  net_->gc_pair(this);
+}
+
+Network::Network(EventLoop& loop, LatencyConfig latency_config,
+                 std::uint64_t seed)
+    : loop_(loop), model_(latency_config), rng_(seed) {}
+
+HostId Network::add_host(IpAddr ip, const geo::GeoPoint& location,
+                         NetworkPolicy policy, std::uint32_t group_tag) {
+  TING_CHECK_MSG(!by_ip_.contains(ip), "duplicate IP " << ip.str());
+  const HostId id = model_.add_host(location, policy, group_tag);
+  by_ip_[ip] = id;
+  ips_.push_back(ip);
+  next_ephemeral_port_[id] = 40000;
+  return id;
+}
+
+IpAddr Network::ip_of(HostId h) const {
+  TING_CHECK(h < ips_.size());
+  return ips_[h];
+}
+
+std::optional<HostId> Network::host_of(IpAddr ip) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+Listener* Network::listen(HostId host, std::uint16_t port) {
+  const Endpoint ep{ip_of(host), port};
+  TING_CHECK_MSG(!listeners_.contains(ep), "port in use: " << ep.str());
+  auto listener = std::make_unique<Listener>();
+  listener->host_ = host;
+  listener->endpoint_ = ep;
+  Listener* raw = listener.get();
+  listeners_[ep] = std::move(listener);
+  return raw;
+}
+
+TimePoint Network::fifo_arrival(Connection& to, Duration delay) {
+  TimePoint arrival = loop_.now() + delay;
+  const TimePoint min_arrival = to.last_arrival_ + Duration::nanos(1);
+  if (arrival < min_arrival) arrival = min_arrival;
+  to.last_arrival_ = arrival;
+  return arrival;
+}
+
+void Network::set_host_down(HostId host, bool down) {
+  if (down) {
+    down_.insert(host);
+  } else {
+    down_.erase(host);
+  }
+}
+
+void Network::deliver(const ConnPtr& to, Bytes msg) {
+  const Duration delay = model_.sample_one_way(
+      to->remote_host_, to->local_host_, to->protocol_, rng_);
+  const TimePoint arrival = fifo_arrival(*to, delay);
+  loop_.schedule_at(arrival, [this, to, msg = std::move(msg)]() mutable {
+    // Traffic to or from a crashed host is silently lost.
+    if (down_.contains(to->local_host_) || down_.contains(to->remote_host_))
+      return;
+    if (!to->open_ || !to->on_message_) return;
+    // Invoke a copy: the handler may close the connection or replace the
+    // handler, destroying the std::function that is currently executing.
+    auto fn = to->on_message_;
+    fn(std::move(msg));
+  });
+}
+
+void Network::deliver_close(const ConnPtr& to) {
+  const Duration delay = model_.sample_one_way(
+      to->remote_host_, to->local_host_, to->protocol_, rng_);
+  const TimePoint arrival = fifo_arrival(*to, delay);
+  loop_.schedule_at(arrival, [this, to]() {
+    if (down_.contains(to->local_host_) || down_.contains(to->remote_host_))
+      return;
+    if (!to->open_) return;
+    to->open_ = false;
+    to->on_message_ = {};
+    if (to->on_close_) {
+      auto fn = std::move(to->on_close_);
+      to->on_close_ = {};
+      fn();
+    }
+    gc_pair(to.get());
+  });
+}
+
+void Network::gc_pair(Connection* side) {
+  // Release our owning refs once both halves are closed. Any in-flight
+  // delivery closures still hold strong refs, so teardown stays safe.
+  ConnPtr peer = side->peer_.lock();
+  if (peer && peer->open_) return;
+  if (side->open_) return;
+  conns_.erase(side);
+  if (peer) conns_.erase(peer.get());
+}
+
+void Network::connect(HostId from, Endpoint to, Protocol protocol,
+                      std::function<void(ConnPtr)> on_connected,
+                      std::function<void(std::string)> on_fail) {
+  TING_CHECK(from < ips_.size());
+  auto lit = listeners_.find(to);
+  const auto to_host_id = host_of(to.ip);
+  if (lit == listeners_.end() || !to_host_id.has_value() ||
+      down_.contains(from) || down_.contains(*to_host_id)) {
+    // Nothing listening: fail after a connect-timeout-ish beat.
+    loop_.schedule(Duration::millis(500), [to, on_fail]() {
+      if (on_fail) on_fail("connection refused: " + to.str());
+    });
+    return;
+  }
+  Listener* listener = lit->second.get();
+  const HostId to_host = listener->host_;
+
+  std::uint16_t& eph = next_ephemeral_port_[from];
+  const Endpoint local_ep{ip_of(from), eph++};
+  if (eph == 0) eph = 40000;  // wrapped
+
+  auto client_side = std::make_shared<Connection>();
+  auto server_side = std::make_shared<Connection>();
+  client_side->net_ = server_side->net_ = this;
+  client_side->local_host_ = from;
+  client_side->remote_host_ = to_host;
+  client_side->local_ = local_ep;
+  client_side->remote_ = to;
+  client_side->protocol_ = protocol;
+  server_side->local_host_ = to_host;
+  server_side->remote_host_ = from;
+  server_side->local_ = to;
+  server_side->remote_ = local_ep;
+  server_side->protocol_ = protocol;
+  client_side->peer_ = server_side;
+  server_side->peer_ = client_side;
+  conns_[client_side.get()] = client_side;
+  conns_[server_side.get()] = server_side;
+
+  // SYN: one-way to the server; accept fires there. SYN-ACK: one-way back;
+  // the client is connected one full RTT after initiating.
+  const Duration syn = model_.sample_one_way(from, to_host, protocol, rng_);
+  const Duration synack = model_.sample_one_way(to_host, from, protocol, rng_);
+  const TimePoint accept_at = loop_.now() + syn;
+  const TimePoint connected_at = accept_at + synack;
+  client_side->last_arrival_ = connected_at;
+  server_side->last_arrival_ = accept_at;
+
+  loop_.schedule_at(accept_at, [listener, server_side]() {
+    if (listener->on_accept_) listener->on_accept_(server_side);
+  });
+  loop_.schedule_at(connected_at,
+                    [client_side, on_connected = std::move(on_connected)]() {
+                      if (on_connected) on_connected(client_side);
+                    });
+}
+
+void Network::ping(HostId from, IpAddr to,
+                   std::function<void(std::optional<Duration>)> on_reply,
+                   Duration timeout) {
+  auto target = host_of(to);
+  if (!target.has_value() || down_.contains(*target) ||
+      down_.contains(from)) {
+    loop_.schedule(timeout, [on_reply]() { on_reply(std::nullopt); });
+    return;
+  }
+  const Duration there =
+      model_.sample_one_way(from, *target, Protocol::kIcmp, rng_);
+  const Duration back =
+      model_.sample_one_way(*target, from, Protocol::kIcmp, rng_);
+  const Duration rtt = there + back;
+  if (rtt > timeout) {
+    loop_.schedule(timeout, [on_reply]() { on_reply(std::nullopt); });
+    return;
+  }
+  loop_.schedule(rtt, [on_reply, rtt]() { on_reply(rtt); });
+}
+
+}  // namespace ting::simnet

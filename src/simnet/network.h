@@ -1,0 +1,143 @@
+// The simulated network: hosts, reliable byte-message connections ("sim
+// TCP"), and ICMP echo. Applications (Tor relays, the onion proxy, the echo
+// server, the control port) all talk through this interface.
+//
+// Semantics:
+//  - connect() performs a SYN/SYN-ACK handshake costing one RTT before the
+//    success callback fires; the measured connect time is what a
+//    tcptraceroute-style TCP probe observes.
+//  - send() delivers whole messages after a sampled one-way delay; delivery
+//    order per connection is FIFO even when jitter would reorder packets
+//    (TCP's in-order guarantee).
+//  - ping() round-trips an ICMP echo, subject to ICMP-specific policy bias.
+//  - Everything is deterministic given the Network's seed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simnet/event_loop.h"
+#include "simnet/latency_model.h"
+#include "util/bytes.h"
+#include "util/ip.h"
+
+namespace ting::simnet {
+
+class Network;
+
+/// One end of an established bidirectional connection.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  void set_on_message(std::function<void(Bytes)> fn) { on_message_ = std::move(fn); }
+  void set_on_close(std::function<void()> fn) { on_close_ = std::move(fn); }
+
+  /// Queue a message to the peer. Messages sent on a closed connection are
+  /// silently dropped (like writing to a reset socket, minus the signal).
+  void send(Bytes msg);
+  /// Close both directions; the peer's on_close fires after in-flight
+  /// messages drain.
+  void close();
+  bool is_open() const { return open_; }
+
+  const Endpoint& local() const { return local_; }
+  const Endpoint& remote() const { return remote_; }
+  HostId local_host() const { return local_host_; }
+  HostId remote_host() const { return remote_host_; }
+  Protocol protocol() const { return protocol_; }
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+  HostId local_host_ = 0, remote_host_ = 0;
+  Endpoint local_, remote_;
+  Protocol protocol_ = Protocol::kTcp;
+  std::weak_ptr<Connection> peer_;
+  std::function<void(Bytes)> on_message_;
+  std::function<void()> on_close_;
+  TimePoint last_arrival_;  ///< FIFO watermark for deliveries to this side
+  bool open_ = true;
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+
+/// A passive listener bound to host:port.
+class Listener {
+ public:
+  void set_on_accept(std::function<void(ConnPtr)> fn) { on_accept_ = std::move(fn); }
+
+ private:
+  friend class Network;
+  HostId host_ = 0;
+  Endpoint endpoint_;
+  std::function<void(ConnPtr)> on_accept_;
+};
+
+class Network {
+ public:
+  Network(EventLoop& loop, LatencyConfig latency_config = {},
+          std::uint64_t seed = 99);
+
+  /// Register a host with its address, location, and network policy.
+  /// `group_tag` feeds the latency model's optional cross-group inflation.
+  HostId add_host(IpAddr ip, const geo::GeoPoint& location,
+                  NetworkPolicy policy = {}, std::uint32_t group_tag = 0);
+
+  IpAddr ip_of(HostId h) const;
+  std::optional<HostId> host_of(IpAddr ip) const;
+  std::size_t host_count() const { return model_.host_count(); }
+
+  /// Bind a listener. Throws if the port is taken.
+  Listener* listen(HostId host, std::uint16_t port);
+  /// Open a connection. `on_fail` fires (after a timeout-ish delay) if
+  /// nothing listens on the target endpoint.
+  void connect(HostId from, Endpoint to, Protocol protocol,
+               std::function<void(ConnPtr)> on_connected,
+               std::function<void(std::string)> on_fail = {});
+
+  /// ICMP echo. Callback receives the measured RTT, or nullopt after
+  /// `timeout` if the destination does not exist.
+  void ping(HostId from, IpAddr to,
+            std::function<void(std::optional<Duration>)> on_reply,
+            Duration timeout = Duration::seconds(1));
+
+  EventLoop& loop() { return loop_; }
+  LatencyModel& latency() { return model_; }
+  const LatencyModel& latency() const { return model_; }
+  Rng& rng() { return rng_; }
+
+  /// Number of connections the network is keeping alive (open pairs).
+  std::size_t live_connections() const { return conns_.size(); }
+
+  /// Failure injection: a down host drops all traffic silently — in-flight
+  /// and future messages to or from it vanish, new connects to it fail, and
+  /// pings time out (the remote peer just sees a stall, like a real crash).
+  void set_host_down(HostId host, bool down = true);
+  bool is_host_down(HostId host) const { return down_.contains(host); }
+
+ private:
+  friend class Connection;
+  void deliver(const ConnPtr& to, Bytes msg);
+  void deliver_close(const ConnPtr& to);
+  TimePoint fifo_arrival(Connection& to, Duration delay);
+  /// Drop our owning refs once both sides of a pair have closed.
+  void gc_pair(Connection* side);
+
+  EventLoop& loop_;
+  LatencyModel model_;
+  Rng rng_;
+  std::map<IpAddr, HostId> by_ip_;
+  std::vector<IpAddr> ips_;
+  std::map<Endpoint, std::unique_ptr<Listener>> listeners_;
+  std::map<HostId, std::uint16_t> next_ephemeral_port_;
+  // The network owns live connections (a socket exists independently of the
+  // application's references); both-sides-closed pairs are released.
+  std::map<Connection*, ConnPtr> conns_;
+  std::set<HostId> down_;
+};
+
+}  // namespace ting::simnet

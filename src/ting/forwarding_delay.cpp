@@ -1,0 +1,165 @@
+#include "ting/forwarding_delay.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace ting::meas {
+
+ForwardingDelayEstimator::ForwardingDelayEstimator(TingMeasurer& measurer,
+                                                   int probes)
+    : measurer_(measurer), probes_(probes) {
+  TING_CHECK(probes_ > 0);
+}
+
+void ForwardingDelayEstimator::tcp_connect_min(
+    Endpoint target, int count,
+    std::function<void(std::optional<double>)> on_done) {
+  MeasurementHost& host = measurer_.host();
+  auto best = std::make_shared<double>(std::numeric_limits<double>::infinity());
+  auto remaining = std::make_shared<int>(count);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [&host, target, best, remaining, step, on_done]() {
+    const TimePoint t0 = host.loop().now();
+    host.net().connect(
+        host.host(), target, simnet::Protocol::kTcp,
+        [&host, t0, best, remaining, step, on_done](simnet::ConnPtr conn) {
+          *best = std::min(*best, (host.loop().now() - t0).ms());
+          conn->close();
+          if (--*remaining > 0) {
+            (*step)();
+            return;
+          }
+          on_done(std::isfinite(*best) ? std::optional<double>(*best)
+                                       : std::nullopt);
+          *step = {};
+        },
+        [remaining, step, on_done](const std::string&) {
+          if (--*remaining > 0) {
+            (*step)();
+            return;
+          }
+          on_done(std::nullopt);
+          *step = {};
+        });
+  };
+  (*step)();
+}
+
+void ForwardingDelayEstimator::measure(
+    const dir::Fingerprint& x,
+    std::function<void(ForwardingDelayResult)> on_done) {
+  auto result = std::make_shared<ForwardingDelayResult>();
+  result->relay = x;
+  MeasurementHost& host = measurer_.host();
+
+  const dir::RelayDescriptor* dx = host.op().consensus().find(x);
+  if (dx == nullptr) {
+    result->error = "unknown relay";
+    on_done(std::move(*result));
+    return;
+  }
+  const IpAddr x_ip = dx->address;
+  const Endpoint x_or{dx->address, dx->or_port};
+  const double loopback_ms =
+      host.net().latency().base_rtt(host.host(), host.host()).ms();
+
+  // Step 1: C1 = (w, z).
+  measurer_.measure_circuit({}, probes_, [this, result, x_ip, x_or,
+                                          loopback_ms,
+                                          on_done = std::move(on_done)](
+                                             CircuitMeasurement c1) mutable {
+    if (!c1.ok) {
+      result->error = "C1: " + c1.error;
+      on_done(std::move(*result));
+      return;
+    }
+    // The (w,z) echo round trip crosses three loopback links (s-w, w-z,
+    // z-d) once each; what remains is 2F_w + 2F_z (each relay forwards the
+    // probe once per direction).
+    const double f_local_sum = std::max(0.0, c1.min_rtt_ms - 3 * loopback_ms);
+    result->f_local_ms = f_local_sum / 4;  // per relay, per direction
+
+    // Step 2: C2 = (w, x, z).
+    measurer_.measure_circuit(
+        {result->relay}, probes_,
+        [this, result, x_ip, x_or, loopback_ms, f_local_sum,
+         on_done = std::move(on_done)](CircuitMeasurement c2) mutable {
+          if (!c2.ok) {
+            result->error = "C2: " + c2.error;
+            on_done(std::move(*result));
+            return;
+          }
+          // R_C2 = 2·lb + 2·R(h,x) + 2F_w + 2F_x + 2F_z  (links s-w and z-d
+          // are loopbacks; w-x and x-z both span h<->x), so
+          //   2F_x = R_C2 − 2·lb − (2F_w + 2F_z) − 2·R̃(h,x).
+          const double base =
+              c2.min_rtt_ms - f_local_sum - 2 * loopback_ms;
+
+          // Step 3: the non-Tor probes. The continuation lives in shared
+          // state because the ping loop re-enters its own closure.
+          MeasurementHost& host = measurer_.host();
+          auto after_icmp =
+              std::make_shared<std::function<void(std::optional<double>)>>(
+                  [this, result, base, x_or, on_done = std::move(on_done)](
+                      std::optional<double> icmp_min) mutable {
+                    if (!icmp_min.has_value()) {
+                      result->error = "ping failed";
+                      on_done(std::move(*result));
+                      return;
+                    }
+                    const double icmp_rtt = *icmp_min;
+                    tcp_connect_min(
+                        x_or, probes_,
+                        [result, base, icmp_rtt, on_done = std::move(on_done)](
+                            std::optional<double> tcp_min) mutable {
+                          if (!tcp_min.has_value()) {
+                            result->error = "tcp probe failed";
+                            on_done(std::move(*result));
+                            return;
+                          }
+                          result->icmp_based_ms = (base - 2 * icmp_rtt) / 2;
+                          result->tcp_based_ms = (base - 2 * *tcp_min) / 2;
+                          result->ok = true;
+                          on_done(std::move(*result));
+                        });
+                  });
+          auto icmp_best = std::make_shared<double>(
+              std::numeric_limits<double>::infinity());
+          auto icmp_remaining = std::make_shared<int>(probes_);
+          auto icmp_step = std::make_shared<std::function<void()>>();
+          *icmp_step = [&host, x_ip, icmp_best, icmp_remaining, icmp_step,
+                        after_icmp]() {
+            host.net().ping(
+                host.host(), x_ip,
+                [icmp_best, icmp_remaining, icmp_step,
+                 after_icmp](std::optional<Duration> rtt) {
+                  if (rtt.has_value())
+                    *icmp_best = std::min(*icmp_best, rtt->ms());
+                  if (--*icmp_remaining > 0) {
+                    (*icmp_step)();
+                    return;
+                  }
+                  (*after_icmp)(std::isfinite(*icmp_best)
+                                    ? std::optional<double>(*icmp_best)
+                                    : std::nullopt);
+                  *icmp_step = {};  // break the self-reference cycle
+                });
+          };
+          (*icmp_step)();
+        });
+  });
+}
+
+ForwardingDelayResult ForwardingDelayEstimator::measure_blocking(
+    const dir::Fingerprint& x) {
+  std::optional<ForwardingDelayResult> out;
+  measure(x, [&out](ForwardingDelayResult r) { out = std::move(r); });
+  measurer_.host().loop().run_while_waiting_for(
+      [&out]() { return out.has_value(); }, Duration::seconds(36000));
+  TING_CHECK_MSG(out.has_value(), "forwarding delay measurement stalled");
+  return std::move(*out);
+}
+
+}  // namespace ting::meas

@@ -1,0 +1,48 @@
+// Forwarding-delay estimation (§4.3).
+//
+// Measures relay x's per-cell forwarding delay F_x by combining Tor-circuit
+// measurements with non-Tor probes, exactly the paper's procedure:
+//   1. measure R_C1 over circuit (w, z):  R_C1 = loopbacks + F_w + F_z
+//      ⇒ F_w = F_z = (R_C1 − loopbacks)/2 (w, z share a host);
+//   2. measure R_C2 over circuit (w, x, z);
+//   3. probe R̃(h, x) with ICMP ping and with a TCP connect
+//      (tcptraceroute-style);
+//   4. F_x = R_C2 − F_w − F_z − 2·R̃(h, x) − loopbacks.
+// Networks that treat ICMP/TCP differently from Tor yield distorted — even
+// negative — F_x, which is the diagnostic signal of Fig 5.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ting/measurer.h"
+
+namespace ting::meas {
+
+struct ForwardingDelayResult {
+  dir::Fingerprint relay;
+  bool ok = false;
+  std::string error;
+  double icmp_based_ms = 0;  ///< F_x using ping for R̃(h, x)
+  double tcp_based_ms = 0;   ///< F_x using TCP connect for R̃(h, x)
+  double f_local_ms = 0;     ///< estimated F_w = F_z
+};
+
+class ForwardingDelayEstimator {
+ public:
+  /// `probes`: samples per circuit and per non-Tor probe type.
+  ForwardingDelayEstimator(TingMeasurer& measurer, int probes = 50);
+
+  void measure(const dir::Fingerprint& x,
+               std::function<void(ForwardingDelayResult)> on_done);
+  ForwardingDelayResult measure_blocking(const dir::Fingerprint& x);
+
+ private:
+  void tcp_connect_min(Endpoint target, int count,
+                       std::function<void(std::optional<double>)> on_done);
+
+  TingMeasurer& measurer_;
+  int probes_;
+};
+
+}  // namespace ting::meas

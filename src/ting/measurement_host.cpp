@@ -1,0 +1,77 @@
+#include "ting/measurement_host.h"
+
+#include "util/assert.h"
+
+namespace ting::meas {
+
+MeasurementHost::MeasurementHost(simnet::Network& net, simnet::HostId host,
+                                 dir::Consensus consensus,
+                                 MeasurementHostConfig config,
+                                 std::uint64_t seed)
+    : net_(net), host_(host), config_(config) {
+  const IpAddr my_ip = net_.ip_of(host_);
+
+  // w: our entry-side relay. Never exits; never needs Guard (we pick paths
+  // explicitly through the control port).
+  tor::RelayConfig wc;
+  wc.nickname = "tingW";
+  wc.or_port = config_.w_or_port;
+  wc.exit_policy = dir::ExitPolicy::reject_all();
+  wc.base_forward_ms = config_.local_relay_base_ms;
+  wc.queue_mean_ms = config_.local_relay_queue_ms;
+  w_ = std::make_unique<tor::Relay>(net_, host_, wc, seed + 1);
+
+  // z: our exit. Restrictive policy — exits only to our own echo server
+  // (the paper's "only allowed exiting to ... IP addresses under our
+  // control").
+  tor::RelayConfig zc;
+  zc.nickname = "tingZ";
+  zc.or_port = config_.z_or_port;
+  zc.exit_policy = dir::ExitPolicy::accept_only({my_ip});
+  zc.base_forward_ms = config_.local_relay_base_ms;
+  zc.queue_mean_ms = config_.local_relay_queue_ms;
+  z_ = std::make_unique<tor::Relay>(net_, host_, zc, seed + 2);
+
+  tor::OnionProxyConfig opc;
+  opc.socks_port = config_.socks_port;
+  opc.leave_streams_unattached = false;  // SETCONF flips this at start()
+  op_ = std::make_unique<tor::OnionProxy>(net_, host_, opc, seed + 3);
+  // Hard-code our local relays' descriptors into the client's list rather
+  // than publishing them (PublishDescriptors 0).
+  consensus.add(w_->descriptor());
+  consensus.add(z_->descriptor());
+  op_->set_consensus(std::move(consensus));
+
+  control_server_ =
+      std::make_unique<ctrl::ControlServer>(*op_, config_.control_port);
+  echo_ = std::make_unique<echo::EchoServer>(net_, host_, config_.echo_port);
+}
+
+Endpoint MeasurementHost::socks_endpoint() const {
+  return Endpoint{net_.ip_of(host_), config_.socks_port};
+}
+
+void MeasurementHost::start(std::function<void()> on_ready) {
+  ctrl::Controller::create(
+      net_, host_, control_server_->endpoint(), /*password=*/"",
+      [this, on_ready = std::move(on_ready)](ctrl::Controller::Ptr ctl) {
+        controller_ = std::move(ctl);
+        controller_->set_leave_streams_unattached(
+            true, [on_ready]() {
+              if (on_ready) on_ready();
+            });
+      },
+      [](const std::string& err) {
+        TING_CHECK_MSG(false, "controller connect failed: " << err);
+      });
+}
+
+void MeasurementHost::start_blocking() {
+  bool ready = false;
+  start([&ready]() { ready = true; });
+  const bool ok = net_.loop().run_while_waiting_for(
+      [&ready]() { return ready; }, Duration::seconds(30));
+  TING_CHECK_MSG(ok, "measurement host failed to start");
+}
+
+}  // namespace ting::meas

@@ -1,0 +1,350 @@
+#include "ting/measurer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace ting::meas {
+
+double PairResult::estimate_with_prefix(std::size_t k) const {
+  TING_CHECK_MSG(!cxy.raw_samples_ms.empty() && !cx.raw_samples_ms.empty() &&
+                     !cy.raw_samples_ms.empty(),
+                 "estimate_with_prefix requires keep_raw_samples");
+  auto prefix_min = [](const std::vector<double>& v, std::size_t n) {
+    n = std::min(std::max<std::size_t>(n, 1), v.size());
+    return *std::min_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n));
+  };
+  return prefix_min(cxy.raw_samples_ms, k) - 0.5 * prefix_min(cx.raw_samples_ms, k) -
+         0.5 * prefix_min(cy.raw_samples_ms, k);
+}
+
+TingMeasurer::TingMeasurer(MeasurementHost& host, TingConfig config)
+    : host_(host), config_(config) {
+  TING_CHECK(config_.samples > 0);
+}
+
+// ---- single-circuit probe ---------------------------------------------------
+
+struct TingMeasurer::CircuitProbe
+    : public std::enable_shared_from_this<CircuitProbe> {
+  TingMeasurer* self = nullptr;
+  std::vector<dir::Fingerprint> path;  ///< full path including w and z
+  int samples_target = 0;
+  bool keep_raw = false;
+  std::function<void(CircuitMeasurement)> on_done;
+
+  tor::CircuitHandle handle = 0;
+  simnet::ConnPtr app_conn;
+  CircuitMeasurement result;
+  TimePoint sample_start;
+  bool sampling = false;
+  bool finished = false;
+  double min_ms = std::numeric_limits<double>::infinity();
+  simnet::EventId deadline_event = 0;
+
+  void finish(bool ok, const std::string& error = "") {
+    if (finished) return;
+    finished = true;
+    self->host_.loop().cancel(deadline_event);
+    self->host_.controller().set_on_stream_new({});
+    if (app_conn && app_conn->is_open()) app_conn->close();
+    if (handle != 0) self->host_.controller().close_circuit(handle);
+    result.ok = ok;
+    result.error = error;
+    if (ok) result.min_rtt_ms = min_ms;
+    if (on_done) {
+      auto fn = std::move(on_done);
+      on_done = {};
+      fn(std::move(result));
+    }
+  }
+
+  void take_sample() {
+    sample_start = self->host_.loop().now();
+    app_conn->send(Bytes{'t', 'i', 'n', 'g'});
+  }
+
+  void on_echo() {
+    const double rtt_ms = (self->host_.loop().now() - sample_start).ms();
+    min_ms = std::min(min_ms, rtt_ms);
+    if (keep_raw) result.raw_samples_ms.push_back(rtt_ms);
+    ++result.samples_taken;
+    if (result.samples_taken >= samples_target) {
+      finish(true);
+      return;
+    }
+    take_sample();
+  }
+};
+
+void TingMeasurer::measure_circuit(
+    const std::vector<dir::Fingerprint>& middle_relays, int samples,
+    std::function<void(CircuitMeasurement)> on_done) {
+  std::vector<dir::Fingerprint> full_path;
+  full_path.push_back(host_.w_fp());
+  for (const auto& fp : middle_relays) full_path.push_back(fp);
+  full_path.push_back(host_.z_fp());
+  measure_circuit_attempt(std::move(full_path), samples, 1, std::move(on_done));
+}
+
+void TingMeasurer::measure_circuit_attempt(
+    std::vector<dir::Fingerprint> full_path, int samples, int attempt,
+    std::function<void(CircuitMeasurement)> on_done) {
+  auto probe = std::make_shared<CircuitProbe>();
+  probe->self = this;
+  probe->path = full_path;
+  probe->samples_target = samples;
+  probe->keep_raw = config_.keep_raw_samples;
+  probe->on_done = [this, full_path = std::move(full_path), samples, attempt,
+                    on_done = std::move(on_done)](CircuitMeasurement m) mutable {
+    if (!m.ok && attempt < config_.max_build_attempts) {
+      TING_DEBUG("circuit attempt " << attempt << " failed (" << m.error
+                                    << "), retrying");
+      measure_circuit_attempt(std::move(full_path), samples, attempt + 1,
+                              std::move(on_done));
+      return;
+    }
+    on_done(std::move(m));
+  };
+  run_probe(probe);
+}
+
+void TingMeasurer::run_probe(const std::shared_ptr<CircuitProbe>& probe) {
+  // Overall deadline: build + all samples.
+  const Duration total_budget =
+      config_.build_timeout +
+      config_.sample_timeout * probe->samples_target;
+  probe->deadline_event = host_.loop().schedule(total_budget, [probe]() {
+    probe->finish(false, "measurement deadline exceeded");
+  });
+
+  host_.controller().extend_circuit(
+      probe->path,
+      [this, probe](tor::CircuitHandle h) {
+        if (probe->finished) return;
+        probe->handle = h;
+        // The stream must be attached manually: route the next STREAM NEW
+        // notification to ATTACHSTREAM on our fresh circuit.
+        host_.controller().set_on_stream_new(
+            [this, probe](std::uint16_t stream_id, std::string) {
+              if (probe->finished) return;
+              host_.controller().attach_stream(
+                  stream_id, probe->handle, [probe](bool ok) {
+                    if (!ok) probe->finish(false, "ATTACHSTREAM failed");
+                  });
+            });
+        // Echo client s: open the app connection through the SOCKS port.
+        host_.net().connect(
+            host_.host(), host_.socks_endpoint(), simnet::Protocol::kTcp,
+            [this, probe](simnet::ConnPtr conn) {
+              if (probe->finished) {
+                conn->close();
+                return;
+              }
+              probe->app_conn = conn;
+              conn->set_on_message([probe](Bytes msg) {
+                if (probe->finished) return;
+                if (!probe->sampling) {
+                  const std::string s(msg.begin(), msg.end());
+                  if (s == "OK") {
+                    probe->sampling = true;
+                    probe->take_sample();
+                  } else {
+                    probe->finish(false, "SOCKS error: " + s);
+                  }
+                  return;
+                }
+                probe->on_echo();
+              });
+              conn->set_on_close([probe]() {
+                probe->finish(false, "echo stream closed early");
+              });
+              const std::string req =
+                  "CONNECT " + host_.echo_endpoint().str();
+              conn->send(Bytes(req.begin(), req.end()));
+            },
+            [probe](const std::string& err) {
+              probe->finish(false, "SOCKS connect failed: " + err);
+            });
+      },
+      [probe](const std::string& err) {
+        probe->finish(false, "circuit build failed: " + err);
+      });
+}
+
+CircuitMeasurement TingMeasurer::measure_circuit_blocking(
+    const std::vector<dir::Fingerprint>& middle_relays, int samples) {
+  std::optional<CircuitMeasurement> out;
+  measure_circuit(middle_relays, samples,
+                  [&out](CircuitMeasurement m) { out = std::move(m); });
+  host_.loop().run_while_waiting_for([&out]() { return out.has_value(); },
+                                     Duration::seconds(3600));
+  TING_CHECK_MSG(out.has_value(), "circuit measurement never completed");
+  return std::move(*out);
+}
+
+// ---- full Ting pair measurement ---------------------------------------------
+
+void TingMeasurer::measure(const dir::Fingerprint& x, const dir::Fingerprint& y,
+                           std::function<void(PairResult)> on_done) {
+  auto result = std::make_shared<PairResult>();
+  result->x = x;
+  result->y = y;
+  const TimePoint started = host_.loop().now();
+
+  if (x == y || x == host_.w_fp() || y == host_.w_fp() || x == host_.z_fp() ||
+      y == host_.z_fp()) {
+    result->error = "invalid pair (x, y must be distinct remote relays)";
+    on_done(std::move(*result));
+    return;
+  }
+
+  // Three sequential circuit probes: C_xy, C_x, C_y.
+  measure_circuit({x, y}, config_.samples, [this, x, y, result, started,
+                                            on_done = std::move(on_done)](
+                                               CircuitMeasurement cxy) mutable {
+    result->cxy = std::move(cxy);
+    if (!result->cxy.ok) {
+      result->error = "C_xy: " + result->cxy.error;
+      result->wall_time = host_.loop().now() - started;
+      on_done(std::move(*result));
+      return;
+    }
+    measure_circuit({x}, config_.samples, [this, y, result, started,
+                                           on_done = std::move(on_done)](
+                                              CircuitMeasurement cx) mutable {
+      result->cx = std::move(cx);
+      if (!result->cx.ok) {
+        result->error = "C_x: " + result->cx.error;
+        result->wall_time = host_.loop().now() - started;
+        on_done(std::move(*result));
+        return;
+      }
+      measure_circuit({y}, config_.samples, [this, result, started,
+                                             on_done = std::move(on_done)](
+                                                CircuitMeasurement cy) mutable {
+        result->cy = std::move(cy);
+        result->wall_time = host_.loop().now() - started;
+        if (!result->cy.ok) {
+          result->error = "C_y: " + result->cy.error;
+          on_done(std::move(*result));
+          return;
+        }
+        // Eq. (4): R(x,y) + F_x + F_y.
+        result->rtt_ms = result->cxy.min_rtt_ms - 0.5 * result->cx.min_rtt_ms -
+                         0.5 * result->cy.min_rtt_ms;
+        result->ok = true;
+        on_done(std::move(*result));
+      });
+    });
+  });
+}
+
+PairResult TingMeasurer::measure_blocking(const dir::Fingerprint& x,
+                                          const dir::Fingerprint& y) {
+  std::optional<PairResult> out;
+  measure(x, y, [&out](PairResult r) { out = std::move(r); });
+  host_.loop().run_while_waiting_for([&out]() { return out.has_value(); },
+                                     Duration::seconds(36000));
+  TING_CHECK_MSG(out.has_value(), "pair measurement never completed");
+  return std::move(*out);
+}
+
+// ---- strawman baseline (§3.2) -----------------------------------------------
+
+void TingMeasurer::ping_min(IpAddr target, int count,
+                            std::function<void(std::optional<double>)> on_done) {
+  auto best = std::make_shared<double>(std::numeric_limits<double>::infinity());
+  auto remaining = std::make_shared<int>(count);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, target, best, remaining, step, on_done]() {
+    host_.net().ping(host_.host(), target,
+                     [best, remaining, step, on_done](std::optional<Duration> rtt) {
+                       if (rtt.has_value())
+                         *best = std::min(*best, rtt->ms());
+                       if (--*remaining > 0) {
+                         (*step)();
+                         return;
+                       }
+                       if (std::isfinite(*best)) on_done(*best);
+                       else on_done(std::nullopt);
+                       *step = {};  // break the self-reference cycle
+                     });
+  };
+  (*step)();
+}
+
+void TingMeasurer::strawman_measure(const dir::Fingerprint& x,
+                                    const dir::Fingerprint& y, int samples,
+                                    std::function<void(PairResult)> on_done) {
+  auto result = std::make_shared<PairResult>();
+  result->x = x;
+  result->y = y;
+  const TimePoint started = host_.loop().now();
+
+  const dir::RelayDescriptor* dx = host_.op().consensus().find(x);
+  const dir::RelayDescriptor* dy = host_.op().consensus().find(y);
+  if (dx == nullptr || dy == nullptr) {
+    result->error = "unknown relay";
+    on_done(std::move(*result));
+    return;
+  }
+  const IpAddr x_ip = dx->address, y_ip = dy->address;
+
+  // End-to-end circuit (x, y): y must allow exiting to our echo server —
+  // already a practical limitation of the strawman that Ting avoids.
+  auto probe = std::make_shared<CircuitProbe>();
+  probe->self = this;
+  probe->path = {x, y};
+  probe->samples_target = samples;
+  probe->keep_raw = config_.keep_raw_samples;
+  probe->on_done = [this, x_ip, y_ip, samples, result, started,
+                    on_done = std::move(on_done)](CircuitMeasurement m) mutable {
+    result->cxy = std::move(m);
+    result->wall_time = host_.loop().now() - started;
+    if (!result->cxy.ok) {
+      result->error = "strawman circuit: " + result->cxy.error;
+      on_done(std::move(*result));
+      return;
+    }
+    const int pings = std::max(1, samples / 10);
+    ping_min(x_ip, pings, [this, y_ip, pings, result,
+                           on_done = std::move(on_done)](
+                              std::optional<double> px) mutable {
+      if (!px.has_value()) {
+        result->error = "ping to x failed";
+        on_done(std::move(*result));
+        return;
+      }
+      const double ping_x = *px;
+      ping_min(y_ip, pings, [result, ping_x, on_done = std::move(on_done)](
+                                std::optional<double> py) mutable {
+        if (!py.has_value()) {
+          result->error = "ping to y failed";
+          on_done(std::move(*result));
+          return;
+        }
+        result->rtt_ms = result->cxy.min_rtt_ms - ping_x - *py;
+        result->ok = true;
+        on_done(std::move(*result));
+      });
+    });
+  };
+  run_probe(probe);
+}
+
+PairResult TingMeasurer::strawman_measure_blocking(const dir::Fingerprint& x,
+                                                   const dir::Fingerprint& y,
+                                                   int samples) {
+  std::optional<PairResult> out;
+  strawman_measure(x, y, samples, [&out](PairResult r) { out = std::move(r); });
+  host_.loop().run_while_waiting_for([&out]() { return out.has_value(); },
+                                     Duration::seconds(36000));
+  TING_CHECK_MSG(out.has_value(), "strawman measurement never completed");
+  return std::move(*out);
+}
+
+}  // namespace ting::meas

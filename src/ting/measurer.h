@@ -1,0 +1,105 @@
+// TingMeasurer — the paper's core technique (§3.3).
+//
+// To measure R(x, y):
+//  1. build circuit C_xy = (w, x, y, z) via EXTENDCIRCUIT, attach an echo
+//     stream (SOCKS CONNECT + 650 STREAM NEW + ATTACHSTREAM), sample the
+//     end-to-end RTT N times, keep the minimum;
+//  2. likewise for C_x = (w, x, z) and C_y = (w, y, z);
+//  3. estimate R(x, y) = R_Cxy − ½·R_Cx − ½·R_Cy, which cancels the
+//     measurement host's legs and leaves only R(x,y) + F_x + F_y (Eq. (4)).
+//
+// The strawman of §3.2 (mixing a Tor circuit with ICMP pings) is also
+// implemented, as the baseline whose failure motivates Ting.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ting/measurement_host.h"
+#include "util/stats.h"
+
+namespace ting::meas {
+
+struct TingConfig {
+  int samples = 200;  ///< per circuit; §4.4 studies this knob
+  Duration sample_timeout = Duration::seconds(20);
+  Duration build_timeout = Duration::seconds(120);
+  /// A failed circuit measurement (build failure, stream error, deadline)
+  /// is retried from scratch up to this many total attempts.
+  int max_build_attempts = 2;
+  /// Retain every raw sample in the result (needed by the sample-size and
+  /// stability analyses, Figs 6/7/9/10).
+  bool keep_raw_samples = false;
+};
+
+/// Result of measuring one circuit: minimum RTT plus optional raw samples.
+struct CircuitMeasurement {
+  bool ok = false;
+  std::string error;
+  double min_rtt_ms = 0;
+  int samples_taken = 0;
+  std::vector<double> raw_samples_ms;  ///< only if keep_raw_samples
+};
+
+/// Result of a full Ting pair measurement.
+struct PairResult {
+  dir::Fingerprint x, y;
+  bool ok = false;
+  std::string error;
+  double rtt_ms = 0;  ///< the Ting estimate of R(x, y)
+  CircuitMeasurement cxy, cx, cy;
+  Duration wall_time;  ///< virtual time the measurement took
+
+  /// Recompute the estimate using only the first k samples of each circuit
+  /// (prefix minima) — the convergence analysis of Fig 6. Requires raw
+  /// samples. k is clamped to the available count.
+  double estimate_with_prefix(std::size_t k) const;
+};
+
+class TingMeasurer {
+ public:
+  TingMeasurer(MeasurementHost& host, TingConfig config = {});
+
+  /// Asynchronous measurement of R(x, y). One measurement at a time.
+  void measure(const dir::Fingerprint& x, const dir::Fingerprint& y,
+               std::function<void(PairResult)> on_done);
+
+  /// Blocking convenience: pumps the event loop to completion.
+  PairResult measure_blocking(const dir::Fingerprint& x,
+                              const dir::Fingerprint& y);
+
+  /// Measure a single circuit (w, relays..., z) and return the min RTT —
+  /// exposed for the forwarding-delay estimator and tests.
+  void measure_circuit(const std::vector<dir::Fingerprint>& middle_relays,
+                       int samples,
+                       std::function<void(CircuitMeasurement)> on_done);
+  CircuitMeasurement measure_circuit_blocking(
+      const std::vector<dir::Fingerprint>& middle_relays, int samples);
+
+  /// §3.2 strawman baseline: end-to-end circuit (x, y) with x as entry and
+  /// y as exit, minus ICMP ping RTTs to x and y. Subject to protocol-
+  /// differential error and unaccounted forwarding delays by design.
+  void strawman_measure(const dir::Fingerprint& x, const dir::Fingerprint& y,
+                        int samples, std::function<void(PairResult)> on_done);
+  PairResult strawman_measure_blocking(const dir::Fingerprint& x,
+                                       const dir::Fingerprint& y, int samples);
+
+  const TingConfig& config() const { return config_; }
+  MeasurementHost& host() { return host_; }
+
+ private:
+  struct CircuitProbe;
+  void run_probe(const std::shared_ptr<CircuitProbe>& probe);
+  void measure_circuit_attempt(std::vector<dir::Fingerprint> full_path,
+                               int samples, int attempt,
+                               std::function<void(CircuitMeasurement)> on_done);
+  void ping_min(IpAddr target, int count,
+                std::function<void(std::optional<double>)> on_done);
+
+  MeasurementHost& host_;
+  TingConfig config_;
+};
+
+}  // namespace ting::meas

@@ -1,0 +1,113 @@
+#include "ting/rtt_matrix.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::meas {
+
+RttMatrix::Key RttMatrix::key(const dir::Fingerprint& a,
+                              const dir::Fingerprint& b) {
+  return a < b ? Key{a, b} : Key{b, a};
+}
+
+void RttMatrix::set(const dir::Fingerprint& a, const dir::Fingerprint& b,
+                    double rtt_ms, TimePoint measured_at, int samples) {
+  TING_CHECK_MSG(!(a == b), "RttMatrix: self-pairs are not meaningful");
+  entries_[key(a, b)] = Entry{rtt_ms, measured_at, samples};
+}
+
+const RttMatrix::Entry* RttMatrix::entry(const dir::Fingerprint& a,
+                                         const dir::Fingerprint& b) const {
+  auto it = entries_.find(key(a, b));
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+std::optional<double> RttMatrix::rtt(const dir::Fingerprint& a,
+                                     const dir::Fingerprint& b) const {
+  const Entry* e = entry(a, b);
+  if (e == nullptr) return std::nullopt;
+  return e->rtt_ms;
+}
+
+bool RttMatrix::contains(const dir::Fingerprint& a,
+                         const dir::Fingerprint& b) const {
+  return entry(a, b) != nullptr;
+}
+
+bool RttMatrix::is_fresh(const dir::Fingerprint& a, const dir::Fingerprint& b,
+                         TimePoint now, Duration max_age) const {
+  const Entry* e = entry(a, b);
+  return e != nullptr && now - e->measured_at <= max_age;
+}
+
+std::vector<dir::Fingerprint> RttMatrix::nodes() const {
+  std::set<dir::Fingerprint> uniq;
+  for (const auto& [k, v] : entries_) {
+    uniq.insert(k.first);
+    uniq.insert(k.second);
+  }
+  return {uniq.begin(), uniq.end()};
+}
+
+std::vector<double> RttMatrix::values() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(v.rtt_ms);
+  return out;
+}
+
+double RttMatrix::mean_rtt() const {
+  TING_CHECK_MSG(!entries_.empty(), "empty RTT matrix");
+  double total = 0;
+  for (const auto& [k, v] : entries_) total += v.rtt_ms;
+  return total / static_cast<double>(entries_.size());
+}
+
+std::string RttMatrix::to_csv() const {
+  std::ostringstream os;
+  os << "fp_a,fp_b,rtt_ms,measured_at_ns,samples\n";
+  for (const auto& [k, v] : entries_) {
+    os << k.first.hex() << "," << k.second.hex() << "," << v.rtt_ms << ","
+       << v.measured_at.ns() << "," << v.samples << "\n";
+  }
+  return os.str();
+}
+
+RttMatrix RttMatrix::from_csv(const std::string& csv) {
+  RttMatrix m;
+  bool first = true;
+  for (const std::string& line : split(csv, '\n')) {
+    if (first) {
+      first = false;
+      continue;  // header
+    }
+    if (trim(line).empty()) continue;
+    const auto cols = split(line, ',');
+    TING_CHECK_MSG(cols.size() == 5, "bad RTT matrix row: " << line);
+    m.set(dir::Fingerprint::from_hex(cols[0]),
+          dir::Fingerprint::from_hex(cols[1]), std::stod(cols[2]),
+          TimePoint::from_ns(std::stoll(cols[3])), std::stoi(cols[4]));
+  }
+  return m;
+}
+
+void RttMatrix::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  TING_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f << to_csv();
+}
+
+RttMatrix RttMatrix::load_csv(const std::string& path) {
+  std::ifstream f(path);
+  TING_CHECK_MSG(f.good(), "cannot open " << path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return from_csv(buf.str());
+}
+
+}  // namespace ting::meas

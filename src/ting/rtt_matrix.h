@@ -1,0 +1,60 @@
+// RttMatrix — the all-pairs latency dataset Ting produces, with the cache
+// semantics §4.6 argues for (measurements are stable over a week, so
+// "taking measurements with Ting infrequently and caching them is
+// sufficient"). Persisted as CSV so datasets can be shared like the
+// original project's published data.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "util/time.h"
+
+namespace ting::meas {
+
+class RttMatrix {
+ public:
+  struct Entry {
+    double rtt_ms = 0;
+    TimePoint measured_at;
+    int samples = 0;
+  };
+
+  /// Record a measurement (unordered pair; overwrites older entries).
+  void set(const dir::Fingerprint& a, const dir::Fingerprint& b, double rtt_ms,
+           TimePoint measured_at = {}, int samples = 0);
+
+  std::optional<double> rtt(const dir::Fingerprint& a,
+                            const dir::Fingerprint& b) const;
+  const Entry* entry(const dir::Fingerprint& a,
+                     const dir::Fingerprint& b) const;
+  bool contains(const dir::Fingerprint& a, const dir::Fingerprint& b) const;
+
+  /// A cached value is fresh if measured within `max_age` of `now`.
+  bool is_fresh(const dir::Fingerprint& a, const dir::Fingerprint& b,
+                TimePoint now, Duration max_age) const;
+
+  std::size_t size() const { return entries_.size(); }
+  /// All distinct relays appearing in the matrix.
+  std::vector<dir::Fingerprint> nodes() const;
+  /// All recorded RTT values (one per unordered pair).
+  std::vector<double> values() const;
+  /// Mean RTT over all pairs — the µ of deanonymization Algorithm 1.
+  double mean_rtt() const;
+
+  /// CSV with header "fp_a,fp_b,rtt_ms,measured_at_ns,samples".
+  std::string to_csv() const;
+  static RttMatrix from_csv(const std::string& csv);
+  void save_csv(const std::string& path) const;
+  static RttMatrix load_csv(const std::string& path);
+
+ private:
+  using Key = std::pair<dir::Fingerprint, dir::Fingerprint>;
+  static Key key(const dir::Fingerprint& a, const dir::Fingerprint& b);
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace ting::meas

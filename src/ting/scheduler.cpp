@@ -1,0 +1,61 @@
+#include "ting/scheduler.h"
+
+#include "util/log.h"
+
+namespace ting::meas {
+
+ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
+                                 const ScanOptions& options,
+                                 const Progress& progress) {
+  TING_CHECK(options.attempts_per_pair >= 1);
+  ScanReport report;
+  const TimePoint started = measurer_.host().loop().now();
+
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      pairs.emplace_back(i, j);
+  report.pairs_total = pairs.size();
+
+  if (options.randomize_order) {
+    Rng rng(options.order_seed);
+    rng.shuffle(pairs);
+  }
+
+  std::size_t done = 0;
+  for (const auto& [i, j] : pairs) {
+    const dir::Fingerprint& x = nodes[i];
+    const dir::Fingerprint& y = nodes[j];
+    ++done;
+
+    if (cache_.is_fresh(x, y, measurer_.host().loop().now(),
+                        options.max_age)) {
+      ++report.from_cache;
+      continue;
+    }
+
+    bool ok = false;
+    for (int attempt = 0; attempt < options.attempts_per_pair && !ok;
+         ++attempt) {
+      const PairResult r = measurer_.measure_blocking(x, y);
+      if (r.ok) {
+        cache_.set(x, y, r.rtt_ms, measurer_.host().loop().now(),
+                   measurer_.config().samples);
+        ++report.measured;
+        ok = true;
+        if (progress) progress(done, report.pairs_total, r);
+      } else if (attempt + 1 == options.attempts_per_pair) {
+        TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
+                                << " failed: " << r.error);
+        ++report.failed;
+        report.failed_pairs.emplace_back(x, y);
+        if (progress) progress(done, report.pairs_total, r);
+      }
+    }
+  }
+
+  report.virtual_time = measurer_.host().loop().now() - started;
+  return report;
+}
+
+}  // namespace ting::meas

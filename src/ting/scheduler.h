@@ -1,0 +1,60 @@
+// AllPairsScanner — the driver that turns single-pair Ting measurements
+// into the all-pairs RTT datasets the §5 applications consume.
+//
+// Implements the operational practices the paper describes: pairs are
+// probed in randomized order (§4.2), results land in a cached RttMatrix,
+// fresh cache entries are skipped on re-scan (§4.6: measurements are stable
+// over a week, so "taking measurements with Ting infrequently and caching
+// them is sufficient"), and failed pairs are retried a bounded number of
+// times before being reported.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ting/measurer.h"
+#include "ting/rtt_matrix.h"
+
+namespace ting::meas {
+
+struct ScanOptions {
+  /// Skip pairs whose cached entry is younger than this (0 = remeasure all).
+  Duration max_age = Duration::seconds(7 * 24 * 3600);
+  int attempts_per_pair = 2;
+  bool randomize_order = true;
+  std::uint64_t order_seed = 1;
+};
+
+struct ScanReport {
+  std::size_t pairs_total = 0;
+  std::size_t measured = 0;      ///< freshly measured this scan
+  std::size_t from_cache = 0;    ///< satisfied by a fresh cache entry
+  std::size_t failed = 0;        ///< exhausted attempts
+  std::vector<std::pair<dir::Fingerprint, dir::Fingerprint>> failed_pairs;
+  Duration virtual_time;         ///< simulated time the scan took
+};
+
+class AllPairsScanner {
+ public:
+  AllPairsScanner(TingMeasurer& measurer, RttMatrix& cache)
+      : measurer_(measurer), cache_(cache) {}
+
+  /// Progress callback: (pairs done, pairs total, last pair's result).
+  using Progress =
+      std::function<void(std::size_t, std::size_t, const PairResult&)>;
+
+  /// Measure all unordered pairs of `nodes` (blocking; pumps the event
+  /// loop). Results are written into the cache matrix.
+  ScanReport scan(const std::vector<dir::Fingerprint>& nodes,
+                  const ScanOptions& options = {},
+                  const Progress& progress = {});
+
+  RttMatrix& cache() { return cache_; }
+
+ private:
+  TingMeasurer& measurer_;
+  RttMatrix& cache_;
+};
+
+}  // namespace ting::meas

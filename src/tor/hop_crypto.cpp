@@ -1,0 +1,3 @@
+#include "tor/hop_crypto.h"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,198 @@
+// The onion proxy (OP): Tor's client side.
+//
+// Responsibilities mirror a real tor client:
+//  - keep a consensus of relay descriptors (fetched from an authority or
+//    injected locally, like hard-coding descriptors with
+//    "PublishDescriptors 0" as §4.1 describes);
+//  - build circuits: CREATE to the entry, then EXTEND hop by hop, doing the
+//    ntor handshake and layering crypto per hop;
+//  - enforce the client policies Ting must design around (§3.1): no one-hop
+//    circuits, and no relay may appear on a circuit more than once;
+//  - attach application streams to circuits (BEGIN/CONNECTED/DATA/END),
+//    either programmatically or through the SOCKS-style port with
+//    __LeaveStreamsUnattached + ATTACHSTREAM, as the Stem-driven Ting
+//    client does;
+//  - default bandwidth-weighted 3-hop path selection with distinct-/16
+//    constraints, for ordinary (non-measurement) usage;
+//  - emit CIRC/STREAM events consumed by the control protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/cell.h"
+#include "cells/relay_payload.h"
+#include "crypto/handshake.h"
+#include "dir/authority.h"
+#include "dir/consensus.h"
+#include "simnet/network.h"
+#include "tor/hop_crypto.h"
+#include "tor/or_link.h"
+
+namespace ting::tor {
+
+using CircuitHandle = std::uint32_t;
+
+enum class CircuitState { kBuilding, kBuilt, kFailed, kClosed };
+enum class StreamState { kNew, kAttaching, kConnected, kClosed };
+
+struct OnionProxyConfig {
+  std::uint16_t socks_port = 9050;
+  /// __LeaveStreamsUnattached: SOCKS streams wait for ATTACHSTREAM instead
+  /// of being auto-attached to a fresh default circuit.
+  bool leave_streams_unattached = false;
+  /// Default path length for auto-attached streams.
+  std::size_t default_path_len = 3;
+};
+
+class OnionProxy {
+ public:
+  OnionProxy(simnet::Network& net, simnet::HostId host,
+             OnionProxyConfig config, std::uint64_t seed);
+  OnionProxy(const OnionProxy&) = delete;
+  OnionProxy& operator=(const OnionProxy&) = delete;
+
+  // ---- directory ---------------------------------------------------------
+  void set_consensus(dir::Consensus consensus) { consensus_ = std::move(consensus); }
+  /// Inject a single descriptor (e.g. unpublished local relays).
+  void add_descriptor(dir::RelayDescriptor desc) { consensus_.add(std::move(desc)); }
+  const dir::Consensus& consensus() const { return consensus_; }
+  void fetch_consensus(Endpoint authority, std::function<void()> on_done);
+
+  // ---- circuits ----------------------------------------------------------
+  /// Build a circuit through the given relays (by fingerprint; all must be
+  /// in the consensus). Enforces length >= 2 and distinct relays; policy
+  /// violations report through on_fail. Returns the handle immediately.
+  CircuitHandle build_circuit(const std::vector<dir::Fingerprint>& path,
+                              std::function<void(CircuitHandle)> on_built,
+                              std::function<void(std::string)> on_fail);
+  void close_circuit(CircuitHandle handle);
+  /// SIGNAL NEWNYM: tear down every open circuit (new streams get fresh
+  /// ones). Guards are kept, as in Tor.
+  void new_identity();
+  CircuitState circuit_state(CircuitHandle handle) const;
+  std::vector<dir::Fingerprint> circuit_path(CircuitHandle handle) const;
+  std::vector<CircuitHandle> circuit_handles() const;
+
+  /// Tor's default selection: bandwidth-weighted, distinct relays and /16s,
+  /// entry taken from the client's persistent guard set, exit whose policy
+  /// allows the target. nullopt if the consensus cannot satisfy the
+  /// constraints.
+  std::optional<std::vector<dir::Fingerprint>> pick_default_path(
+      const Endpoint& target, std::size_t len = 3);
+
+  /// The client's persistent entry guards (Tor picks a small set once and
+  /// reuses it so a local observer can't eventually enumerate the client's
+  /// entries). Chosen lazily, bandwidth-weighted among Guard-flagged
+  /// relays; pruned and refilled if guards leave the consensus.
+  static constexpr std::size_t kGuardSetSize = 3;
+  const std::vector<dir::Fingerprint>& guard_set();
+
+  // ---- streams -----------------------------------------------------------
+  class Stream {
+   public:
+    std::uint16_t id() const { return id_; }
+    StreamState state() const { return state_; }
+    const Endpoint& target() const { return target_; }
+    CircuitHandle circuit() const { return circuit_; }
+
+    void send(Bytes data);
+    void set_on_message(std::function<void(Bytes)> fn) { on_message_ = std::move(fn); }
+    void set_on_close(std::function<void()> fn) { on_close_ = std::move(fn); }
+    void close();
+
+   private:
+    friend class OnionProxy;
+    OnionProxy* op_ = nullptr;
+    std::uint16_t id_ = 0;
+    Endpoint target_;
+    CircuitHandle circuit_ = 0;
+    StreamState state_ = StreamState::kNew;
+    std::function<void(Bytes)> on_message_;
+    std::function<void()> on_close_;
+    std::function<void()> on_connected_;
+    std::function<void(std::string)> on_fail_;
+    simnet::ConnPtr socks_conn_;  ///< set for SOCKS-originated streams
+    int unacked_data_cells_ = 0;  ///< DATA cells since the last SENDME
+  };
+  using StreamPtr = std::shared_ptr<Stream>;
+
+  /// Open a stream through a built circuit (programmatic path, no SOCKS).
+  StreamPtr open_stream(CircuitHandle circuit, const Endpoint& target,
+                        std::function<void()> on_connected,
+                        std::function<void(std::string)> on_fail);
+
+  /// Attach a SOCKS-originated stream awaiting attachment (leave-unattached
+  /// mode). Returns false if the stream or circuit is not attachable.
+  bool attach_stream(std::uint16_t stream_id, CircuitHandle circuit);
+  std::vector<StreamPtr> unattached_streams() const;
+  StreamPtr find_stream(std::uint16_t stream_id) const;
+
+  // ---- events (consumed by the control protocol) --------------------------
+  /// Sink receives lines like "CIRC 3 BUILT fp1,fp2,fp3".
+  void set_event_sink(std::function<void(std::string)> sink) { event_sink_ = std::move(sink); }
+
+  simnet::HostId host() const { return host_; }
+  simnet::Network& net() { return net_; }
+  const OnionProxyConfig& config() const { return config_; }
+  /// SETCONF __LeaveStreamsUnattached toggles this at runtime.
+  void set_leave_streams_unattached(bool v) { config_.leave_streams_unattached = v; }
+
+ private:
+  struct Hop {
+    dir::RelayDescriptor desc;
+    std::unique_ptr<HopCrypto> crypto;
+  };
+  struct Circuit {
+    CircuitHandle handle = 0;
+    cells::CircuitId wire_id = 0;
+    simnet::ConnPtr conn;  ///< to the entry OR
+    OrLink::Ptr link;      ///< VERSIONS/NETINFO state for that connection
+    std::vector<dir::RelayDescriptor> planned;  ///< full requested path
+    std::vector<Hop> hops;                      ///< established prefix
+    CircuitState state = CircuitState::kBuilding;
+    std::optional<crypto::ClientHandshake> pending_handshake;
+    std::function<void(CircuitHandle)> on_built;
+    std::function<void(std::string)> on_fail;
+    std::map<std::uint16_t, StreamPtr> streams;
+  };
+  using CircuitPtr = std::shared_ptr<Circuit>;
+
+  void start_build(const CircuitPtr& circ);
+  void continue_build(const CircuitPtr& circ);
+  void on_cell(const CircuitPtr& circ, Bytes wire);
+  void handle_created(const CircuitPtr& circ, const cells::Cell& cell);
+  void handle_backward_relay(const CircuitPtr& circ, cells::Cell cell);
+  void handle_recognized(const CircuitPtr& circ, std::size_t hop_index,
+                         cells::RelayPayload payload);
+  void fail_circuit(const CircuitPtr& circ, const std::string& reason);
+  void send_relay(const CircuitPtr& circ, std::size_t hop_index,
+                  const cells::RelayPayload& payload);
+  bool install_hop(const CircuitPtr& circ, const dir::RelayDescriptor& desc,
+                   const crypto::X25519Key& relay_public,
+                   const crypto::Digest& auth);
+  void begin_stream_on_circuit(const StreamPtr& stream,
+                               const CircuitPtr& circ);
+  void handle_socks_connection(simnet::ConnPtr conn);
+  void emit(const std::string& event);
+
+  simnet::Network& net_;
+  simnet::HostId host_;
+  OnionProxyConfig config_;
+  Rng rng_;
+  dir::Consensus consensus_;
+  std::map<CircuitHandle, CircuitPtr> circuits_;
+  std::map<std::uint16_t, StreamPtr> streams_;  ///< all streams by id
+  CircuitHandle next_handle_ = 1;
+  cells::CircuitId next_wire_id_ = 0x80000001;  ///< high bit: client-initiated
+  std::uint16_t next_stream_id_ = 1;
+  std::vector<dir::Fingerprint> guards_;
+  std::function<void(std::string)> event_sink_;
+};
+
+}  // namespace ting::tor

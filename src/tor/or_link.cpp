@@ -1,0 +1,168 @@
+#include "tor/or_link.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace ting::tor {
+
+using cells::Cell;
+using cells::CellCommand;
+
+Bytes encode_versions_payload() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(std::size(kSupportedLinkVersions)));
+  for (std::uint16_t v : kSupportedLinkVersions) w.u16(v);
+  return w.take();
+}
+
+std::vector<std::uint16_t> decode_versions_payload(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint8_t count = r.u8();
+  std::vector<std::uint16_t> out;
+  for (std::uint8_t i = 0; i < count; ++i) out.push_back(r.u16());
+  return out;
+}
+
+std::uint16_t negotiate_version(const std::vector<std::uint16_t>& theirs) {
+  std::uint16_t best = 0;
+  for (std::uint16_t mine : kSupportedLinkVersions)
+    for (std::uint16_t v : theirs)
+      if (v == mine) best = std::max(best, v);
+  return best;
+}
+
+Bytes encode_netinfo_payload(TimePoint now, IpAddr peer, IpAddr self) {
+  ByteWriter w;
+  w.u64(static_cast<std::uint64_t>(now.ns()));
+  w.u32(peer.value());
+  w.u32(self.value());
+  return w.take();
+}
+
+OrLink::OrLink(simnet::Network& net, simnet::ConnPtr conn, bool initiator)
+    : net_(net), conn_(std::move(conn)), initiator_(initiator) {}
+
+OrLink::Ptr OrLink::initiate(simnet::Network& net, simnet::ConnPtr conn) {
+  Ptr link(new OrLink(net, std::move(conn), /*initiator=*/true));
+  link->wire_handler();
+  link->conn_->send(
+      Cell::make(0, CellCommand::kVersions, encode_versions_payload())
+          .encode());
+  link->sent_versions_ = true;
+  return link;
+}
+
+OrLink::Ptr OrLink::accept(simnet::Network& net, simnet::ConnPtr conn) {
+  Ptr link(new OrLink(net, std::move(conn), /*initiator=*/false));
+  link->wire_handler();
+  return link;
+}
+
+void OrLink::wire_handler() {
+  auto self = shared_from_this();
+  conn_->set_on_message(
+      [self](Bytes wire) { self->on_message(std::move(wire)); });
+}
+
+void OrLink::set_on_open(std::function<void()> fn) {
+  if (open_) {
+    if (fn) fn();
+    return;
+  }
+  on_open_ = std::move(fn);
+}
+
+void OrLink::send_cell(Bytes wire) {
+  if (open_) {
+    conn_->send(std::move(wire));
+    return;
+  }
+  queued_.push_back(std::move(wire));
+}
+
+void OrLink::fail(const std::string& why) {
+  TING_DEBUG("or-link handshake failed: " << why);
+  conn_->close();
+}
+
+void OrLink::open_link() {
+  open_ = true;
+  for (Bytes& cell : queued_) conn_->send(std::move(cell));
+  queued_.clear();
+  if (on_open_) {
+    auto fn = std::move(on_open_);
+    on_open_ = {};
+    fn();
+  }
+}
+
+void OrLink::on_message(Bytes wire) {
+  if (open_) {
+    if (on_cell_) {
+      auto fn = on_cell_;  // copy: the handler may replace itself
+      fn(std::move(wire));
+    }
+    return;
+  }
+  Cell cell;
+  try {
+    cell = Cell::decode(std::span<const std::uint8_t>(wire.data(), wire.size()));
+  } catch (const CheckError& e) {
+    fail(e.what());
+    return;
+  }
+
+  const IpAddr self_ip = net_.ip_of(conn_->local_host());
+  const IpAddr peer_ip = net_.ip_of(conn_->remote_host());
+  switch (cell.command) {
+    case CellCommand::kVersions: {
+      std::vector<std::uint16_t> theirs;
+      try {
+        theirs = decode_versions_payload(std::span<const std::uint8_t>(
+            cell.payload.data(), cell.payload.size()));
+      } catch (const CheckError&) {
+        fail("malformed VERSIONS");
+        return;
+      }
+      version_ = negotiate_version(theirs);
+      if (version_ == 0) {
+        fail("no common link version");
+        return;
+      }
+      if (!initiator_) {
+        // Respond with our VERSIONS, then NETINFO.
+        conn_->send(
+            Cell::make(0, CellCommand::kVersions, encode_versions_payload())
+                .encode());
+        sent_versions_ = true;
+        conn_->send(Cell::make(0, CellCommand::kNetinfo,
+                               encode_netinfo_payload(net_.loop().now(),
+                                                      peer_ip, self_ip))
+                        .encode());
+      }
+      return;
+    }
+    case CellCommand::kNetinfo: {
+      if (version_ == 0) {
+        fail("NETINFO before VERSIONS");
+        return;
+      }
+      if (initiator_) {
+        // Complete the handshake: our NETINFO, then any queued cells.
+        conn_->send(Cell::make(0, CellCommand::kNetinfo,
+                               encode_netinfo_payload(net_.loop().now(),
+                                                      peer_ip, self_ip))
+                        .encode());
+      }
+      open_link();
+      return;
+    }
+    default:
+      fail("circuit cell before link handshake completed");
+  }
+}
+
+}  // namespace ting::tor

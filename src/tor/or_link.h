@@ -1,0 +1,81 @@
+// OR-connection link handshake: VERSIONS / NETINFO.
+//
+// Real Tor negotiates a link protocol version and exchanges NETINFO
+// (timestamps + observed addresses) on every OR connection before any
+// circuit cell may flow. OrLink wraps a simnet connection with that state
+// machine:
+//
+//   initiator                         responder
+//   --------- VERSIONS -->
+//                            <-- VERSIONS ---------
+//                            <-- NETINFO ----------
+//   --------- NETINFO -->
+//   (link open; queued CREATE/... cells flush)     (link open on NETINFO)
+//
+// Cells submitted before the link opens are queued in order; the FIFO
+// transport guarantees the peer never sees a circuit cell before NETINFO.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cells/cell.h"
+#include "simnet/network.h"
+
+namespace ting::tor {
+
+/// Link protocol versions this implementation speaks (Tor's 3–5 era).
+inline constexpr std::uint16_t kSupportedLinkVersions[] = {3, 4, 5};
+
+/// VERSIONS payload: u8 count, then count u16 versions.
+Bytes encode_versions_payload();
+std::vector<std::uint16_t> decode_versions_payload(
+    std::span<const std::uint8_t> payload);
+/// Highest version present in both lists; 0 if none.
+std::uint16_t negotiate_version(const std::vector<std::uint16_t>& theirs);
+
+/// NETINFO payload: u64 timestamp_ns, u32 peer address, u32 own address.
+Bytes encode_netinfo_payload(TimePoint now, IpAddr peer, IpAddr self);
+
+class OrLink : public std::enable_shared_from_this<OrLink> {
+ public:
+  using Ptr = std::shared_ptr<OrLink>;
+  using CellHandler = std::function<void(Bytes)>;
+
+  /// Client side: sends VERSIONS immediately.
+  static Ptr initiate(simnet::Network& net, simnet::ConnPtr conn);
+  /// Server side: waits for the peer's VERSIONS.
+  static Ptr accept(simnet::Network& net, simnet::ConnPtr conn);
+
+  /// Handler for post-handshake cells (raw wire bytes).
+  void set_on_cell(CellHandler fn) { on_cell_ = std::move(fn); }
+  /// Fires once when the link opens (immediately if already open).
+  void set_on_open(std::function<void()> fn);
+  /// Send a wire cell; queued in order until the link opens.
+  void send_cell(Bytes wire);
+
+  bool is_open() const { return open_; }
+  std::uint16_t version() const { return version_; }
+  const simnet::ConnPtr& conn() const { return conn_; }
+
+ private:
+  OrLink(simnet::Network& net, simnet::ConnPtr conn, bool initiator);
+  void wire_handler();
+  void on_message(Bytes wire);
+  void open_link();
+  void fail(const std::string& why);
+
+  simnet::Network& net_;
+  simnet::ConnPtr conn_;
+  bool initiator_;
+  bool open_ = false;
+  bool sent_versions_ = false;
+  std::uint16_t version_ = 0;
+  std::vector<Bytes> queued_;
+  CellHandler on_cell_;
+  std::function<void()> on_open_;
+};
+
+}  // namespace ting::tor

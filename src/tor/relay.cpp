@@ -1,0 +1,403 @@
+#include "tor/relay.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/log.h"
+
+namespace ting::tor {
+
+using cells::Cell;
+using cells::CellCommand;
+using cells::CircuitId;
+using cells::DestroyReason;
+using cells::RelayCommand;
+using cells::RelayPayload;
+
+Relay::Relay(simnet::Network& net, simnet::HostId host, RelayConfig config,
+             std::uint64_t seed)
+    : net_(net), host_(host), config_(std::move(config)), rng_(seed) {
+  identity_ = crypto::IdentityKeys::generate(rng_);
+
+  descriptor_.nickname = config_.nickname;
+  descriptor_.fingerprint = dir::Fingerprint::of_identity(identity_.public_key);
+  descriptor_.onion_key = identity_.public_key;
+  descriptor_.address = net_.ip_of(host_);
+  descriptor_.or_port = config_.or_port;
+  descriptor_.bandwidth = config_.bandwidth;
+  descriptor_.flags = config_.flags;
+  if (config_.exit_policy.allows_anything())
+    descriptor_.flags |= dir::kFlagExit;
+  descriptor_.exit_policy = config_.exit_policy;
+  descriptor_.country_code = config_.country_code;
+  descriptor_.reverse_dns = config_.reverse_dns;
+
+  simnet::Listener* listener = net_.listen(host_, config_.or_port);
+  listener->set_on_accept(
+      [this](simnet::ConnPtr conn) { on_or_connection(std::move(conn)); });
+}
+
+std::size_t Relay::open_circuits() const {
+  std::set<const CircuitEntry*> uniq;
+  for (const auto& [key, entry] : circuits_) uniq.insert(entry.get());
+  return uniq.size();
+}
+
+void Relay::publish_to(Endpoint authority) {
+  dir::Authority::publish(net_, host_, authority, descriptor_);
+}
+
+void Relay::publish_periodically(Endpoint authority, Duration interval) {
+  publish_to(authority);
+  net_.loop().schedule(interval, [this, authority, interval]() {
+    publish_periodically(authority, interval);
+  });
+}
+
+void Relay::on_or_connection(simnet::ConnPtr conn) {
+  // Every OR connection performs the VERSIONS/NETINFO link handshake
+  // before circuit cells flow; we are the responder for inbound links.
+  simnet::Connection* raw = conn.get();
+  conn->set_on_close([this, raw]() { links_.erase(raw); });
+  OrLink::Ptr link = OrLink::accept(net_, std::move(conn));
+  links_[raw] = link;
+  link->set_on_cell([this, raw](Bytes wire) {
+    on_cell(raw->shared_from_this(), std::move(wire));
+  });
+}
+
+Duration Relay::forwarding_delay() {
+  // Decay the load counter for the time elapsed, then count this cell.
+  const TimePoint now = net_.loop().now();
+  if (config_.load_tau_ms > 0) {
+    const double elapsed_ms = (now - last_load_update_).ms();
+    load_ *= std::exp(-elapsed_ms / config_.load_tau_ms);
+  }
+  last_load_update_ = now;
+  load_ += 1.0;
+
+  const double queue_mean =
+      config_.queue_mean_ms * (1.0 + config_.load_factor * load_);
+  const double ms = config_.base_forward_ms + rng_.exponential(queue_mean);
+  return Duration::from_ms(ms);
+}
+
+void Relay::on_cell(const simnet::ConnPtr& conn, Bytes wire) {
+  Cell cell = Cell::decode(std::span<const std::uint8_t>(wire.data(), wire.size()));
+  // Pay the forwarding delay, then process. A relay is a single service
+  // queue: processing order follows arrival order even when sampled delays
+  // would invert it (otherwise per-hop cipher streams would desync).
+  const Duration delay = forwarding_delay();
+  TimePoint at = net_.loop().now() + delay;
+  if (at <= last_dequeue_) at = last_dequeue_ + Duration::nanos(1);
+  last_dequeue_ = at;
+  net_.loop().schedule_at(at, [this, conn, cell = std::move(cell)]() mutable {
+    process_cell(conn, std::move(cell));
+  });
+}
+
+void Relay::process_cell(const simnet::ConnPtr& conn, Cell cell) {
+  ++cells_processed_;
+  switch (cell.command) {
+    case CellCommand::kCreate:
+      handle_create(conn, cell);
+      return;
+    case CellCommand::kCreated:
+      handle_created(conn, cell);
+      return;
+    case CellCommand::kDestroy:
+      handle_destroy(conn, cell);
+      return;
+    case CellCommand::kRelay: {
+      auto it = circuits_.find({conn.get(), cell.circ_id});
+      if (it == circuits_.end()) {
+        TING_DEBUG("relay " << config_.nickname
+                            << ": RELAY cell for unknown circuit "
+                            << cell.circ_id);
+        return;
+      }
+      EntryPtr entry = it->second;
+      const bool from_prev = (entry->prev_conn.get() == conn.get() &&
+                              entry->prev_id == cell.circ_id);
+      if (from_prev) {
+        handle_relay_forward(entry, std::move(cell));
+      } else {
+        handle_relay_backward(entry, std::move(cell));
+      }
+      return;
+    }
+    case CellCommand::kPadding:
+      return;
+    case CellCommand::kVersions:
+    case CellCommand::kNetinfo:
+      TING_DEBUG("relay " << config_.nickname
+                          << ": stray link-handshake cell after link open");
+      return;
+  }
+}
+
+void Relay::handle_create(const simnet::ConnPtr& conn, const Cell& cell) {
+  if (circuits_.contains({conn.get(), cell.circ_id})) {
+    TING_WARN("relay " << config_.nickname << ": duplicate CREATE for circuit "
+                       << cell.circ_id);
+    return;
+  }
+  crypto::X25519Key client_public;
+  std::copy_n(cell.payload.begin(), client_public.size(),
+              client_public.begin());
+  const crypto::RelayHandshakeResult hs =
+      crypto::relay_handshake(identity_, client_public, rng_);
+
+  auto entry = std::make_shared<CircuitEntry>();
+  entry->prev_conn = conn;
+  entry->prev_id = cell.circ_id;
+  entry->crypto = std::make_unique<HopCrypto>(hs.keys);
+  circuits_[{conn.get(), cell.circ_id}] = entry;
+
+  ByteWriter reply;
+  reply.raw(std::span<const std::uint8_t>(hs.ephemeral_public.data(), 32));
+  reply.raw(std::span<const std::uint8_t>(hs.keys.auth.data(), 32));
+  conn->send(Cell::make(cell.circ_id, CellCommand::kCreated, reply.take())
+                 .encode());
+}
+
+void Relay::handle_created(const simnet::ConnPtr& conn, const Cell& cell) {
+  auto it = pending_extends_.find({conn.get(), cell.circ_id});
+  if (it == pending_extends_.end()) {
+    TING_DEBUG("relay " << config_.nickname << ": stray CREATED");
+    return;
+  }
+  EntryPtr entry = it->second;
+  pending_extends_.erase(it);
+  entry->next_conn = conn;
+  entry->next_id = cell.circ_id;
+  entry->extending = false;
+  circuits_[{conn.get(), cell.circ_id}] = entry;
+
+  // Relay the handshake material back to the client as EXTENDED.
+  cells::ExtendedReply reply;
+  std::copy_n(cell.payload.begin(), 32, reply.relay_public.begin());
+  std::copy_n(cell.payload.begin() + 32, 32, reply.auth.begin());
+  send_to_client(entry, RelayCommand::kExtended, 0, reply.encode());
+}
+
+void Relay::handle_relay_forward(const EntryPtr& entry, Cell cell) {
+  entry->crypto->apply_forward(cell.payload);
+  auto recognized = cells::try_parse_relay(
+      std::span<const std::uint8_t>(cell.payload.data(), cell.payload.size()),
+      entry->crypto->forward_digest());
+  if (recognized.has_value()) {
+    handle_recognized(entry, std::move(*recognized));
+    return;
+  }
+  if (!entry->next_conn || !entry->next_conn->is_open()) {
+    TING_DEBUG("relay " << config_.nickname
+                        << ": unrecognized relay cell at terminal hop");
+    teardown(entry, DestroyReason::kProtocol, /*notify_prev=*/true,
+             /*notify_next=*/false);
+    return;
+  }
+  cell.circ_id = entry->next_id;
+  entry->next_conn->send(cell.encode());
+}
+
+void Relay::handle_relay_backward(const EntryPtr& entry, Cell cell) {
+  // Add our onion layer and pass toward the client.
+  entry->crypto->apply_backward(cell.payload);
+  cell.circ_id = entry->prev_id;
+  if (entry->prev_conn && entry->prev_conn->is_open())
+    entry->prev_conn->send(cell.encode());
+}
+
+void Relay::send_to_client(const EntryPtr& entry, RelayCommand cmd,
+                           std::uint16_t stream_id, Bytes data) {
+  RelayPayload p;
+  p.command = cmd;
+  p.stream_id = stream_id;
+  p.data = std::move(data);
+  Bytes payload = cells::encode_relay(p, entry->crypto->backward_digest());
+  entry->crypto->apply_backward(payload);
+  if (entry->prev_conn && entry->prev_conn->is_open())
+    entry->prev_conn->send(
+        Cell::make(entry->prev_id, CellCommand::kRelay, std::move(payload))
+            .encode());
+}
+
+void Relay::originate_delayed(const EntryPtr& entry, RelayCommand cmd,
+                              std::uint16_t stream_id, Bytes data) {
+  TimePoint at = net_.loop().now() + forwarding_delay();
+  if (at <= last_dequeue_) at = last_dequeue_ + Duration::nanos(1);
+  last_dequeue_ = at;
+  net_.loop().schedule_at(
+      at, [this, entry, cmd, stream_id, data = std::move(data)]() mutable {
+        send_to_client(entry, cmd, stream_id, std::move(data));
+      });
+}
+
+void Relay::handle_recognized(const EntryPtr& entry, RelayPayload payload) {
+  switch (payload.command) {
+    case RelayCommand::kExtend: {
+      if (entry->next_conn || entry->extending) {
+        TING_WARN("relay " << config_.nickname << ": EXTEND on extended circuit");
+        return;
+      }
+      const auto req = cells::ExtendRequest::decode(
+          std::span<const std::uint8_t>(payload.data.data(), payload.data.size()));
+      entry->extending = true;
+      const CircuitId out_id = next_outbound_id();
+      net_.connect(
+          host_, Endpoint{req.address, req.or_port}, simnet::Protocol::kTor,
+          [this, entry, out_id, req](simnet::ConnPtr conn) {
+            simnet::Connection* raw = conn.get();
+            conn->set_on_close([this, raw]() { links_.erase(raw); });
+            // Initiate the link handshake; the CREATE queues until open.
+            OrLink::Ptr link = OrLink::initiate(net_, std::move(conn));
+            links_[raw] = link;
+            link->set_on_cell([this, raw](Bytes wire) {
+              on_cell(raw->shared_from_this(), std::move(wire));
+            });
+            pending_extends_[{raw, out_id}] = entry;
+            Bytes create(req.client_public.begin(), req.client_public.end());
+            link->send_cell(
+                Cell::make(out_id, CellCommand::kCreate, std::move(create))
+                    .encode());
+          },
+          [this, entry](const std::string&) {
+            teardown(entry, DestroyReason::kProtocol, /*notify_prev=*/true,
+                     /*notify_next=*/false);
+          });
+      return;
+    }
+    case RelayCommand::kBegin:
+      begin_stream(entry, payload.stream_id, payload.data);
+      return;
+    case RelayCommand::kData: {
+      auto it = entry->streams.find(payload.stream_id);
+      if (it == entry->streams.end()) {
+        send_to_client(entry, RelayCommand::kEnd, payload.stream_id, {1});
+        return;
+      }
+      it->second.conn->send(std::move(payload.data));
+      return;
+    }
+    case RelayCommand::kEnd: {
+      auto it = entry->streams.find(payload.stream_id);
+      if (it != entry->streams.end()) {
+        // Remove before closing: close() fires on_close, which also erases
+        // by id — erasing after would use an invalidated iterator.
+        simnet::ConnPtr stream = std::move(it->second.conn);
+        entry->streams.erase(it);
+        stream->close();
+      }
+      return;
+    }
+    case RelayCommand::kSendme: {
+      // Stream-level flow control: the client consumed kSendmeIncrement
+      // DATA cells; widen the window and flush anything buffered.
+      ++sendmes_received_;
+      auto it = entry->streams.find(payload.stream_id);
+      if (it == entry->streams.end()) return;
+      it->second.package_window += kSendmeIncrement;
+      pump_stream(entry, payload.stream_id);
+      return;
+    }
+    case RelayCommand::kDrop:
+      return;  // long-range padding: accepted and discarded
+    case RelayCommand::kExtended:
+    case RelayCommand::kConnected:
+      TING_WARN("relay " << config_.nickname
+                         << ": client-only relay command received");
+      return;
+  }
+}
+
+void Relay::begin_stream(const EntryPtr& entry, std::uint16_t stream_id,
+                         const Bytes& data) {
+  const auto target = cells::decode_begin(
+      std::span<const std::uint8_t>(data.data(), data.size()));
+  if (!target.has_value()) {
+    send_to_client(entry, RelayCommand::kEnd, stream_id, {1});
+    return;
+  }
+  if (!config_.exit_policy.allows(target->ip, target->port)) {
+    TING_DEBUG("relay " << config_.nickname << ": exit policy rejects "
+                        << target->str());
+    send_to_client(entry, RelayCommand::kEnd, stream_id, {2});
+    return;
+  }
+  net_.connect(
+      host_, *target, simnet::Protocol::kTcp,
+      [this, entry, stream_id](simnet::ConnPtr conn) {
+        entry->streams[stream_id] = ExitStream{conn, kStreamWindow, {}};
+        conn->set_on_message([this, entry, stream_id](Bytes data) {
+          auto it = entry->streams.find(stream_id);
+          if (it == entry->streams.end()) return;
+          // Chunk into relay cells; the window gate is in pump_stream.
+          std::size_t off = 0;
+          do {
+            const std::size_t take =
+                std::min(data.size() - off, cells::kRelayDataMax);
+            it->second.buffered.emplace_back(
+                data.begin() + static_cast<std::ptrdiff_t>(off),
+                data.begin() + static_cast<std::ptrdiff_t>(off + take));
+            off += take;
+          } while (off < data.size());
+          pump_stream(entry, stream_id);
+        });
+        conn->set_on_close([this, entry, stream_id]() {
+          if (entry->streams.erase(stream_id) > 0)
+            originate_delayed(entry, RelayCommand::kEnd, stream_id, {0});
+        });
+        originate_delayed(entry, RelayCommand::kConnected, stream_id, {});
+      },
+      [this, entry, stream_id](const std::string&) {
+        send_to_client(entry, RelayCommand::kEnd, stream_id, {3});
+      });
+}
+
+void Relay::pump_stream(const EntryPtr& entry, std::uint16_t stream_id) {
+  auto it = entry->streams.find(stream_id);
+  if (it == entry->streams.end()) return;
+  ExitStream& stream = it->second;
+  std::size_t sent = 0;
+  while (sent < stream.buffered.size() && stream.package_window > 0) {
+    originate_delayed(entry, RelayCommand::kData, stream_id,
+                      std::move(stream.buffered[sent]));
+    --stream.package_window;
+    ++sent;
+  }
+  stream.buffered.erase(stream.buffered.begin(),
+                        stream.buffered.begin() +
+                            static_cast<std::ptrdiff_t>(sent));
+}
+
+void Relay::handle_destroy(const simnet::ConnPtr& conn, const Cell& cell) {
+  auto it = circuits_.find({conn.get(), cell.circ_id});
+  if (it == circuits_.end()) return;
+  EntryPtr entry = it->second;
+  const bool from_prev = (entry->prev_conn.get() == conn.get() &&
+                          entry->prev_id == cell.circ_id);
+  teardown(entry, DestroyReason::kDestroyed, /*notify_prev=*/!from_prev,
+           /*notify_next=*/from_prev);
+}
+
+void Relay::teardown(const EntryPtr& entry, DestroyReason reason,
+                     bool notify_prev, bool notify_next) {
+  circuits_.erase({entry->prev_conn.get(), entry->prev_id});
+  if (entry->next_conn)
+    circuits_.erase({entry->next_conn.get(), entry->next_id});
+  // Detach the stream map before closing: each close() re-enters via the
+  // stream's on_close handler, which erases from entry->streams.
+  auto streams = std::move(entry->streams);
+  entry->streams.clear();
+  for (auto& [id, stream] : streams) stream.conn->close();
+  const Bytes payload{static_cast<std::uint8_t>(reason)};
+  if (notify_prev && entry->prev_conn && entry->prev_conn->is_open())
+    entry->prev_conn->send(
+        Cell::make(entry->prev_id, CellCommand::kDestroy, payload).encode());
+  if (notify_next && entry->next_conn && entry->next_conn->is_open())
+    entry->next_conn->send(
+        Cell::make(entry->next_id, CellCommand::kDestroy, payload).encode());
+}
+
+}  // namespace ting::tor

@@ -1,0 +1,156 @@
+// A Tor relay (onion router).
+//
+// Listens on its ORPort for cells, maintains a circuit table, performs the
+// ntor handshake on CREATE, strips/adds one onion layer per relay cell,
+// extends circuits on EXTEND, and — when it is the terminal hop — services
+// exit streams subject to its exit policy.
+//
+// Every cell pays a forwarding delay before being processed, modelling what
+// §3.2/§4.3 calls F_i: a per-relay base processing cost (user-space swap +
+// symmetric crypto) plus load-dependent queueing drawn fresh per cell. The
+// minimum over many probes converges to the base cost (the paper's observed
+// 0–3 ms); busy relays have heavier queueing tails.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cells/cell.h"
+#include "cells/relay_payload.h"
+#include "crypto/handshake.h"
+#include "dir/authority.h"
+#include "dir/descriptor.h"
+#include "simnet/network.h"
+#include "tor/hop_crypto.h"
+#include "tor/or_link.h"
+
+namespace ting::tor {
+
+struct RelayConfig {
+  std::string nickname = "relay";
+  std::uint16_t or_port = 9001;
+  std::uint32_t bandwidth = 1000;  ///< consensus weight
+  std::uint32_t flags = dir::kFlagRunning | dir::kFlagValid | dir::kFlagFast;
+  dir::ExitPolicy exit_policy = dir::ExitPolicy::reject_all();
+  std::string country_code;
+  std::string reverse_dns;
+
+  // Forwarding-delay model (per cell, per direction).
+  double base_forward_ms = 0.5;  ///< processing floor: crypto + dequeue
+  double queue_mean_ms = 1.0;    ///< exponential load-dependent queueing
+
+  // Congestion sensitivity: the effective queueing mean grows with the
+  // relay's recent cell rate (exponentially-decayed counter with time
+  // constant load_tau_ms). This is the physical mechanism Murdoch–Danezis
+  // congestion probing exploits (§5.1 assumes such a probe exists; see
+  // analysis/congestion.h for the implementation).
+  double load_factor = 0.02;   ///< queue-mean multiplier per unit load
+  double load_tau_ms = 50.0;   ///< decay time constant of the load counter
+};
+
+class Relay {
+ public:
+  Relay(simnet::Network& net, simnet::HostId host, RelayConfig config,
+        std::uint64_t seed);
+
+  Relay(const Relay&) = delete;
+  Relay& operator=(const Relay&) = delete;
+
+  const dir::RelayDescriptor& descriptor() const { return descriptor_; }
+  const dir::Fingerprint& fingerprint() const { return descriptor_.fingerprint; }
+  simnet::HostId host() const { return host_; }
+
+  /// Publish our descriptor to a directory authority over the network.
+  void publish_to(Endpoint authority);
+  /// Publish now and re-publish every `interval` (descriptor refresh, so an
+  /// authority with a descriptor TTL keeps listing us). NOTE: schedules an
+  /// unbounded event chain — drive the loop with run_until/-waiting_for.
+  void publish_periodically(Endpoint authority, Duration interval);
+
+  // Introspection for tests and load accounting.
+  std::uint64_t cells_processed() const { return cells_processed_; }
+  std::uint64_t sendmes_received() const { return sendmes_received_; }
+  /// Decayed recent-cell-rate counter (the congestion the probe senses).
+  double current_load() const { return load_; }
+  /// Number of distinct circuits through this relay (an extended circuit is
+  /// indexed from both its previous- and next-hop connections).
+  std::size_t open_circuits() const;
+  const RelayConfig& config() const { return config_; }
+
+ private:
+  /// Stream-level flow control (Tor's SENDME scheme): the exit may have at
+  /// most `kStreamWindow` unacknowledged DATA cells toward the client; the
+  /// client acknowledges every `kSendmeIncrement` cells it consumes.
+  static constexpr int kStreamWindow = 500;
+  static constexpr int kSendmeIncrement = 50;
+
+  struct ExitStream {
+    simnet::ConnPtr conn;
+    int package_window = kStreamWindow;  ///< DATA cells we may still send
+    std::vector<Bytes> buffered;         ///< chunks awaiting window
+  };
+  struct CircuitEntry {
+    simnet::ConnPtr prev_conn;
+    cells::CircuitId prev_id = 0;
+    simnet::ConnPtr next_conn;  ///< null while we are the last hop
+    cells::CircuitId next_id = 0;
+    std::unique_ptr<HopCrypto> crypto;
+    bool extending = false;  ///< EXTEND sent, CREATED not yet received
+    std::map<std::uint16_t, ExitStream> streams;  ///< exit streams
+  };
+  using EntryPtr = std::shared_ptr<CircuitEntry>;
+
+  void on_or_connection(simnet::ConnPtr conn);
+  void on_cell(const simnet::ConnPtr& conn, Bytes wire);
+  void process_cell(const simnet::ConnPtr& conn, cells::Cell cell);
+  void handle_create(const simnet::ConnPtr& conn, const cells::Cell& cell);
+  void handle_created(const simnet::ConnPtr& conn, const cells::Cell& cell);
+  void handle_relay_forward(const EntryPtr& entry, cells::Cell cell);
+  void handle_relay_backward(const EntryPtr& entry, cells::Cell cell);
+  void handle_recognized(const EntryPtr& entry, cells::RelayPayload payload);
+  void handle_destroy(const simnet::ConnPtr& conn, const cells::Cell& cell);
+
+  void begin_stream(const EntryPtr& entry, std::uint16_t stream_id,
+                    const Bytes& data);
+  /// Send buffered/new exit-stream data within the package window.
+  void pump_stream(const EntryPtr& entry, std::uint16_t stream_id);
+  void send_to_client(const EntryPtr& entry, cells::RelayCommand cmd,
+                      std::uint16_t stream_id, Bytes data);
+  /// Like send_to_client, but pays a forwarding delay first — used for
+  /// cells this relay originates in response to non-cell input (exit-stream
+  /// data, CONNECTED), so relay-originated traffic is charged F_i like
+  /// forwarded traffic (Eq. (1) counts 2F_i per relay per round trip).
+  void originate_delayed(const EntryPtr& entry, cells::RelayCommand cmd,
+                         std::uint16_t stream_id, Bytes data);
+  void teardown(const EntryPtr& entry, cells::DestroyReason reason,
+                bool notify_prev, bool notify_next);
+
+  Duration forwarding_delay();
+  cells::CircuitId next_outbound_id() { return next_circ_id_++; }
+
+  simnet::Network& net_;
+  simnet::HostId host_;
+  RelayConfig config_;
+  Rng rng_;
+  crypto::IdentityKeys identity_;
+  dir::RelayDescriptor descriptor_;
+
+  /// OR links (VERSIONS/NETINFO state) per connection.
+  std::map<simnet::Connection*, OrLink::Ptr> links_;
+  /// Circuits keyed by (connection, circuit id) for both directions.
+  std::map<std::pair<simnet::Connection*, cells::CircuitId>, EntryPtr>
+      circuits_;
+  /// Entries waiting for a CREATED on their next-hop connection.
+  std::map<std::pair<simnet::Connection*, cells::CircuitId>, EntryPtr>
+      pending_extends_;
+  cells::CircuitId next_circ_id_ = 1;
+  std::uint64_t cells_processed_ = 0;
+  std::uint64_t sendmes_received_ = 0;
+  TimePoint last_dequeue_;  ///< single-service-queue ordering watermark
+  double load_ = 0;         ///< decayed cell-rate counter
+  TimePoint last_load_update_;
+};
+
+}  // namespace ting::tor

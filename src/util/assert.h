@@ -1,0 +1,51 @@
+// Lightweight contract checking used across the library.
+//
+// TING_CHECK is always on (it guards protocol and API invariants whose
+// violation would otherwise corrupt a simulation silently); TING_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ting {
+
+/// Thrown when a TING_CHECK contract fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ting
+
+#define TING_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::ting::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TING_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream ting_check_os_;                              \
+      ting_check_os_ << msg;                                          \
+      ::ting::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   ting_check_os_.str());             \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define TING_DCHECK(expr) ((void)0)
+#else
+#define TING_DCHECK(expr) TING_CHECK(expr)
+#endif

@@ -1,0 +1,70 @@
+// Byte-buffer serialization used by the cell codec, descriptors, and the
+// control protocol. Network byte order (big-endian) throughout, matching
+// Tor's wire formats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ting {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only big-endian writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> data);
+  void raw(const std::string& s);
+  /// Pad with zero bytes up to `size`; requires current size <= size.
+  void pad_to(std::size_t size);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked big-endian reader. Throws CheckError past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes raw(std::size_t n);
+  std::string str(std::size_t n);
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Lowercase hex encoding of arbitrary bytes.
+std::string to_hex(std::span<const std::uint8_t> data);
+/// Decode hex (either case). Throws CheckError on bad input.
+Bytes from_hex(const std::string& hex);
+
+/// UTF-8-agnostic helpers used by the text protocols.
+std::vector<std::string> split(const std::string& s, char delim);
+std::string trim(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+std::string to_upper(const std::string& s);
+std::string to_lower(const std::string& s);
+
+}  // namespace ting

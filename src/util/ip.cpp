@@ -1,0 +1,37 @@
+#include "util/ip.h"
+
+#include <cstdio>
+
+#include "util/bytes.h"
+
+namespace ting {
+
+std::string IpAddr::str() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v_ >> 24) & 0xff,
+                (v_ >> 16) & 0xff, (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+std::optional<IpAddr> IpAddr::parse(const std::string& s) {
+  const auto parts = split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    if (p.empty() || p.size() > 3) return std::nullopt;
+    int octet = 0;
+    for (char c : p) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return IpAddr(v);
+}
+
+std::string Endpoint::str() const {
+  return ip.str() + ":" + std::to_string(port);
+}
+
+}  // namespace ting

@@ -1,0 +1,50 @@
+// IPv4 addresses and prefixes. Used by the simulator's host addressing, the
+// directory's descriptors/exit policies, and the coverage analysis (§5.3
+// counts unique /24s).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ting {
+
+/// An IPv4 address (host byte order internally).
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  explicit constexpr IpAddr(std::uint32_t v) : v_(v) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d)
+      : v_(static_cast<std::uint32_t>(a) << 24 |
+           static_cast<std::uint32_t>(b) << 16 |
+           static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr auto operator<=>(const IpAddr&) const = default;
+
+  /// The enclosing /24 prefix value (upper 24 bits).
+  constexpr std::uint32_t slash24() const { return v_ >> 8; }
+  /// The enclosing /16 prefix value (upper 16 bits).
+  constexpr std::uint32_t slash16() const { return v_ >> 16; }
+  /// Upper n bits, for arbitrary prefix comparisons (0 < n <= 32).
+  constexpr std::uint32_t prefix_bits(int n) const { return v_ >> (32 - n); }
+
+  std::string str() const;
+  /// Parse dotted-quad; std::nullopt on malformed input.
+  static std::optional<IpAddr> parse(const std::string& s);
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// host:port endpoint for the simulated transport.
+struct Endpoint {
+  IpAddr ip;
+  std::uint16_t port = 0;
+  auto operator<=>(const Endpoint&) const = default;
+  std::string str() const;
+};
+
+}  // namespace ting

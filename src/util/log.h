@@ -1,0 +1,34 @@
+// Minimal leveled logger. Quiet by default so benches produce clean series;
+// tests and examples can raise the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ting {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace ting
+
+#define TING_LOG(level, expr)                                     \
+  do {                                                            \
+    if (static_cast<int>(level) >= static_cast<int>(::ting::log_level())) { \
+      std::ostringstream ting_log_os_;                            \
+      ting_log_os_ << expr;                                       \
+      ::ting::detail::log_emit(level, ting_log_os_.str());        \
+    }                                                             \
+  } while (0)
+
+#define TING_DEBUG(expr) TING_LOG(::ting::LogLevel::kDebug, expr)
+#define TING_INFO(expr) TING_LOG(::ting::LogLevel::kInfo, expr)
+#define TING_WARN(expr) TING_LOG(::ting::LogLevel::kWarn, expr)
+#define TING_ERROR(expr) TING_LOG(::ting::LogLevel::kError, expr)

@@ -1,0 +1,136 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ting {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Combine current state with the stream id; the copy does not advance us.
+  std::uint64_t seed = s_[0] ^ mix64(stream + 0x1234567);
+  return Rng(seed);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  TING_CHECK(n > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TING_CHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  TING_CHECK(mean > 0);
+  double u;
+  do { u = uniform(); } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do { u1 = uniform(); } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  TING_CHECK(xm > 0 && alpha > 0);
+  double u;
+  do { u = uniform(); } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  TING_CHECK(k <= n);
+  // Partial Fisher–Yates over an index vector; O(n) setup, fine at our scale.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    TING_CHECK(w >= 0);
+    total += w;
+  }
+  TING_CHECK(total > 0);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;  // numeric edge: land on the last positive weight
+}
+
+}  // namespace ting

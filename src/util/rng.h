@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng so that simulations, tests, and benches reproduce bit-for-bit. The
+// generator is xoshiro256** seeded through splitmix64, which is fast, has a
+// 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace ting {
+
+/// Splitmix64 step; used for seeding and for cheap stateless hashing of ids
+/// into per-entity seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Hash a 64-bit value to a well-mixed 64-bit value (stateless).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xfeedface);
+
+  /// Derive an independent generator; `stream` distinguishes siblings.
+  Rng fork(std::uint64_t stream) const;
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [0, 1).
+  double uniform();
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+  /// Standard normal via Box–Muller (no caching; cheap enough).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed delays).
+  double pareto(double xm, double alpha);
+  /// Log-normal parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Pick an index according to non-negative weights summing to > 0.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ting

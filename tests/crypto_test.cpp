@@ -1,0 +1,309 @@
+// Tests for the crypto substrate: cipher involution and determinism, sponge
+// hash structure, HMAC/HKDF, X25519 algebraic properties, and the ntor-style
+// handshake agreement.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/chacha.h"
+#include "crypto/handshake.h"
+#include "crypto/hash.h"
+#include "crypto/x25519.h"
+#include "util/rng.h"
+
+namespace ting::crypto {
+namespace {
+
+Key make_key(std::uint8_t fill) {
+  Key k;
+  k.fill(fill);
+  return k;
+}
+
+Nonce make_nonce(std::uint8_t fill) {
+  Nonce n;
+  n.fill(fill);
+  return n;
+}
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ------------------------------------------------------------------ ChaCha
+
+TEST(ChaChaTest, EncryptDecryptIsIdentity) {
+  const Bytes msg = bytes_of("attack at dawn over the tor network");
+  ChaChaCipher enc(make_key(1), make_nonce(2));
+  ChaChaCipher dec(make_key(1), make_nonce(2));
+  const Bytes ct = enc.transform(msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(dec.transform(ct), msg);
+}
+
+TEST(ChaChaTest, StreamPositionMatters) {
+  // Applying in two chunks equals applying all at once.
+  Bytes msg(150, 0x5a);
+  ChaChaCipher whole(make_key(3), make_nonce(4));
+  Bytes expected = whole.transform(msg);
+
+  ChaChaCipher chunked(make_key(3), make_nonce(4));
+  Bytes part1(msg.begin(), msg.begin() + 70);
+  Bytes part2(msg.begin() + 70, msg.end());
+  Bytes got = chunked.transform(part1);
+  const Bytes got2 = chunked.transform(part2);
+  got.insert(got.end(), got2.begin(), got2.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ChaChaTest, DifferentKeysProduceDifferentStreams) {
+  Bytes zeros(64, 0);
+  ChaChaCipher a(make_key(1), make_nonce(0));
+  ChaChaCipher b(make_key(2), make_nonce(0));
+  EXPECT_NE(a.transform(zeros), b.transform(zeros));
+}
+
+TEST(ChaChaTest, DifferentNoncesProduceDifferentStreams) {
+  Bytes zeros(64, 0);
+  ChaChaCipher a(make_key(1), make_nonce(0));
+  ChaChaCipher b(make_key(1), make_nonce(1));
+  EXPECT_NE(a.transform(zeros), b.transform(zeros));
+}
+
+TEST(ChaChaTest, CounterOffsetsKeystream) {
+  Bytes zeros(128, 0);
+  ChaChaCipher from0(make_key(7), make_nonce(8), 0);
+  ChaChaCipher from1(make_key(7), make_nonce(8), 1);
+  const Bytes s0 = from0.transform(zeros);
+  const Bytes s1 = from1.transform(zeros);
+  // Block 1 of s0 == block 0 of s1.
+  EXPECT_TRUE(std::equal(s0.begin() + 64, s0.end(), s1.begin()));
+}
+
+TEST(ChaChaTest, KeystreamLooksBalanced) {
+  Bytes zeros(1 << 14, 0);
+  ChaChaCipher c(make_key(9), make_nonce(10));
+  const Bytes ks = c.transform(zeros);
+  std::size_t ones = 0;
+  for (auto b : ks) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  const double frac = static_cast<double>(ones) / (ks.size() * 8.0);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(ChaChaTest, OnionLayeringPeelsInOrder) {
+  // Apply three layers like an onion proxy, peel like three relays.
+  const Bytes msg = bytes_of("relay cell payload");
+  std::vector<Key> keys{make_key(11), make_key(12), make_key(13)};
+  Bytes wire = msg;
+  for (int hop = 2; hop >= 0; --hop) {  // innermost layer applied first
+    ChaChaCipher c(keys[static_cast<std::size_t>(hop)], make_nonce(0));
+    wire = c.transform(wire);
+  }
+  for (int hop = 2; hop >= 0; --hop) {
+    ChaChaCipher c(keys[static_cast<std::size_t>(hop)], make_nonce(0));
+    wire = c.transform(wire);
+  }
+  EXPECT_EQ(wire, msg);
+}
+
+// -------------------------------------------------------------------- hash
+
+TEST(HashTest, DeterministicAndInputSensitive) {
+  EXPECT_EQ(hash("tor"), hash("tor"));
+  EXPECT_NE(hash("tor"), hash("ting"));
+  EXPECT_NE(hash(""), hash("x"));
+}
+
+TEST(HashTest, IncrementalEqualsOneShot) {
+  const std::string msg(1000, 'q');
+  Hasher h;
+  h.update(msg.substr(0, 333));
+  h.update(msg.substr(333));
+  EXPECT_EQ(h.finalize(), hash(msg));
+}
+
+TEST(HashTest, LengthExtensionBlocked) {
+  // "ab" then "c" differs from "a" then "bc" would be equal for a broken
+  // concat; they should hash equal (same stream) — this asserts streaming
+  // correctness, not a security property.
+  Hasher h1;
+  h1.update(std::string("ab"));
+  h1.update(std::string("c"));
+  Hasher h2;
+  h2.update(std::string("a"));
+  h2.update(std::string("bc"));
+  EXPECT_EQ(h1.finalize(), h2.finalize());
+  // But different total strings differ.
+  EXPECT_NE(hash("abc"), hash("abd"));
+}
+
+TEST(HashTest, PaddingBoundaries) {
+  // Exercise messages straddling the 32-byte rate and the length-block
+  // overflow path (len 23..33 hit both padding branches).
+  std::set<Digest> seen;
+  for (int len = 0; len <= 80; ++len) {
+    const Digest d = hash(std::string(static_cast<std::size_t>(len), 'z'));
+    EXPECT_TRUE(seen.insert(d).second) << "collision at len " << len;
+  }
+}
+
+TEST(HashTest, AvalancheOnSingleBitFlip) {
+  Bytes a(64, 0);
+  Bytes b = a;
+  b[17] ^= 0x01;
+  const Digest da = hash(a), db = hash(b);
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < da.size(); ++i)
+    diff_bits += __builtin_popcount(da[i] ^ db[i]);
+  EXPECT_GT(diff_bits, 80);  // ~128 expected of 256
+  EXPECT_LT(diff_bits, 176);
+}
+
+TEST(HmacTest, KeyAndMessageSensitivity) {
+  const Bytes k1 = bytes_of("key-1"), k2 = bytes_of("key-2");
+  const Bytes m1 = bytes_of("msg-1"), m2 = bytes_of("msg-2");
+  EXPECT_EQ(hmac(k1, m1), hmac(k1, m1));
+  EXPECT_NE(hmac(k1, m1), hmac(k2, m1));
+  EXPECT_NE(hmac(k1, m1), hmac(k1, m2));
+}
+
+TEST(HmacTest, LongKeyIsHashedDown) {
+  const Bytes long_key(100, 0x42);
+  const Bytes msg = bytes_of("m");
+  EXPECT_EQ(hmac(long_key, msg), hmac(long_key, msg));
+}
+
+TEST(HkdfTest, ProducesRequestedLengthDeterministically) {
+  const Bytes ikm = bytes_of("input key material");
+  const Bytes salt = bytes_of("salt");
+  const Bytes a = hkdf(ikm, salt, "info", 100);
+  const Bytes b = hkdf(ikm, salt, "info", 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HkdfTest, PrefixStability) {
+  // Requesting fewer bytes yields a prefix of requesting more.
+  const Bytes ikm = bytes_of("ikm");
+  const Bytes salt = bytes_of("s");
+  const Bytes short_out = hkdf(ikm, salt, "i", 40);
+  const Bytes long_out = hkdf(ikm, salt, "i", 96);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+TEST(HkdfTest, InfoSeparatesOutputs) {
+  const Bytes ikm = bytes_of("ikm");
+  const Bytes salt = bytes_of("s");
+  EXPECT_NE(hkdf(ikm, salt, "forward", 32), hkdf(ikm, salt, "backward", 32));
+}
+
+// ------------------------------------------------------------------ x25519
+
+X25519Key random_key(Rng& rng) {
+  X25519Key k;
+  for (auto& b : k) b = static_cast<std::uint8_t>(rng.next_u64());
+  return k;
+}
+
+TEST(X25519Test, BasepointDerivationDeterministic) {
+  Rng rng(101);
+  const X25519Key s = random_key(rng);
+  EXPECT_EQ(x25519_base(s), x25519_base(s));
+}
+
+TEST(X25519Test, DifferentSecretsGiveDifferentPublics) {
+  Rng rng(102);
+  std::set<X25519Key> pubs;
+  for (int i = 0; i < 20; ++i)
+    EXPECT_TRUE(pubs.insert(x25519_base(random_key(rng))).second);
+}
+
+TEST(X25519Test, DiffieHellmanCommutes) {
+  // The core algebraic property the handshake relies on:
+  // a * (b * G) == b * (a * G), over many random keypairs.
+  Rng rng(103);
+  for (int i = 0; i < 40; ++i) {
+    const X25519Key a = random_key(rng), b = random_key(rng);
+    const X25519Key A = x25519_base(a), B = x25519_base(b);
+    EXPECT_EQ(x25519(a, B), x25519(b, A)) << "iteration " << i;
+  }
+}
+
+TEST(X25519Test, ScalarMultAssociatesOnArbitraryPoints) {
+  // a * (b * P) == b * (a * P) for arbitrary P (not just the basepoint).
+  Rng rng(104);
+  for (int i = 0; i < 15; ++i) {
+    const X25519Key a = random_key(rng), b = random_key(rng);
+    X25519Key p = random_key(rng);
+    p[31] &= 127;
+    EXPECT_EQ(x25519(a, x25519(b, p)), x25519(b, x25519(a, p)));
+  }
+}
+
+TEST(X25519Test, ClampingMakesLowBitsIrrelevant) {
+  Rng rng(105);
+  X25519Key s = random_key(rng);
+  X25519Key s2 = s;
+  s2[0] ^= 0x07;  // bits cleared by clamping
+  EXPECT_EQ(x25519_base(s), x25519_base(s2));
+}
+
+// --------------------------------------------------------------- handshake
+
+TEST(HandshakeTest, ClientAndRelayDeriveSameKeys) {
+  Rng rng(201);
+  const IdentityKeys id = IdentityKeys::generate(rng);
+  const ClientHandshake ch = ClientHandshake::start(rng);
+  const RelayHandshakeResult rr = relay_handshake(id, ch.ephemeral_public, rng);
+  const auto client_keys =
+      ch.finish(id.public_key, rr.ephemeral_public, rr.keys.auth);
+  ASSERT_TRUE(client_keys.has_value());
+  EXPECT_EQ(client_keys->forward_key, rr.keys.forward_key);
+  EXPECT_EQ(client_keys->backward_key, rr.keys.backward_key);
+  EXPECT_EQ(client_keys->forward_digest_seed, rr.keys.forward_digest_seed);
+  EXPECT_EQ(client_keys->backward_digest_seed, rr.keys.backward_digest_seed);
+}
+
+TEST(HandshakeTest, ForwardAndBackwardKeysDiffer) {
+  Rng rng(202);
+  const IdentityKeys id = IdentityKeys::generate(rng);
+  const ClientHandshake ch = ClientHandshake::start(rng);
+  const RelayHandshakeResult rr = relay_handshake(id, ch.ephemeral_public, rng);
+  EXPECT_NE(rr.keys.forward_key, rr.keys.backward_key);
+}
+
+TEST(HandshakeTest, WrongIdentityKeyFailsAuth) {
+  Rng rng(203);
+  const IdentityKeys real_id = IdentityKeys::generate(rng);
+  const IdentityKeys fake_id = IdentityKeys::generate(rng);
+  const ClientHandshake ch = ClientHandshake::start(rng);
+  const RelayHandshakeResult rr =
+      relay_handshake(real_id, ch.ephemeral_public, rng);
+  // Client expected fake_id: the MITM check must fail.
+  EXPECT_FALSE(
+      ch.finish(fake_id.public_key, rr.ephemeral_public, rr.keys.auth)
+          .has_value());
+}
+
+TEST(HandshakeTest, TamperedAuthTagFailsVerification) {
+  Rng rng(204);
+  const IdentityKeys id = IdentityKeys::generate(rng);
+  const ClientHandshake ch = ClientHandshake::start(rng);
+  const RelayHandshakeResult rr = relay_handshake(id, ch.ephemeral_public, rng);
+  Digest bad = rr.keys.auth;
+  bad[0] ^= 1;
+  EXPECT_FALSE(ch.finish(id.public_key, rr.ephemeral_public, bad).has_value());
+}
+
+TEST(HandshakeTest, SessionsAreUnique) {
+  Rng rng(205);
+  const IdentityKeys id = IdentityKeys::generate(rng);
+  std::set<Key> forward_keys;
+  for (int i = 0; i < 10; ++i) {
+    const ClientHandshake ch = ClientHandshake::start(rng);
+    const RelayHandshakeResult rr =
+        relay_handshake(id, ch.ephemeral_public, rng);
+    EXPECT_TRUE(forward_keys.insert(rr.keys.forward_key).second);
+  }
+}
+
+}  // namespace
+}  // namespace ting::crypto

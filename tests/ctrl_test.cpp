@@ -1,0 +1,402 @@
+// Tests for the control protocol: authentication gating, command grammar,
+// event subscription/filtering, EXTENDCIRCUIT/ATTACHSTREAM flows, and the
+// Controller (Stem-equivalent) client.
+#include <gtest/gtest.h>
+
+#include "ctrl/control_server.h"
+#include "ctrl/controller.h"
+#include "dir/consensus.h"
+#include "echo/echo.h"
+#include "simnet/network.h"
+#include "tor/onion_proxy.h"
+#include "tor/relay.h"
+
+namespace ting::ctrl {
+namespace {
+
+simnet::LatencyConfig quiet_net() {
+  simnet::LatencyConfig c;
+  c.jitter_mean_ms = 0.01;
+  c.jitter_spike_prob = 0;
+  return c;
+}
+
+struct ControlWorld {
+  simnet::EventLoop loop;
+  simnet::Network net;
+  std::vector<std::unique_ptr<tor::Relay>> relays;
+  std::unique_ptr<tor::OnionProxy> op;
+  std::unique_ptr<ControlServer> server;
+  std::unique_ptr<echo::EchoServer> echo_server;
+  simnet::HostId op_host = 0, client_host = 0, echo_host = 0;
+
+  explicit ControlWorld(int n_relays, const std::string& password = "")
+      : net(loop, quiet_net(), 51) {
+    dir::Consensus consensus;
+    for (int i = 0; i < n_relays; ++i) {
+      const simnet::HostId h = net.add_host(
+          IpAddr(10, static_cast<std::uint8_t>(20 + i), 0, 1),
+          {35.0 + i, -80.0 + 2 * i});
+      tor::RelayConfig rc;
+      rc.nickname = "ctl" + std::to_string(i);
+      rc.exit_policy = dir::ExitPolicy::accept_all();
+      rc.base_forward_ms = 0.3;
+      rc.queue_mean_ms = 0.2;
+      relays.push_back(std::make_unique<tor::Relay>(net, h, rc, 300 + static_cast<std::uint64_t>(i)));
+      consensus.add(relays.back()->descriptor());
+    }
+    op_host = net.add_host(IpAddr(10, 2, 0, 1), {40.0, -100.0});
+    client_host = net.add_host(IpAddr(10, 2, 1, 1), {40.0, -100.02});
+    echo_host = net.add_host(IpAddr(10, 2, 2, 1), {40.0, -100.04});
+    op = std::make_unique<tor::OnionProxy>(net, op_host, tor::OnionProxyConfig{}, 91);
+    op->set_consensus(consensus);
+    server = std::make_unique<ControlServer>(*op, kControlPort, password);
+    echo_server = std::make_unique<echo::EchoServer>(net, echo_host);
+  }
+
+  /// Open a raw control connection and exchange one command at a time.
+  simnet::ConnPtr raw_session(std::function<void(std::string)> on_reply) {
+    simnet::ConnPtr out;
+    net.connect(client_host, server->endpoint(), simnet::Protocol::kTcp,
+                [&](simnet::ConnPtr conn) {
+                  out = conn;
+                  conn->set_on_message([on_reply](Bytes msg) {
+                    on_reply(std::string(msg.begin(), msg.end()));
+                  });
+                });
+    loop.run_while_waiting_for([&] { return out != nullptr; },
+                               Duration::seconds(10));
+    return out;
+  }
+
+  Controller::Ptr controller(const std::string& password = "") {
+    Controller::Ptr out;
+    Controller::create(net, client_host, server->endpoint(), password,
+                       [&](Controller::Ptr c) { out = std::move(c); });
+    loop.run_while_waiting_for([&] { return out != nullptr; },
+                               Duration::seconds(10));
+    return out;
+  }
+};
+
+std::string send_and_wait(ControlWorld& w, const simnet::ConnPtr& conn,
+                          std::string& last_reply, const std::string& cmd) {
+  const std::string before = last_reply;
+  conn->send(Bytes(cmd.begin(), cmd.end()));
+  w.loop.run_while_waiting_for([&] { return last_reply != before; },
+                               Duration::seconds(10));
+  return last_reply;
+}
+
+TEST(ControlServerTest, ProtocolInfoWithoutAuth) {
+  ControlWorld w(0);
+  std::string reply;
+  auto conn = w.raw_session([&](std::string r) { reply = std::move(r); });
+  ASSERT_NE(conn, nullptr);
+  send_and_wait(w, conn, reply, "PROTOCOLINFO");
+  EXPECT_NE(reply.find("250-PROTOCOLINFO 1"), std::string::npos);
+  EXPECT_NE(reply.find("METHODS=NULL"), std::string::npos);
+}
+
+TEST(ControlServerTest, CommandsGatedUntilAuthenticated) {
+  ControlWorld w(0);
+  std::string reply;
+  auto conn = w.raw_session([&](std::string r) { reply = std::move(r); });
+  send_and_wait(w, conn, reply, "GETINFO version");
+  EXPECT_TRUE(starts_with(reply, "514"));
+  send_and_wait(w, conn, reply, "AUTHENTICATE \"\"");
+  EXPECT_TRUE(starts_with(reply, "250"));
+  send_and_wait(w, conn, reply, "GETINFO version");
+  EXPECT_NE(reply.find("0.2.4.22-ting-sim"), std::string::npos);
+}
+
+TEST(ControlServerTest, PasswordAuthentication) {
+  ControlWorld w(0, "s3cret");
+  std::string reply;
+  auto conn = w.raw_session([&](std::string r) { reply = std::move(r); });
+  send_and_wait(w, conn, reply, "AUTHENTICATE \"wrong\"");
+  EXPECT_TRUE(starts_with(reply, "515"));
+  send_and_wait(w, conn, reply, "AUTHENTICATE \"s3cret\"");
+  EXPECT_TRUE(starts_with(reply, "250"));
+}
+
+TEST(ControlServerTest, UnknownCommandAndBadSyntax) {
+  ControlWorld w(0);
+  std::string reply;
+  auto conn = w.raw_session([&](std::string r) { reply = std::move(r); });
+  send_and_wait(w, conn, reply, "AUTHENTICATE \"\"");
+  send_and_wait(w, conn, reply, "FROBNICATE");
+  EXPECT_TRUE(starts_with(reply, "510"));
+  send_and_wait(w, conn, reply, "EXTENDCIRCUIT");
+  EXPECT_TRUE(starts_with(reply, "512"));
+  send_and_wait(w, conn, reply, "EXTENDCIRCUIT 0 nothex");
+  EXPECT_TRUE(starts_with(reply, "552"));
+  send_and_wait(w, conn, reply, "GETINFO bogus-key");
+  EXPECT_TRUE(starts_with(reply, "552"));
+}
+
+TEST(ControlServerTest, ExtendCircuitEmitsBuiltEvent) {
+  ControlWorld w(2);
+  std::vector<std::string> replies;
+  auto conn = w.raw_session([&](std::string r) { replies.push_back(std::move(r)); });
+  auto wait_for = [&](const std::string& needle) {
+    w.loop.run_while_waiting_for(
+        [&] {
+          for (const auto& r : replies)
+            if (r.find(needle) != std::string::npos) return true;
+          return false;
+        },
+        Duration::seconds(60));
+  };
+  conn->send(Bytes{'A', 'U', 'T', 'H', 'E', 'N', 'T', 'I', 'C', 'A', 'T', 'E',
+                   ' ', '"', '"'});
+  wait_for("250 OK");
+  const std::string ev = "SETEVENTS CIRC";
+  conn->send(Bytes(ev.begin(), ev.end()));
+  wait_for("250 OK");
+  const std::string cmd = "EXTENDCIRCUIT 0 " +
+                          w.relays[0]->fingerprint().hex() + "," +
+                          w.relays[1]->fingerprint().hex();
+  conn->send(Bytes(cmd.begin(), cmd.end()));
+  wait_for("250 EXTENDED");
+  wait_for("650 CIRC");
+  bool saw_built = false;
+  for (const auto& r : replies)
+    if (r.find("BUILT") != std::string::npos) saw_built = true;
+  w.loop.run_while_waiting_for([&] {
+    for (const auto& r : replies)
+      if (r.find("BUILT") != std::string::npos) return true;
+    return false;
+  }, Duration::seconds(60));
+  for (const auto& r : replies)
+    if (r.find("BUILT") != std::string::npos) saw_built = true;
+  EXPECT_TRUE(saw_built);
+}
+
+TEST(ControlServerTest, EventsOnlyForSubscribers) {
+  ControlWorld w(2);
+  std::vector<std::string> replies;
+  auto conn = w.raw_session([&](std::string r) { replies.push_back(std::move(r)); });
+  const std::string auth = "AUTHENTICATE \"\"";
+  conn->send(Bytes(auth.begin(), auth.end()));
+  w.loop.run_while_waiting_for([&] { return !replies.empty(); },
+                               Duration::seconds(10));
+  // No SETEVENTS: a circuit build must produce no 650 lines here.
+  const std::string cmd = "EXTENDCIRCUIT 0 " +
+                          w.relays[0]->fingerprint().hex() + "," +
+                          w.relays[1]->fingerprint().hex();
+  conn->send(Bytes(cmd.begin(), cmd.end()));
+  w.loop.run();
+  for (const auto& r : replies) EXPECT_FALSE(starts_with(r, "650"));
+}
+
+TEST(ControllerTest, ExtendCircuitResolvesOnBuilt) {
+  ControlWorld w(3);
+  auto ctl = w.controller();
+  ASSERT_NE(ctl, nullptr);
+  std::optional<tor::CircuitHandle> built;
+  ctl->extend_circuit(
+      {w.relays[0]->fingerprint(), w.relays[1]->fingerprint(),
+       w.relays[2]->fingerprint()},
+      [&](tor::CircuitHandle h) { built = h; },
+      [](const std::string& e) { FAIL() << e; });
+  w.loop.run_while_waiting_for([&] { return built.has_value(); },
+                               Duration::seconds(60));
+  ASSERT_TRUE(built.has_value());
+  EXPECT_EQ(w.op->circuit_state(*built), tor::CircuitState::kBuilt);
+}
+
+TEST(ControllerTest, ExtendCircuitFailureReported) {
+  ControlWorld w(1);
+  auto ctl = w.controller();
+  crypto::X25519Key bogus;
+  bogus.fill(3);
+  std::optional<std::string> error;
+  ctl->extend_circuit(
+      {w.relays[0]->fingerprint(), dir::Fingerprint::of_identity(bogus)},
+      [](tor::CircuitHandle) { FAIL() << "unexpected build success"; },
+      [&](const std::string& e) { error = e; });
+  w.loop.run_while_waiting_for([&] { return error.has_value(); },
+                               Duration::seconds(60));
+  EXPECT_TRUE(error.has_value());
+}
+
+TEST(ControllerTest, LeaveUnattachedPlusAttachStream) {
+  ControlWorld w(3);
+  auto ctl = w.controller();
+  bool conf_done = false;
+  ctl->set_leave_streams_unattached(true, [&] { conf_done = true; });
+  w.loop.run_while_waiting_for([&] { return conf_done; },
+                               Duration::seconds(10));
+  ASSERT_TRUE(conf_done);
+
+  std::optional<tor::CircuitHandle> circ;
+  ctl->extend_circuit(
+      {w.relays[0]->fingerprint(), w.relays[1]->fingerprint(),
+       w.relays[2]->fingerprint()},
+      [&](tor::CircuitHandle h) { circ = h; }, {});
+  w.loop.run_while_waiting_for([&] { return circ.has_value(); },
+                               Duration::seconds(60));
+  ASSERT_TRUE(circ.has_value());
+
+  // The controller learns about the new stream and attaches it.
+  std::optional<std::uint16_t> new_stream;
+  ctl->set_on_stream_new(
+      [&](std::uint16_t sid, std::string) { new_stream = sid; });
+
+  bool socks_ok = false;
+  w.net.connect(w.client_host,
+                Endpoint{w.net.ip_of(w.op_host), w.op->config().socks_port},
+                simnet::Protocol::kTcp, [&](simnet::ConnPtr conn) {
+                  conn->set_on_message([&](Bytes msg) {
+                    if (std::string(msg.begin(), msg.end()) == "OK")
+                      socks_ok = true;
+                  });
+                  const std::string req =
+                      "CONNECT " + w.echo_server->endpoint().str();
+                  conn->send(Bytes(req.begin(), req.end()));
+                });
+  w.loop.run_while_waiting_for([&] { return new_stream.has_value(); },
+                               Duration::seconds(60));
+  ASSERT_TRUE(new_stream.has_value());
+  EXPECT_FALSE(socks_ok);
+
+  std::optional<bool> attach_ok;
+  ctl->attach_stream(*new_stream, *circ, [&](bool ok) { attach_ok = ok; });
+  w.loop.run_while_waiting_for([&] { return socks_ok; },
+                               Duration::seconds(60));
+  EXPECT_TRUE(attach_ok.value_or(false));
+  EXPECT_TRUE(socks_ok);
+}
+
+TEST(ControllerTest, GetInfoNsAllListsRelays) {
+  ControlWorld w(4);
+  auto ctl = w.controller();
+  std::optional<std::string> reply;
+  ctl->get_info("ns/all", [&](std::string r) { reply = std::move(r); });
+  w.loop.run_while_waiting_for([&] { return reply.has_value(); },
+                               Duration::seconds(10));
+  ASSERT_TRUE(reply.has_value());
+  for (const auto& r : w.relays)
+    EXPECT_NE(reply->find(r->fingerprint().hex()), std::string::npos);
+}
+
+TEST(ControllerTest, CloseCircuitViaController) {
+  ControlWorld w(2);
+  auto ctl = w.controller();
+  std::optional<tor::CircuitHandle> circ;
+  ctl->extend_circuit(
+      {w.relays[0]->fingerprint(), w.relays[1]->fingerprint()},
+      [&](tor::CircuitHandle h) { circ = h; }, {});
+  w.loop.run_while_waiting_for([&] { return circ.has_value(); },
+                               Duration::seconds(60));
+  ASSERT_TRUE(circ.has_value());
+  bool closed = false;
+  ctl->close_circuit(*circ, [&] { closed = true; });
+  w.loop.run();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(w.op->circuit_state(*circ), tor::CircuitState::kClosed);
+  EXPECT_EQ(w.relays[0]->open_circuits(), 0u);
+}
+
+}  // namespace
+}  // namespace ting::ctrl
+
+namespace ting::ctrl {
+namespace {
+
+TEST(ControlServerTest, SignalNewnymClosesCircuits) {
+  ControlWorld w(3);
+  auto ctl = w.controller();
+  std::optional<tor::CircuitHandle> c1, c2;
+  ctl->extend_circuit({w.relays[0]->fingerprint(), w.relays[1]->fingerprint()},
+                      [&](tor::CircuitHandle h) { c1 = h; }, {});
+  ctl->extend_circuit({w.relays[1]->fingerprint(), w.relays[2]->fingerprint()},
+                      [&](tor::CircuitHandle h) { c2 = h; }, {});
+  w.loop.run_while_waiting_for(
+      [&] { return c1.has_value() && c2.has_value(); }, Duration::seconds(60));
+  ASSERT_TRUE(c1.has_value() && c2.has_value());
+
+  std::optional<std::string> reply;
+  ctl->raw_command("SIGNAL NEWNYM", [&](std::string r) { reply = r; });
+  w.loop.run_while_waiting_for([&] { return reply.has_value(); },
+                               Duration::seconds(10));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(starts_with(*reply, "250"));
+  w.loop.run();
+  EXPECT_EQ(w.op->circuit_state(*c1), tor::CircuitState::kClosed);
+  EXPECT_EQ(w.op->circuit_state(*c2), tor::CircuitState::kClosed);
+  for (const auto& r : w.relays) EXPECT_EQ(r->open_circuits(), 0u);
+}
+
+TEST(ControlServerTest, SignalRejectsUnknown) {
+  ControlWorld w(0);
+  auto ctl = w.controller();
+  std::optional<std::string> reply;
+  ctl->raw_command("SIGNAL DORMANT", [&](std::string r) { reply = r; });
+  w.loop.run_while_waiting_for([&] { return reply.has_value(); },
+                               Duration::seconds(10));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(starts_with(*reply, "552"));
+}
+
+TEST(ControlServerTest, GetInfoEntryGuards) {
+  ControlWorld w(6);
+  // Flag all relays as guards so the guard set can fill.
+  dir::Consensus consensus = w.op->consensus();
+  for (auto r : consensus.relays()) {
+    r.flags |= dir::kFlagGuard;
+    consensus.add(r);
+  }
+  w.op->set_consensus(consensus);
+
+  auto ctl = w.controller();
+  std::optional<std::string> reply;
+  ctl->get_info("entry-guards", [&](std::string r) { reply = std::move(r); });
+  w.loop.run_while_waiting_for([&] { return reply.has_value(); },
+                               Duration::seconds(10));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->find("entry-guards="), std::string::npos);
+  for (const auto& fp : w.op->guard_set())
+    EXPECT_NE(reply->find(fp.hex()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ting::ctrl
+
+namespace ting::dir {
+namespace {
+
+TEST(AuthorityTtlTest, StaleDescriptorsExpireUnlessRepublished) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, {}, 66);
+  const simnet::HostId ah = net.add_host(IpAddr(10, 9, 0, 1), {50.0, 8.0});
+  const simnet::HostId fresh_host = net.add_host(IpAddr(10, 9, 0, 2), {48.0, 2.0});
+  const simnet::HostId stale_host = net.add_host(IpAddr(10, 9, 0, 3), {52.0, 13.0});
+
+  Authority authority(net, ah);
+  authority.set_descriptor_ttl(Duration::seconds(3600));
+
+  tor::RelayConfig fresh_cfg;
+  fresh_cfg.nickname = "fresh";
+  tor::Relay fresh(net, fresh_host, fresh_cfg, 11);
+  tor::RelayConfig stale_cfg;
+  stale_cfg.nickname = "stale";
+  tor::Relay stale(net, stale_host, stale_cfg, 12);
+
+  // fresh republishes every 30 virtual minutes; stale publishes once.
+  fresh.publish_periodically(authority.endpoint(), Duration::seconds(1800));
+  stale.publish_to(authority.endpoint());
+  loop.run_until(loop.now() + Duration::seconds(10));
+  authority.expire_stale_descriptors();
+  EXPECT_EQ(authority.consensus().size(), 2u);
+
+  // Two hours later, only the republisher survives.
+  loop.run_until(loop.now() + Duration::seconds(2 * 3600));
+  authority.expire_stale_descriptors();
+  EXPECT_NE(authority.consensus().find_nickname("fresh"), nullptr);
+  EXPECT_EQ(authority.consensus().find_nickname("stale"), nullptr);
+}
+
+}  // namespace
+}  // namespace ting::dir

@@ -1,0 +1,251 @@
+// Tests for the directory substrate: fingerprints, exit-policy grammar and
+// matching, descriptor/consensus round-trips, bandwidth-weighted sampling,
+// and the networked authority.
+#include <gtest/gtest.h>
+
+#include "dir/authority.h"
+#include "dir/consensus.h"
+#include "dir/descriptor.h"
+#include "dir/exit_policy.h"
+#include "dir/fingerprint.h"
+#include "simnet/network.h"
+
+namespace ting::dir {
+namespace {
+
+crypto::X25519Key key_filled(std::uint8_t b) {
+  crypto::X25519Key k;
+  k.fill(b);
+  return k;
+}
+
+RelayDescriptor make_desc(const std::string& nick, std::uint8_t seed,
+                          std::uint32_t bandwidth = 100) {
+  RelayDescriptor d;
+  d.nickname = nick;
+  d.onion_key = key_filled(seed);
+  d.fingerprint = Fingerprint::of_identity(d.onion_key);
+  d.address = IpAddr(10, 0, seed, 1);
+  d.or_port = 9001;
+  d.bandwidth = bandwidth;
+  d.country_code = "DE";
+  return d;
+}
+
+// ------------------------------------------------------------- Fingerprint
+
+TEST(FingerprintTest, DerivationIsDeterministicAndDistinct) {
+  EXPECT_EQ(Fingerprint::of_identity(key_filled(1)),
+            Fingerprint::of_identity(key_filled(1)));
+  EXPECT_NE(Fingerprint::of_identity(key_filled(1)),
+            Fingerprint::of_identity(key_filled(2)));
+}
+
+TEST(FingerprintTest, HexRoundTripWithDollarPrefix) {
+  const Fingerprint f = Fingerprint::of_identity(key_filled(9));
+  EXPECT_EQ(f.hex().size(), 40u);
+  EXPECT_EQ(Fingerprint::from_hex(f.hex()), f);
+  EXPECT_EQ(Fingerprint::from_hex("$" + f.hex()), f);
+  EXPECT_EQ(f.short_name(), f.hex().substr(0, 8));
+}
+
+TEST(FingerprintTest, RejectsMalformedHex) {
+  EXPECT_THROW(Fingerprint::from_hex("abcd"), CheckError);
+  EXPECT_THROW(Fingerprint::from_hex(std::string(40, 'z')), CheckError);
+}
+
+// -------------------------------------------------------------- ExitPolicy
+
+TEST(ExitPolicyTest, ParseAndMatchBasics) {
+  const PolicyRule r = PolicyRule::parse("accept 10.1.2.3:80");
+  EXPECT_TRUE(r.accept);
+  EXPECT_TRUE(r.matches(IpAddr(10, 1, 2, 3), 80));
+  EXPECT_FALSE(r.matches(IpAddr(10, 1, 2, 3), 81));
+  EXPECT_FALSE(r.matches(IpAddr(10, 1, 2, 4), 80));
+}
+
+TEST(ExitPolicyTest, WildcardsAndRanges) {
+  const PolicyRule any = PolicyRule::parse("reject *:*");
+  EXPECT_TRUE(any.matches(IpAddr(1, 2, 3, 4), 1));
+  const PolicyRule range = PolicyRule::parse("accept *:80-443");
+  EXPECT_TRUE(range.matches(IpAddr(8, 8, 8, 8), 80));
+  EXPECT_TRUE(range.matches(IpAddr(8, 8, 8, 8), 443));
+  EXPECT_FALSE(range.matches(IpAddr(8, 8, 8, 8), 444));
+}
+
+TEST(ExitPolicyTest, PrefixMatching) {
+  const PolicyRule r = PolicyRule::parse("accept 10.1.0.0/16:*");
+  EXPECT_TRUE(r.matches(IpAddr(10, 1, 200, 9), 12345));
+  EXPECT_FALSE(r.matches(IpAddr(10, 2, 0, 1), 12345));
+}
+
+TEST(ExitPolicyTest, FirstMatchWinsAndDefaultRejects) {
+  const ExitPolicy p = ExitPolicy::parse(
+      "reject 10.0.0.0/8:*\n"
+      "accept *:80\n");
+  EXPECT_FALSE(p.allows(IpAddr(10, 5, 5, 5), 80));  // first rule wins
+  EXPECT_TRUE(p.allows(IpAddr(8, 8, 8, 8), 80));
+  EXPECT_FALSE(p.allows(IpAddr(8, 8, 8, 8), 81));  // implicit default reject
+}
+
+TEST(ExitPolicyTest, AcceptOnlyMatchesPaperTestbedPolicy) {
+  // §4.1: "a restrictive exit policy that only allowed exiting to two
+  // specific IP addresses under our control".
+  const ExitPolicy p =
+      ExitPolicy::accept_only({IpAddr(5, 6, 7, 8), IpAddr(5, 6, 7, 9)});
+  EXPECT_TRUE(p.allows(IpAddr(5, 6, 7, 8), 4242));
+  EXPECT_TRUE(p.allows(IpAddr(5, 6, 7, 9), 1));
+  EXPECT_FALSE(p.allows(IpAddr(5, 6, 7, 10), 4242));
+  EXPECT_TRUE(p.allows_anything());
+  EXPECT_FALSE(ExitPolicy::reject_all().allows_anything());
+}
+
+TEST(ExitPolicyTest, RoundTripThroughText) {
+  const ExitPolicy p = ExitPolicy::parse(
+      "accept 10.1.0.0/16:80-443\nreject *:*");
+  const ExitPolicy q = ExitPolicy::parse(p.str());
+  EXPECT_EQ(p.str(), q.str());
+  EXPECT_TRUE(q.allows(IpAddr(10, 1, 3, 4), 100));
+  EXPECT_FALSE(q.allows(IpAddr(10, 1, 3, 4), 22));
+}
+
+TEST(ExitPolicyTest, RejectsBadSyntax) {
+  EXPECT_THROW(PolicyRule::parse("allow *:*"), CheckError);
+  EXPECT_THROW(PolicyRule::parse("accept *"), CheckError);
+  EXPECT_THROW(PolicyRule::parse("accept 1.2.3.4:99999"), CheckError);
+  EXPECT_THROW(PolicyRule::parse("accept 1.2.3.4/40:*"), CheckError);
+}
+
+// -------------------------------------------------------------- Descriptor
+
+TEST(DescriptorTest, SerializeParseRoundTrip) {
+  RelayDescriptor d = make_desc("alpha", 3, 2500);
+  d.flags = kFlagRunning | kFlagValid | kFlagGuard | kFlagExit;
+  d.exit_policy = ExitPolicy::accept_only({IpAddr(5, 6, 7, 8)});
+  d.reverse_dns = "host-3.example-isp.de";
+
+  const RelayDescriptor e = RelayDescriptor::parse(d.serialize());
+  EXPECT_EQ(e.nickname, "alpha");
+  EXPECT_EQ(e.fingerprint, d.fingerprint);
+  EXPECT_EQ(e.onion_key, d.onion_key);
+  EXPECT_EQ(e.address, d.address);
+  EXPECT_EQ(e.or_port, d.or_port);
+  EXPECT_EQ(e.bandwidth, 2500u);
+  EXPECT_EQ(e.flags, d.flags);
+  EXPECT_EQ(e.country_code, "DE");
+  EXPECT_EQ(e.reverse_dns, d.reverse_dns);
+  EXPECT_TRUE(e.exit_policy.allows(IpAddr(5, 6, 7, 8), 4242));
+  EXPECT_FALSE(e.exit_policy.allows(IpAddr(9, 9, 9, 9), 4242));
+}
+
+TEST(DescriptorTest, FlagsRoundTrip) {
+  EXPECT_EQ(flags_from_str(flags_str(kFlagRunning | kFlagExit)),
+            kFlagRunning | kFlagExit);
+  EXPECT_EQ(flags_from_str("Guard Fast"), kFlagGuard | kFlagFast);
+  EXPECT_THROW(flags_from_str("Bogus"), CheckError);
+}
+
+TEST(DescriptorTest, ParseRejectsTruncated) {
+  EXPECT_THROW(RelayDescriptor::parse("router a 1.2.3.4 9001\n"), CheckError);
+}
+
+// --------------------------------------------------------------- Consensus
+
+TEST(ConsensusTest, AddFindRemove) {
+  Consensus c;
+  c.add(make_desc("a", 1));
+  c.add(make_desc("b", 2));
+  EXPECT_EQ(c.size(), 2u);
+  const RelayDescriptor* a = c.find_nickname("a");
+  ASSERT_NE(a, nullptr);
+  const Fingerprint fp_a = a->fingerprint;  // copy: remove() invalidates a
+  EXPECT_NE(c.find(fp_a), nullptr);
+  EXPECT_TRUE(c.remove(fp_a));
+  EXPECT_FALSE(c.remove(fp_a));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.find(fp_a), nullptr);
+  EXPECT_NE(c.find_nickname("b"), nullptr);
+}
+
+TEST(ConsensusTest, AddRefreshesExisting) {
+  Consensus c;
+  c.add(make_desc("a", 1, 100));
+  RelayDescriptor updated = make_desc("a", 1, 999);
+  c.add(updated);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.find(updated.fingerprint)->bandwidth, 999u);
+}
+
+TEST(ConsensusTest, SerializeParseRoundTrip) {
+  Consensus c;
+  for (std::uint8_t i = 1; i <= 5; ++i)
+    c.add(make_desc("relay" + std::to_string(i), i, 100u * i));
+  const Consensus d = Consensus::parse(c.serialize());
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.total_bandwidth(), c.total_bandwidth());
+  EXPECT_NE(d.find_nickname("relay3"), nullptr);
+}
+
+TEST(ConsensusTest, WeightedSamplingFollowsBandwidth) {
+  Consensus c;
+  c.add(make_desc("light", 1, 100));
+  c.add(make_desc("heavy", 2, 900));
+  Rng rng(5);
+  int heavy = 0;
+  for (int i = 0; i < 5000; ++i)
+    if (c.sample_weighted(rng)->nickname == "heavy") ++heavy;
+  EXPECT_NEAR(heavy / 5000.0, 0.9, 0.03);
+}
+
+TEST(ConsensusTest, WeightedSamplingHonoursFlags) {
+  Consensus c;
+  RelayDescriptor guard = make_desc("guard", 1);
+  guard.flags |= kFlagGuard;
+  c.add(guard);
+  c.add(make_desc("plain", 2));
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(c.sample_weighted(rng, kFlagGuard)->nickname, "guard");
+  Consensus empty;
+  EXPECT_EQ(empty.sample_weighted(rng), nullptr);
+}
+
+// --------------------------------------------------------------- Authority
+
+TEST(AuthorityTest, PublishAndFetchOverNetwork) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, {}, 7);
+  const simnet::HostId auth_host =
+      net.add_host(IpAddr(10, 0, 0, 1), {50.0, 8.0});
+  const simnet::HostId relay_host =
+      net.add_host(IpAddr(10, 0, 0, 2), {48.0, 2.0});
+  const simnet::HostId client_host =
+      net.add_host(IpAddr(10, 0, 0, 3), {52.0, 13.0});
+
+  Authority authority(net, auth_host);
+  Authority::publish(net, relay_host, authority.endpoint(), make_desc("pub", 7));
+  loop.run();
+  EXPECT_EQ(authority.consensus().size(), 1u);
+
+  bool fetched = false;
+  Authority::fetch_consensus(net, client_host, authority.endpoint(),
+                             [&](Consensus c) {
+                               fetched = true;
+                               EXPECT_EQ(c.size(), 1u);
+                               EXPECT_NE(c.find_nickname("pub"), nullptr);
+                             });
+  loop.run();
+  EXPECT_TRUE(fetched);
+}
+
+TEST(AuthorityTest, InjectBypassesNetwork) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, {}, 8);
+  const simnet::HostId h = net.add_host(IpAddr(10, 0, 0, 1), {0, 0});
+  Authority authority(net, h);
+  authority.inject(make_desc("injected", 4));
+  EXPECT_NE(authority.consensus().find_nickname("injected"), nullptr);
+}
+
+}  // namespace
+}  // namespace ting::dir

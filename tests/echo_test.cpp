@@ -1,0 +1,106 @@
+// Tests for the echo pair and its RTT probes: server correctness, direct
+// probe accuracy and failure handling, and the stream probe's timeout path.
+#include <gtest/gtest.h>
+
+#include "echo/echo.h"
+#include "simnet/network.h"
+
+namespace ting::echo {
+namespace {
+
+struct EchoWorld {
+  simnet::EventLoop loop;
+  simnet::Network net;
+  simnet::HostId a, b;
+
+  EchoWorld() : net(loop, quiet(), 41) {
+    a = net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+    b = net.add_host(IpAddr(10, 0, 0, 2), {48.9, 2.3});
+  }
+  static simnet::LatencyConfig quiet() {
+    simnet::LatencyConfig c;
+    c.jitter_mean_ms = 0.001;
+    c.jitter_spike_prob = 0;
+    return c;
+  }
+};
+
+TEST(EchoServerTest, EchoesEveryMessageAndCounts) {
+  EchoWorld w;
+  EchoServer server(w.net, w.b);
+  EXPECT_EQ(server.endpoint().ip, w.net.ip_of(w.b));
+
+  std::vector<std::string> replies;
+  w.net.connect(w.a, server.endpoint(), simnet::Protocol::kTcp,
+                [&](simnet::ConnPtr conn) {
+                  conn->set_on_message([&](Bytes msg) {
+                    replies.emplace_back(msg.begin(), msg.end());
+                  });
+                  conn->send(Bytes{'o', 'n', 'e'});
+                  conn->send(Bytes{'t', 'w', 'o'});
+                });
+  w.loop.run();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], "one");
+  EXPECT_EQ(replies[1], "two");
+  EXPECT_EQ(server.echoes(), 2u);
+}
+
+TEST(DirectRttTest, MeasuresRoundTripIncludingConnect) {
+  EchoWorld w;
+  EchoServer server(w.net, w.b);
+  std::optional<std::optional<Duration>> result;
+  measure_direct_rtt(w.net, w.a, server.endpoint(),
+                     [&](std::optional<Duration> r) { result = r; });
+  w.loop.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->has_value());
+  // The measured value covers one echo round trip (post-connect).
+  const double rtt_ms =
+      w.net.latency().rtt(w.a, w.b, simnet::Protocol::kTcp).ms();
+  EXPECT_NEAR((*result)->ms(), rtt_ms, 1.0);
+}
+
+TEST(DirectRttTest, ReportsFailureWhenNothingListens) {
+  EchoWorld w;
+  std::optional<std::optional<Duration>> result;
+  measure_direct_rtt(w.net, w.a, Endpoint{w.net.ip_of(w.b), 9},
+                     [&](std::optional<Duration> r) { result = r; });
+  w.loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());
+}
+
+TEST(DirectRttTest, TimesOutOnCrashedServer) {
+  EchoWorld w;
+  EchoServer server(w.net, w.b);
+  w.net.set_host_down(w.b);
+  std::optional<std::optional<Duration>> result;
+  measure_direct_rtt(w.net, w.a, server.endpoint(),
+                     [&](std::optional<Duration> r) { result = r; },
+                     Duration::millis(700));
+  w.loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());
+}
+
+TEST(DirectRttTest, SequentialProbesAreIndependent) {
+  EchoWorld w;
+  EchoServer server(w.net, w.b);
+  std::vector<double> rtts;
+  std::function<void()> step = [&]() {
+    measure_direct_rtt(w.net, w.a, server.endpoint(),
+                       [&](std::optional<Duration> r) {
+                         if (r.has_value()) rtts.push_back(r->ms());
+                         if (rtts.size() < 5) step();
+                       });
+  };
+  step();
+  w.loop.run();
+  ASSERT_EQ(rtts.size(), 5u);
+  for (double ms : rtts) EXPECT_GT(ms, 0.0);
+  EXPECT_EQ(server.echoes(), 5u);
+}
+
+}  // namespace
+}  // namespace ting::echo

@@ -1,0 +1,222 @@
+// Failure-injection tests: relay crashes, unreachable extend targets,
+// missing echo servers, circuits torn down mid-measurement — the
+// measurement pipeline must fail *explicitly* (error results, timeouts),
+// never hang or silently return garbage.
+#include <gtest/gtest.h>
+
+#include "scenario/testbed.h"
+#include "ting/measurer.h"
+#include "ting/scheduler.h"
+#include "tor/onion_proxy.h"
+
+namespace ting::meas {
+namespace {
+
+scenario::TestbedOptions calm(std::uint64_t seed) {
+  scenario::TestbedOptions o;
+  o.seed = seed;
+  o.differential_fraction = 0;
+  o.latency.jitter_mean_ms = 0.05;
+  o.latency.jitter_spike_prob = 0;
+  return o;
+}
+
+TEST(FailureTest, HostDownDropsTrafficAndPings) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, {}, 71);
+  const simnet::HostId a = net.add_host(IpAddr(10, 0, 0, 1), {40, -74});
+  const simnet::HostId b = net.add_host(IpAddr(10, 0, 0, 2), {41, -75});
+  net.listen(b, 80);
+
+  net.set_host_down(b);
+  bool connected = false, failed = false;
+  net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, simnet::Protocol::kTcp,
+              [&](simnet::ConnPtr) { connected = true; },
+              [&](const std::string&) { failed = true; });
+  std::optional<std::optional<Duration>> ping_result;
+  net.ping(a, IpAddr(10, 0, 0, 2),
+           [&](std::optional<Duration> rtt) { ping_result = rtt; },
+           Duration::millis(300));
+  loop.run();
+  EXPECT_FALSE(connected);
+  EXPECT_TRUE(failed);
+  ASSERT_TRUE(ping_result.has_value());
+  EXPECT_FALSE(ping_result->has_value());
+
+  // Revive: connects succeed again.
+  net.set_host_down(b, false);
+  bool ok = false;
+  net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, simnet::Protocol::kTcp,
+              [&](simnet::ConnPtr) { ok = true; });
+  loop.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(FailureTest, InFlightTrafficToCrashedHostIsLost) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, {}, 72);
+  const simnet::HostId a = net.add_host(IpAddr(10, 0, 0, 1), {40, -74});
+  const simnet::HostId b = net.add_host(IpAddr(10, 0, 0, 2), {41, -75});
+  simnet::Listener* lis = net.listen(b, 80);
+  int received = 0;
+  lis->set_on_accept([&](simnet::ConnPtr c) {
+    c->set_on_message([&received](Bytes) { ++received; });
+  });
+  simnet::ConnPtr client;
+  net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, simnet::Protocol::kTcp,
+              [&](simnet::ConnPtr c) { client = c; });
+  loop.run();
+  ASSERT_NE(client, nullptr);
+
+  client->send(Bytes{1});
+  net.set_host_down(b);  // crashes while the message is in flight
+  client->send(Bytes{2});
+  loop.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(FailureTest, MeasurementFailsCleanlyWhenRelayCrashes) {
+  scenario::Testbed tb = scenario::planetlab31(calm(801));
+  TingConfig cfg;
+  cfg.samples = 50;
+  cfg.sample_timeout = Duration::seconds(5);
+  cfg.build_timeout = Duration::seconds(30);
+  TingMeasurer measurer(tb.ting(), cfg);
+
+  const auto x = tb.fp(2), y = tb.fp(9);
+  // Crash x before measuring: the C_xy circuit build cannot complete and
+  // the measurement must report an error within its deadline.
+  tb.net().set_host_down(tb.host_of(x));
+  const PairResult r = measurer.measure_blocking(x, y);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+
+  // A healthy pair still measures fine afterwards.
+  const PairResult ok = measurer.measure_blocking(tb.fp(3), tb.fp(9));
+  EXPECT_TRUE(ok.ok) << ok.error;
+}
+
+TEST(FailureTest, MeasurementFailsWhenRelayCrashesMidSampling) {
+  scenario::Testbed tb = scenario::planetlab31(calm(802));
+  TingConfig cfg;
+  cfg.samples = 2000;  // long enough that we can interrupt it
+  cfg.sample_timeout = Duration::millis(2500);
+  TingMeasurer measurer(tb.ting(), cfg);
+
+  const auto x = tb.fp(4), y = tb.fp(11);
+  std::optional<PairResult> result;
+  measurer.measure(x, y, [&](PairResult r) { result = std::move(r); });
+
+  // Let the measurement get going, then crash x.
+  tb.loop().run_until(tb.loop().now() + Duration::seconds(20));
+  EXPECT_FALSE(result.has_value());
+  tb.net().set_host_down(tb.host_of(x));
+
+  tb.loop().run_while_waiting_for([&] { return result.has_value(); },
+                                  Duration::seconds(3600 * 24));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+}
+
+TEST(FailureTest, ExtendToUnreachableRelayFailsCircuit) {
+  scenario::Testbed tb = scenario::planetlab31(calm(803));
+  // A descriptor whose ORPort nothing listens on.
+  dir::RelayDescriptor phantom = tb.relay(5).descriptor();
+  crypto::X25519Key k;
+  k.fill(0xcc);
+  phantom.onion_key = k;
+  phantom.fingerprint = dir::Fingerprint::of_identity(k);
+  phantom.nickname = "phantom";
+  phantom.or_port = 9999;
+  tb.ting().op().add_descriptor(phantom);
+
+  bool failed = false;
+  tb.ting().op().build_circuit(
+      {tb.ting().w_fp(), tb.fp(0), phantom.fingerprint, tb.ting().z_fp()},
+      [](tor::CircuitHandle) { FAIL() << "circuit should not build"; },
+      [&](const std::string&) { failed = true; });
+  tb.loop().run_while_waiting_for([&] { return failed; },
+                                  Duration::seconds(120));
+  EXPECT_TRUE(failed);
+  // Relay 0 must not leak the half-built circuit.
+  tb.loop().run_until(tb.loop().now() + Duration::seconds(2));
+  EXPECT_EQ(tb.relay(0).open_circuits(), 0u);
+}
+
+TEST(FailureTest, MissingEchoServerEndsStream) {
+  scenario::Testbed tb = scenario::planetlab31(calm(804));
+  bool built = false;
+  tor::CircuitHandle handle = 0;
+  tb.ting().op().build_circuit(
+      {tb.ting().w_fp(), tb.fp(1), tb.ting().z_fp()},
+      [&](tor::CircuitHandle h) {
+        built = true;
+        handle = h;
+      },
+      {});
+  tb.loop().run_while_waiting_for([&] { return built; },
+                                  Duration::seconds(60));
+  ASSERT_TRUE(built);
+
+  // Target an address z's policy allows but where nothing listens.
+  bool stream_failed = false;
+  tb.ting().op().open_stream(
+      handle, Endpoint{tb.net().ip_of(tb.measurement_host()), 12345},
+      [] { FAIL() << "nothing listens there"; },
+      [&](const std::string&) { stream_failed = true; });
+  tb.loop().run_while_waiting_for([&] { return stream_failed; },
+                                  Duration::seconds(60));
+  EXPECT_TRUE(stream_failed);
+}
+
+TEST(FailureTest, CircuitClosedUnderActiveStreamNotifiesIt) {
+  scenario::Testbed tb = scenario::planetlab31(calm(805));
+  bool built = false;
+  tor::CircuitHandle handle = 0;
+  tb.ting().op().build_circuit(
+      {tb.ting().w_fp(), tb.fp(2), tb.ting().z_fp()},
+      [&](tor::CircuitHandle h) {
+        built = true;
+        handle = h;
+      },
+      {});
+  tb.loop().run_while_waiting_for([&] { return built; },
+                                  Duration::seconds(60));
+  ASSERT_TRUE(built);
+
+  bool connected = false, closed = false;
+  auto stream = tb.ting().op().open_stream(
+      handle, tb.ting().echo_endpoint(), [&] { connected = true; }, {});
+  tb.loop().run_while_waiting_for([&] { return connected; },
+                                  Duration::seconds(60));
+  ASSERT_TRUE(connected);
+  stream->set_on_close([&] { closed = true; });
+
+  tb.ting().op().close_circuit(handle);
+  tb.loop().run();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(stream->state(), tor::StreamState::kClosed);
+}
+
+TEST(FailureTest, ScanSurvivesACrashedRelay) {
+  scenario::Testbed tb = scenario::planetlab31(calm(806));
+  TingConfig cfg;
+  cfg.samples = 20;
+  cfg.sample_timeout = Duration::seconds(2);
+  cfg.build_timeout = Duration::seconds(20);
+  TingMeasurer measurer(tb.ting(), cfg);
+  RttMatrix cache;
+  AllPairsScanner scanner(measurer, cache);
+
+  tb.net().set_host_down(tb.host_of(tb.fp(1)));
+  std::vector<dir::Fingerprint> nodes{tb.fp(0), tb.fp(1), tb.fp(2)};
+  ScanOptions options;
+  options.attempts_per_pair = 1;
+  const ScanReport report = scanner.scan(nodes, options);
+  EXPECT_EQ(report.measured, 1u);  // only (0, 2)
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_TRUE(cache.contains(tb.fp(0), tb.fp(2)));
+}
+
+}  // namespace
+}  // namespace ting::meas

@@ -1,0 +1,204 @@
+// Tests for the geo substrate: great-circle math, the embedded city table's
+// coverage guarantees (which the PlanetLab-style testbed depends on), IP
+// allocation invariants, and the geolocation error model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/cities.h"
+#include "geo/geo.h"
+#include "geo/geolocation.h"
+#include "geo/ipalloc.h"
+
+namespace ting::geo {
+namespace {
+
+TEST(GreatCircleTest, ZeroDistanceForSamePoint) {
+  const GeoPoint p{48.86, 2.35};
+  EXPECT_NEAR(great_circle_km(p, p), 0.0, 1e-9);
+}
+
+TEST(GreatCircleTest, KnownDistances) {
+  const GeoPoint nyc{40.71, -74.01}, london{51.51, -0.13};
+  const double d = great_circle_km(nyc, london);
+  EXPECT_GT(d, 5400);  // actual ~5570 km
+  EXPECT_LT(d, 5750);
+
+  const GeoPoint sydney{-33.87, 151.21};
+  const double d2 = great_circle_km(london, sydney);
+  EXPECT_GT(d2, 16500);  // actual ~16990 km
+  EXPECT_LT(d2, 17500);
+}
+
+TEST(GreatCircleTest, Symmetric) {
+  const GeoPoint a{10, 20}, b{-30, 120};
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(GreatCircleTest, TriangleInequalityHoldsForDistance) {
+  // Geographic distance never violates the triangle inequality — the paper's
+  // point is that *latencies* do (Fig 14); distances are the control.
+  const GeoPoint a{40.71, -74.01}, b{51.51, -0.13}, c{35.68, 139.69};
+  EXPECT_LE(great_circle_km(a, b),
+            great_circle_km(a, c) + great_circle_km(c, b) + 1e-6);
+}
+
+TEST(GreatCircleTest, AntipodalNearHalfCircumference) {
+  const GeoPoint p{0, 0}, q{0, 180};
+  EXPECT_NEAR(great_circle_km(p, q), 6371.0 * 3.14159265, 30.0);
+}
+
+TEST(SpeedOfLightTest, RttBoundsRoundTrip) {
+  // 1000 km at (2/3)c: one-way 5.0ms, RTT 10.0ms.
+  EXPECT_NEAR(min_rtt_ms_for_distance(1000), 10.0, 0.1);
+  EXPECT_NEAR(max_distance_km_for_rtt(min_rtt_ms_for_distance(1234)), 1234,
+              1e-6);
+}
+
+TEST(CitiesTest, TablePopulatedAndValid) {
+  const auto cities = all_cities();
+  EXPECT_GE(cities.size(), 100u);
+  for (const City& c : cities) {
+    EXPECT_GE(c.lat, -90.0);
+    EXPECT_LE(c.lat, 90.0);
+    EXPECT_GE(c.lon, -180.0);
+    EXPECT_LE(c.lon, 180.0);
+    EXPECT_GT(c.tor_weight, 0.0);
+    EXPECT_EQ(std::string(c.country_code).size(), 2u);
+  }
+}
+
+TEST(CitiesTest, PaperTestbedCoverageAvailable) {
+  // §4.1 requires: >= 6 EU countries, >= 9 US states, and at least one city
+  // in Asia, South America, Australia, and the Middle East.
+  std::set<std::string> eu_countries, us_states;
+  for (const City& c : all_cities()) {
+    if (c.region == Region::kEurope) eu_countries.insert(c.country_code);
+    if (c.region == Region::kUS) us_states.insert(c.admin_region);
+  }
+  EXPECT_GE(eu_countries.size(), 6u);
+  EXPECT_GE(us_states.size(), 9u);
+  EXPECT_FALSE(cities_in_region(Region::kAsia).empty());
+  EXPECT_FALSE(cities_in_region(Region::kSouthAmerica).empty());
+  EXPECT_FALSE(cities_in_region(Region::kAustralia).empty());
+  EXPECT_FALSE(cities_in_region(Region::kMiddleEast).empty());
+}
+
+TEST(CitiesTest, RegionAndCountryFilters) {
+  for (const City* c : cities_in_region(Region::kAsia))
+    EXPECT_EQ(static_cast<int>(c->region), static_cast<int>(Region::kAsia));
+  const auto de = cities_in_country("DE");
+  EXPECT_GE(de.size(), 2u);
+  for (const City* c : de) EXPECT_STREQ(c->country_code, "DE");
+}
+
+TEST(CitiesTest, TorWeightedSamplingFavoursUSAndEurope) {
+  Rng rng(7);
+  int us_eu = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    const City& c = sample_city_tor_weighted(rng);
+    if (c.region == Region::kUS || c.region == Region::kEurope) ++us_eu;
+  }
+  // The real Tor network concentrates in the US and Europe; the sampler
+  // should reflect that strongly.
+  EXPECT_GT(static_cast<double>(us_eu) / kTrials, 0.75);
+}
+
+TEST(CitiesTest, JitterStaysNearby) {
+  Rng rng(8);
+  const GeoPoint base{48.0, 11.0};
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint p = jitter_location(base, 30.0, rng);
+    EXPECT_LT(great_circle_km(base, p), 80.0);
+  }
+}
+
+TEST(IpAllocTest, AddressesAreUnique) {
+  IpAllocator alloc(3);
+  std::set<IpAddr> seen;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(seen.insert(alloc.allocate("DE", HostKind::kResidential)).second);
+    EXPECT_TRUE(seen.insert(alloc.allocate("US", HostKind::kDatacenter)).second);
+  }
+  EXPECT_EQ(alloc.allocated(), 1000u);
+}
+
+TEST(IpAllocTest, ResidentialSpreadsAcrossSlash24s) {
+  IpAllocator alloc(4);
+  std::set<std::uint32_t> nets;
+  for (int i = 0; i < 100; ++i)
+    nets.insert(alloc.allocate("FR", HostKind::kResidential).slash24());
+  EXPECT_EQ(nets.size(), 100u);  // one host per /24
+}
+
+TEST(IpAllocTest, DatacenterPartiallyPacksSlash24s) {
+  // ~75% of datacenter relays sit alone in a /24; ~25% pack into big
+  // provider ranges, so the /24-to-host ratio lands well below 1 but far
+  // above a fully-packed floor.
+  IpAllocator alloc(5);
+  std::set<std::uint32_t> nets;
+  const int kHosts = 400;
+  for (int i = 0; i < kHosts; ++i)
+    nets.insert(alloc.allocate("NL", HostKind::kDatacenter).slash24());
+  EXPECT_LT(nets.size(), static_cast<std::size_t>(kHosts));
+  EXPECT_GT(nets.size(), static_cast<std::size_t>(kHosts) / 2);
+}
+
+TEST(IpAllocTest, CountriesGetDistinctSlash16Space) {
+  IpAllocator alloc(6);
+  const IpAddr de = alloc.allocate("DE", HostKind::kResidential);
+  const IpAddr us = alloc.allocate("US", HostKind::kResidential);
+  EXPECT_NE(de.slash16(), us.slash16());
+}
+
+TEST(IpAddrTest, FormattingAndParsing) {
+  const IpAddr a(192, 168, 1, 20);
+  EXPECT_EQ(a.str(), "192.168.1.20");
+  EXPECT_EQ(IpAddr::parse("192.168.1.20"), a);
+  EXPECT_FALSE(IpAddr::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddr::parse("1.2.3.999").has_value());
+  EXPECT_FALSE(IpAddr::parse("a.b.c.d").has_value());
+  EXPECT_EQ(a.slash24(), IpAddr(192, 168, 1, 77).slash24());
+  EXPECT_NE(a.slash24(), IpAddr(192, 168, 2, 20).slash24());
+  EXPECT_EQ(a.slash16(), IpAddr(192, 168, 200, 1).slash16());
+}
+
+TEST(GeolocationTest, LookupIsDeterministicAndClose) {
+  GeolocationService svc(GeolocationConfig{.typical_error_km = 20.0,
+                                           .gross_error_rate = 0.0,
+                                           .seed = 11});
+  const GeoPoint truth{52.52, 13.40};
+  const IpAddr ip(10, 0, 0, 1);
+  svc.register_host(ip, truth);
+  const auto a = svc.lookup(ip);
+  const auto b = svc.lookup(ip);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lat, b->lat);
+  EXPECT_LT(great_circle_km(truth, *a), 200.0);
+  EXPECT_EQ(svc.ground_truth(ip)->lat, truth.lat);
+}
+
+TEST(GeolocationTest, UnknownAddressReturnsNullopt) {
+  GeolocationService svc;
+  EXPECT_FALSE(svc.lookup(IpAddr(1, 2, 3, 4)).has_value());
+}
+
+TEST(GeolocationTest, GrossErrorsOccurAtConfiguredRate) {
+  GeolocationService svc(GeolocationConfig{.typical_error_km = 10.0,
+                                           .gross_error_rate = 0.2,
+                                           .seed = 12});
+  const GeoPoint truth{40.71, -74.01};  // NYC
+  int gross = 0;
+  const int kHosts = 500;
+  for (int i = 0; i < kHosts; ++i) {
+    const IpAddr ip(static_cast<std::uint32_t>(0x0a000000 + i));
+    svc.register_host(ip, truth);
+    if (great_circle_km(truth, *svc.lookup(ip)) > 500.0) ++gross;
+  }
+  EXPECT_GT(gross, kHosts / 10);
+  EXPECT_LT(gross, kHosts / 2);
+}
+
+}  // namespace
+}  // namespace ting::geo

@@ -1,0 +1,89 @@
+// Tests for the MeasurementHost apparatus (§3.3's s/d/w/z deployment):
+// descriptor injection, z's restrictive exit policy, controller session
+// setup (including __LeaveStreamsUnattached), and end-to-end wiring via
+// the control protocol only.
+#include <gtest/gtest.h>
+
+#include "scenario/testbed.h"
+#include "ting/measurement_host.h"
+#include "ting/measurer.h"
+
+namespace ting::meas {
+namespace {
+
+scenario::TestbedOptions calm(std::uint64_t seed) {
+  scenario::TestbedOptions o;
+  o.seed = seed;
+  o.differential_fraction = 0;
+  o.latency.jitter_mean_ms = 0.02;
+  o.latency.jitter_spike_prob = 0;
+  return o;
+}
+
+TEST(MeasurementHostTest, LocalRelaysAreInjectedNotPublished) {
+  scenario::TestbedOptions o = calm(501);
+  o.start_measurement_host = false;
+  scenario::Testbed tb = scenario::planetlab31(o);
+  // The OP knows w and z (hard-coded descriptors)...
+  EXPECT_NE(tb.ting().op().consensus().find(tb.ting().w_fp()), nullptr);
+  EXPECT_NE(tb.ting().op().consensus().find(tb.ting().z_fp()), nullptr);
+  // ...but the testbed's own consensus does not carry them (never
+  // published, per the PublishDescriptors 0 route).
+  EXPECT_EQ(tb.consensus().find(tb.ting().w_fp()), nullptr);
+  EXPECT_EQ(tb.consensus().find(tb.ting().z_fp()), nullptr);
+}
+
+TEST(MeasurementHostTest, ZExitsOnlyToOurHost) {
+  scenario::TestbedOptions o = calm(502);
+  o.start_measurement_host = false;
+  scenario::Testbed tb = scenario::planetlab31(o);
+  const auto& z = tb.ting().z();
+  const IpAddr home = tb.net().ip_of(tb.measurement_host());
+  EXPECT_TRUE(z.descriptor().exit_policy.allows(home, 4242));
+  EXPECT_TRUE(z.descriptor().exit_policy.allows(home, 80));
+  EXPECT_FALSE(z.descriptor().exit_policy.allows(IpAddr(8, 8, 8, 8), 4242));
+  // w never exits.
+  EXPECT_FALSE(tb.ting().w().descriptor().exit_policy.allows_anything());
+  EXPECT_TRUE(z.descriptor().has_flag(dir::kFlagExit));
+}
+
+TEST(MeasurementHostTest, StartEstablishesControllerAndManualAttachment) {
+  scenario::Testbed tb = scenario::planetlab31(calm(503));
+  EXPECT_TRUE(tb.ting().ready());
+  // SETCONF __LeaveStreamsUnattached took effect: SOCKS streams wait.
+  EXPECT_TRUE(tb.ting().op().config().leave_streams_unattached);
+}
+
+TEST(MeasurementHostTest, AllFourProcessesShareTheHost) {
+  scenario::TestbedOptions o = calm(504);
+  o.start_measurement_host = false;
+  scenario::Testbed tb = scenario::planetlab31(o);
+  const IpAddr home = tb.net().ip_of(tb.measurement_host());
+  EXPECT_EQ(tb.ting().w().descriptor().address, home);
+  EXPECT_EQ(tb.ting().z().descriptor().address, home);
+  EXPECT_EQ(tb.ting().echo_endpoint().ip, home);
+  EXPECT_EQ(tb.ting().socks_endpoint().ip, home);
+  // Distinct ports, of course.
+  EXPECT_NE(tb.ting().w().descriptor().or_port,
+            tb.ting().z().descriptor().or_port);
+}
+
+TEST(MeasurementHostTest, MeasurementUsesOnlyControlPlaneInterfaces) {
+  // A full pair measurement drives w and z: both must have processed cells
+  // (i.e., the measurement really went through our relays, not around
+  // them), and every circuit is cleaned up afterwards.
+  scenario::Testbed tb = scenario::planetlab31(calm(505));
+  TingConfig cfg;
+  cfg.samples = 30;
+  TingMeasurer measurer(tb.ting(), cfg);
+  const PairResult r = measurer.measure_blocking(tb.fp(1), tb.fp(7));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(tb.ting().w().cells_processed(), 90u);  // 3 circuits x 30 echos
+  EXPECT_GT(tb.ting().z().cells_processed(), 90u);
+  tb.loop().run_until(tb.loop().now() + Duration::seconds(5));
+  EXPECT_EQ(tb.ting().w().open_circuits(), 0u);
+  EXPECT_EQ(tb.ting().z().open_circuits(), 0u);
+}
+
+}  // namespace
+}  // namespace ting::meas

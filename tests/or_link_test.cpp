@@ -1,0 +1,161 @@
+// Tests for the OR-connection link handshake (VERSIONS/NETINFO): version
+// negotiation, queueing of circuit cells until the link opens, ordering
+// guarantees, and rejection of protocol violations.
+#include <gtest/gtest.h>
+
+#include "tor/or_link.h"
+
+namespace ting::tor {
+namespace {
+
+struct LinkWorld {
+  simnet::EventLoop loop;
+  simnet::Network net;
+  simnet::HostId a, b;
+
+  LinkWorld() : net(loop, quiet(), 61) {
+    a = net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+    b = net.add_host(IpAddr(10, 0, 0, 2), {51.5, -0.1});
+  }
+  static simnet::LatencyConfig quiet() {
+    simnet::LatencyConfig c;
+    c.jitter_mean_ms = 0.01;
+    c.jitter_spike_prob = 0;
+    return c;
+  }
+};
+
+TEST(OrLinkTest, VersionsPayloadRoundTrip) {
+  const Bytes payload = encode_versions_payload();
+  const auto versions = decode_versions_payload(
+      std::span<const std::uint8_t>(payload.data(), payload.size()));
+  ASSERT_EQ(versions.size(), std::size(kSupportedLinkVersions));
+  for (std::size_t i = 0; i < versions.size(); ++i)
+    EXPECT_EQ(versions[i], kSupportedLinkVersions[i]);
+}
+
+TEST(OrLinkTest, VersionNegotiationPicksHighestCommon) {
+  EXPECT_EQ(negotiate_version({3, 4, 5}), 5);
+  EXPECT_EQ(negotiate_version({3}), 3);
+  EXPECT_EQ(negotiate_version({4, 9}), 4);
+  EXPECT_EQ(negotiate_version({1, 2}), 0);
+  EXPECT_EQ(negotiate_version({}), 0);
+}
+
+TEST(OrLinkTest, HandshakeOpensBothSidesAndNegotiates) {
+  LinkWorld w;
+  OrLink::Ptr server_link;
+  simnet::Listener* lis = w.net.listen(w.b, 9001);
+  lis->set_on_accept([&](simnet::ConnPtr conn) {
+    server_link = OrLink::accept(w.net, std::move(conn));
+  });
+
+  OrLink::Ptr client_link;
+  bool client_open = false;
+  w.net.connect(w.a, Endpoint{w.net.ip_of(w.b), 9001}, simnet::Protocol::kTor,
+                [&](simnet::ConnPtr conn) {
+                  client_link = OrLink::initiate(w.net, std::move(conn));
+                  client_link->set_on_open([&] { client_open = true; });
+                });
+  w.loop.run();
+  ASSERT_NE(client_link, nullptr);
+  ASSERT_NE(server_link, nullptr);
+  EXPECT_TRUE(client_open);
+  EXPECT_TRUE(client_link->is_open());
+  EXPECT_TRUE(server_link->is_open());
+  EXPECT_EQ(client_link->version(), 5);
+  EXPECT_EQ(server_link->version(), 5);
+}
+
+TEST(OrLinkTest, CellsQueuedUntilOpenArriveInOrderAfterHandshake) {
+  LinkWorld w;
+  std::vector<std::uint32_t> received;
+  simnet::Listener* lis = w.net.listen(w.b, 9001);
+  OrLink::Ptr server_link;
+  lis->set_on_accept([&](simnet::ConnPtr conn) {
+    server_link = OrLink::accept(w.net, std::move(conn));
+    server_link->set_on_cell([&](Bytes wire) {
+      const auto cell = cells::Cell::decode(
+          std::span<const std::uint8_t>(wire.data(), wire.size()));
+      // The server must never see a circuit cell before its link opened.
+      EXPECT_TRUE(server_link->is_open());
+      received.push_back(cell.circ_id);
+    });
+  });
+
+  w.net.connect(w.a, Endpoint{w.net.ip_of(w.b), 9001}, simnet::Protocol::kTor,
+                [&](simnet::ConnPtr conn) {
+                  auto link = OrLink::initiate(w.net, std::move(conn));
+                  // Queue three circuit cells immediately — before the
+                  // handshake can possibly have completed.
+                  for (std::uint32_t id = 1; id <= 3; ++id)
+                    link->send_cell(cells::Cell::make(
+                                        id, cells::CellCommand::kCreate,
+                                        Bytes(32, 1))
+                                        .encode());
+                  EXPECT_FALSE(link->is_open());
+                });
+  w.loop.run();
+  EXPECT_EQ(received, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(OrLinkTest, SetOnOpenAfterOpenFiresImmediately) {
+  LinkWorld w;
+  simnet::Listener* lis = w.net.listen(w.b, 9001);
+  OrLink::Ptr server_link;
+  lis->set_on_accept([&](simnet::ConnPtr conn) {
+    server_link = OrLink::accept(w.net, std::move(conn));
+  });
+  OrLink::Ptr client_link;
+  w.net.connect(w.a, Endpoint{w.net.ip_of(w.b), 9001}, simnet::Protocol::kTor,
+                [&](simnet::ConnPtr conn) {
+                  client_link = OrLink::initiate(w.net, std::move(conn));
+                });
+  w.loop.run();
+  ASSERT_TRUE(client_link->is_open());
+  bool fired = false;
+  client_link->set_on_open([&] { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(OrLinkTest, CircuitCellBeforeHandshakeClosesConnection) {
+  LinkWorld w;
+  simnet::Listener* lis = w.net.listen(w.b, 9001);
+  OrLink::Ptr server_link;
+  lis->set_on_accept([&](simnet::ConnPtr conn) {
+    server_link = OrLink::accept(w.net, std::move(conn));
+  });
+  bool closed = false;
+  w.net.connect(w.a, Endpoint{w.net.ip_of(w.b), 9001}, simnet::Protocol::kTor,
+                [&](simnet::ConnPtr conn) {
+                  conn->set_on_close([&] { closed = true; });
+                  // A rogue peer that skips VERSIONS entirely.
+                  conn->send(cells::Cell::make(7, cells::CellCommand::kCreate,
+                                               Bytes(32, 2))
+                                 .encode());
+                });
+  w.loop.run();
+  EXPECT_TRUE(closed);
+  ASSERT_NE(server_link, nullptr);
+  EXPECT_FALSE(server_link->is_open());
+}
+
+TEST(OrLinkTest, GarbageInsteadOfCellClosesConnection) {
+  LinkWorld w;
+  simnet::Listener* lis = w.net.listen(w.b, 9001);
+  OrLink::Ptr server_link;
+  lis->set_on_accept([&](simnet::ConnPtr conn) {
+    server_link = OrLink::accept(w.net, std::move(conn));
+  });
+  bool closed = false;
+  w.net.connect(w.a, Endpoint{w.net.ip_of(w.b), 9001}, simnet::Protocol::kTor,
+                [&](simnet::ConnPtr conn) {
+                  conn->set_on_close([&] { closed = true; });
+                  conn->send(Bytes{1, 2, 3});  // not even a cell
+                });
+  w.loop.run();
+  EXPECT_TRUE(closed);
+}
+
+}  // namespace
+}  // namespace ting::tor

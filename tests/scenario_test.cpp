@@ -1,0 +1,168 @@
+// Tests for the scenario builders: the PlanetLab testbed's §4.1 coverage
+// guarantees, live-Tor population statistics, rDNS synthesis, and the
+// consensus timeline used by Fig 18.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/rdns.h"
+#include "scenario/testbed.h"
+#include "scenario/timeline.h"
+
+namespace ting::scenario {
+namespace {
+
+TestbedOptions fast_options(std::uint64_t seed = 3) {
+  TestbedOptions o;
+  o.seed = seed;
+  o.start_measurement_host = false;  // cheaper when only inspecting topology
+  return o;
+}
+
+TEST(PlanetLabTest, HasPaperGeography) {
+  Testbed tb = planetlab31(fast_options());
+  EXPECT_EQ(tb.relay_count(), 31u);
+  std::set<std::string> eu_countries, us_cities;
+  bool asia = false, sa = false, au = false, me = false;
+  for (std::size_t i = 0; i < tb.relay_count(); ++i) {
+    const auto& d = tb.relay(i).descriptor();
+    const std::string cc = d.country_code;
+    if (cc == "JP") asia = true;
+    if (cc == "BR") sa = true;
+    if (cc == "AU") au = true;
+    if (cc == "IL") me = true;
+    for (const char* eu : {"GB", "FR", "DE", "NL", "SE", "CH", "AT"})
+      if (cc == eu) eu_countries.insert(cc);
+  }
+  EXPECT_GE(eu_countries.size(), 6u);
+  EXPECT_TRUE(asia);
+  EXPECT_TRUE(sa);
+  EXPECT_TRUE(au);
+  EXPECT_TRUE(me);
+}
+
+TEST(PlanetLabTest, PairwiseRttsSpanPaperRange) {
+  Testbed tb = planetlab31(fast_options(5));
+  double lo = 1e18, hi = 0;
+  std::set<std::int64_t> distinct;
+  for (std::size_t i = 0; i < tb.relay_count(); ++i)
+    for (std::size_t j = i + 1; j < tb.relay_count(); ++j) {
+      const double ms = tb.true_rtt_ms(tb.fp(i), tb.fp(j));
+      lo = std::min(lo, ms);
+      hi = std::max(hi, ms);
+      distinct.insert(static_cast<std::int64_t>(ms * 1e6));
+    }
+  // §4.1: latencies "ranged from very close (~0ms) to nearly antipodal
+  // (~500ms)" and were unique per pair.
+  EXPECT_LT(lo, 25.0);
+  EXPECT_GT(hi, 250.0);
+  EXPECT_EQ(distinct.size(), 31u * 30 / 2);
+}
+
+TEST(PlanetLabTest, MeasurementHostStartsAndMeasures) {
+  TestbedOptions o;
+  o.seed = 8;
+  o.differential_fraction = 0;
+  Testbed tb = planetlab31(o);
+  EXPECT_TRUE(tb.ting().ready());
+}
+
+TEST(PlanetLabTest, ExitPoliciesAreRestrictive) {
+  Testbed tb = planetlab31(fast_options(9));
+  const IpAddr meas_ip = tb.net().ip_of(tb.measurement_host());
+  for (std::size_t i = 0; i < tb.relay_count(); ++i) {
+    const auto& policy = tb.relay(i).descriptor().exit_policy;
+    EXPECT_TRUE(policy.allows(meas_ip, 4242));
+    EXPECT_FALSE(policy.allows(IpAddr(8, 8, 8, 8), 80));
+  }
+}
+
+TEST(LiveTorTest, PopulationStatisticsMatchTargets) {
+  Testbed tb = live_tor(400, fast_options(13));
+  EXPECT_EQ(tb.relay_count(), 400u);
+  int named = 0, residential = 0, us_eu = 0, guards = 0, fast = 0;
+  std::set<std::uint32_t> slash24;
+  for (std::size_t i = 0; i < tb.relay_count(); ++i) {
+    const auto& d = tb.relay(i).descriptor();
+    slash24.insert(d.address.slash24());
+    if (!d.reverse_dns.empty()) {
+      ++named;
+      if (d.reverse_dns.find("-sim.net") != std::string::npos ||
+          d.reverse_dns.find("comcast") != std::string::npos ||
+          d.reverse_dns.find("dip0") != std::string::npos ||
+          d.reverse_dns.find("wanadoo") != std::string::npos ||
+          d.reverse_dns.find("p") == 0)
+        residential += (d.reverse_dns.find("server-") != 0) ? 1 : 0;
+    }
+    for (const char* cc :
+         {"US", "DE", "FR", "NL", "GB", "SE", "CH", "AT", "IT", "ES", "PL",
+          "CZ", "RO", "RU", "FI", "DK", "NO", "IE", "HU", "GR", "PT", "BE",
+          "UA", "IS", "LU", "BG", "SI", "HR", "LT", "EE", "LV"})
+      if (d.country_code == cc) {
+        ++us_eu;
+        break;
+      }
+    if (d.has_flag(dir::kFlagGuard)) ++guards;
+    if (d.has_flag(dir::kFlagFast)) ++fast;
+  }
+  EXPECT_GT(named, 300);                  // ~83% have rDNS
+  EXPECT_GT(residential, named / 2);      // ~61% of named are residential
+  EXPECT_GT(us_eu, 280);                  // strong US/EU concentration
+  EXPECT_GT(guards, 20);
+  EXPECT_GT(fast, 100);
+  // Residential hosts scatter across /24s: nearly one prefix per relay.
+  EXPECT_GT(slash24.size(), 250u);
+}
+
+TEST(RdnsTest, ClassShapesAndDeterminism) {
+  Rng rng(17);
+  const IpAddr ip(73, 120, 42, 7);
+  const std::string us = make_rdns(ip, HostClass::kResidential, "US", rng);
+  EXPECT_EQ(us.find("c-73-120-42-7"), 0u);
+  const std::string de = make_rdns(ip, HostClass::kResidential, "DE", rng);
+  EXPECT_EQ(de[0], 'p');
+  const std::string dc = make_rdns(ip, HostClass::kDatacenter, "US", rng);
+  EXPECT_EQ(dc.find("server-"), 0u);
+  EXPECT_EQ(make_rdns(ip, HostClass::kNoRdns, "US", rng), "");
+}
+
+TEST(TimelineTest, TracksPaperScaleAndGrowth) {
+  TimelineOptions o;
+  o.days = 60;
+  o.initial_relays = 6400;
+  const ConsensusTimeline tl = make_timeline(o);
+  ASSERT_EQ(tl.days.size(), 60u);
+  EXPECT_EQ(tl.days.front().date, "2015-02-28");
+  EXPECT_EQ(tl.days.back().date, "2015-04-28");
+  // Fig 18's bands: ~6-7k relays running, 5426-6044 unique /24s (a
+  // /24-to-relay ratio of roughly 0.85).
+  for (const auto& d : tl.days) {
+    EXPECT_GT(d.total_relays, 5500u);
+    EXPECT_LT(d.total_relays, 8500u);
+    EXPECT_GT(d.unique_slash24, 5000u);
+    EXPECT_LT(d.unique_slash24, d.total_relays);
+    const double ratio = static_cast<double>(d.unique_slash24) /
+                         static_cast<double>(d.total_relays);
+    EXPECT_GT(ratio, 0.75);
+    EXPECT_LT(ratio, 0.97);
+  }
+  // Net growth over the window.
+  EXPECT_GT(tl.days.back().total_relays, tl.days.front().total_relays);
+  EXPECT_EQ(tl.final_consensus.size(), tl.days.back().total_relays);
+}
+
+TEST(TimelineTest, DeterministicForSeed) {
+  TimelineOptions o;
+  o.days = 10;
+  o.initial_relays = 500;
+  const ConsensusTimeline a = make_timeline(o);
+  const ConsensusTimeline b = make_timeline(o);
+  ASSERT_EQ(a.days.size(), b.days.size());
+  for (std::size_t i = 0; i < a.days.size(); ++i) {
+    EXPECT_EQ(a.days[i].total_relays, b.days[i].total_relays);
+    EXPECT_EQ(a.days[i].unique_slash24, b.days[i].unique_slash24);
+  }
+}
+
+}  // namespace
+}  // namespace ting::scenario

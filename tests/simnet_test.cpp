@@ -1,0 +1,429 @@
+// Tests for the discrete-event simulator: event-loop ordering and
+// cancellation, latency-model structure (symmetry, determinism, protocol
+// bias, TIV existence), and transport semantics (handshake cost, FIFO
+// delivery, close propagation, ping).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/event_loop.h"
+#include "simnet/latency_model.h"
+#include "simnet/network.h"
+
+namespace ting::simnet {
+namespace {
+
+// -------------------------------------------------------------- EventLoop
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  loop.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  loop.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now().ms(), 30.0);
+}
+
+TEST(EventLoopTest, EqualTimestampsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    loop.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, NestedScheduling) {
+  EventLoop loop;
+  std::vector<std::string> trace;
+  loop.schedule(Duration::millis(1), [&] {
+    trace.push_back("outer");
+    loop.schedule(Duration::millis(1), [&] { trace.push_back("inner"); });
+  });
+  loop.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"outer", "inner"}));
+  EXPECT_EQ(loop.now().ms(), 2.0);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId id = loop.schedule(Duration::millis(1), [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  const EventId id = loop.schedule(Duration::millis(1), [] {});
+  loop.run();
+  loop.cancel(id);  // must not crash or corrupt
+  EXPECT_FALSE(loop.run_one());
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockToDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(Duration::millis(5), [&] { ++count; });
+  loop.schedule(Duration::millis(50), [&] { ++count; });
+  loop.run_until(TimePoint{} + Duration::millis(20));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now().ms(), 20.0);
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoopTest, SchedulingIntoThePastThrows) {
+  EventLoop loop;
+  loop.schedule(Duration::millis(10), [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(TimePoint{} + Duration::millis(5), [] {}),
+               CheckError);
+}
+
+TEST(EventLoopTest, WaitForPredicateSucceeds) {
+  EventLoop loop;
+  bool flag = false;
+  loop.schedule(Duration::millis(10), [&] { flag = true; });
+  EXPECT_TRUE(loop.run_while_waiting_for([&] { return flag; },
+                                         Duration::seconds(1)));
+}
+
+TEST(EventLoopTest, WaitForPredicateTimesOut) {
+  EventLoop loop;
+  bool flag = false;
+  loop.schedule(Duration::seconds(10), [&] { flag = true; });
+  EXPECT_FALSE(loop.run_while_waiting_for([&] { return flag; },
+                                          Duration::millis(100)));
+  EXPECT_EQ(loop.now().ms(), 100.0);
+}
+
+TEST(EventLoopTest, WaitForPredicateDrainedQueue) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.run_while_waiting_for([] { return false; },
+                                          Duration::seconds(1)));
+}
+
+// ----------------------------------------------------------- LatencyModel
+
+LatencyConfig zero_jitter_config() {
+  LatencyConfig c;
+  c.jitter_mean_ms = 1e-9;
+  c.jitter_spike_prob = 0;
+  return c;
+}
+
+TEST(LatencyModelTest, SymmetricAndDeterministic) {
+  LatencyModel m;
+  const HostId a = m.add_host({40.71, -74.01});
+  const HostId b = m.add_host({51.51, -0.13});
+  EXPECT_EQ(m.base_rtt(a, b), m.base_rtt(b, a));
+  EXPECT_EQ(m.base_rtt(a, b), m.base_rtt(a, b));
+}
+
+TEST(LatencyModelTest, RespectsSpeedOfLightBound) {
+  LatencyModel m;
+  const HostId a = m.add_host({40.71, -74.01});
+  const HostId b = m.add_host({35.68, 139.69});
+  const double min_ms = geo::min_rtt_ms_for_distance(
+      geo::great_circle_km(m.location(a), m.location(b)));
+  EXPECT_GE(m.base_rtt(a, b).ms(), min_ms);
+  EXPECT_LE(m.base_rtt(a, b).ms(), min_ms * m.config().inflation_max + 1e-6);
+}
+
+TEST(LatencyModelTest, IntraHostIsLoopback) {
+  LatencyModel m;
+  const HostId a = m.add_host({0, 0});
+  EXPECT_DOUBLE_EQ(m.base_rtt(a, a).ms(), m.config().intra_host_rtt_ms);
+}
+
+TEST(LatencyModelTest, SeedChangesInflation) {
+  LatencyConfig c1, c2;
+  c2.seed = c1.seed + 1;
+  LatencyModel m1(c1), m2(c2);
+  const geo::GeoPoint p{40.71, -74.01}, q{51.51, -0.13};
+  m1.add_host(p);
+  m1.add_host(q);
+  m2.add_host(p);
+  m2.add_host(q);
+  EXPECT_NE(m1.base_rtt(0, 1).ns(), m2.base_rtt(0, 1).ns());
+}
+
+TEST(LatencyModelTest, ProtocolBiasShiftsRtt) {
+  LatencyModel m;
+  NetworkPolicy weird;
+  weird.icmp_extra_ms = 25.0;
+  weird.tor_extra_ms = -5.0;
+  const HostId a = m.add_host({40.71, -74.01}, weird);
+  const HostId b = m.add_host({51.51, -0.13});
+  const double tcp = m.rtt(a, b, Protocol::kTcp).ms();
+  EXPECT_NEAR(m.rtt(a, b, Protocol::kIcmp).ms(), tcp + 25.0, 1e-6);
+  EXPECT_NEAR(m.rtt(a, b, Protocol::kTor).ms(), tcp - 5.0, 1e-6);
+}
+
+TEST(LatencyModelTest, NegativeBiasNeverProducesNegativeRtt) {
+  LatencyModel m;
+  NetworkPolicy fastpath;
+  fastpath.tor_extra_ms = -10000.0;
+  const HostId a = m.add_host({40.0, -74.0}, fastpath);
+  const HostId b = m.add_host({40.1, -74.1});
+  EXPECT_GT(m.rtt(a, b, Protocol::kTor).ns(), 0);
+}
+
+TEST(LatencyModelTest, SamplesNeverBelowHalfRtt) {
+  LatencyModel m;
+  const HostId a = m.add_host({40.71, -74.01});
+  const HostId b = m.add_host({51.51, -0.13});
+  Rng rng(1);
+  const double floor_ms = m.rtt(a, b, Protocol::kTcp).ms() / 2;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.sample_one_way(a, b, Protocol::kTcp, rng).ms(),
+              floor_ms - 1e-9);
+  }
+}
+
+TEST(LatencyModelTest, MinOfSamplesConvergesToHalfRtt) {
+  LatencyModel m;
+  const HostId a = m.add_host({40.71, -74.01});
+  const HostId b = m.add_host({51.51, -0.13});
+  Rng rng(2);
+  double best = 1e18;
+  for (int i = 0; i < 2000; ++i)
+    best = std::min(best, m.sample_one_way(a, b, Protocol::kTcp, rng).ms());
+  EXPECT_NEAR(best, m.rtt(a, b, Protocol::kTcp).ms() / 2, 0.05);
+}
+
+TEST(LatencyModelTest, TriangleInequalityViolationsExist) {
+  // With independent per-pair inflation, some pair (s,d) should have a relay
+  // r with rtt(s,r)+rtt(r,d) < rtt(s,d) — the paper's §5.2.1 phenomenon.
+  LatencyModel m;
+  Rng rng(3);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 25; ++i)
+    hosts.push_back(m.add_host({rng.uniform(25.0, 60.0),
+                                rng.uniform(-120.0, 30.0)}));
+  int tivs = 0;
+  for (HostId s : hosts)
+    for (HostId d : hosts) {
+      if (s >= d) continue;
+      for (HostId r : hosts) {
+        if (r == s || r == d) continue;
+        if (m.base_rtt(s, r) + m.base_rtt(r, d) < m.base_rtt(s, d)) {
+          ++tivs;
+          break;
+        }
+      }
+    }
+  EXPECT_GT(tivs, 10);
+}
+
+// ---------------------------------------------------------------- Network
+
+struct NetFixture {
+  EventLoop loop;
+  Network net;
+  NetFixture() : net(loop, zero_jitter_config(), 5) {}
+};
+
+TEST(NetworkTest, HostRegistrationAndLookup) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  EXPECT_EQ(f.net.ip_of(a), IpAddr(10, 0, 0, 1));
+  EXPECT_EQ(f.net.host_of(IpAddr(10, 0, 0, 1)), a);
+  EXPECT_FALSE(f.net.host_of(IpAddr(10, 0, 0, 2)).has_value());
+  EXPECT_THROW(f.net.add_host(IpAddr(10, 0, 0, 1), {0, 0}), CheckError);
+}
+
+TEST(NetworkTest, ConnectCostsOneRtt) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.71, -74.01});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {51.51, -0.13});
+  f.net.listen(b, 80);
+  std::optional<double> connected_at;
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, Protocol::kTcp,
+                [&](ConnPtr) { connected_at = f.loop.now().ms(); });
+  f.loop.run();
+  ASSERT_TRUE(connected_at.has_value());
+  const double rtt = f.net.latency().rtt(a, b, Protocol::kTcp).ms();
+  EXPECT_NEAR(*connected_at, rtt, rtt * 0.02 + 0.1);
+}
+
+TEST(NetworkTest, ConnectToClosedPortFails) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  f.net.add_host(IpAddr(10, 0, 0, 2), {41.0, -75.0});
+  bool ok = false, failed = false;
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 9999}, Protocol::kTcp,
+                [&](ConnPtr) { ok = true; },
+                [&](const std::string&) { failed = true; });
+  f.loop.run();
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(failed);
+}
+
+TEST(NetworkTest, EchoRoundTrip) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.71, -74.01});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {51.51, -0.13});
+  Listener* lis = f.net.listen(b, 7);
+  lis->set_on_accept([](ConnPtr c) {
+    c->set_on_message([c](Bytes msg) { c->send(std::move(msg)); });
+  });
+  std::string got;
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 7}, Protocol::kTcp,
+                [&](ConnPtr c) {
+                  c->set_on_message([&got](Bytes msg) {
+                    got.assign(msg.begin(), msg.end());
+                  });
+                  c->send(Bytes{'h', 'i'});
+                });
+  f.loop.run();
+  EXPECT_EQ(got, "hi");
+}
+
+TEST(NetworkTest, FifoDeliveryPerConnection) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {40.1, -74.1});
+  Listener* lis = f.net.listen(b, 1000);
+  std::vector<std::uint8_t> received;
+  lis->set_on_accept([&](ConnPtr c) {
+    c->set_on_message([&received, c](Bytes msg) { received.push_back(msg[0]); });
+  });
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 1000}, Protocol::kTcp,
+                [&](ConnPtr c) {
+                  for (std::uint8_t i = 0; i < 50; ++i) c->send(Bytes{i});
+                });
+  f.loop.run();
+  ASSERT_EQ(received.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(NetworkTest, CloseReachesPeer) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {40.5, -74.5});
+  Listener* lis = f.net.listen(b, 22);
+  bool server_closed = false;
+  lis->set_on_accept([&](ConnPtr c) {
+    c->set_on_close([&server_closed] { server_closed = true; });
+  });
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 22}, Protocol::kTcp,
+                [](ConnPtr c) { c->close(); });
+  f.loop.run();
+  EXPECT_TRUE(server_closed);
+}
+
+TEST(NetworkTest, SendAfterCloseIsDropped) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {40.5, -74.5});
+  Listener* lis = f.net.listen(b, 23);
+  int messages = 0;
+  lis->set_on_accept([&](ConnPtr c) {
+    c->set_on_message([&messages](Bytes) { ++messages; });
+  });
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 23}, Protocol::kTcp,
+                [](ConnPtr c) {
+                  c->send(Bytes{1});
+                  c->close();
+                  c->send(Bytes{2});  // dropped
+                });
+  f.loop.run();
+  EXPECT_EQ(messages, 1);
+}
+
+TEST(NetworkTest, PingMeasuresIcmpRtt) {
+  NetFixture f;
+  NetworkPolicy icmp_slow;
+  icmp_slow.icmp_extra_ms = 30.0;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.71, -74.01});
+  const HostId b =
+      f.net.add_host(IpAddr(10, 0, 0, 2), {51.51, -0.13}, icmp_slow);
+  std::optional<Duration> measured;
+  f.net.ping(a, IpAddr(10, 0, 0, 2), [&](std::optional<Duration> rtt) {
+    measured = rtt;
+  });
+  f.loop.run();
+  ASSERT_TRUE(measured.has_value());
+  const double expect_ms = f.net.latency().rtt(a, b, Protocol::kIcmp).ms();
+  EXPECT_NEAR(measured->ms(), expect_ms, 0.2);
+  // And the ICMP bias is visible relative to TCP.
+  EXPECT_GT(measured->ms(),
+            f.net.latency().rtt(a, b, Protocol::kTcp).ms() + 25.0);
+}
+
+TEST(NetworkTest, PingUnknownHostTimesOut) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  std::optional<std::optional<Duration>> result;
+  f.net.ping(a, IpAddr(9, 9, 9, 9),
+             [&](std::optional<Duration> rtt) { result = rtt; },
+             Duration::millis(200));
+  f.loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());
+  EXPECT_EQ(f.loop.now().ms(), 200.0);
+}
+
+TEST(NetworkTest, EphemeralPortsDistinct) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {40.5, -74.5});
+  f.net.listen(b, 80);
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 3; ++i)
+    f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, Protocol::kTcp,
+                  [&](ConnPtr c) { ports.push_back(c->local().port); });
+  f.loop.run();
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_NE(ports[0], ports[1]);
+  EXPECT_NE(ports[1], ports[2]);
+}
+
+TEST(NetworkTest, DuplicateListenThrows) {
+  NetFixture f;
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {40.0, -74.0});
+  f.net.listen(b, 443);
+  EXPECT_THROW(f.net.listen(b, 443), CheckError);
+}
+
+}  // namespace
+}  // namespace ting::simnet
+
+namespace ting::simnet {
+namespace {
+
+TEST(LatencyModelTest, CrossGroupInflationAppliesOnlyAcrossGroups) {
+  LatencyConfig with, without;
+  with.cross_group_extra_min = 0.2;
+  with.cross_group_extra_max = 0.6;
+  LatencyModel m_with(with), m_without(without);
+  const geo::GeoPoint us{40.71, -74.01}, us2{34.05, -118.24}, de{52.52, 13.40};
+  // Groups: 1 = US, 2 = DE.
+  for (auto* m : {&m_with, &m_without}) {
+    m->add_host(us, {}, 1);
+    m->add_host(us2, {}, 1);
+    m->add_host(de, {}, 2);
+  }
+  // Same-group pair: identical with or without the feature.
+  EXPECT_EQ(m_with.base_rtt(0, 1), m_without.base_rtt(0, 1));
+  // Cross-group pair: inflated by 20-60%.
+  const double plain = m_without.base_rtt(0, 2).ms();
+  const double inflated = m_with.base_rtt(0, 2).ms();
+  EXPECT_GE(inflated, plain * 1.2 - 1e-6);
+  EXPECT_LE(inflated, plain * 1.6 + 1e-6);
+  // Deterministic.
+  EXPECT_EQ(m_with.base_rtt(0, 2), m_with.base_rtt(2, 0));
+  EXPECT_EQ(m_with.group_tag(0), 1u);
+  EXPECT_EQ(m_with.group_tag(2), 2u);
+}
+
+}  // namespace
+}  // namespace ting::simnet

@@ -1,0 +1,445 @@
+// Integration tests for the Tor stack: circuit construction across real
+// relays over the simulated network, onion-layer correctness, client
+// policies (no one-hop, no repeats), exit policies, stream echo through
+// circuits, default path selection, and teardown.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dir/consensus.h"
+#include "echo/echo.h"
+#include "simnet/network.h"
+#include "tor/onion_proxy.h"
+#include "tor/relay.h"
+
+namespace ting::tor {
+namespace {
+
+simnet::LatencyConfig quiet_net() {
+  simnet::LatencyConfig c;
+  c.jitter_mean_ms = 0.01;
+  c.jitter_spike_prob = 0;
+  return c;
+}
+
+/// A small world: N relays at distinct locations, an OP, and an echo server.
+struct TorWorld {
+  simnet::EventLoop loop;
+  simnet::Network net;
+  std::vector<std::unique_ptr<Relay>> relays;
+  std::unique_ptr<OnionProxy> op;
+  std::unique_ptr<echo::EchoServer> echo_server;
+  simnet::HostId op_host = 0;
+  simnet::HostId echo_host = 0;
+
+  explicit TorWorld(int n_relays, OnionProxyConfig op_config = {})
+      : net(loop, quiet_net(), 21) {
+    dir::Consensus consensus;
+    for (int i = 0; i < n_relays; ++i) {
+      // Distinct /16 per relay: default path selection requires it.
+      const simnet::HostId h = net.add_host(
+          IpAddr(10, static_cast<std::uint8_t>(10 + i), 0, 1),
+          {30.0 + 2.0 * i, -90.0 + 3.0 * i});
+      RelayConfig rc;
+      rc.nickname = "relay" + std::to_string(i);
+      rc.flags |= dir::kFlagGuard;
+      rc.exit_policy = dir::ExitPolicy::accept_all();
+      rc.base_forward_ms = 0.3;
+      rc.queue_mean_ms = 0.2;
+      relays.push_back(
+          std::make_unique<Relay>(net, h, rc, 1000 + static_cast<std::uint64_t>(i)));
+      consensus.add(relays.back()->descriptor());
+    }
+    op_host = net.add_host(IpAddr(10, 2, 0, 1), {40.0, -100.0});
+    echo_host = net.add_host(IpAddr(10, 2, 0, 2), {40.0, -100.01});
+    op = std::make_unique<OnionProxy>(net, op_host, op_config, 77);
+    op->set_consensus(consensus);
+    echo_server = std::make_unique<echo::EchoServer>(net, echo_host);
+  }
+
+  dir::Fingerprint fp(std::size_t i) const {
+    return relays.at(i)->fingerprint();
+  }
+
+  /// Build a circuit and pump the loop until built/failed. Returns handle.
+  CircuitHandle build(const std::vector<dir::Fingerprint>& path,
+                      bool expect_ok = true) {
+    bool done = false, ok = false;
+    std::string error;
+    const CircuitHandle h = op->build_circuit(
+        path,
+        [&](CircuitHandle) { done = ok = true; },
+        [&](const std::string& e) {
+          done = true;
+          error = e;
+        });
+    loop.run_while_waiting_for([&] { return done; }, Duration::seconds(60));
+    EXPECT_TRUE(done) << "circuit build did not finish";
+    EXPECT_EQ(ok, expect_ok) << error;
+    return h;
+  }
+};
+
+TEST(TorStackTest, BuildsTwoHopCircuit) {
+  TorWorld w(3);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1)});
+  EXPECT_EQ(w.op->circuit_state(h), CircuitState::kBuilt);
+  EXPECT_EQ(w.relays[0]->open_circuits(), 1u);
+  EXPECT_EQ(w.relays[1]->open_circuits(), 1u);
+  EXPECT_EQ(w.relays[2]->open_circuits(), 0u);
+}
+
+TEST(TorStackTest, BuildsFourHopCircuit) {
+  TorWorld w(5);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1), w.fp(2), w.fp(3)});
+  EXPECT_EQ(w.op->circuit_state(h), CircuitState::kBuilt);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(w.relays[static_cast<std::size_t>(i)]->open_circuits(), 1u);
+}
+
+TEST(TorStackTest, OneHopCircuitRejected) {
+  TorWorld w(2);
+  const CircuitHandle h = w.build({w.fp(0)}, /*expect_ok=*/false);
+  EXPECT_EQ(w.op->circuit_state(h), CircuitState::kFailed);
+}
+
+TEST(TorStackTest, RepeatedRelayRejected) {
+  TorWorld w(2);
+  const CircuitHandle h =
+      w.build({w.fp(0), w.fp(1), w.fp(0)}, /*expect_ok=*/false);
+  EXPECT_EQ(w.op->circuit_state(h), CircuitState::kFailed);
+}
+
+TEST(TorStackTest, UnknownRelayRejected) {
+  TorWorld w(2);
+  crypto::X25519Key bogus;
+  bogus.fill(0xee);
+  const CircuitHandle h = w.build(
+      {w.fp(0), dir::Fingerprint::of_identity(bogus)}, /*expect_ok=*/false);
+  EXPECT_EQ(w.op->circuit_state(h), CircuitState::kFailed);
+}
+
+TEST(TorStackTest, EchoThroughThreeHops) {
+  TorWorld w(3);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1), w.fp(2)});
+
+  bool connected = false;
+  auto stream = w.op->open_stream(
+      h, w.echo_server->endpoint(), [&] { connected = true; },
+      [](const std::string& e) { FAIL() << e; });
+  w.loop.run_while_waiting_for([&] { return connected; },
+                               Duration::seconds(60));
+  ASSERT_TRUE(connected);
+
+  std::string reply;
+  stream->set_on_message(
+      [&](Bytes data) { reply.assign(data.begin(), data.end()); });
+  stream->send(Bytes{'t', 'i', 'n', 'g'});
+  w.loop.run_while_waiting_for([&] { return !reply.empty(); },
+                               Duration::seconds(60));
+  EXPECT_EQ(reply, "ting");
+  EXPECT_EQ(w.echo_server->echoes(), 1u);
+}
+
+TEST(TorStackTest, LargeStreamPayloadIsChunkedAndReassembled) {
+  TorWorld w(3);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1), w.fp(2)});
+  bool connected = false;
+  auto stream = w.op->open_stream(h, w.echo_server->endpoint(),
+                                  [&] { connected = true; }, {});
+  w.loop.run_while_waiting_for([&] { return connected; },
+                               Duration::seconds(60));
+  ASSERT_TRUE(connected);
+
+  // 2000 bytes > 4 relay cells; echo returns them in order.
+  Bytes big(2000);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i * 7);
+  Bytes received;
+  stream->set_on_message([&](Bytes data) {
+    received.insert(received.end(), data.begin(), data.end());
+  });
+  stream->send(big);
+  w.loop.run_while_waiting_for([&] { return received.size() >= big.size(); },
+                               Duration::seconds(60));
+  EXPECT_EQ(received, big);
+}
+
+TEST(TorStackTest, ExitPolicyBlocksDisallowedTarget) {
+  TorWorld w(3);
+  // Make relay 2 reject everything; it is the exit on this circuit.
+  // (Need a fresh world where relay 2's policy is restrictive.)
+  simnet::EventLoop loop;
+  simnet::Network net(loop, quiet_net(), 31);
+  dir::Consensus consensus;
+  std::vector<std::unique_ptr<Relay>> relays;
+  for (int i = 0; i < 3; ++i) {
+    const simnet::HostId h = net.add_host(
+        IpAddr(10, 1, static_cast<std::uint8_t>(i), 1), {30.0 + i, -90.0});
+    RelayConfig rc;
+    rc.nickname = "r" + std::to_string(i);
+    rc.exit_policy = (i == 2) ? dir::ExitPolicy::accept_only({IpAddr(1, 1, 1, 1)})
+                              : dir::ExitPolicy::accept_all();
+    relays.push_back(std::make_unique<Relay>(net, h, rc, 500 + static_cast<std::uint64_t>(i)));
+    consensus.add(relays.back()->descriptor());
+  }
+  const simnet::HostId op_host = net.add_host(IpAddr(10, 2, 0, 1), {40, -100});
+  const simnet::HostId echo_host = net.add_host(IpAddr(10, 2, 0, 2), {40, -100.01});
+  OnionProxy op(net, op_host, {}, 9);
+  op.set_consensus(consensus);
+  echo::EchoServer server(net, echo_host);
+
+  bool built = false;
+  const CircuitHandle h = op.build_circuit(
+      {relays[0]->fingerprint(), relays[1]->fingerprint(),
+       relays[2]->fingerprint()},
+      [&](CircuitHandle) { built = true; }, {});
+  loop.run_while_waiting_for([&] { return built; }, Duration::seconds(60));
+  ASSERT_TRUE(built);
+
+  bool failed = false;
+  op.open_stream(h, server.endpoint(), [] { FAIL() << "policy ignored"; },
+                 [&](const std::string&) { failed = true; });
+  loop.run_while_waiting_for([&] { return failed; }, Duration::seconds(60));
+  EXPECT_TRUE(failed);
+}
+
+TEST(TorStackTest, CloseCircuitTearsDownRelays) {
+  TorWorld w(3);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1), w.fp(2)});
+  w.op->close_circuit(h);
+  w.loop.run();
+  EXPECT_EQ(w.op->circuit_state(h), CircuitState::kClosed);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(w.relays[static_cast<std::size_t>(i)]->open_circuits(), 0u)
+        << "relay " << i;
+}
+
+TEST(TorStackTest, ConcurrentCircuitsOnSameRelays) {
+  TorWorld w(3);
+  const CircuitHandle h1 = w.build({w.fp(0), w.fp(1)});
+  const CircuitHandle h2 = w.build({w.fp(0), w.fp(1)});
+  const CircuitHandle h3 = w.build({w.fp(1), w.fp(0)});
+  EXPECT_EQ(w.op->circuit_state(h1), CircuitState::kBuilt);
+  EXPECT_EQ(w.op->circuit_state(h2), CircuitState::kBuilt);
+  EXPECT_EQ(w.op->circuit_state(h3), CircuitState::kBuilt);
+  EXPECT_EQ(w.relays[0]->open_circuits(), 3u);
+}
+
+TEST(TorStackTest, CircuitRttReflectsPathLatency) {
+  // The end-to-end stream RTT through (r0, r1) should be close to the
+  // ground-truth sum of link RTTs plus forwarding delays — the identity
+  // Ting's Eq. (1) is built on.
+  TorWorld w(2);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1)});
+  bool connected = false;
+  auto stream = w.op->open_stream(h, w.echo_server->endpoint(),
+                                  [&] { connected = true; }, {});
+  w.loop.run_while_waiting_for([&] { return connected; },
+                               Duration::seconds(60));
+  ASSERT_TRUE(connected);
+
+  std::optional<Duration> rtt;
+  echo::measure_stream_rtt(w.loop, stream,
+                           [&](std::optional<Duration> r) { rtt = r; });
+  w.loop.run_while_waiting_for([&] { return rtt.has_value(); },
+                               Duration::seconds(60));
+  ASSERT_TRUE(rtt.has_value());
+
+  const auto& lat = w.net.latency();
+  const simnet::HostId r0 = w.relays[0]->host(), r1 = w.relays[1]->host();
+  const double path_ms = lat.rtt(w.op_host, r0, simnet::Protocol::kTor).ms() +
+                         lat.rtt(r0, r1, simnet::Protocol::kTor).ms() +
+                         lat.rtt(r1, w.echo_host, simnet::Protocol::kTcp).ms();
+  EXPECT_GT(rtt->ms(), path_ms);              // forwarding delays add
+  EXPECT_LT(rtt->ms(), path_ms + 25.0);       // but not absurdly
+}
+
+TEST(TorStackTest, DefaultPathSelectionRespectsConstraints) {
+  TorWorld w(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto path =
+        w.op->pick_default_path(w.echo_server->endpoint(), 3);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->size(), 3u);
+    std::set<dir::Fingerprint> uniq(path->begin(), path->end());
+    EXPECT_EQ(uniq.size(), 3u);
+    // Distinct /16s.
+    std::set<std::uint32_t> nets;
+    for (const auto& fp : *path) {
+      const auto* d = w.op->consensus().find(fp);
+      ASSERT_NE(d, nullptr);
+      EXPECT_TRUE(nets.insert(d->address.slash16()).second);
+    }
+    // Exit allows the target.
+    const auto* exit_desc = w.op->consensus().find(path->back());
+    EXPECT_TRUE(exit_desc->exit_policy.allows(w.echo_server->endpoint().ip,
+                                              w.echo_server->endpoint().port));
+  }
+}
+
+TEST(TorStackTest, EventsEmittedDuringBuildAndStreams) {
+  TorWorld w(3);
+  std::vector<std::string> events;
+  w.op->set_event_sink([&](std::string e) { events.push_back(std::move(e)); });
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1)});
+  bool connected = false;
+  auto stream = w.op->open_stream(h, w.echo_server->endpoint(),
+                                  [&] { connected = true; }, {});
+  w.loop.run_while_waiting_for([&] { return connected; },
+                               Duration::seconds(60));
+  bool saw_launched = false, saw_built = false, saw_stream = false;
+  for (const auto& e : events) {
+    if (starts_with(e, "CIRC " + std::to_string(h) + " LAUNCHED")) saw_launched = true;
+    if (starts_with(e, "CIRC " + std::to_string(h) + " BUILT")) saw_built = true;
+    if (starts_with(e, "STREAM") && e.find("SUCCEEDED") != std::string::npos)
+      saw_stream = true;
+  }
+  EXPECT_TRUE(saw_launched);
+  EXPECT_TRUE(saw_built);
+  EXPECT_TRUE(saw_stream);
+}
+
+TEST(TorStackTest, SocksAutoAttachMode) {
+  TorWorld w(6);
+  // App connects to the OP's SOCKS port and asks for the echo server.
+  std::string reply;
+  bool ready = false;
+  simnet::ConnPtr app;
+  w.net.connect(
+      w.echo_host /* any host can be the app's */,
+      Endpoint{w.net.ip_of(w.op_host), w.op->config().socks_port},
+      simnet::Protocol::kTcp, [&](simnet::ConnPtr conn) {
+        app = conn;
+        conn->set_on_message([&](Bytes msg) {
+          const std::string s(msg.begin(), msg.end());
+          if (s == "OK") {
+            ready = true;
+            return;
+          }
+          reply = s;
+        });
+        const std::string req =
+            "CONNECT " + w.echo_server->endpoint().str();
+        conn->send(Bytes(req.begin(), req.end()));
+      });
+  w.loop.run_while_waiting_for([&] { return ready; }, Duration::seconds(120));
+  ASSERT_TRUE(ready);
+  app->send(Bytes{'v', 'i', 'a', '-', 's', 'o', 'c', 'k', 's'});
+  w.loop.run_while_waiting_for([&] { return !reply.empty(); },
+                               Duration::seconds(120));
+  EXPECT_EQ(reply, "via-socks");
+}
+
+TEST(TorStackTest, SocksLeaveUnattachedWaitsForAttach) {
+  OnionProxyConfig opc;
+  opc.leave_streams_unattached = true;
+  TorWorld w(3, opc);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1), w.fp(2)});
+
+  bool ready = false;
+  w.net.connect(
+      w.echo_host,
+      Endpoint{w.net.ip_of(w.op_host), w.op->config().socks_port},
+      simnet::Protocol::kTcp, [&](simnet::ConnPtr conn) {
+        conn->set_on_message([&](Bytes msg) {
+          if (std::string(msg.begin(), msg.end()) == "OK") ready = true;
+        });
+        const std::string req = "CONNECT " + w.echo_server->endpoint().str();
+        conn->send(Bytes(req.begin(), req.end()));
+      });
+  // Stream must appear as unattached, not auto-connect.
+  w.loop.run_while_waiting_for(
+      [&] { return !w.op->unattached_streams().empty(); },
+      Duration::seconds(60));
+  ASSERT_EQ(w.op->unattached_streams().size(), 1u);
+  EXPECT_FALSE(ready);
+
+  const std::uint16_t sid = w.op->unattached_streams()[0]->id();
+  EXPECT_TRUE(w.op->attach_stream(sid, h));
+  w.loop.run_while_waiting_for([&] { return ready; }, Duration::seconds(60));
+  EXPECT_TRUE(ready);
+  EXPECT_FALSE(w.op->attach_stream(sid, h));  // no longer NEW
+}
+
+TEST(TorStackTest, RelayForwardingDelayHasConfiguredFloor) {
+  TorWorld w(2);
+  const CircuitHandle h = w.build({w.fp(0), w.fp(1)});
+  bool connected = false;
+  auto stream = w.op->open_stream(h, w.echo_server->endpoint(),
+                                  [&] { connected = true; }, {});
+  w.loop.run_while_waiting_for([&] { return connected; },
+                               Duration::seconds(60));
+
+  // Many echo RTT samples: the minimum is bounded below by path RTT plus
+  // 2 relays × 2 directions × base forwarding cost.
+  double best_ms = 1e18;
+  for (int i = 0; i < 100; ++i) {
+    std::optional<Duration> rtt;
+    echo::measure_stream_rtt(w.loop, stream,
+                             [&](std::optional<Duration> r) { rtt = r; });
+    w.loop.run_while_waiting_for([&] { return rtt.has_value(); },
+                                 Duration::seconds(60));
+    ASSERT_TRUE(rtt.has_value());
+    best_ms = std::min(best_ms, rtt->ms());
+  }
+  const auto& lat = w.net.latency();
+  const simnet::HostId r0 = w.relays[0]->host(), r1 = w.relays[1]->host();
+  const double path_ms = lat.rtt(w.op_host, r0, simnet::Protocol::kTor).ms() +
+                         lat.rtt(r0, r1, simnet::Protocol::kTor).ms() +
+                         lat.rtt(r1, w.echo_host, simnet::Protocol::kTcp).ms();
+  const double floor_ms =
+      path_ms + 2 * 2 * w.relays[0]->config().base_forward_ms;
+  EXPECT_GE(best_ms, floor_ms - 0.05);
+  EXPECT_LE(best_ms, floor_ms + 5.0);
+}
+
+}  // namespace
+}  // namespace ting::tor
+
+namespace ting::tor {
+namespace {
+
+TEST(GuardSelectionTest, GuardSetIsSmallPersistentAndGuardFlagged) {
+  TorWorld w(10);
+  const auto& guards = w.op->guard_set();
+  EXPECT_EQ(guards.size(), OnionProxy::kGuardSetSize);
+  for (const auto& fp : guards) {
+    const auto* d = w.op->consensus().find(fp);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->has_flag(dir::kFlagGuard));
+  }
+  // Stable across calls.
+  const auto again = w.op->guard_set();
+  EXPECT_EQ(guards, again);
+}
+
+TEST(GuardSelectionTest, DefaultPathsUseOnlyGuardEntries) {
+  TorWorld w(12);
+  const auto guards = w.op->guard_set();
+  const std::set<dir::Fingerprint> guard_set(guards.begin(), guards.end());
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto path = w.op->pick_default_path(w.echo_server->endpoint(), 3);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_TRUE(guard_set.contains(path->front()))
+        << "entry " << path->front().short_name() << " not a guard";
+  }
+}
+
+TEST(GuardSelectionTest, DepartedGuardIsReplaced) {
+  TorWorld w(10);
+  auto guards = w.op->guard_set();
+  ASSERT_EQ(guards.size(), OnionProxy::kGuardSetSize);
+  // The first guard vanishes from the consensus.
+  dir::Consensus trimmed = w.op->consensus();
+  trimmed.remove(guards[0]);
+  w.op->set_consensus(trimmed);
+  const auto refreshed = w.op->guard_set();
+  EXPECT_EQ(refreshed.size(), OnionProxy::kGuardSetSize);
+  for (const auto& fp : refreshed) EXPECT_NE(fp, guards[0]);
+  // The surviving two guards are retained.
+  EXPECT_EQ(refreshed[0], guards[1]);
+  EXPECT_EQ(refreshed[1], guards[2]);
+}
+
+}  // namespace
+}  // namespace ting::tor

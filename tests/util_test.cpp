@@ -1,0 +1,390 @@
+// Unit and property tests for src/util: RNG determinism and distribution
+// sanity, statistics correctness, byte codec round-trips, time arithmetic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace ting {
+namespace {
+
+// ---------------------------------------------------------------- Duration
+
+TEST(DurationTest, ConversionsRoundTrip) {
+  EXPECT_EQ(Duration::millis(5).ns(), 5'000'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(5).ms(), 5.0);
+  EXPECT_DOUBLE_EQ(Duration::from_ms(12.5).ms(), 12.5);
+  EXPECT_EQ(Duration::seconds(2), Duration::millis(2000));
+  EXPECT_EQ(Duration::micros(1500), Duration::from_ms(1.5));
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::millis(10), b = Duration::millis(4);
+  EXPECT_EQ((a + b).ms(), 14.0);
+  EXPECT_EQ((a - b).ms(), 6.0);
+  EXPECT_EQ((a * 3).ms(), 30.0);
+  EXPECT_EQ((a / 2).ms(), 5.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ((-b).ms(), -4.0);
+}
+
+TEST(TimePointTest, Arithmetic) {
+  TimePoint t;
+  t += Duration::millis(7);
+  EXPECT_EQ(t.ms(), 7.0);
+  const TimePoint u = t + Duration::millis(3);
+  EXPECT_EQ((u - t).ms(), 3.0);
+  EXPECT_LT(t, u);
+}
+
+TEST(DurationTest, FromMsRoundsNegative) {
+  EXPECT_EQ(Duration::from_ms(-1.5).ns(), -1'500'000);
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(7);
+  Rng f1 = a.fork(1), f1b = a.fork(1), f2 = a.fork(2);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  double lo = 1, hi = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.exponential(5.0));
+  EXPECT_NEAR(mean_of(xs), 5.0, 0.2);
+  EXPECT_GT(min_of(xs), 0.0);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(mean_of(xs), 10.0, 0.1);
+  EXPECT_NEAR(stddev_of(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(29);
+  const auto s = rng.sample_indices(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesFullPopulation) {
+  Rng rng(31);
+  const auto s = rng.sample_indices(5, 5);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(37);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexRejectsAllZero) {
+  Rng rng(41);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), CheckError);
+}
+
+TEST(Mix64Test, StatelessAndMixing) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(StatsTest, SummaryBasics) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 5);
+  EXPECT_EQ(s.mean, 3);
+  EXPECT_EQ(s.median, 3);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, SummaryEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({7}, 0.9), 7.0);
+}
+
+TEST(StatsTest, CvZeroMeanSafe) {
+  Summary s;
+  s.mean = 0;
+  s.stddev = 1;
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(CdfTest, FractionAndInverse) {
+  Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(100), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 4.0);
+}
+
+TEST(CdfTest, EmptyCdf) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.fraction_at_or_below(1), 0.0);
+}
+
+TEST(CdfTest, GnuplotRowsDownsamples) {
+  std::vector<double> v(1000);
+  for (int i = 0; i < 1000; ++i) v[i] = i;
+  Cdf cdf(v);
+  const std::string rows = cdf.gnuplot_rows(10);
+  EXPECT_EQ(std::count(rows.begin(), rows.end(), '\n'), 10);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, SpearmanRankAgreement) {
+  // Monotone but nonlinear relation: rank correlation is exactly 1.
+  EXPECT_NEAR(spearman({1, 2, 3, 4}, {1, 4, 9, 16}), 1.0, 1e-12);
+  EXPECT_NEAR(spearman({1, 2, 3, 4}, {16, 9, 4, 1}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, RanksHandleTies) {
+  const auto r = ranks_of({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(StatsTest, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+  EXPECT_NEAR(f.at(10), 37.0, 1e-9);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(50.0, 4);  // bins [0,50) [50,100) [100,150) [150,200)
+  h.add(10);
+  h.add(49.999);
+  h.add(50);
+  h.add(175);
+  h.add(1e9);   // clamps into last bin
+  h.add(-5);    // clamps into first bin
+  EXPECT_EQ(h.count(0), 3);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(2), 0);
+  EXPECT_EQ(h.count(3), 2);
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 75.0);
+}
+
+TEST(HistogramTest, WeightedCounts) {
+  Histogram h(1.0, 2);
+  h.add(0.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+}
+
+// ------------------------------------------------------------------- bytes
+
+TEST(BytesTest, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  w.raw(std::string("hello"));
+  const Bytes buf = w.bytes();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8 + 5);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.str(5), "hello");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(BytesTest, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+TEST(BytesTest, ReaderThrowsOnShortRead) {
+  const Bytes buf{1, 2};
+  ByteReader r(buf);
+  r.u8();
+  EXPECT_THROW(r.u16(), CheckError);
+}
+
+TEST(BytesTest, PadTo) {
+  ByteWriter w;
+  w.u8(1);
+  w.pad_to(4);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[3], 0);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes b{0x00, 0xff, 0x5a};
+  EXPECT_EQ(to_hex(b), "00ff5a");
+  EXPECT_EQ(from_hex("00ff5a"), b);
+  EXPECT_EQ(from_hex("00FF5A"), b);
+}
+
+TEST(BytesTest, HexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), CheckError);   // odd length
+  EXPECT_THROW(from_hex("zz"), CheckError);    // bad digit
+}
+
+TEST(StringTest, SplitTrimCase) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("EXTENDCIRCUIT 0", "EXTEND"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+  EXPECT_EQ(to_upper("Tor"), "TOR");
+  EXPECT_EQ(to_lower("Tor"), "tor");
+}
+
+// ------------------------------------------------------------------ assert
+
+TEST(AssertTest, CheckThrowsWithMessage) {
+  try {
+    TING_CHECK_MSG(1 == 2, "math is broken: " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken: 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ting
+
+namespace ting {
+namespace {
+
+TEST(StatsTest, KsDistanceBasics) {
+  const Cdf a({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ks_distance(a, a), 0.0);
+  // Disjoint supports: maximum possible distance.
+  const Cdf lo({1, 2}), hi({10, 11});
+  EXPECT_DOUBLE_EQ(ks_distance(lo, hi), 1.0);
+  // Shifted distribution: gap of one sample out of two.
+  const Cdf b({2, 3});
+  const Cdf c({2, 4});
+  EXPECT_DOUBLE_EQ(ks_distance(b, c), 0.5);
+  EXPECT_DOUBLE_EQ(ks_distance(b, c), ks_distance(c, b));
+}
+
+}  // namespace
+}  // namespace ting

@@ -1,0 +1,242 @@
+// ting — command-line front-end for the library.
+//
+// Runs the paper's workflows end to end against simulated worlds and
+// CSV-persisted RTT matrices, so the pieces compose like a real toolchain:
+//
+//   ting measure  --relays 60 --samples 200 --x 0 --y 15
+//   ting scan     --relays 25 --nodes 12 --samples 100 --out matrix.csv
+//   ting tiv      --matrix matrix.csv
+//   ting deanon   --matrix matrix.csv --runs 300
+//   ting coords   --matrix matrix.csv
+//   ting coverage --days 60 --relays 6400
+//
+// Matrices written by `scan` feed `tiv`, `deanon`, and `coords`.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/coordinates.h"
+#include "analysis/coverage.h"
+#include "analysis/deanon.h"
+#include "analysis/tiv.h"
+#include "scenario/testbed.h"
+#include "scenario/timeline.h"
+#include "ting/measurer.h"
+#include "ting/scheduler.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace ting;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i + 1 < argc; i += 2) {
+      const std::string key = argv[i];
+      if (key.size() < 3 || key[0] != '-' || key[1] != '-') {
+        std::fprintf(stderr, "bad flag: %s\n", key.c_str());
+        std::exit(2);
+      }
+      a.kv[key.substr(2)] = argv[i + 1];
+    }
+    return a;
+  }
+  long num(const std::string& key, long fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::atol(it->second.c_str());
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+int cmd_measure(const Args& args) {
+  const auto relays = static_cast<std::size_t>(args.num("relays", 60));
+  const int samples = static_cast<int>(args.num("samples", 200));
+  const auto xi = static_cast<std::size_t>(args.num("x", 0));
+  const auto yi = static_cast<std::size_t>(args.num("y", 1));
+  scenario::TestbedOptions options;
+  options.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  scenario::Testbed world = scenario::live_tor(relays, options);
+  if (xi >= world.relay_count() || yi >= world.relay_count() || xi == yi) {
+    std::fprintf(stderr, "x/y must be distinct indices below %zu\n",
+                 world.relay_count());
+    return 2;
+  }
+  meas::TingConfig cfg;
+  cfg.samples = samples;
+  meas::TingMeasurer measurer(world.ting(), cfg);
+  const meas::PairResult r =
+      measurer.measure_blocking(world.fp(xi), world.fp(yi));
+  if (!r.ok) {
+    std::fprintf(stderr, "measurement failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("C_xy=%.3fms C_x=%.3fms C_y=%.3fms\n", r.cxy.min_rtt_ms,
+              r.cx.min_rtt_ms, r.cy.min_rtt_ms);
+  std::printf("ting estimate R(x,y) = %.3f ms (truth %.3f ms)\n", r.rtt_ms,
+              world.true_rtt_ms(world.fp(xi), world.fp(yi)));
+  return 0;
+}
+
+int cmd_scan(const Args& args) {
+  const auto relays = static_cast<std::size_t>(args.num("relays", 25));
+  const auto nodes = static_cast<std::size_t>(args.num("nodes", 12));
+  const int samples = static_cast<int>(args.num("samples", 100));
+  const std::string out = args.str("out", "matrix.csv");
+  scenario::TestbedOptions options;
+  options.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  scenario::Testbed world = scenario::live_tor(relays, options);
+  meas::TingConfig cfg;
+  cfg.samples = samples;
+  meas::TingMeasurer measurer(world.ting(), cfg);
+  meas::RttMatrix matrix;
+  meas::AllPairsScanner scanner(measurer, matrix);
+  std::vector<dir::Fingerprint> subset;
+  for (std::size_t i = 0; i < std::min(nodes, world.relay_count()); ++i)
+    subset.push_back(world.fp(i));
+  const meas::ScanReport report = scanner.scan(
+      subset, {}, [](std::size_t done, std::size_t total,
+                     const meas::PairResult& r) {
+        std::fprintf(stderr, "\r[%zu/%zu] last=%.1fms   ", done, total,
+                     r.rtt_ms);
+      });
+  std::fprintf(stderr, "\n");
+  matrix.save_csv(out);
+  std::printf("scanned %zu pairs (%zu measured, %zu failed) in %.1f virtual "
+              "hours -> %s\n",
+              report.pairs_total, report.measured, report.failed,
+              report.virtual_time.sec() / 3600.0, out.c_str());
+  return report.failed == 0 ? 0 : 1;
+}
+
+int cmd_tiv(const Args& args) {
+  const meas::RttMatrix matrix =
+      meas::RttMatrix::load_csv(args.str("matrix", "matrix.csv"));
+  const auto tivs = analysis::find_all_tivs(matrix);
+  const double frac = analysis::fraction_pairs_with_tiv(matrix);
+  std::printf("%zu pairs, %.0f%% with a TIV\n", matrix.size(), 100 * frac);
+  std::vector<double> savings;
+  for (const auto& t : tivs) savings.push_back(100 * t.savings());
+  if (!savings.empty())
+    std::printf("savings: median %.1f%%, p90 %.1f%%\n",
+                quantile(savings, 0.5), quantile(savings, 0.9));
+  int shown = 0;
+  for (const auto& t : tivs) {
+    if (t.savings() < 0.15 || shown >= 10) continue;
+    std::printf("  %s <-> %s: %.1fms direct, %.1fms via %s (-%.0f%%)\n",
+                t.a.short_name().c_str(), t.b.short_name().c_str(),
+                t.direct_ms, t.detour_ms, t.detour.short_name().c_str(),
+                100 * t.savings());
+    ++shown;
+  }
+  return 0;
+}
+
+int cmd_deanon(const Args& args) {
+  const meas::RttMatrix matrix =
+      meas::RttMatrix::load_csv(args.str("matrix", "matrix.csv"));
+  const int runs = static_cast<int>(args.num("runs", 300));
+  analysis::DeanonWorld world;
+  world.nodes = matrix.nodes();
+  world.matrix = &matrix;
+  if (world.nodes.size() < 4) {
+    std::fprintf(stderr, "matrix too small (need >= 4 nodes)\n");
+    return 2;
+  }
+  struct Row {
+    const char* name;
+    analysis::Strategy strategy;
+  };
+  for (const Row& row :
+       {Row{"rtt-unaware", analysis::Strategy::kRttUnaware},
+        Row{"ignore-too-large", analysis::Strategy::kIgnoreTooLarge},
+        Row{"informed", analysis::Strategy::kInformed}}) {
+    Rng crng(42), prng(43);
+    std::vector<double> fr;
+    for (int i = 0; i < runs; ++i) {
+      const auto c = analysis::sample_circuit(world, crng, false);
+      fr.push_back(
+          analysis::deanonymize(world, c, row.strategy, prng).fraction_probed);
+    }
+    std::printf("%-18s median %.1f%% of nodes probed\n", row.name,
+                100 * quantile(fr, 0.5));
+  }
+  return 0;
+}
+
+int cmd_coords(const Args& args) {
+  const meas::RttMatrix matrix =
+      meas::RttMatrix::load_csv(args.str("matrix", "matrix.csv"));
+  analysis::VivaldiSystem vivaldi;
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 2)));
+  vivaldi.fit(matrix, matrix.nodes(), rng,
+              args.num("percent", 100) / 100.0);
+  const auto errs = vivaldi.relative_errors(matrix);
+  std::printf("vivaldi embedding: relative error median %.1f%%, p90 %.1f%%\n",
+              100 * quantile(errs, 0.5), 100 * quantile(errs, 0.9));
+  const auto tivs = analysis::find_all_tivs(matrix);
+  std::printf("TIVs in the measured matrix: %zu; expressible by the "
+              "embedding: 0 (metric space)\n",
+              tivs.size());
+  return 0;
+}
+
+int cmd_coverage(const Args& args) {
+  scenario::TimelineOptions options;
+  options.days = static_cast<int>(args.num("days", 60));
+  options.initial_relays = static_cast<std::size_t>(args.num("relays", 6400));
+  const auto tl = scenario::make_timeline(options);
+  std::printf("%s: %zu relays, %zu /24s  ->  %s: %zu relays, %zu /24s\n",
+              tl.days.front().date.c_str(), tl.days.front().total_relays,
+              tl.days.front().unique_slash24, tl.days.back().date.c_str(),
+              tl.days.back().total_relays, tl.days.back().unique_slash24);
+  const auto stats = analysis::coverage_stats(tl.final_consensus);
+  std::printf("final day: %zu relays, %zu named (%.0f%% residential), "
+              "%zu countries\n",
+              stats.total_relays, stats.with_rdns,
+              100 * stats.residential_fraction_of_named(), stats.countries);
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: ting <command> [--flag value ...]\n"
+      "commands:\n"
+      "  measure   measure one relay pair with Ting     (--relays --samples --x --y --seed)\n"
+      "  scan      all-pairs scan to a CSV matrix       (--relays --nodes --samples --out --seed)\n"
+      "  tiv       triangle-inequality report           (--matrix)\n"
+      "  deanon    deanonymization strategy comparison  (--matrix --runs)\n"
+      "  coords    Vivaldi-embedding comparison         (--matrix --percent --seed)\n"
+      "  coverage  consensus timeline + host classes    (--days --relays)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (cmd == "measure") return cmd_measure(args);
+    if (cmd == "scan") return cmd_scan(args);
+    if (cmd == "tiv") return cmd_tiv(args);
+    if (cmd == "deanon") return cmd_deanon(args);
+    if (cmd == "coords") return cmd_coords(args);
+    if (cmd == "coverage") return cmd_coverage(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
