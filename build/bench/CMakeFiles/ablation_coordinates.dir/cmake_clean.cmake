@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coordinates.dir/ablation_coordinates.cpp.o"
+  "CMakeFiles/ablation_coordinates.dir/ablation_coordinates.cpp.o.d"
+  "ablation_coordinates"
+  "ablation_coordinates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coordinates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_accuracy_by_regime.dir/fig04_accuracy_by_regime.cpp.o"
+  "CMakeFiles/fig04_accuracy_by_regime.dir/fig04_accuracy_by_regime.cpp.o.d"
+  "fig04_accuracy_by_regime"
+  "fig04_accuracy_by_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_accuracy_by_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

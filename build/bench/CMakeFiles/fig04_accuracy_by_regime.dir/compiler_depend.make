@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_accuracy_by_regime.
+# This may be replaced when dependencies are built.

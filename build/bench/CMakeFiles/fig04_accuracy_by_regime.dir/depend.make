@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_accuracy_by_regime.
+# This may be replaced when dependencies are built.

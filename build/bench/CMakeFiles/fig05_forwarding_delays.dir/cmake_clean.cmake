@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_forwarding_delays.dir/fig05_forwarding_delays.cpp.o"
+  "CMakeFiles/fig05_forwarding_delays.dir/fig05_forwarding_delays.cpp.o.d"
+  "fig05_forwarding_delays"
+  "fig05_forwarding_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_forwarding_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

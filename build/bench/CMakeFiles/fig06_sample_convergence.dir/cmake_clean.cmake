@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sample_convergence.dir/fig06_sample_convergence.cpp.o"
+  "CMakeFiles/fig06_sample_convergence.dir/fig06_sample_convergence.cpp.o.d"
+  "fig06_sample_convergence"
+  "fig06_sample_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sample_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

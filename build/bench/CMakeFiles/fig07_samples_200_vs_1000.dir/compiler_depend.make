@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_samples_200_vs_1000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_stability_cv.dir/fig09_stability_cv.cpp.o"
+  "CMakeFiles/fig09_stability_cv.dir/fig09_stability_cv.cpp.o.d"
+  "fig09_stability_cv"
+  "fig09_stability_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_stability_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

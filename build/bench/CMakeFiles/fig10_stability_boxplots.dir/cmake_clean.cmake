@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_stability_boxplots.dir/fig10_stability_boxplots.cpp.o"
+  "CMakeFiles/fig10_stability_boxplots.dir/fig10_stability_boxplots.cpp.o.d"
+  "fig10_stability_boxplots"
+  "fig10_stability_boxplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_stability_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ruled_out_vs_rtt.dir/fig13_ruled_out_vs_rtt.cpp.o"
+  "CMakeFiles/fig13_ruled_out_vs_rtt.dir/fig13_ruled_out_vs_rtt.cpp.o.d"
+  "fig13_ruled_out_vs_rtt"
+  "fig13_ruled_out_vs_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ruled_out_vs_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

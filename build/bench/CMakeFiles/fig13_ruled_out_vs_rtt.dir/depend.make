@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_ruled_out_vs_rtt.
+# This may be replaced when dependencies are built.

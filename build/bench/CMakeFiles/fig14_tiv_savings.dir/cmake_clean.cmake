@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tiv_savings.dir/fig14_tiv_savings.cpp.o"
+  "CMakeFiles/fig14_tiv_savings.dir/fig14_tiv_savings.cpp.o.d"
+  "fig14_tiv_savings"
+  "fig14_tiv_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tiv_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

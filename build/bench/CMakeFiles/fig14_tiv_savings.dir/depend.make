@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_tiv_savings.
+# This may be replaced when dependencies are built.

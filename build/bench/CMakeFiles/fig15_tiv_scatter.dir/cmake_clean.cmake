@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tiv_scatter.dir/fig15_tiv_scatter.cpp.o"
+  "CMakeFiles/fig15_tiv_scatter.dir/fig15_tiv_scatter.cpp.o.d"
+  "fig15_tiv_scatter"
+  "fig15_tiv_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tiv_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_tiv_scatter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_circuit_rtt_histogram.dir/fig16_circuit_rtt_histogram.cpp.o"
+  "CMakeFiles/fig16_circuit_rtt_histogram.dir/fig16_circuit_rtt_histogram.cpp.o.d"
+  "fig16_circuit_rtt_histogram"
+  "fig16_circuit_rtt_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_circuit_rtt_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_circuit_entropy.dir/fig17_circuit_entropy.cpp.o"
+  "CMakeFiles/fig17_circuit_entropy.dir/fig17_circuit_entropy.cpp.o.d"
+  "fig17_circuit_entropy"
+  "fig17_circuit_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_circuit_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

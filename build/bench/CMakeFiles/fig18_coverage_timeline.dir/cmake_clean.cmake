@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_coverage_timeline.dir/fig18_coverage_timeline.cpp.o"
+  "CMakeFiles/fig18_coverage_timeline.dir/fig18_coverage_timeline.cpp.o.d"
+  "fig18_coverage_timeline"
+  "fig18_coverage_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_coverage_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_probe.dir/congestion_probe.cpp.o"
+  "CMakeFiles/congestion_probe.dir/congestion_probe.cpp.o.d"
+  "congestion_probe"
+  "congestion_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deanonymize.dir/deanonymize.cpp.o"
+  "CMakeFiles/deanonymize.dir/deanonymize.cpp.o.d"
+  "deanonymize"
+  "deanonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deanonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_fast_circuits.dir/find_fast_circuits.cpp.o"
+  "CMakeFiles/find_fast_circuits.dir/find_fast_circuits.cpp.o.d"
+  "find_fast_circuits"
+  "find_fast_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_fast_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

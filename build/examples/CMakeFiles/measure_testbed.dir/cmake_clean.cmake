@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_testbed.dir/measure_testbed.cpp.o"
+  "CMakeFiles/measure_testbed.dir/measure_testbed.cpp.o.d"
+  "measure_testbed"
+  "measure_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("geo")
+subdirs("simnet")
+subdirs("dir")
+subdirs("cells")
+subdirs("tor")
+subdirs("ctrl")
+subdirs("echo")
+subdirs("ting")
+subdirs("scenario")
+subdirs("analysis")

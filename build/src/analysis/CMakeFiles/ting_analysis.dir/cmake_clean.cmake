@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_analysis.dir/circuits.cpp.o"
+  "CMakeFiles/ting_analysis.dir/circuits.cpp.o.d"
+  "CMakeFiles/ting_analysis.dir/congestion.cpp.o"
+  "CMakeFiles/ting_analysis.dir/congestion.cpp.o.d"
+  "CMakeFiles/ting_analysis.dir/coordinates.cpp.o"
+  "CMakeFiles/ting_analysis.dir/coordinates.cpp.o.d"
+  "CMakeFiles/ting_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/ting_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/ting_analysis.dir/deanon.cpp.o"
+  "CMakeFiles/ting_analysis.dir/deanon.cpp.o.d"
+  "CMakeFiles/ting_analysis.dir/path_selection.cpp.o"
+  "CMakeFiles/ting_analysis.dir/path_selection.cpp.o.d"
+  "CMakeFiles/ting_analysis.dir/tiv.cpp.o"
+  "CMakeFiles/ting_analysis.dir/tiv.cpp.o.d"
+  "libting_analysis.a"
+  "libting_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/cell.cpp" "src/cells/CMakeFiles/ting_cells.dir/cell.cpp.o" "gcc" "src/cells/CMakeFiles/ting_cells.dir/cell.cpp.o.d"
+  "/root/repo/src/cells/relay_payload.cpp" "src/cells/CMakeFiles/ting_cells.dir/relay_payload.cpp.o" "gcc" "src/cells/CMakeFiles/ting_cells.dir/relay_payload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ting_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ting_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_cells.dir/cell.cpp.o"
+  "CMakeFiles/ting_cells.dir/cell.cpp.o.d"
+  "CMakeFiles/ting_cells.dir/relay_payload.cpp.o"
+  "CMakeFiles/ting_cells.dir/relay_payload.cpp.o.d"
+  "libting_cells.a"
+  "libting_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chacha.cpp" "src/crypto/CMakeFiles/ting_crypto.dir/chacha.cpp.o" "gcc" "src/crypto/CMakeFiles/ting_crypto.dir/chacha.cpp.o.d"
+  "/root/repo/src/crypto/handshake.cpp" "src/crypto/CMakeFiles/ting_crypto.dir/handshake.cpp.o" "gcc" "src/crypto/CMakeFiles/ting_crypto.dir/handshake.cpp.o.d"
+  "/root/repo/src/crypto/hash.cpp" "src/crypto/CMakeFiles/ting_crypto.dir/hash.cpp.o" "gcc" "src/crypto/CMakeFiles/ting_crypto.dir/hash.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/crypto/CMakeFiles/ting_crypto.dir/x25519.cpp.o" "gcc" "src/crypto/CMakeFiles/ting_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_crypto.dir/chacha.cpp.o"
+  "CMakeFiles/ting_crypto.dir/chacha.cpp.o.d"
+  "CMakeFiles/ting_crypto.dir/handshake.cpp.o"
+  "CMakeFiles/ting_crypto.dir/handshake.cpp.o.d"
+  "CMakeFiles/ting_crypto.dir/hash.cpp.o"
+  "CMakeFiles/ting_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/ting_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/ting_crypto.dir/x25519.cpp.o.d"
+  "libting_crypto.a"
+  "libting_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

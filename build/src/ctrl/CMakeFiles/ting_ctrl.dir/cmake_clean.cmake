@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_ctrl.dir/control_server.cpp.o"
+  "CMakeFiles/ting_ctrl.dir/control_server.cpp.o.d"
+  "CMakeFiles/ting_ctrl.dir/controller.cpp.o"
+  "CMakeFiles/ting_ctrl.dir/controller.cpp.o.d"
+  "libting_ctrl.a"
+  "libting_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

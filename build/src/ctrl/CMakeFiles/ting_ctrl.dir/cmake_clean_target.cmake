@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libting_ctrl.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dir/authority.cpp" "src/dir/CMakeFiles/ting_dir.dir/authority.cpp.o" "gcc" "src/dir/CMakeFiles/ting_dir.dir/authority.cpp.o.d"
+  "/root/repo/src/dir/consensus.cpp" "src/dir/CMakeFiles/ting_dir.dir/consensus.cpp.o" "gcc" "src/dir/CMakeFiles/ting_dir.dir/consensus.cpp.o.d"
+  "/root/repo/src/dir/descriptor.cpp" "src/dir/CMakeFiles/ting_dir.dir/descriptor.cpp.o" "gcc" "src/dir/CMakeFiles/ting_dir.dir/descriptor.cpp.o.d"
+  "/root/repo/src/dir/exit_policy.cpp" "src/dir/CMakeFiles/ting_dir.dir/exit_policy.cpp.o" "gcc" "src/dir/CMakeFiles/ting_dir.dir/exit_policy.cpp.o.d"
+  "/root/repo/src/dir/fingerprint.cpp" "src/dir/CMakeFiles/ting_dir.dir/fingerprint.cpp.o" "gcc" "src/dir/CMakeFiles/ting_dir.dir/fingerprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ting_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ting_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ting_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ting_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_dir.dir/authority.cpp.o"
+  "CMakeFiles/ting_dir.dir/authority.cpp.o.d"
+  "CMakeFiles/ting_dir.dir/consensus.cpp.o"
+  "CMakeFiles/ting_dir.dir/consensus.cpp.o.d"
+  "CMakeFiles/ting_dir.dir/descriptor.cpp.o"
+  "CMakeFiles/ting_dir.dir/descriptor.cpp.o.d"
+  "CMakeFiles/ting_dir.dir/exit_policy.cpp.o"
+  "CMakeFiles/ting_dir.dir/exit_policy.cpp.o.d"
+  "CMakeFiles/ting_dir.dir/fingerprint.cpp.o"
+  "CMakeFiles/ting_dir.dir/fingerprint.cpp.o.d"
+  "libting_dir.a"
+  "libting_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

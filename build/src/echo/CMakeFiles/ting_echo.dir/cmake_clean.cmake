@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_echo.dir/echo.cpp.o"
+  "CMakeFiles/ting_echo.dir/echo.cpp.o.d"
+  "libting_echo.a"
+  "libting_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/cities.cpp" "src/geo/CMakeFiles/ting_geo.dir/cities.cpp.o" "gcc" "src/geo/CMakeFiles/ting_geo.dir/cities.cpp.o.d"
+  "/root/repo/src/geo/geo.cpp" "src/geo/CMakeFiles/ting_geo.dir/geo.cpp.o" "gcc" "src/geo/CMakeFiles/ting_geo.dir/geo.cpp.o.d"
+  "/root/repo/src/geo/geolocation.cpp" "src/geo/CMakeFiles/ting_geo.dir/geolocation.cpp.o" "gcc" "src/geo/CMakeFiles/ting_geo.dir/geolocation.cpp.o.d"
+  "/root/repo/src/geo/ipalloc.cpp" "src/geo/CMakeFiles/ting_geo.dir/ipalloc.cpp.o" "gcc" "src/geo/CMakeFiles/ting_geo.dir/ipalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

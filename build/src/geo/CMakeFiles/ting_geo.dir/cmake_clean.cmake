@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_geo.dir/cities.cpp.o"
+  "CMakeFiles/ting_geo.dir/cities.cpp.o.d"
+  "CMakeFiles/ting_geo.dir/geo.cpp.o"
+  "CMakeFiles/ting_geo.dir/geo.cpp.o.d"
+  "CMakeFiles/ting_geo.dir/geolocation.cpp.o"
+  "CMakeFiles/ting_geo.dir/geolocation.cpp.o.d"
+  "CMakeFiles/ting_geo.dir/ipalloc.cpp.o"
+  "CMakeFiles/ting_geo.dir/ipalloc.cpp.o.d"
+  "libting_geo.a"
+  "libting_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

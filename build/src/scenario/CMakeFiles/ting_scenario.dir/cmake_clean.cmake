@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_scenario.dir/rdns.cpp.o"
+  "CMakeFiles/ting_scenario.dir/rdns.cpp.o.d"
+  "CMakeFiles/ting_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/ting_scenario.dir/testbed.cpp.o.d"
+  "CMakeFiles/ting_scenario.dir/timeline.cpp.o"
+  "CMakeFiles/ting_scenario.dir/timeline.cpp.o.d"
+  "libting_scenario.a"
+  "libting_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

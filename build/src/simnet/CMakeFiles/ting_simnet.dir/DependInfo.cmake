@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/event_loop.cpp" "src/simnet/CMakeFiles/ting_simnet.dir/event_loop.cpp.o" "gcc" "src/simnet/CMakeFiles/ting_simnet.dir/event_loop.cpp.o.d"
+  "/root/repo/src/simnet/latency_model.cpp" "src/simnet/CMakeFiles/ting_simnet.dir/latency_model.cpp.o" "gcc" "src/simnet/CMakeFiles/ting_simnet.dir/latency_model.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/simnet/CMakeFiles/ting_simnet.dir/network.cpp.o" "gcc" "src/simnet/CMakeFiles/ting_simnet.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ting_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ting_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_simnet.dir/event_loop.cpp.o"
+  "CMakeFiles/ting_simnet.dir/event_loop.cpp.o.d"
+  "CMakeFiles/ting_simnet.dir/latency_model.cpp.o"
+  "CMakeFiles/ting_simnet.dir/latency_model.cpp.o.d"
+  "CMakeFiles/ting_simnet.dir/network.cpp.o"
+  "CMakeFiles/ting_simnet.dir/network.cpp.o.d"
+  "libting_simnet.a"
+  "libting_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_core.dir/forwarding_delay.cpp.o"
+  "CMakeFiles/ting_core.dir/forwarding_delay.cpp.o.d"
+  "CMakeFiles/ting_core.dir/measurement_host.cpp.o"
+  "CMakeFiles/ting_core.dir/measurement_host.cpp.o.d"
+  "CMakeFiles/ting_core.dir/measurer.cpp.o"
+  "CMakeFiles/ting_core.dir/measurer.cpp.o.d"
+  "CMakeFiles/ting_core.dir/rtt_matrix.cpp.o"
+  "CMakeFiles/ting_core.dir/rtt_matrix.cpp.o.d"
+  "CMakeFiles/ting_core.dir/scheduler.cpp.o"
+  "CMakeFiles/ting_core.dir/scheduler.cpp.o.d"
+  "libting_core.a"
+  "libting_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tor/hop_crypto.cpp" "src/tor/CMakeFiles/ting_tor.dir/hop_crypto.cpp.o" "gcc" "src/tor/CMakeFiles/ting_tor.dir/hop_crypto.cpp.o.d"
+  "/root/repo/src/tor/onion_proxy.cpp" "src/tor/CMakeFiles/ting_tor.dir/onion_proxy.cpp.o" "gcc" "src/tor/CMakeFiles/ting_tor.dir/onion_proxy.cpp.o.d"
+  "/root/repo/src/tor/or_link.cpp" "src/tor/CMakeFiles/ting_tor.dir/or_link.cpp.o" "gcc" "src/tor/CMakeFiles/ting_tor.dir/or_link.cpp.o.d"
+  "/root/repo/src/tor/relay.cpp" "src/tor/CMakeFiles/ting_tor.dir/relay.cpp.o" "gcc" "src/tor/CMakeFiles/ting_tor.dir/relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ting_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ting_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ting_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/ting_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/ting_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ting_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_tor.dir/hop_crypto.cpp.o"
+  "CMakeFiles/ting_tor.dir/hop_crypto.cpp.o.d"
+  "CMakeFiles/ting_tor.dir/onion_proxy.cpp.o"
+  "CMakeFiles/ting_tor.dir/onion_proxy.cpp.o.d"
+  "CMakeFiles/ting_tor.dir/or_link.cpp.o"
+  "CMakeFiles/ting_tor.dir/or_link.cpp.o.d"
+  "CMakeFiles/ting_tor.dir/relay.cpp.o"
+  "CMakeFiles/ting_tor.dir/relay.cpp.o.d"
+  "libting_tor.a"
+  "libting_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_util.dir/bytes.cpp.o"
+  "CMakeFiles/ting_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ting_util.dir/ip.cpp.o"
+  "CMakeFiles/ting_util.dir/ip.cpp.o.d"
+  "CMakeFiles/ting_util.dir/log.cpp.o"
+  "CMakeFiles/ting_util.dir/log.cpp.o.d"
+  "CMakeFiles/ting_util.dir/rng.cpp.o"
+  "CMakeFiles/ting_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ting_util.dir/stats.cpp.o"
+  "CMakeFiles/ting_util.dir/stats.cpp.o.d"
+  "libting_util.a"
+  "libting_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

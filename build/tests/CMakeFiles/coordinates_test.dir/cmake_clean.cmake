@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinates_test.dir/coordinates_test.cpp.o"
+  "CMakeFiles/coordinates_test.dir/coordinates_test.cpp.o.d"
+  "coordinates_test"
+  "coordinates_test.pdb"
+  "coordinates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ctrl_test.cpp" "tests/CMakeFiles/ctrl_test.dir/ctrl_test.cpp.o" "gcc" "tests/CMakeFiles/ctrl_test.dir/ctrl_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ting_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ting_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ting_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ting_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/ting_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/ting_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/ting_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/echo/CMakeFiles/ting_echo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/ting_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ting/CMakeFiles/ting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/ting_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ting_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_test.dir/dir_test.cpp.o"
+  "CMakeFiles/dir_test.dir/dir_test.cpp.o.d"
+  "dir_test"
+  "dir_test.pdb"
+  "dir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

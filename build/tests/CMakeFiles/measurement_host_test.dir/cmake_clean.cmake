@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_host_test.dir/measurement_host_test.cpp.o"
+  "CMakeFiles/measurement_host_test.dir/measurement_host_test.cpp.o.d"
+  "measurement_host_test"
+  "measurement_host_test.pdb"
+  "measurement_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

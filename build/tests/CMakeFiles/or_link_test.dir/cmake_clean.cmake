@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/or_link_test.dir/or_link_test.cpp.o"
+  "CMakeFiles/or_link_test.dir/or_link_test.cpp.o.d"
+  "or_link_test"
+  "or_link_test.pdb"
+  "or_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/or_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

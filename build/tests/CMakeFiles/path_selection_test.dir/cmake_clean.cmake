@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_selection_test.dir/path_selection_test.cpp.o"
+  "CMakeFiles/path_selection_test.dir/path_selection_test.cpp.o.d"
+  "path_selection_test"
+  "path_selection_test.pdb"
+  "path_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

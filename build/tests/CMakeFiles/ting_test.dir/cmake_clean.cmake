@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting_test.dir/ting_test.cpp.o"
+  "CMakeFiles/ting_test.dir/ting_test.cpp.o.d"
+  "ting_test"
+  "ting_test.pdb"
+  "ting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

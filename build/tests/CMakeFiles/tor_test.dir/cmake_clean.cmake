@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_test.dir/tor_test.cpp.o"
+  "CMakeFiles/tor_test.dir/tor_test.cpp.o.d"
+  "tor_test"
+  "tor_test.pdb"
+  "tor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

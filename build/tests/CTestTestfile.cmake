@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/dir_test[1]_include.cmake")
+include("/root/repo/build/tests/cells_test[1]_include.cmake")
+include("/root/repo/build/tests/tor_test[1]_include.cmake")
+include("/root/repo/build/tests/ctrl_test[1]_include.cmake")
+include("/root/repo/build/tests/ting_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/path_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_control_test[1]_include.cmake")
+include("/root/repo/build/tests/coordinates_test[1]_include.cmake")
+include("/root/repo/build/tests/or_link_test[1]_include.cmake")
+include("/root/repo/build/tests/congestion_test[1]_include.cmake")
+include("/root/repo/build/tests/echo_test[1]_include.cmake")
+include("/root/repo/build/tests/measurement_host_test[1]_include.cmake")

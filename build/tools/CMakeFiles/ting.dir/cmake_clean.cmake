@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ting.dir/ting_cli.cpp.o"
+  "CMakeFiles/ting.dir/ting_cli.cpp.o.d"
+  "ting"
+  "ting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
