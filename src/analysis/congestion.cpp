@@ -106,6 +106,9 @@ CongestionVerdict congestion_probe(
   }
   *alive = false;
   *flooding = false;
+  // Break the tick's self-reference now: the loop may never run again, in
+  // which case the pending reschedule would never fire to clear it.
+  *tick = {};
   attack_stream->close();
   attacker.op().close_circuit(circuit);
 

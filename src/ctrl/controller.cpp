@@ -90,9 +90,32 @@ void Controller::handle_event(const std::string& event) {
   }
   // "STREAM <id> NEW 0 <ip:port>"
   if (parts.size() >= 5 && parts[0] == "STREAM" && parts[2] == "NEW") {
+    const auto stream_id = static_cast<std::uint16_t>(std::stoul(parts[1]));
+    if (!stream_waiters_.empty()) {
+      auto waiter = std::move(stream_waiters_.front());
+      stream_waiters_.pop_front();
+      waiter.fn(stream_id, parts[4]);
+      return;
+    }
     if (on_stream_new_) {
       auto fn = on_stream_new_;
-      fn(static_cast<std::uint16_t>(std::stoul(parts[1])), parts[4]);
+      fn(stream_id, parts[4]);
+    }
+  }
+}
+
+Controller::StreamWaitId Controller::expect_stream_new(
+    std::function<void(std::uint16_t, std::string)> fn) {
+  const StreamWaitId id = next_stream_wait_id_++;
+  stream_waiters_.push_back(StreamWaiter{id, std::move(fn)});
+  return id;
+}
+
+void Controller::cancel_stream_wait(StreamWaitId id) {
+  for (auto it = stream_waiters_.begin(); it != stream_waiters_.end(); ++it) {
+    if (it->id == id) {
+      stream_waiters_.erase(it);
+      return;
     }
   }
 }

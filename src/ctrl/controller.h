@@ -64,6 +64,17 @@ class Controller : public std::enable_shared_from_this<Controller> {
       std::function<void(std::uint16_t, std::string)> fn) {
     on_stream_new_ = std::move(fn);
   }
+
+  /// One-shot claim on the next unclaimed STREAM NEW event. Claims are
+  /// satisfied FIFO and each fires at most once, so independent probes can
+  /// share one control session without clobbering a global callback. The
+  /// returned id cancels the claim (e.g. when the owning measurement aborts
+  /// before its stream appears). set_on_stream_new only sees events no
+  /// claim was waiting for.
+  using StreamWaitId = std::uint64_t;
+  StreamWaitId expect_stream_new(
+      std::function<void(std::uint16_t, std::string)> fn);
+  void cancel_stream_wait(StreamWaitId id);
   /// All 650 events, verbatim minus the "650 " prefix.
   void set_on_event(std::function<void(std::string)> fn) {
     on_event_ = std::move(fn);
@@ -85,6 +96,12 @@ class Controller : public std::enable_shared_from_this<Controller> {
     std::function<void(std::string)> on_fail;
   };
   std::map<tor::CircuitHandle, BuildWatch> build_watches_;
+  struct StreamWaiter {
+    StreamWaitId id;
+    std::function<void(std::uint16_t, std::string)> fn;
+  };
+  std::deque<StreamWaiter> stream_waiters_;
+  StreamWaitId next_stream_wait_id_ = 1;
   std::function<void(std::uint16_t, std::string)> on_stream_new_;
   std::function<void(std::string)> on_event_;
 };

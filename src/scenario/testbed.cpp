@@ -72,14 +72,38 @@ double Testbed::ping_rtt_ms(const dir::Fingerprint& a,
       .ms();
 }
 
+std::vector<meas::MeasurementHost*> Testbed::measurement_pool(
+    std::size_t count) {
+  TING_CHECK(count >= 1);
+  while (pool_extras_.size() + 1 < count) {
+    const std::size_t n = pool_extras_.size() + 1;
+    // Same campus as the primary host; each pool member is nonetheless its
+    // own network endpoint with its own relays, ports, and sessions.
+    const IpAddr ip = ipalloc_->allocate("US", geo::HostKind::kDatacenter);
+    const simnet::HostId host = net_->add_host(ip, {38.99, -76.94});
+    meas::MeasurementHostConfig config;
+    config.label = std::to_string(n);
+    pool_extras_.push_back(std::make_unique<meas::MeasurementHost>(
+        *net_, host, consensus_, config, seed_ + 2000 + 13 * n));
+    pool_extras_.back()->start_blocking();
+  }
+  std::vector<meas::MeasurementHost*> pool;
+  pool.push_back(ting_host_.get());
+  for (std::size_t i = 0; i + 1 < count; ++i)
+    pool.push_back(pool_extras_[i].get());
+  return pool;
+}
+
 Testbed build_testbed(const std::vector<RelaySpec>& specs,
                       const TestbedOptions& options) {
   Testbed tb;
   tb.loop_ = std::make_unique<simnet::EventLoop>();
   tb.net_ = std::make_unique<simnet::Network>(*tb.loop_, options.latency,
                                               options.seed);
+  tb.seed_ = options.seed;
   Rng rng(mix64(options.seed ^ 0xbedbed));
-  geo::IpAllocator ipalloc(options.seed + 17);
+  tb.ipalloc_ = std::make_unique<geo::IpAllocator>(options.seed + 17);
+  geo::IpAllocator& ipalloc = *tb.ipalloc_;
 
   // The measurement host: a well-connected host on a university network
   // (the paper ran from College Park, MD).
@@ -120,8 +144,9 @@ Testbed build_testbed(const std::vector<RelaySpec>& specs,
     // observed minima sit in a 0–3 ms band) and a queueing tail that grows
     // with how busy (high-bandwidth) the relay is.
     rc.base_forward_ms = rng.uniform(0.05, 1.5);
-    rc.queue_mean_ms = rng.uniform(0.4, 1.2) +
-                       2.0 * static_cast<double>(spec.bandwidth) / 20000.0;
+    rc.queue_mean_ms = options.forward_queue_scale *
+                       (rng.uniform(0.4, 1.2) +
+                        2.0 * static_cast<double>(spec.bandwidth) / 20000.0);
 
     tb.relays_.push_back(
         std::make_unique<tor::Relay>(*tb.net_, host, rc, relay_seed++));

@@ -35,6 +35,11 @@ struct TestbedOptions {
   double differential_fraction = 0.35;
   /// Latency/jitter configuration of the underlying network.
   simnet::LatencyConfig latency;
+  /// Scales every relay's random queueing-delay mean (base forwarding cost
+  /// is untouched). Tests that compare estimates across scan engines set
+  /// this low: min-of-N sampling then converges well inside 1 ms, so any
+  /// residual disagreement is an engine bug rather than sampling noise.
+  double forward_queue_scale = 1.0;
   /// Start the measurement host's controller session (blocking).
   bool start_measurement_host = true;
 };
@@ -73,6 +78,14 @@ class Testbed {
 
   simnet::HostId measurement_host() const { return measurement_host_; }
 
+  /// A pool of `count` measurement hosts for parallel scanning: the primary
+  /// host plus count-1 extras created (and started) on demand, each a full
+  /// apparatus — own simnet host, w/z relays, echo pair, onion proxy, and
+  /// controller session — placed alongside the primary (a rack of
+  /// measurement machines). Extras persist across calls; asking for a
+  /// smaller count returns a prefix of a previous pool.
+  std::vector<meas::MeasurementHost*> measurement_pool(std::size_t count);
+
  private:
   friend Testbed build_testbed(const std::vector<RelaySpec>&,
                                const TestbedOptions&);
@@ -83,7 +96,10 @@ class Testbed {
   std::map<dir::Fingerprint, simnet::HostId> host_by_fp_;
   dir::Consensus consensus_;
   geo::GeolocationService geolocation_;
+  std::unique_ptr<geo::IpAllocator> ipalloc_;
+  std::uint64_t seed_ = 1;
   std::unique_ptr<meas::MeasurementHost> ting_host_;
+  std::vector<std::unique_ptr<meas::MeasurementHost>> pool_extras_;
   simnet::HostId measurement_host_ = 0;
 };
 

@@ -27,6 +27,14 @@ class EventLoop {
   EventId schedule(Duration delay, std::function<void()> fn);
   EventId schedule_at(TimePoint when, std::function<void()> fn);
 
+  /// Schedule `fn` at the current instant, after events already queued for
+  /// it. Lets completion callbacks hand follow-up work (e.g. a scan engine
+  /// dispatching the next measurement) a fresh stack frame instead of
+  /// recursing, while keeping virtual time unchanged.
+  EventId defer(std::function<void()> fn) {
+    return schedule(Duration(), std::move(fn));
+  }
+
   /// Cancel a pending event. No-op if already fired or cancelled.
   void cancel(EventId id);
 

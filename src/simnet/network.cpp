@@ -29,6 +29,13 @@ Network::Network(EventLoop& loop, LatencyConfig latency_config,
                  std::uint64_t seed)
     : loop_(loop), model_(latency_config), rng_(seed) {}
 
+Network::~Network() {
+  for (auto& [raw, conn] : conns_) {
+    conn->on_message_ = {};
+    conn->on_close_ = {};
+  }
+}
+
 HostId Network::add_host(IpAddr ip, const geo::GeoPoint& location,
                          NetworkPolicy policy, std::uint32_t group_tag) {
   TING_CHECK_MSG(!by_ip_.contains(ip), "duplicate IP " << ip.str());

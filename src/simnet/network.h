@@ -81,6 +81,10 @@ class Network {
  public:
   Network(EventLoop& loop, LatencyConfig latency_config = {},
           std::uint64_t seed = 99);
+  /// Applications routinely capture a ConnPtr in that connection's own (or
+  /// its peer's) callbacks; clear them on teardown so still-open
+  /// connections don't survive the network as reference cycles.
+  ~Network();
 
   /// Register a host with its address, location, and network policy.
   /// `group_tag` feeds the latency model's optional cross-group inflation.

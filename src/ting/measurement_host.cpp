@@ -14,7 +14,7 @@ MeasurementHost::MeasurementHost(simnet::Network& net, simnet::HostId host,
   // w: our entry-side relay. Never exits; never needs Guard (we pick paths
   // explicitly through the control port).
   tor::RelayConfig wc;
-  wc.nickname = "tingW";
+  wc.nickname = "tingW" + config_.label;
   wc.or_port = config_.w_or_port;
   wc.exit_policy = dir::ExitPolicy::reject_all();
   wc.base_forward_ms = config_.local_relay_base_ms;
@@ -25,7 +25,7 @@ MeasurementHost::MeasurementHost(simnet::Network& net, simnet::HostId host,
   // (the paper's "only allowed exiting to ... IP addresses under our
   // control").
   tor::RelayConfig zc;
-  zc.nickname = "tingZ";
+  zc.nickname = "tingZ" + config_.label;
   zc.or_port = config_.z_or_port;
   zc.exit_policy = dir::ExitPolicy::accept_only({my_ip});
   zc.base_forward_ms = config_.local_relay_base_ms;

@@ -21,6 +21,9 @@
 namespace ting::meas {
 
 struct MeasurementHostConfig {
+  /// Suffix for the w/z relay nicknames ("tingW" + label), so the members
+  /// of a scan pool are distinguishable in logs and control replies.
+  std::string label;
   std::uint16_t socks_port = 9050;
   std::uint16_t control_port = 9051;
   std::uint16_t echo_port = 4242;

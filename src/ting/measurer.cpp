@@ -39,27 +39,42 @@ struct TingMeasurer::CircuitProbe
   tor::CircuitHandle handle = 0;
   simnet::ConnPtr app_conn;
   CircuitMeasurement result;
+  TimePoint probe_start;
+  TimePoint sampling_start;
   TimePoint sample_start;
   bool sampling = false;
   bool finished = false;
   double min_ms = std::numeric_limits<double>::infinity();
   simnet::EventId deadline_event = 0;
+  ctrl::Controller::StreamWaitId stream_wait = 0;
 
   void finish(bool ok, const std::string& error = "") {
     if (finished) return;
     finished = true;
     self->host_.loop().cancel(deadline_event);
-    self->host_.controller().set_on_stream_new({});
+    if (stream_wait != 0)
+      self->host_.controller().cancel_stream_wait(stream_wait);
     if (app_conn && app_conn->is_open()) app_conn->close();
     if (handle != 0) self->host_.controller().close_circuit(handle);
     result.ok = ok;
     result.error = error;
     if (ok) result.min_rtt_ms = min_ms;
+    if (sampling)
+      result.sample_time = self->host_.loop().now() - sampling_start;
+    else
+      result.build_time = self->host_.loop().now() - probe_start;
     if (on_done) {
       auto fn = std::move(on_done);
       on_done = {};
       fn(std::move(result));
     }
+  }
+
+  void begin_sampling() {
+    sampling = true;
+    sampling_start = self->host_.loop().now();
+    result.build_time = sampling_start - probe_start;
+    take_sample();
   }
 
   void take_sample() {
@@ -117,6 +132,7 @@ void TingMeasurer::run_probe(const std::shared_ptr<CircuitProbe>& probe) {
   const Duration total_budget =
       config_.build_timeout +
       config_.sample_timeout * probe->samples_target;
+  probe->probe_start = host_.loop().now();
   probe->deadline_event = host_.loop().schedule(total_budget, [probe]() {
     probe->finish(false, "measurement deadline exceeded");
   });
@@ -126,10 +142,11 @@ void TingMeasurer::run_probe(const std::shared_ptr<CircuitProbe>& probe) {
       [this, probe](tor::CircuitHandle h) {
         if (probe->finished) return;
         probe->handle = h;
-        // The stream must be attached manually: route the next STREAM NEW
-        // notification to ATTACHSTREAM on our fresh circuit.
-        host_.controller().set_on_stream_new(
+        // The stream must be attached manually: claim the next STREAM NEW
+        // notification and route it to ATTACHSTREAM on our fresh circuit.
+        probe->stream_wait = host_.controller().expect_stream_new(
             [this, probe](std::uint16_t stream_id, std::string) {
+              probe->stream_wait = 0;
               if (probe->finished) return;
               host_.controller().attach_stream(
                   stream_id, probe->handle, [probe](bool ok) {
@@ -150,8 +167,7 @@ void TingMeasurer::run_probe(const std::shared_ptr<CircuitProbe>& probe) {
                 if (!probe->sampling) {
                   const std::string s(msg.begin(), msg.end());
                   if (s == "OK") {
-                    probe->sampling = true;
-                    probe->take_sample();
+                    probe->begin_sampling();
                   } else {
                     probe->finish(false, "SOCKS error: " + s);
                   }
@@ -188,8 +204,9 @@ CircuitMeasurement TingMeasurer::measure_circuit_blocking(
 
 // ---- full Ting pair measurement ---------------------------------------------
 
-void TingMeasurer::measure(const dir::Fingerprint& x, const dir::Fingerprint& y,
-                           std::function<void(PairResult)> on_done) {
+void TingMeasurer::measure_async(const dir::Fingerprint& x,
+                                 const dir::Fingerprint& y,
+                                 std::function<void(PairResult)> on_done) {
   auto result = std::make_shared<PairResult>();
   result->x = x;
   result->y = y;
@@ -201,6 +218,12 @@ void TingMeasurer::measure(const dir::Fingerprint& x, const dir::Fingerprint& y,
     on_done(std::move(*result));
     return;
   }
+  TING_CHECK_MSG(!busy_, "measurer already has a pair measurement in flight");
+  busy_ = true;
+  on_done = [this, inner = std::move(on_done)](PairResult r) {
+    busy_ = false;  // cleared first: the continuation may start the next pair
+    inner(std::move(r));
+  };
 
   // Three sequential circuit probes: C_xy, C_x, C_y.
   measure_circuit({x, y}, config_.samples, [this, x, y, result, started,

@@ -40,6 +40,8 @@ struct CircuitMeasurement {
   std::string error;
   double min_rtt_ms = 0;
   int samples_taken = 0;
+  Duration build_time;   ///< circuit construction + stream attach phase
+  Duration sample_time;  ///< echo sampling phase (zero if never built)
   std::vector<double> raw_samples_ms;  ///< only if keep_raw_samples
 };
 
@@ -52,6 +54,15 @@ struct PairResult {
   CircuitMeasurement cxy, cx, cy;
   Duration wall_time;  ///< virtual time the measurement took
 
+  /// Virtual time spent building circuits / sampling, summed over the
+  /// three probes — the per-phase split the scan engine aggregates.
+  Duration build_time() const {
+    return cxy.build_time + cx.build_time + cy.build_time;
+  }
+  Duration sample_time() const {
+    return cxy.sample_time + cx.sample_time + cy.sample_time;
+  }
+
   /// Recompute the estimate using only the first k samples of each circuit
   /// (prefix minima) — the convergence analysis of Fig 6. Requires raw
   /// samples. k is clamped to the available count.
@@ -62,9 +73,20 @@ class TingMeasurer {
  public:
   TingMeasurer(MeasurementHost& host, TingConfig config = {});
 
-  /// Asynchronous measurement of R(x, y). One measurement at a time.
+  /// Continuation-style measurement of R(x, y): schedules the three circuit
+  /// probes on the event loop and invokes `on_done` when the estimate (or an
+  /// error) is ready, without ever pumping the loop itself — so a scan
+  /// engine can keep many measurers in flight on one loop. One measurement
+  /// per measurer at a time (each pair needs the host's full w/z apparatus);
+  /// `busy()` reports whether one is outstanding.
+  void measure_async(const dir::Fingerprint& x, const dir::Fingerprint& y,
+                     std::function<void(PairResult)> on_done);
+  /// Back-compat alias for measure_async.
   void measure(const dir::Fingerprint& x, const dir::Fingerprint& y,
-               std::function<void(PairResult)> on_done);
+               std::function<void(PairResult)> on_done) {
+    measure_async(x, y, std::move(on_done));
+  }
+  bool busy() const { return busy_; }
 
   /// Blocking convenience: pumps the event loop to completion.
   PairResult measure_blocking(const dir::Fingerprint& x,
@@ -100,6 +122,7 @@ class TingMeasurer {
 
   MeasurementHost& host_;
   TingConfig config_;
+  bool busy_ = false;
 };
 
 }  // namespace ting::meas

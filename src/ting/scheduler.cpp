@@ -1,5 +1,7 @@
 #include "ting/scheduler.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace ting::meas {
@@ -9,6 +11,8 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                                  const Progress& progress) {
   TING_CHECK(options.attempts_per_pair >= 1);
   ScanReport report;
+  report.retry_histogram.assign(
+      static_cast<std::size_t>(options.attempts_per_pair), 0);
   const TimePoint started = measurer_.host().loop().now();
 
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
@@ -34,14 +38,20 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
       continue;
     }
 
+    report.max_in_flight = 1;
+    report.max_per_relay_in_flight = 1;
     bool ok = false;
     for (int attempt = 0; attempt < options.attempts_per_pair && !ok;
          ++attempt) {
       const PairResult r = measurer_.measure_blocking(x, y);
+      report.time_building += r.build_time();
+      report.time_sampling += r.sample_time();
+      if (attempt > 0) ++report.retries;
       if (r.ok) {
         cache_.set(x, y, r.rtt_ms, measurer_.host().loop().now(),
                    measurer_.config().samples);
         ++report.measured;
+        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
         ok = true;
         if (progress) progress(done, report.pairs_total, r);
       } else if (attempt + 1 == options.attempts_per_pair) {
@@ -49,6 +59,7 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                                 << " failed: " << r.error);
         ++report.failed;
         report.failed_pairs.emplace_back(x, y);
+        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
         if (progress) progress(done, report.pairs_total, r);
       }
     }
@@ -56,6 +67,181 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
 
   report.virtual_time = measurer_.host().loop().now() - started;
   return report;
+}
+
+// ---- ParallelScanner --------------------------------------------------------
+
+struct ParallelScanner::ScanState {
+  struct Task {
+    std::size_t i = 0, j = 0;
+    int attempt = 0;  ///< retries used so far
+  };
+
+  const std::vector<dir::Fingerprint>* nodes = nullptr;
+  ParallelScanOptions options;
+  Progress progress;
+  ScanReport report;
+
+  std::vector<Task> tasks;
+  std::deque<std::size_t> ready;  ///< task indices awaiting a host + admission
+  std::map<dir::Fingerprint, int> relay_in_flight;
+  std::vector<bool> host_busy;
+  std::size_t in_flight = 0;
+  std::size_t outstanding = 0;  ///< tasks not yet terminally resolved
+  std::size_t done = 0;         ///< resolved pairs, for progress reporting
+};
+
+ParallelScanner::ParallelScanner(std::vector<TingMeasurer*> measurers,
+                                 RttMatrix& cache)
+    : measurers_(std::move(measurers)), cache_(cache) {
+  TING_CHECK_MSG(!measurers_.empty(), "pool needs at least one measurer");
+  for (TingMeasurer* m : measurers_) {
+    TING_CHECK(m != nullptr);
+    TING_CHECK_MSG(&m->host().loop() == &measurers_[0]->host().loop(),
+                   "all pool measurers must share one event loop");
+  }
+}
+
+void ParallelScanner::pump(ScanState& st) {
+  for (std::size_t h = 0; h < measurers_.size(); ++h) {
+    if (st.host_busy[h]) continue;
+    // Admission policy: a task may start only while both its target relays
+    // are below the per-relay concurrency cap.
+    const auto it = std::find_if(
+        st.ready.begin(), st.ready.end(), [&](std::size_t t) {
+          const ScanState::Task& task = st.tasks[t];
+          const auto x_it = st.relay_in_flight.find((*st.nodes)[task.i]);
+          const auto y_it = st.relay_in_flight.find((*st.nodes)[task.j]);
+          return (x_it == st.relay_in_flight.end() ||
+                  x_it->second < st.options.per_relay_cap) &&
+                 (y_it == st.relay_in_flight.end() ||
+                  y_it->second < st.options.per_relay_cap);
+        });
+    if (it == st.ready.end()) return;  // nothing admissible for any host
+    const std::size_t t = *it;
+    st.ready.erase(it);
+    dispatch(st, h, t);
+  }
+}
+
+void ParallelScanner::dispatch(ScanState& st, std::size_t host,
+                               std::size_t t) {
+  const ScanState::Task& task = st.tasks[t];
+  const dir::Fingerprint& x = (*st.nodes)[task.i];
+  const dir::Fingerprint& y = (*st.nodes)[task.j];
+
+  st.host_busy[host] = true;
+  ++st.in_flight;
+  const int nx = ++st.relay_in_flight[x];
+  const int ny = ++st.relay_in_flight[y];
+  st.report.max_in_flight = std::max(st.report.max_in_flight, st.in_flight);
+  st.report.max_per_relay_in_flight =
+      std::max(st.report.max_per_relay_in_flight,
+               static_cast<std::size_t>(std::max(nx, ny)));
+
+  // &st stays valid for the callback's lifetime: scan() blocks until every
+  // dispatched measurement and scheduled retry has resolved.
+  measurers_[host]->measure_async(x, y, [this, &st, host, t](PairResult r) {
+    ScanState::Task& task = st.tasks[t];
+    const dir::Fingerprint& x = (*st.nodes)[task.i];
+    const dir::Fingerprint& y = (*st.nodes)[task.j];
+    simnet::EventLoop& loop = measurers_[host]->host().loop();
+
+    st.host_busy[host] = false;
+    --st.in_flight;
+    if (--st.relay_in_flight[x] == 0) st.relay_in_flight.erase(x);
+    if (--st.relay_in_flight[y] == 0) st.relay_in_flight.erase(y);
+    st.report.time_building += r.build_time();
+    st.report.time_sampling += r.sample_time();
+
+    if (r.ok) {
+      cache_.set(x, y, r.rtt_ms, loop.now(),
+                 measurers_[host]->config().samples);
+      ++st.report.measured;
+      ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
+      ++st.done;
+      --st.outstanding;
+      if (st.progress) st.progress(st.done, st.report.pairs_total, r);
+    } else if (task.attempt + 1 < st.options.attempts_per_pair) {
+      // Exponential backoff before re-queueing: transient causes (circuit
+      // build races, congested relays) deserve breathing room, and backoff
+      // keeps a flapping relay from monopolising admission slots.
+      ++task.attempt;
+      ++st.report.retries;
+      Duration delay = st.options.retry_backoff_base;
+      for (int k = 1; k < task.attempt; ++k)
+        delay = delay * st.options.retry_backoff_factor;
+      TING_DEBUG("scan: pair " << x.short_name() << "," << y.short_name()
+                               << " failed (" << r.error << "), retry "
+                               << task.attempt << " in " << delay.str());
+      loop.schedule(delay, [this, &st, t]() {
+        st.ready.push_back(t);
+        pump(st);
+      });
+    } else {
+      TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
+                              << " failed: " << r.error);
+      ++st.report.failed;
+      st.report.failed_pairs.emplace_back(x, y);
+      ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
+      ++st.done;
+      --st.outstanding;
+      if (st.progress) st.progress(st.done, st.report.pairs_total, r);
+    }
+    pump(st);
+  });
+}
+
+ScanReport ParallelScanner::scan(const std::vector<dir::Fingerprint>& nodes,
+                                 const ParallelScanOptions& options,
+                                 const Progress& progress) {
+  TING_CHECK(options.attempts_per_pair >= 1);
+  TING_CHECK(options.per_relay_cap >= 1);
+  TING_CHECK(options.retry_backoff_factor >= 1);
+
+  simnet::EventLoop& loop = measurers_[0]->host().loop();
+  const TimePoint started = loop.now();
+
+  ScanState st;
+  st.nodes = &nodes;
+  st.options = options;
+  st.progress = progress;
+  st.report.retry_histogram.assign(
+      static_cast<std::size_t>(options.attempts_per_pair), 0);
+  st.host_busy.assign(measurers_.size(), false);
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      ++st.report.pairs_total;
+      if (cache_.is_fresh(nodes[i], nodes[j], loop.now(), options.max_age)) {
+        ++st.report.from_cache;
+        ++st.done;
+        continue;
+      }
+      st.tasks.push_back(ScanState::Task{i, j, 0});
+    }
+  }
+  if (options.randomize_order) {
+    Rng rng(options.order_seed);
+    rng.shuffle(st.tasks);
+  }
+  for (std::size_t t = 0; t < st.tasks.size(); ++t) st.ready.push_back(t);
+  st.outstanding = st.tasks.size();
+
+  pump(st);
+  if (st.outstanding > 0) {
+    // Every dispatched measurement has an internal deadline and every retry
+    // a bounded backoff, so the scan always terminates; the timeout here is
+    // a generous safety net against engine bugs.
+    const bool ok = loop.run_while_waiting_for(
+        [&]() { return st.outstanding == 0; },
+        Duration::seconds(365LL * 24 * 3600));
+    TING_CHECK_MSG(ok, "parallel scan stalled (event queue drained or "
+                       "safety timeout hit)");
+  }
+
+  st.report.virtual_time = loop.now() - started;
+  return st.report;
 }
 
 }  // namespace ting::meas

@@ -1,14 +1,26 @@
-// AllPairsScanner — the driver that turns single-pair Ting measurements
-// into the all-pairs RTT datasets the §5 applications consume.
+// Scan engines — the drivers that turn single-pair Ting measurements into
+// the all-pairs RTT datasets the §5 applications consume.
 //
-// Implements the operational practices the paper describes: pairs are
-// probed in randomized order (§4.2), results land in a cached RttMatrix,
-// fresh cache entries are skipped on re-scan (§4.6: measurements are stable
-// over a week, so "taking measurements with Ting infrequently and caching
-// them is sufficient"), and failed pairs are retried a bounded number of
-// times before being reported.
+// Both engines implement the operational practices the paper describes:
+// pairs are probed in randomized order (§4.2), results land in a cached
+// RttMatrix, fresh cache entries are skipped on re-scan (§4.6: measurements
+// are stable over a week, so "taking measurements with Ting infrequently
+// and caching them is sufficient"), and failed pairs are retried a bounded
+// number of times before being reported.
+//
+//  - AllPairsScanner: one measurement host, one pair at a time. Simple and
+//    exactly reproducible; what the paper's own scans did.
+//  - ParallelScanner: a pool of measurement hosts keeps K pairs in flight
+//    simultaneously on one simnet event loop — the "parallelizes trivially"
+//    observation of §4.5 — under an admission policy that caps concurrent
+//    circuits per target relay, so a hot relay is never probed by many
+//    circuits at once (which would inflate its observed minimum, the
+//    congestion concern of §4.3). Failed pairs are re-queued with
+//    exponential backoff before being reported as failed.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,16 +45,36 @@ struct ScanReport {
   std::size_t failed = 0;        ///< exhausted attempts
   std::vector<std::pair<dir::Fingerprint, dir::Fingerprint>> failed_pairs;
   Duration virtual_time;         ///< simulated time the scan took
+
+  // ---- engine statistics ----------------------------------------------------
+  /// Virtual time spent building circuits / echo-sampling, summed across all
+  /// attempted pair measurements (so with K in flight these can exceed
+  /// virtual_time).
+  Duration time_building;
+  Duration time_sampling;
+  /// High-water mark of concurrently running pair measurements.
+  std::size_t max_in_flight = 0;
+  /// High-water mark of concurrent pair measurements touching any single
+  /// target relay — the admission policy guarantees this never exceeds the
+  /// configured per-relay cap.
+  std::size_t max_per_relay_in_flight = 0;
+  /// Total re-dispatches after a failed attempt.
+  std::size_t retries = 0;
+  /// retry_histogram[k] = pairs that finished (either way) after k retries;
+  /// size is attempts_per_pair (index 0 = succeeded or failed first try).
+  std::vector<std::size_t> retry_histogram;
 };
+
+/// Progress callback: (pairs done, pairs total, last pair's result).
+using ScanProgress =
+    std::function<void(std::size_t, std::size_t, const PairResult&)>;
 
 class AllPairsScanner {
  public:
+  using Progress = ScanProgress;
+
   AllPairsScanner(TingMeasurer& measurer, RttMatrix& cache)
       : measurer_(measurer), cache_(cache) {}
-
-  /// Progress callback: (pairs done, pairs total, last pair's result).
-  using Progress =
-      std::function<void(std::size_t, std::size_t, const PairResult&)>;
 
   /// Measure all unordered pairs of `nodes` (blocking; pumps the event
   /// loop). Results are written into the cache matrix.
@@ -54,6 +86,44 @@ class AllPairsScanner {
 
  private:
   TingMeasurer& measurer_;
+  RttMatrix& cache_;
+};
+
+struct ParallelScanOptions : ScanOptions {
+  /// Max concurrent pair measurements touching one target relay. A pair
+  /// (x, y) holds one slot on x and one on y for its whole measurement
+  /// (its three circuits all traverse them).
+  int per_relay_cap = 1;
+  /// Backoff before the k-th retry of a failed pair:
+  /// retry_backoff_base * retry_backoff_factor^(k-1).
+  Duration retry_backoff_base = Duration::seconds(10);
+  int retry_backoff_factor = 2;
+};
+
+class ParallelScanner {
+ public:
+  using Progress = ScanProgress;
+
+  /// The engine drives one measurer (= one measurement host) per in-flight
+  /// pair; all must share one event loop. Concurrency K = measurers.size().
+  ParallelScanner(std::vector<TingMeasurer*> measurers, RttMatrix& cache);
+
+  /// Measure all unordered pairs of `nodes` (blocking; pumps the shared
+  /// event loop until every pair has succeeded, exhausted its attempts, or
+  /// been served from cache). Results are written into the cache matrix.
+  ScanReport scan(const std::vector<dir::Fingerprint>& nodes,
+                  const ParallelScanOptions& options = {},
+                  const Progress& progress = {});
+
+  RttMatrix& cache() { return cache_; }
+  std::size_t pool_size() const { return measurers_.size(); }
+
+ private:
+  struct ScanState;
+  void pump(ScanState& st);
+  void dispatch(ScanState& st, std::size_t host, std::size_t task);
+
+  std::vector<TingMeasurer*> measurers_;
   RttMatrix& cache_;
 };
 

@@ -33,6 +33,19 @@ OnionProxy::OnionProxy(simnet::Network& net, simnet::HostId host,
       [this](simnet::ConnPtr conn) { handle_socks_connection(std::move(conn)); });
 }
 
+OnionProxy::~OnionProxy() {
+  for (auto& [handle, circ] : circuits_) {
+    if (circ->link) circ->link->set_on_cell({});
+    if (circ->conn) circ->conn->set_on_close({});
+  }
+  for (auto& [id, stream] : streams_) {
+    stream->on_message_ = {};
+    stream->on_close_ = {};
+    stream->on_connected_ = {};
+    stream->on_fail_ = {};
+  }
+}
+
 void OnionProxy::emit(const std::string& event) {
   if (event_sink_) event_sink_(event);
 }

@@ -54,6 +54,9 @@ class OnionProxy {
  public:
   OnionProxy(simnet::Network& net, simnet::HostId host,
              OnionProxyConfig config, std::uint64_t seed);
+  /// Each circuit's link/connection callbacks capture the CircuitPtr; break
+  /// those cycles so circuits don't outlive the proxy.
+  ~OnionProxy();
   OnionProxy(const OnionProxy&) = delete;
   OnionProxy& operator=(const OnionProxy&) = delete;
 

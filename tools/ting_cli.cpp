@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/coordinates.h"
 #include "analysis/coverage.h"
@@ -88,30 +90,58 @@ int cmd_scan(const Args& args) {
   const auto relays = static_cast<std::size_t>(args.num("relays", 25));
   const auto nodes = static_cast<std::size_t>(args.num("nodes", 12));
   const int samples = static_cast<int>(args.num("samples", 100));
+  const int parallel = static_cast<int>(args.num("parallel", 1));
+  const int cap = static_cast<int>(args.num("cap", 1));
   const std::string out = args.str("out", "matrix.csv");
+  if (parallel < 1 || cap < 1) {
+    std::fprintf(stderr, "--parallel and --cap must be >= 1\n");
+    return 2;
+  }
   scenario::TestbedOptions options;
   options.seed = static_cast<std::uint64_t>(args.num("seed", 1));
   scenario::Testbed world = scenario::live_tor(relays, options);
   meas::TingConfig cfg;
   cfg.samples = samples;
-  meas::TingMeasurer measurer(world.ting(), cfg);
-  meas::RttMatrix matrix;
-  meas::AllPairsScanner scanner(measurer, matrix);
   std::vector<dir::Fingerprint> subset;
   for (std::size_t i = 0; i < std::min(nodes, world.relay_count()); ++i)
     subset.push_back(world.fp(i));
-  const meas::ScanReport report = scanner.scan(
-      subset, {}, [](std::size_t done, std::size_t total,
-                     const meas::PairResult& r) {
-        std::fprintf(stderr, "\r[%zu/%zu] last=%.1fms   ", done, total,
-                     r.rtt_ms);
-      });
+
+  const auto progress = [](std::size_t done, std::size_t total,
+                           const meas::PairResult& r) {
+    std::fprintf(stderr, "\r[%zu/%zu] last=%.1fms   ", done, total, r.rtt_ms);
+  };
+  meas::RttMatrix matrix;
+  meas::ScanReport report;
+  if (parallel == 1) {
+    meas::TingMeasurer measurer(world.ting(), cfg);
+    meas::AllPairsScanner scanner(measurer, matrix);
+    report = scanner.scan(subset, {}, progress);
+  } else {
+    // One measurement host per in-flight pair, all driving the same
+    // simulated world; the admission policy caps circuits per target relay.
+    std::vector<std::unique_ptr<meas::TingMeasurer>> measurers;
+    std::vector<meas::TingMeasurer*> pool;
+    for (meas::MeasurementHost* host :
+         world.measurement_pool(static_cast<std::size_t>(parallel))) {
+      measurers.push_back(std::make_unique<meas::TingMeasurer>(*host, cfg));
+      pool.push_back(measurers.back().get());
+    }
+    meas::ParallelScanner scanner(pool, matrix);
+    meas::ParallelScanOptions scan_options;
+    scan_options.per_relay_cap = cap;
+    report = scanner.scan(subset, scan_options, progress);
+  }
   std::fprintf(stderr, "\n");
   matrix.save_csv(out);
-  std::printf("scanned %zu pairs (%zu measured, %zu failed) in %.1f virtual "
-              "hours -> %s\n",
+  std::printf("scanned %zu pairs (%zu measured, %zu failed, %zu retries) in "
+              "%.1f virtual hours -> %s\n",
               report.pairs_total, report.measured, report.failed,
-              report.virtual_time.sec() / 3600.0, out.c_str());
+              report.retries, report.virtual_time.sec() / 3600.0, out.c_str());
+  std::printf("engine: K=%d in-flight peak %zu, per-relay peak %zu (cap %d), "
+              "build %.1fh sample %.1fh\n",
+              parallel, report.max_in_flight, report.max_per_relay_in_flight,
+              cap, report.time_building.sec() / 3600.0,
+              report.time_sampling.sec() / 3600.0);
   return report.failed == 0 ? 0 : 1;
 }
 
@@ -209,7 +239,8 @@ void usage() {
       "usage: ting <command> [--flag value ...]\n"
       "commands:\n"
       "  measure   measure one relay pair with Ting     (--relays --samples --x --y --seed)\n"
-      "  scan      all-pairs scan to a CSV matrix       (--relays --nodes --samples --out --seed)\n"
+      "  scan      all-pairs scan to a CSV matrix       (--relays --nodes --samples --out --seed\n"
+      "                                                  --parallel K --cap per-relay-circuits)\n"
       "  tiv       triangle-inequality report           (--matrix)\n"
       "  deanon    deanonymization strategy comparison  (--matrix --runs)\n"
       "  coords    Vivaldi-embedding comparison         (--matrix --percent --seed)\n"
