@@ -1,10 +1,13 @@
 // Scan-engine scaling: virtual time of an all-pairs scan as the parallel
 // engine's pool grows — the "parallelizes trivially" observation of §4.5
 // quantified. Prints virtual hours and speedup vs the sequential engine for
-// K in {1, 2, 4, 8}, plus the engine's admission/retry statistics.
+// K in {1, 2, 4, 8}, plus the engine's admission/retry statistics, and the
+// overhead a faulted network (packet loss + consensus churn) adds at K=4.
 #include <memory>
 
 #include "bench_common.h"
+#include "scenario/faults.h"
+#include "simnet/fault_plan.h"
 #include "ting/scheduler.h"
 
 int main() {
@@ -58,5 +61,36 @@ int main() {
   std::printf("# engine phase split at K=1: build %.2fh, sample %.2fh\n",
               seq.time_building.sec() / 3600.0,
               seq.time_sampling.sec() / 3600.0);
+
+  // The same K=4 scan under faults: 3% loss everywhere plus two consensus
+  // leave/rejoin cycles. Quantifies what the retry/re-resolution machinery
+  // costs relative to a clean scan.
+  {
+    simnet::FaultPlan plan(tb.net());
+    scenario::apply_fault_spec(
+        scenario::FaultSpec::parse("loss:*:0.03;churn:2:30:60:120"), tb,
+        nodes, plan, options.seed);
+    std::vector<std::unique_ptr<meas::TingMeasurer>> owned;
+    std::vector<meas::TingMeasurer*> pool;
+    for (meas::MeasurementHost* host : tb.measurement_pool(4)) {
+      owned.push_back(std::make_unique<meas::TingMeasurer>(*host, cfg));
+      pool.push_back(owned.back().get());
+    }
+    meas::RttMatrix matrix;
+    meas::ParallelScanner scanner(pool, matrix);
+    meas::ParallelScanOptions scan_options;
+    scan_options.max_age = Duration::seconds(0);
+    scan_options.attempts_per_pair = 6;
+    scan_options.live_consensus = &tb.consensus();
+    scan_options.churn_requeue_delay = Duration::seconds(20);
+    scan_options.fault_plan = &plan;
+    const meas::ScanReport r = scanner.scan(nodes, scan_options);
+    std::printf("# K=4 under faults (3%% loss, churn): %.2fh, %zu/%zu "
+                "measured, retries %zu, churned re-resolved %zu, failures "
+                "t/p/c %zu/%zu/%zu\n",
+                r.virtual_time.sec() / 3600.0, r.measured, r.pairs_total,
+                r.retries, r.churn_reresolved, r.failed_transient,
+                r.failed_permanent, r.failed_churned);
+  }
   return 0;
 }

@@ -59,7 +59,11 @@ CircuitRttHistogram circuit_rtt_histogram(
   std::vector<std::vector<double>> node_in_bin(
       nbins, std::vector<double>(nodes.size(), 0.0));
   for (const auto& s : samples) {
-    std::size_t bin = static_cast<std::size_t>(s.rtt_ms / bin_ms);
+    // A negative RTT (bad matrix data) must not wrap through the size_t
+    // cast into a huge bin index.
+    std::size_t bin = s.rtt_ms <= 0
+                          ? 0
+                          : static_cast<std::size_t>(s.rtt_ms / bin_ms);
     if (bin >= nbins) bin = nbins - 1;
     raw[bin] += 1;
     for (std::size_t node : s.path) node_in_bin[bin][node] += 1;

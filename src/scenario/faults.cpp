@@ -1,0 +1,179 @@
+#include "scenario/faults.h"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "scenario/testbed.h"
+#include "scenario/timeline.h"
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::scenario {
+
+namespace {
+
+double parse_number(const std::string& field, const std::string& clause) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(field, &pos);
+    TING_CHECK_MSG(pos == field.size(),
+                   "bad number '" << field << "' in fault clause: " << clause);
+    return v;
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  TING_CHECK_MSG(false,
+                 "bad number '" << field << "' in fault clause: " << clause);
+}
+
+int parse_target(const std::string& field, const std::string& clause) {
+  if (field == "*") return -1;
+  const double v = parse_number(field, clause);
+  const int idx = static_cast<int>(v);
+  TING_CHECK_MSG(idx >= 0 && static_cast<double>(idx) == v,
+                 "bad target '" << field << "' in fault clause: " << clause);
+  return idx;
+}
+
+FaultClause parse_clause(const std::string& text) {
+  const auto fields = split(text, ':');
+  TING_CHECK_MSG(!fields.empty(), "empty fault clause");
+  const std::string& kind = fields[0];
+  FaultClause c;
+  if (kind == "loss") {
+    TING_CHECK_MSG(fields.size() == 3 || fields.size() == 5,
+                   "loss:<target>:<prob>[:<start_s>:<dur_s>] — got: " << text);
+    c.kind = FaultClause::Kind::kLoss;
+    c.target = parse_target(fields[1], text);
+    c.prob = parse_number(fields[2], text);
+    TING_CHECK_MSG(c.prob >= 0 && c.prob <= 1,
+                   "loss probability out of [0, 1]: " << text);
+    if (fields.size() == 5) {
+      c.start_s = parse_number(fields[3], text);
+      c.duration_s = parse_number(fields[4], text);
+    }
+  } else if (kind == "degrade") {
+    TING_CHECK_MSG(
+        fields.size() == 4 || fields.size() == 6,
+        "degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>] — got: "
+            << text);
+    c.kind = FaultClause::Kind::kDegrade;
+    c.target = parse_target(fields[1], text);
+    c.extra_ms = parse_number(fields[2], text);
+    c.jitter_ms = parse_number(fields[3], text);
+    if (fields.size() == 6) {
+      c.start_s = parse_number(fields[4], text);
+      c.duration_s = parse_number(fields[5], text);
+    }
+  } else if (kind == "crash") {
+    TING_CHECK_MSG(fields.size() == 4,
+                   "crash:<target>:<start_s>:<dur_s> — got: " << text);
+    c.kind = FaultClause::Kind::kCrash;
+    c.target = parse_target(fields[1], text);
+    c.start_s = parse_number(fields[2], text);
+    c.duration_s = parse_number(fields[3], text);
+  } else if (kind == "churn") {
+    TING_CHECK_MSG(fields.size() == 5,
+                   "churn:<events>:<start_s>:<period_s>:<down_s> — got: "
+                       << text);
+    c.kind = FaultClause::Kind::kChurn;
+    c.events = static_cast<int>(parse_number(fields[1], text));
+    c.start_s = parse_number(fields[2], text);
+    c.period_s = parse_number(fields[3], text);
+    c.down_s = parse_number(fields[4], text);
+    TING_CHECK_MSG(c.events >= 1 && c.period_s > 0 && c.down_s > 0,
+                   "churn needs events >= 1, period > 0, down > 0: " << text);
+  } else {
+    TING_CHECK_MSG(false, "unknown fault kind '" << kind << "' in: " << text);
+  }
+  TING_CHECK_MSG(c.start_s >= 0 && c.duration_s >= 0,
+                 "negative fault window in: " << text);
+  return c;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& raw : split(text, ';')) {
+    const std::string clause = trim(raw);
+    if (clause.empty()) continue;
+    spec.clauses.push_back(parse_clause(clause));
+  }
+  TING_CHECK_MSG(!spec.clauses.empty(), "empty fault spec");
+  return spec;
+}
+
+void apply_fault_spec(const FaultSpec& spec, Testbed& tb,
+                      const std::vector<dir::Fingerprint>& scan_nodes,
+                      simnet::FaultPlan& plan, std::uint64_t seed) {
+  const auto targets_of = [&](const FaultClause& c) {
+    std::vector<simnet::HostId> hosts;
+    if (c.target < 0) {
+      for (const dir::Fingerprint& fp : scan_nodes)
+        hosts.push_back(tb.host_of(fp));
+    } else {
+      TING_CHECK_MSG(static_cast<std::size_t>(c.target) < scan_nodes.size(),
+                     "fault target " << c.target << " out of range (scan has "
+                                     << scan_nodes.size() << " nodes)");
+      hosts.push_back(tb.host_of(scan_nodes[static_cast<std::size_t>(c.target)]));
+    }
+    return hosts;
+  };
+
+  for (const FaultClause& c : spec.clauses) {
+    switch (c.kind) {
+      case FaultClause::Kind::kLoss:
+        for (const simnet::HostId h : targets_of(c))
+          plan.loss_window(h, Duration::from_ms(c.start_s * 1000.0),
+                           Duration::from_ms(c.duration_s * 1000.0), c.prob);
+        break;
+      case FaultClause::Kind::kDegrade:
+        for (const simnet::HostId h : targets_of(c))
+          plan.degrade_window(h, Duration::from_ms(c.start_s * 1000.0),
+                              Duration::from_ms(c.duration_s * 1000.0),
+                              Duration::from_ms(c.extra_ms),
+                              Duration::from_ms(c.jitter_ms));
+        break;
+      case FaultClause::Kind::kCrash:
+        for (const simnet::HostId h : targets_of(c))
+          plan.crash_window(h, Duration::from_ms(c.start_s * 1000.0),
+                            Duration::from_ms(c.duration_s * 1000.0));
+        break;
+      case FaultClause::Kind::kChurn: {
+        ScanChurnOptions churn;
+        churn.seed = seed;
+        churn.start = Duration::from_ms(c.start_s * 1000.0);
+        churn.period = Duration::from_ms(c.period_s * 1000.0);
+        churn.events = static_cast<std::size_t>(c.events);
+        churn.down_for = Duration::from_ms(c.down_s * 1000.0);
+        // The removed descriptor is stashed per node so the paired rejoin
+        // event can restore exactly what left.
+        std::map<dir::Fingerprint,
+                 std::shared_ptr<std::optional<dir::RelayDescriptor>>>
+            stashes;
+        for (const ChurnEvent& e : make_scan_churn(scan_nodes.size(), churn)) {
+          const dir::Fingerprint fp = scan_nodes.at(e.node_index);
+          if (e.leave) {
+            auto stash =
+                std::make_shared<std::optional<dir::RelayDescriptor>>();
+            plan.at(e.at, "consensus: -" + fp.short_name(),
+                    [&tb, fp, stash]() { *stash = tb.directory_remove(fp); });
+            stashes[fp] = stash;
+          } else {
+            auto it = stashes.find(fp);
+            TING_CHECK(it != stashes.end());
+            auto stash = it->second;
+            plan.at(e.at, "consensus: +" + fp.short_name(), [&tb, stash]() {
+              if (stash->has_value()) tb.directory_restore(**stash);
+            });
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ting::scenario

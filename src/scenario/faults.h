@@ -1,0 +1,63 @@
+// Fault-spec grammar for `ting scan --faults` and the examples: a compact
+// text form describing a FaultPlan, so CLI runs can inject the failure
+// modes a live scan sees without writing code.
+//
+// Grammar (clauses separated by ';', fields by ':'):
+//
+//   loss:<target>:<prob>[:<start_s>:<dur_s>]
+//       Packet loss with probability <prob> on the target's access link.
+//       Without a window it applies immediately and permanently.
+//   degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>]
+//       Link degradation: fixed extra one-way latency plus exponential
+//       jitter with the given mean.
+//   crash:<target>:<start_s>:<dur_s>
+//       Host down for the window (dur_s 0 = never recovers).
+//   churn:<events>:<start_s>:<period_s>:<down_s>
+//       <events> scripted consensus leave/rejoin cycles over the scan
+//       nodes, starting at <start_s>, one every <period_s>, each relay
+//       rejoining <down_s> after it leaves.
+//
+//   <target> is a scan-node index, or '*' for every scan node.
+//
+// Example: "loss:*:0.05;crash:3:30:60;churn:2:10:45:90"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "simnet/fault_plan.h"
+#include "util/time.h"
+
+namespace ting::scenario {
+
+class Testbed;
+
+struct FaultClause {
+  enum class Kind { kLoss, kDegrade, kCrash, kChurn };
+  Kind kind = Kind::kLoss;
+  int target = -1;  ///< scan-node index; -1 = '*' (all scan nodes)
+  double prob = 0;                      ///< loss
+  double extra_ms = 0, jitter_ms = 0;   ///< degrade
+  double start_s = 0, duration_s = 0;   ///< window (duration 0 = forever)
+  int events = 0;                       ///< churn: leave/rejoin cycles
+  double period_s = 0, down_s = 0;      ///< churn cadence and downtime
+};
+
+struct FaultSpec {
+  std::vector<FaultClause> clauses;
+
+  /// Parse the grammar above; throws CheckError on malformed input.
+  static FaultSpec parse(const std::string& text);
+};
+
+/// Instantiate a parsed spec against a testbed: loss/degrade/crash clauses
+/// resolve their targets to the scan nodes' hosts and are scheduled on the
+/// plan; churn clauses become directory_remove/directory_restore events
+/// (schedule drawn from make_scan_churn with `seed`). The testbed must
+/// outlive the plan's scheduled events.
+void apply_fault_spec(const FaultSpec& spec, Testbed& tb,
+                      const std::vector<dir::Fingerprint>& scan_nodes,
+                      simnet::FaultPlan& plan, std::uint64_t seed = 7);
+
+}  // namespace ting::scenario

@@ -94,6 +94,21 @@ std::vector<meas::MeasurementHost*> Testbed::measurement_pool(
   return pool;
 }
 
+std::optional<dir::RelayDescriptor> Testbed::directory_remove(
+    const dir::Fingerprint& fp) {
+  const dir::RelayDescriptor* found = consensus_.find(fp);
+  if (found == nullptr) return std::nullopt;
+  dir::RelayDescriptor copy = *found;
+  consensus_.remove(fp);
+  if (ting_host_) ting_host_->op().remove_descriptor(fp);
+  for (auto& extra : pool_extras_) extra->op().remove_descriptor(fp);
+  return copy;
+}
+
+void Testbed::directory_restore(const dir::RelayDescriptor& desc) {
+  consensus_.add(desc);
+}
+
 Testbed build_testbed(const std::vector<RelaySpec>& specs,
                       const TestbedOptions& options) {
   Testbed tb;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "dir/consensus.h"
@@ -85,6 +86,17 @@ class Testbed {
   /// measurement machines). Extras persist across calls; asking for a
   /// smaller count returns a prefix of a previous pool.
   std::vector<meas::MeasurementHost*> measurement_pool(std::size_t count);
+
+  /// Directory churn: remove a relay from the consensus AND from every
+  /// measurement host's onion-proxy view (what the next consensus fetch
+  /// would do). Returns the removed descriptor so a churn script can
+  /// restore it later; nullopt if the relay was not in the consensus.
+  std::optional<dir::RelayDescriptor> directory_remove(
+      const dir::Fingerprint& fp);
+  /// Re-add a previously removed relay to the directory consensus only.
+  /// Measurement hosts re-learn it through scanner re-resolution (their
+  /// own "consensus fetch").
+  void directory_restore(const dir::RelayDescriptor& desc);
 
  private:
   friend Testbed build_testbed(const std::vector<RelaySpec>&,

@@ -1,6 +1,8 @@
 #include "scenario/timeline.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <set>
 
 #include "geo/cities.h"
@@ -97,6 +99,33 @@ ConsensusTimeline make_timeline(const TimelineOptions& options) {
                                      nets.size()});
   }
   out.final_consensus = std::move(consensus);
+  return out;
+}
+
+std::vector<ChurnEvent> make_scan_churn(std::size_t candidates,
+                                        const ScanChurnOptions& options) {
+  TING_CHECK(candidates >= 1);
+  TING_CHECK(options.period > Duration() && options.down_for > Duration());
+  Rng rng(options.seed);
+  std::vector<ChurnEvent> out;
+  std::map<std::size_t, Duration> down_until;  ///< node -> rejoin offset
+  Duration when = options.start;
+  for (std::size_t k = 0; k < options.events; ++k, when += options.period) {
+    // Only nodes that are up at this instant may leave.
+    std::vector<std::size_t> up;
+    for (std::size_t n = 0; n < candidates; ++n) {
+      auto it = down_until.find(n);
+      if (it == down_until.end() || it->second <= when) up.push_back(n);
+    }
+    if (up.empty()) continue;  // the whole population is already down
+    const std::size_t pick = up[rng.next_below(up.size())];
+    down_until[pick] = when + options.down_for;
+    out.push_back(ChurnEvent{when, pick, true});
+    out.push_back(ChurnEvent{when + options.down_for, pick, false});
+  }
+  std::sort(out.begin(), out.end(), [](const ChurnEvent& a, const ChurnEvent& b) {
+    return a.at < b.at;
+  });
   return out;
 }
 

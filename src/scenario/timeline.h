@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dir/consensus.h"
+#include "util/time.h"
 
 namespace ting::scenario {
 
@@ -37,5 +38,33 @@ struct ConsensusTimeline {
 };
 
 ConsensusTimeline make_timeline(const TimelineOptions& options = {});
+
+// ---- mid-scan churn ---------------------------------------------------------
+//
+// The daily timeline above models slow population drift; a running scan
+// instead sees churn at consensus-interval granularity: a relay drops out of
+// one consensus and (often) reappears a few intervals later. make_scan_churn
+// produces that schedule — a deterministic list of leave/rejoin events over a
+// scan's candidate nodes — which a FaultPlan turns into directory updates.
+
+struct ScanChurnOptions {
+  std::uint64_t seed = 7;
+  Duration start = Duration::seconds(30);    ///< offset of the first leave
+  Duration period = Duration::seconds(60);   ///< gap between leave events
+  std::size_t events = 3;                    ///< number of leave events
+  Duration down_for = Duration::seconds(120); ///< leave-to-rejoin gap
+};
+
+struct ChurnEvent {
+  Duration at;             ///< offset from the schedule's start
+  std::size_t node_index;  ///< index into the scan's candidate list
+  bool leave = true;       ///< false: the relay rejoins the consensus
+};
+
+/// Build a leave/rejoin schedule over `candidates` scan nodes (distinct
+/// nodes are picked while any remain up; a node is never re-picked while
+/// down). Events are sorted by time.
+std::vector<ChurnEvent> make_scan_churn(std::size_t candidates,
+                                        const ScanChurnOptions& options = {});
 
 }  // namespace ting::scenario

@@ -1,0 +1,103 @@
+#include "simnet/fault_plan.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace ting::simnet {
+
+namespace {
+
+std::string host_label(const Network& net, HostId host) {
+  return "host " + net.ip_of(host).str();
+}
+
+}  // namespace
+
+void FaultPlan::note(TimePoint when, std::string what) {
+  events_.push_back(Event{when, std::move(what)});
+}
+
+void FaultPlan::packet_loss(HostId host, double prob) {
+  net_->set_packet_loss(host, prob);
+  std::ostringstream os;
+  os << host_label(*net_, host) << ": packet loss " << prob;
+  note(net_->loop().now(), os.str());
+}
+
+void FaultPlan::degrade_link(HostId host, Duration extra_one_way,
+                             Duration jitter_mean) {
+  net_->set_link_degradation(host, extra_one_way, jitter_mean);
+  std::ostringstream os;
+  os << host_label(*net_, host) << ": link degraded +" << extra_one_way.str()
+     << " jitter " << jitter_mean.str();
+  note(net_->loop().now(), os.str());
+}
+
+void FaultPlan::crash(HostId host) {
+  net_->set_host_down(host, true);
+  note(net_->loop().now(), host_label(*net_, host) + ": crash");
+}
+
+void FaultPlan::recover(HostId host) {
+  net_->set_host_down(host, false);
+  note(net_->loop().now(), host_label(*net_, host) + ": recover");
+}
+
+void FaultPlan::loss_window(HostId host, Duration start, Duration duration,
+                            double prob) {
+  TING_CHECK(start >= Duration());
+  Network* net = net_;
+  note(net_->loop().now() + start,
+       host_label(*net_, host) + ": packet loss " + std::to_string(prob));
+  net_->loop().schedule(start,
+                        [net, host, prob]() { net->set_packet_loss(host, prob); });
+  if (duration > Duration()) {
+    note(net_->loop().now() + start + duration,
+         host_label(*net_, host) + ": packet loss cleared");
+    net_->loop().schedule(start + duration, [net, host]() {
+      net->set_packet_loss(host, 0.0);
+    });
+  }
+}
+
+void FaultPlan::degrade_window(HostId host, Duration start, Duration duration,
+                               Duration extra_one_way, Duration jitter_mean) {
+  TING_CHECK(start >= Duration());
+  Network* net = net_;
+  note(net_->loop().now() + start, host_label(*net_, host) +
+                                       ": link degraded +" +
+                                       extra_one_way.str() + " jitter " +
+                                       jitter_mean.str());
+  net_->loop().schedule(start, [net, host, extra_one_way, jitter_mean]() {
+    net->set_link_degradation(host, extra_one_way, jitter_mean);
+  });
+  if (duration > Duration()) {
+    note(net_->loop().now() + start + duration,
+         host_label(*net_, host) + ": link degradation cleared");
+    net_->loop().schedule(start + duration, [net, host]() {
+      net->set_link_degradation(host, Duration(), Duration());
+    });
+  }
+}
+
+void FaultPlan::crash_window(HostId host, Duration start, Duration duration) {
+  TING_CHECK(start >= Duration());
+  Network* net = net_;
+  note(net_->loop().now() + start, host_label(*net_, host) + ": crash");
+  net_->loop().schedule(start, [net, host]() { net->set_host_down(host, true); });
+  if (duration > Duration()) {
+    note(net_->loop().now() + start + duration,
+         host_label(*net_, host) + ": recover");
+    net_->loop().schedule(start + duration,
+                          [net, host]() { net->set_host_down(host, false); });
+  }
+}
+
+void FaultPlan::at(Duration start, std::string what, std::function<void()> fn) {
+  TING_CHECK(start >= Duration());
+  note(net_->loop().now() + start, std::move(what));
+  net_->loop().schedule(start, std::move(fn));
+}
+
+}  // namespace ting::simnet

@@ -1,0 +1,61 @@
+// FaultPlan — a scripted schedule of network faults driven off the event
+// loop, so a scan can be exercised against the failure modes a live Tor
+// measurement sees (§4.5): lossy relay links, degraded paths, relays that
+// crash and come back, and directory churn that removes descriptors
+// mid-scan.
+//
+// The plan wraps a Network and schedules fault transitions as ordinary
+// events; every transition is logged with its (virtual) fire time so a scan
+// report can annotate which faults were active during the scan window.
+// Directory-level faults (consensus churn) don't live in simnet — scenario
+// code injects them through the generic at() hook.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simnet/network.h"
+
+namespace ting::simnet {
+
+class FaultPlan {
+ public:
+  /// One scheduled fault transition, for report annotations.
+  struct Event {
+    TimePoint at;      ///< when the transition fires
+    std::string what;  ///< human-readable description
+  };
+
+  explicit FaultPlan(Network& net) : net_(&net) {}
+
+  // ---- immediate faults ----------------------------------------------------
+  void packet_loss(HostId host, double prob);
+  void degrade_link(HostId host, Duration extra_one_way, Duration jitter_mean);
+  void crash(HostId host);
+  void recover(HostId host);
+
+  // ---- scheduled windows (offsets measured from now) -----------------------
+  /// Apply the fault at now+start; clear it `duration` later. A zero (or
+  /// negative) duration means the fault is applied and never cleared.
+  void loss_window(HostId host, Duration start, Duration duration, double prob);
+  void degrade_window(HostId host, Duration start, Duration duration,
+                      Duration extra_one_way, Duration jitter_mean);
+  void crash_window(HostId host, Duration start, Duration duration);
+
+  /// Generic scheduled fault: run `fn` at now+start, logged as `what`. The
+  /// hook scenario code uses for faults above simnet's level, e.g. removing
+  /// a relay descriptor from the directory consensus mid-scan.
+  void at(Duration start, std::string what, std::function<void()> fn);
+
+  const std::vector<Event>& events() const { return events_; }
+  Network& net() { return *net_; }
+
+ private:
+  void note(TimePoint when, std::string what);
+
+  Network* net_;
+  std::vector<Event> events_;
+};
+
+}  // namespace ting::simnet

@@ -84,9 +84,60 @@ void Network::set_host_down(HostId host, bool down) {
   }
 }
 
+void Network::set_packet_loss(HostId host, double loss_prob) {
+  TING_CHECK_MSG(loss_prob >= 0.0 && loss_prob <= 1.0,
+                 "loss probability out of [0, 1]: " << loss_prob);
+  LinkFault& f = link_faults_[host];
+  f.loss_prob = loss_prob;
+  if (f.clear()) link_faults_.erase(host);
+}
+
+void Network::set_link_degradation(HostId host, Duration extra_one_way,
+                                   Duration jitter_mean) {
+  TING_CHECK(extra_one_way >= Duration() && jitter_mean >= Duration());
+  LinkFault& f = link_faults_[host];
+  f.extra_one_way = extra_one_way;
+  f.jitter_mean = jitter_mean;
+  if (f.clear()) link_faults_.erase(host);
+}
+
+double Network::packet_loss(HostId host) const {
+  auto it = link_faults_.find(host);
+  return it == link_faults_.end() ? 0.0 : it->second.loss_prob;
+}
+
+double Network::combined_loss(HostId a, HostId b) const {
+  // Independent loss on each endpoint's access link.
+  return 1.0 - (1.0 - packet_loss(a)) * (1.0 - packet_loss(b));
+}
+
+Duration Network::faulted_one_way(HostId from, HostId to, Protocol protocol) {
+  Duration d = model_.sample_one_way(from, to, protocol, rng_);
+  if (link_faults_.empty()) return d;
+  for (const HostId h : {from, to}) {
+    auto it = link_faults_.find(h);
+    if (it == link_faults_.end()) continue;
+    const LinkFault& f = it->second;
+    d += f.extra_one_way;
+    if (f.jitter_mean > Duration())
+      d += Duration::nanos(static_cast<std::int64_t>(
+          rng_.exponential(static_cast<double>(f.jitter_mean.ns()))));
+  }
+  if (protocol != Protocol::kIcmp) {
+    // Reliable transport: each lost transmission costs one retransmission
+    // timeout, but the segment always gets through eventually (bounded by
+    // kMaxRetransmits so total-loss links cannot stall the simulation).
+    const double loss = combined_loss(from, to);
+    for (int tries = 0;
+         loss > 0.0 && tries < kMaxRetransmits && rng_.chance(loss); ++tries)
+      d += kRetransmitTimeout;
+  }
+  return d;
+}
+
 void Network::deliver(const ConnPtr& to, Bytes msg) {
-  const Duration delay = model_.sample_one_way(
-      to->remote_host_, to->local_host_, to->protocol_, rng_);
+  const Duration delay =
+      faulted_one_way(to->remote_host_, to->local_host_, to->protocol_);
   const TimePoint arrival = fifo_arrival(*to, delay);
   loop_.schedule_at(arrival, [this, to, msg = std::move(msg)]() mutable {
     // Traffic to or from a crashed host is silently lost.
@@ -101,8 +152,8 @@ void Network::deliver(const ConnPtr& to, Bytes msg) {
 }
 
 void Network::deliver_close(const ConnPtr& to) {
-  const Duration delay = model_.sample_one_way(
-      to->remote_host_, to->local_host_, to->protocol_, rng_);
+  const Duration delay =
+      faulted_one_way(to->remote_host_, to->local_host_, to->protocol_);
   const TimePoint arrival = fifo_arrival(*to, delay);
   loop_.schedule_at(arrival, [this, to]() {
     if (down_.contains(to->local_host_) || down_.contains(to->remote_host_))
@@ -170,8 +221,8 @@ void Network::connect(HostId from, Endpoint to, Protocol protocol,
 
   // SYN: one-way to the server; accept fires there. SYN-ACK: one-way back;
   // the client is connected one full RTT after initiating.
-  const Duration syn = model_.sample_one_way(from, to_host, protocol, rng_);
-  const Duration synack = model_.sample_one_way(to_host, from, protocol, rng_);
+  const Duration syn = faulted_one_way(from, to_host, protocol);
+  const Duration synack = faulted_one_way(to_host, from, protocol);
   const TimePoint accept_at = loop_.now() + syn;
   const TimePoint connected_at = accept_at + synack;
   client_side->last_arrival_ = connected_at;
@@ -195,10 +246,15 @@ void Network::ping(HostId from, IpAddr to,
     loop_.schedule(timeout, [on_reply]() { on_reply(std::nullopt); });
     return;
   }
-  const Duration there =
-      model_.sample_one_way(from, *target, Protocol::kIcmp, rng_);
-  const Duration back =
-      model_.sample_one_way(*target, from, Protocol::kIcmp, rng_);
+  // ICMP is unreliable: a lost echo request or reply is simply never
+  // answered, and the probe times out.
+  const double loss = combined_loss(from, *target);
+  if (loss > 0.0 && (rng_.chance(loss) || rng_.chance(loss))) {
+    loop_.schedule(timeout, [on_reply]() { on_reply(std::nullopt); });
+    return;
+  }
+  const Duration there = faulted_one_way(from, *target, Protocol::kIcmp);
+  const Duration back = faulted_one_way(*target, from, Protocol::kIcmp);
   const Duration rtt = there + back;
   if (rtt > timeout) {
     loop_.schedule(timeout, [on_reply]() { on_reply(std::nullopt); });

@@ -123,11 +123,47 @@ class Network {
   void set_host_down(HostId host, bool down = true);
   bool is_host_down(HostId host) const { return down_.contains(host); }
 
+  /// Failure injection: per-host packet loss, applied to every packet that
+  /// crosses the host's access link (either direction). For ICMP the lost
+  /// echo simply never comes back; for the reliable transports (sim-TCP and
+  /// Tor traffic riding it) each loss costs one retransmission timeout — the
+  /// message still arrives, late, which is exactly how loss looks to a Ting
+  /// sample: an inflated RTT that min-of-N filtering discards.
+  void set_packet_loss(HostId host, double loss_prob);
+  /// Failure injection: degrade a host's access link by a fixed extra
+  /// one-way latency plus exponential jitter with the given mean (either
+  /// can be zero).
+  void set_link_degradation(HostId host, Duration extra_one_way,
+                            Duration jitter_mean);
+  double packet_loss(HostId host) const;
+
+  /// Loss-induced retransmission timeout for the reliable transports, and
+  /// the cap on consecutive retransmissions of one segment (so a 100%-loss
+  /// link delays by at most kMaxRetransmits * kRetransmitTimeout instead of
+  /// stalling the simulation).
+  static constexpr Duration kRetransmitTimeout = Duration::millis(1000);
+  static constexpr int kMaxRetransmits = 8;
+
  private:
   friend class Connection;
+  struct LinkFault {
+    double loss_prob = 0.0;
+    Duration extra_one_way;
+    Duration jitter_mean;
+    bool clear() const {
+      return loss_prob == 0.0 && extra_one_way == Duration() &&
+             jitter_mean == Duration();
+    }
+  };
+
   void deliver(const ConnPtr& to, Bytes msg);
   void deliver_close(const ConnPtr& to);
   TimePoint fifo_arrival(Connection& to, Duration delay);
+  /// One-way delay with both endpoints' link faults applied (degradation
+  /// always; loss-as-retransmission only for reliable protocols).
+  Duration faulted_one_way(HostId from, HostId to, Protocol protocol);
+  /// Probability that one packet crossing both hosts' access links is lost.
+  double combined_loss(HostId a, HostId b) const;
   /// Drop our owning refs once both sides of a pair have closed.
   void gc_pair(Connection* side);
 
@@ -142,6 +178,7 @@ class Network {
   // application's references); both-sides-closed pairs are released.
   std::map<Connection*, ConnPtr> conns_;
   std::set<HostId> down_;
+  std::map<HostId, LinkFault> link_faults_;
 };
 
 }  // namespace ting::simnet

@@ -9,6 +9,16 @@
 
 namespace ting::meas {
 
+const char* to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kNone: return "none";
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kPermanent: return "permanent";
+    case ErrorClass::kRelayChurned: return "relay-churned";
+  }
+  return "?";
+}
+
 double PairResult::estimate_with_prefix(std::size_t k) const {
   TING_CHECK_MSG(!cxy.raw_samples_ms.empty() && !cx.raw_samples_ms.empty() &&
                      !cy.raw_samples_ms.empty(),
@@ -48,7 +58,8 @@ struct TingMeasurer::CircuitProbe
   simnet::EventId deadline_event = 0;
   ctrl::Controller::StreamWaitId stream_wait = 0;
 
-  void finish(bool ok, const std::string& error = "") {
+  void finish(bool ok, const std::string& error = "",
+              ErrorClass error_class = ErrorClass::kTransient) {
     if (finished) return;
     finished = true;
     self->host_.loop().cancel(deadline_event);
@@ -58,6 +69,7 @@ struct TingMeasurer::CircuitProbe
     if (handle != 0) self->host_.controller().close_circuit(handle);
     result.ok = ok;
     result.error = error;
+    result.error_class = ok ? ErrorClass::kNone : error_class;
     if (ok) result.min_rtt_ms = min_ms;
     if (sampling)
       result.sample_time = self->host_.loop().now() - sampling_start;
@@ -204,6 +216,16 @@ CircuitMeasurement TingMeasurer::measure_circuit_blocking(
 
 // ---- full Ting pair measurement ---------------------------------------------
 
+ErrorClass TingMeasurer::classify_failure(const dir::Fingerprint& x,
+                                          const dir::Fingerprint& y,
+                                          ErrorClass circuit_class) {
+  const dir::Consensus& consensus = host_.op().consensus();
+  if (consensus.find(x) == nullptr || consensus.find(y) == nullptr)
+    return ErrorClass::kRelayChurned;
+  return circuit_class == ErrorClass::kNone ? ErrorClass::kTransient
+                                            : circuit_class;
+}
+
 void TingMeasurer::measure_async(const dir::Fingerprint& x,
                                  const dir::Fingerprint& y,
                                  std::function<void(PairResult)> on_done) {
@@ -215,8 +237,20 @@ void TingMeasurer::measure_async(const dir::Fingerprint& x,
   if (x == y || x == host_.w_fp() || y == host_.w_fp() || x == host_.z_fp() ||
       y == host_.z_fp()) {
     result->error = "invalid pair (x, y must be distinct remote relays)";
+    result->error_class = ErrorClass::kPermanent;
     on_done(std::move(*result));
     return;
+  }
+  // Note: synchronous failure, like the invalid-pair case above. Callers
+  // that must not be re-entered (the scan engines) defer their completion
+  // handling through the event loop.
+  for (const dir::Fingerprint* fp : {&x, &y}) {
+    if (host_.op().consensus().find(*fp) == nullptr) {
+      result->error = "relay " + fp->short_name() + " not in consensus";
+      result->error_class = ErrorClass::kRelayChurned;
+      on_done(std::move(*result));
+      return;
+    }
   }
   TING_CHECK_MSG(!busy_, "measurer already has a pair measurement in flight");
   busy_ = true;
@@ -232,6 +266,7 @@ void TingMeasurer::measure_async(const dir::Fingerprint& x,
     result->cxy = std::move(cxy);
     if (!result->cxy.ok) {
       result->error = "C_xy: " + result->cxy.error;
+      result->error_class = classify_failure(x, y, result->cxy.error_class);
       result->wall_time = host_.loop().now() - started;
       on_done(std::move(*result));
       return;
@@ -242,6 +277,8 @@ void TingMeasurer::measure_async(const dir::Fingerprint& x,
       result->cx = std::move(cx);
       if (!result->cx.ok) {
         result->error = "C_x: " + result->cx.error;
+        result->error_class =
+            classify_failure(result->x, result->y, result->cx.error_class);
         result->wall_time = host_.loop().now() - started;
         on_done(std::move(*result));
         return;
@@ -253,6 +290,8 @@ void TingMeasurer::measure_async(const dir::Fingerprint& x,
         result->wall_time = host_.loop().now() - started;
         if (!result->cy.ok) {
           result->error = "C_y: " + result->cy.error;
+          result->error_class =
+              classify_failure(result->x, result->y, result->cy.error_class);
           on_done(std::move(*result));
           return;
         }
@@ -312,6 +351,7 @@ void TingMeasurer::strawman_measure(const dir::Fingerprint& x,
   const dir::RelayDescriptor* dy = host_.op().consensus().find(y);
   if (dx == nullptr || dy == nullptr) {
     result->error = "unknown relay";
+    result->error_class = ErrorClass::kPermanent;
     on_done(std::move(*result));
     return;
   }
@@ -330,6 +370,7 @@ void TingMeasurer::strawman_measure(const dir::Fingerprint& x,
     result->wall_time = host_.loop().now() - started;
     if (!result->cxy.ok) {
       result->error = "strawman circuit: " + result->cxy.error;
+      result->error_class = result->cxy.error_class;
       on_done(std::move(*result));
       return;
     }
@@ -339,6 +380,7 @@ void TingMeasurer::strawman_measure(const dir::Fingerprint& x,
                               std::optional<double> px) mutable {
       if (!px.has_value()) {
         result->error = "ping to x failed";
+        result->error_class = ErrorClass::kTransient;
         on_done(std::move(*result));
         return;
       }
@@ -347,6 +389,7 @@ void TingMeasurer::strawman_measure(const dir::Fingerprint& x,
                                 std::optional<double> py) mutable {
         if (!py.has_value()) {
           result->error = "ping to y failed";
+          result->error_class = ErrorClass::kTransient;
           on_done(std::move(*result));
           return;
         }

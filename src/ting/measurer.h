@@ -34,10 +34,28 @@ struct TingConfig {
   bool keep_raw_samples = false;
 };
 
+/// How a failure should be handled by whoever drives the measurement —
+/// the error taxonomy the scan engines react to per class.
+enum class ErrorClass {
+  kNone = 0,      ///< no failure (ok result)
+  /// Worth retrying as-is: build timeouts, SOCKS/ATTACHSTREAM errors,
+  /// streams closed mid-sampling, measurement deadlines.
+  kTransient,
+  /// Retrying cannot help: invalid pair, or a relay the directory has
+  /// never vouched for.
+  kPermanent,
+  /// A target relay is missing from the current consensus (directory
+  /// churn); re-resolve against a live consensus before retrying.
+  kRelayChurned,
+};
+
+const char* to_string(ErrorClass c);
+
 /// Result of measuring one circuit: minimum RTT plus optional raw samples.
 struct CircuitMeasurement {
   bool ok = false;
   std::string error;
+  ErrorClass error_class = ErrorClass::kNone;
   double min_rtt_ms = 0;
   int samples_taken = 0;
   Duration build_time;   ///< circuit construction + stream attach phase
@@ -50,6 +68,8 @@ struct PairResult {
   dir::Fingerprint x, y;
   bool ok = false;
   std::string error;
+  ErrorClass error_class = ErrorClass::kNone;
+  bool from_cache = false;  ///< satisfied from the scan cache, not measured
   double rtt_ms = 0;  ///< the Ting estimate of R(x, y)
   CircuitMeasurement cxy, cx, cy;
   Duration wall_time;  ///< virtual time the measurement took
@@ -113,6 +133,13 @@ class TingMeasurer {
 
  private:
   struct CircuitProbe;
+  /// Classify a pair-measurement failure: a target missing from the OP's
+  /// consensus is kRelayChurned (it vanished under us, or was never there —
+  /// the scan engine disambiguates against the scan-start snapshot);
+  /// otherwise the circuit-level class stands.
+  ErrorClass classify_failure(const dir::Fingerprint& x,
+                              const dir::Fingerprint& y,
+                              ErrorClass circuit_class);
   void run_probe(const std::shared_ptr<CircuitProbe>& probe);
   void measure_circuit_attempt(std::vector<dir::Fingerprint> full_path,
                                int samples, int attempt,

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/assert.h"
 #include "util/bytes.h"
@@ -89,9 +90,30 @@ RttMatrix RttMatrix::from_csv(const std::string& csv) {
     if (trim(line).empty()) continue;
     const auto cols = split(line, ',');
     TING_CHECK_MSG(cols.size() == 5, "bad RTT matrix row: " << line);
+    // stod/stoll/stoi throw bare std::invalid_argument / std::out_of_range
+    // on garbage; re-raise them as CheckError naming the offending line, and
+    // reject trailing junk ("1.5x") they would silently accept.
+    double rtt_ms = 0;
+    long long at_ns = 0;
+    int samples = 0;
+    bool ok = false;
+    try {
+      std::size_t pos = 0;
+      rtt_ms = std::stod(cols[2], &pos);
+      if (pos == cols[2].size()) {
+        at_ns = std::stoll(cols[3], &pos);
+        if (pos == cols[3].size()) {
+          samples = std::stoi(cols[4], &pos);
+          ok = pos == cols[4].size();
+        }
+      }
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+    TING_CHECK_MSG(ok, "bad RTT matrix row: " << line);
     m.set(dir::Fingerprint::from_hex(cols[0]),
-          dir::Fingerprint::from_hex(cols[1]), std::stod(cols[2]),
-          TimePoint::from_ns(std::stoll(cols[3])), std::stoi(cols[4]));
+          dir::Fingerprint::from_hex(cols[1]), rtt_ms,
+          TimePoint::from_ns(at_ns), samples);
   }
   return m;
 }

@@ -1,10 +1,78 @@
 #include "ting/scheduler.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/log.h"
 
 namespace ting::meas {
+
+namespace {
+
+/// Snapshot of which scan nodes the directory knows at scan start. A
+/// churned-classified failure for a relay that was never known upgrades to
+/// permanent: there is no consensus entry to wait for.
+std::set<dir::Fingerprint> never_known_nodes(
+    const std::vector<dir::Fingerprint>& nodes,
+    const dir::Consensus& reference) {
+  std::set<dir::Fingerprint> out;
+  for (const dir::Fingerprint& fp : nodes)
+    if (reference.find(fp) == nullptr) out.insert(fp);
+  return out;
+}
+
+/// Re-resolve a churned pair against the live consensus: re-inject the
+/// descriptors of x and y into every pool measurer that lost them. Returns
+/// true if both relays are resolvable again (descriptor present or
+/// re-injected everywhere).
+bool reresolve_pair(const dir::Consensus* live,
+                    const std::vector<TingMeasurer*>& measurers,
+                    const dir::Fingerprint& x, const dir::Fingerprint& y) {
+  if (live == nullptr) return false;
+  bool both = true;
+  for (const dir::Fingerprint* fp : {&x, &y}) {
+    const dir::RelayDescriptor* desc = live->find(*fp);
+    if (desc == nullptr) {
+      both = false;
+      continue;
+    }
+    for (TingMeasurer* m : measurers)
+      if (m->host().op().consensus().find(*fp) == nullptr)
+        m->host().op().add_descriptor(*desc);
+  }
+  return both;
+}
+
+/// The result a progress callback sees for a cache hit: ok, flagged
+/// from_cache, carrying the cached estimate.
+PairResult cached_result(const RttMatrix& cache, const dir::Fingerprint& x,
+                         const dir::Fingerprint& y) {
+  PairResult r;
+  r.x = x;
+  r.y = y;
+  r.ok = true;
+  r.from_cache = true;
+  if (const auto rtt = cache.rtt(x, y)) r.rtt_ms = *rtt;
+  return r;
+}
+
+void count_failure(ScanReport& report, ErrorClass cls) {
+  ++report.failed;
+  switch (cls) {
+    case ErrorClass::kPermanent: ++report.failed_permanent; break;
+    case ErrorClass::kRelayChurned: ++report.failed_churned; break;
+    default: ++report.failed_transient; break;
+  }
+}
+
+void annotate_fault_events(ScanReport& report, const ScanOptions& options,
+                           TimePoint started, TimePoint ended) {
+  if (options.fault_plan == nullptr) return;
+  for (const simnet::FaultPlan::Event& e : options.fault_plan->events())
+    if (e.at >= started && e.at <= ended) report.fault_events.push_back(e);
+}
+
+}  // namespace
 
 ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                                  const ScanOptions& options,
@@ -13,7 +81,12 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
   ScanReport report;
   report.retry_histogram.assign(
       static_cast<std::size_t>(options.attempts_per_pair), 0);
-  const TimePoint started = measurer_.host().loop().now();
+  simnet::EventLoop& loop = measurer_.host().loop();
+  const TimePoint started = loop.now();
+  const std::vector<TingMeasurer*> pool{&measurer_};
+  const std::set<dir::Fingerprint> never_known = never_known_nodes(
+      nodes, options.live_consensus != nullptr ? *options.live_consensus
+                                               : measurer_.host().op().consensus());
 
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
   for (std::size_t i = 0; i < nodes.size(); ++i)
@@ -32,40 +105,66 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
     const dir::Fingerprint& y = nodes[j];
     ++done;
 
-    if (cache_.is_fresh(x, y, measurer_.host().loop().now(),
-                        options.max_age)) {
+    if (cache_.is_fresh(x, y, loop.now(), options.max_age)) {
       ++report.from_cache;
+      if (progress)
+        progress(done, report.pairs_total, cached_result(cache_, x, y));
       continue;
     }
 
+    // One measurement actually in flight (cache-only scans report 0).
     report.max_in_flight = 1;
     report.max_per_relay_in_flight = 1;
-    bool ok = false;
-    for (int attempt = 0; attempt < options.attempts_per_pair && !ok;
-         ++attempt) {
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > 0) ++report.retries;
       const PairResult r = measurer_.measure_blocking(x, y);
       report.time_building += r.build_time();
       report.time_sampling += r.sample_time();
-      if (attempt > 0) ++report.retries;
       if (r.ok) {
-        cache_.set(x, y, r.rtt_ms, measurer_.host().loop().now(),
-                   measurer_.config().samples);
+        cache_.set(x, y, r.rtt_ms, loop.now(), measurer_.config().samples);
         ++report.measured;
         ++report.retry_histogram[static_cast<std::size_t>(attempt)];
-        ok = true;
         if (progress) progress(done, report.pairs_total, r);
-      } else if (attempt + 1 == options.attempts_per_pair) {
+        break;
+      }
+      ErrorClass cls = r.error_class == ErrorClass::kNone
+                           ? ErrorClass::kTransient
+                           : r.error_class;
+      if (cls == ErrorClass::kRelayChurned &&
+          (never_known.contains(x) || never_known.contains(y)))
+        cls = ErrorClass::kPermanent;
+      // Permanents get no further attempts; everything else retries until
+      // the budget is exhausted.
+      if (cls == ErrorClass::kPermanent ||
+          attempt + 1 >= options.attempts_per_pair) {
         TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
-                                << " failed: " << r.error);
-        ++report.failed;
-        report.failed_pairs.emplace_back(x, y);
+                                << " failed (" << to_string(cls)
+                                << "): " << r.error);
+        count_failure(report, cls);
+        report.failed_pairs.push_back(FailedPair{x, y, cls, r.error});
         ++report.retry_histogram[static_cast<std::size_t>(attempt)];
         if (progress) progress(done, report.pairs_total, r);
+        break;
+      }
+      if (cls == ErrorClass::kRelayChurned) {
+        // Wait out a consensus interval, then pull the relay's descriptor
+        // back in if it rejoined.
+        loop.run_until(loop.now() + options.churn_requeue_delay);
+        if (reresolve_pair(options.live_consensus, pool, x, y))
+          ++report.churn_reresolved;
+      } else {
+        // Transient: exponential backoff before re-attempting, mirroring
+        // the parallel engine — a crashed relay gets time to come back.
+        Duration delay = options.retry_backoff_base;
+        for (int k = 0; k < attempt; ++k)
+          delay = delay * options.retry_backoff_factor;
+        loop.run_until(loop.now() + delay);
       }
     }
   }
 
-  report.virtual_time = measurer_.host().loop().now() - started;
+  report.virtual_time = loop.now() - started;
+  annotate_fault_events(report, options, started, loop.now());
   return report;
 }
 
@@ -86,6 +185,7 @@ struct ParallelScanner::ScanState {
   std::deque<std::size_t> ready;  ///< task indices awaiting a host + admission
   std::map<dir::Fingerprint, int> relay_in_flight;
   std::vector<bool> host_busy;
+  std::set<dir::Fingerprint> never_known;  ///< scan-start consensus snapshot
   std::size_t in_flight = 0;
   std::size_t outstanding = 0;  ///< tasks not yet terminally resolved
   std::size_t done = 0;         ///< resolved pairs, for progress reporting
@@ -140,56 +240,94 @@ void ParallelScanner::dispatch(ScanState& st, std::size_t host,
                static_cast<std::size_t>(std::max(nx, ny)));
 
   // &st stays valid for the callback's lifetime: scan() blocks until every
-  // dispatched measurement and scheduled retry has resolved.
+  // dispatched measurement and scheduled retry has resolved. Completion is
+  // deferred through the loop because measure_async can fail synchronously
+  // (invalid pair, relay missing from the consensus) — resolving inline
+  // would re-enter pump() from inside dispatch(), recursing once per
+  // failing task.
   measurers_[host]->measure_async(x, y, [this, &st, host, t](PairResult r) {
-    ScanState::Task& task = st.tasks[t];
-    const dir::Fingerprint& x = (*st.nodes)[task.i];
-    const dir::Fingerprint& y = (*st.nodes)[task.j];
-    simnet::EventLoop& loop = measurers_[host]->host().loop();
+    measurers_[host]->host().loop().defer(
+        [this, &st, host, t, r = std::move(r)]() mutable {
+          on_complete(st, host, t, std::move(r));
+        });
+  });
+}
 
-    st.host_busy[host] = false;
-    --st.in_flight;
-    if (--st.relay_in_flight[x] == 0) st.relay_in_flight.erase(x);
-    if (--st.relay_in_flight[y] == 0) st.relay_in_flight.erase(y);
-    st.report.time_building += r.build_time();
-    st.report.time_sampling += r.sample_time();
+void ParallelScanner::on_complete(ScanState& st, std::size_t host,
+                                  std::size_t t, PairResult r) {
+  ScanState::Task& task = st.tasks[t];
+  const dir::Fingerprint& x = (*st.nodes)[task.i];
+  const dir::Fingerprint& y = (*st.nodes)[task.j];
+  simnet::EventLoop& loop = measurers_[host]->host().loop();
 
-    if (r.ok) {
-      cache_.set(x, y, r.rtt_ms, loop.now(),
-                 measurers_[host]->config().samples);
-      ++st.report.measured;
-      ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
-      ++st.done;
-      --st.outstanding;
-      if (st.progress) st.progress(st.done, st.report.pairs_total, r);
-    } else if (task.attempt + 1 < st.options.attempts_per_pair) {
+  st.host_busy[host] = false;
+  --st.in_flight;
+  if (--st.relay_in_flight[x] == 0) st.relay_in_flight.erase(x);
+  if (--st.relay_in_flight[y] == 0) st.relay_in_flight.erase(y);
+  st.report.time_building += r.build_time();
+  st.report.time_sampling += r.sample_time();
+
+  ErrorClass cls = ErrorClass::kNone;
+  if (!r.ok) {
+    cls = r.error_class == ErrorClass::kNone ? ErrorClass::kTransient
+                                             : r.error_class;
+    if (cls == ErrorClass::kRelayChurned &&
+        (st.never_known.contains(x) || st.never_known.contains(y)))
+      cls = ErrorClass::kPermanent;
+  }
+
+  if (r.ok) {
+    cache_.set(x, y, r.rtt_ms, loop.now(),
+               measurers_[host]->config().samples);
+    ++st.report.measured;
+    ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
+    ++st.done;
+    --st.outstanding;
+    if (st.progress) st.progress(st.done, st.report.pairs_total, r);
+  } else if (cls != ErrorClass::kPermanent &&
+             task.attempt + 1 < st.options.attempts_per_pair) {
+    ++task.attempt;
+    ++st.report.retries;
+    Duration delay;
+    if (cls == ErrorClass::kRelayChurned) {
+      // A churned relay needs a fresh consensus, not backoff: wait one
+      // requeue interval, re-resolve, and try again.
+      delay = st.options.churn_requeue_delay;
+    } else {
       // Exponential backoff before re-queueing: transient causes (circuit
       // build races, congested relays) deserve breathing room, and backoff
       // keeps a flapping relay from monopolising admission slots.
-      ++task.attempt;
-      ++st.report.retries;
-      Duration delay = st.options.retry_backoff_base;
+      delay = st.options.retry_backoff_base;
       for (int k = 1; k < task.attempt; ++k)
         delay = delay * st.options.retry_backoff_factor;
-      TING_DEBUG("scan: pair " << x.short_name() << "," << y.short_name()
-                               << " failed (" << r.error << "), retry "
-                               << task.attempt << " in " << delay.str());
-      loop.schedule(delay, [this, &st, t]() {
-        st.ready.push_back(t);
-        pump(st);
-      });
-    } else {
-      TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
-                              << " failed: " << r.error);
-      ++st.report.failed;
-      st.report.failed_pairs.emplace_back(x, y);
-      ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
-      ++st.done;
-      --st.outstanding;
-      if (st.progress) st.progress(st.done, st.report.pairs_total, r);
     }
-    pump(st);
-  });
+    TING_DEBUG("scan: pair " << x.short_name() << "," << y.short_name()
+                             << " failed (" << to_string(cls) << ": "
+                             << r.error << "), retry " << task.attempt
+                             << " in " << delay.str());
+    const bool churned = cls == ErrorClass::kRelayChurned;
+    loop.schedule(delay, [this, &st, t, churned]() {
+      if (churned) {
+        const ScanState::Task& task = st.tasks[t];
+        if (reresolve_pair(st.options.live_consensus, measurers_,
+                           (*st.nodes)[task.i], (*st.nodes)[task.j]))
+          ++st.report.churn_reresolved;
+      }
+      st.ready.push_back(t);
+      pump(st);
+    });
+  } else {
+    TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
+                            << " failed (" << to_string(cls)
+                            << "): " << r.error);
+    count_failure(st.report, cls);
+    st.report.failed_pairs.push_back(FailedPair{x, y, cls, r.error});
+    ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
+    ++st.done;
+    --st.outstanding;
+    if (st.progress) st.progress(st.done, st.report.pairs_total, r);
+  }
+  pump(st);
 }
 
 ScanReport ParallelScanner::scan(const std::vector<dir::Fingerprint>& nodes,
@@ -209,13 +347,21 @@ ScanReport ParallelScanner::scan(const std::vector<dir::Fingerprint>& nodes,
   st.report.retry_histogram.assign(
       static_cast<std::size_t>(options.attempts_per_pair), 0);
   st.host_busy.assign(measurers_.size(), false);
+  st.never_known = never_known_nodes(
+      nodes, options.live_consensus != nullptr
+                 ? *options.live_consensus
+                 : measurers_[0]->host().op().consensus());
+  st.report.pairs_total =
+      nodes.empty() ? 0 : nodes.size() * (nodes.size() - 1) / 2;
 
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      ++st.report.pairs_total;
       if (cache_.is_fresh(nodes[i], nodes[j], loop.now(), options.max_age)) {
         ++st.report.from_cache;
         ++st.done;
+        if (progress)
+          progress(st.done, st.report.pairs_total,
+                   cached_result(cache_, nodes[i], nodes[j]));
         continue;
       }
       st.tasks.push_back(ScanState::Task{i, j, 0});
@@ -241,6 +387,7 @@ ScanReport ParallelScanner::scan(const std::vector<dir::Fingerprint>& nodes,
   }
 
   st.report.virtual_time = loop.now() - started;
+  annotate_fault_events(st.report, options, started, loop.now());
   return st.report;
 }
 

@@ -17,6 +17,11 @@
 //    circuits at once (which would inflate its observed minimum, the
 //    congestion concern of §4.3). Failed pairs are re-queued with
 //    exponential backoff before being reported as failed.
+//
+// Failures are handled per ErrorClass (see measurer.h): transients retry
+// with backoff, permanents fail immediately after their single attempt, and
+// churned relays are re-resolved against the live consensus (descriptor
+// re-injected into the pool's onion proxies) before the pair is requeued.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "dir/consensus.h"
+#include "simnet/fault_plan.h"
 #include "ting/measurer.h"
 #include "ting/rtt_matrix.h"
 
@@ -36,6 +43,32 @@ struct ScanOptions {
   int attempts_per_pair = 2;
   bool randomize_order = true;
   std::uint64_t order_seed = 1;
+  /// The directory's live view of the network, if the caller has one. When
+  /// set, a churned-relay failure is re-resolved against it before the pair
+  /// is requeued (the relay's descriptor, if it rejoined, is re-injected
+  /// into the pool's onion proxies), and relays absent from it at scan
+  /// start are treated as permanently unknown. When null, the engine falls
+  /// back to its first measurer's consensus snapshot for the never-known
+  /// distinction and churned pairs retry without re-resolution.
+  const dir::Consensus* live_consensus = nullptr;
+  /// Delay before a churned pair is requeued — time for a fresh consensus
+  /// to arrive, used instead of the exponential transient backoff.
+  Duration churn_requeue_delay = Duration::seconds(60);
+  /// Backoff before the k-th retry of a transiently-failed pair:
+  /// retry_backoff_base * retry_backoff_factor^(k-1).
+  Duration retry_backoff_base = Duration::seconds(10);
+  int retry_backoff_factor = 2;
+  /// Optional fault plan whose scheduled events (those firing inside the
+  /// scan window) are copied into ScanReport::fault_events.
+  const simnet::FaultPlan* fault_plan = nullptr;
+};
+
+/// A pair that exhausted its attempts (or failed permanently), with the
+/// classification and message of its final failure.
+struct FailedPair {
+  dir::Fingerprint a, b;
+  ErrorClass error_class = ErrorClass::kTransient;
+  std::string error;
 };
 
 struct ScanReport {
@@ -43,7 +76,16 @@ struct ScanReport {
   std::size_t measured = 0;      ///< freshly measured this scan
   std::size_t from_cache = 0;    ///< satisfied by a fresh cache entry
   std::size_t failed = 0;        ///< exhausted attempts
-  std::vector<std::pair<dir::Fingerprint, dir::Fingerprint>> failed_pairs;
+  std::vector<FailedPair> failed_pairs;
+  // Per-class failure counters; they always sum to `failed`.
+  std::size_t failed_transient = 0;
+  std::size_t failed_permanent = 0;
+  std::size_t failed_churned = 0;
+  /// Churned pairs whose relays were found again in the live consensus and
+  /// re-injected into the measurement hosts before requeueing.
+  std::size_t churn_reresolved = 0;
+  /// Fault-plan events that fired during the scan window (annotation only).
+  std::vector<simnet::FaultPlan::Event> fault_events;
   Duration virtual_time;         ///< simulated time the scan took
 
   // ---- engine statistics ----------------------------------------------------
@@ -94,10 +136,6 @@ struct ParallelScanOptions : ScanOptions {
   /// (x, y) holds one slot on x and one on y for its whole measurement
   /// (its three circuits all traverse them).
   int per_relay_cap = 1;
-  /// Backoff before the k-th retry of a failed pair:
-  /// retry_backoff_base * retry_backoff_factor^(k-1).
-  Duration retry_backoff_base = Duration::seconds(10);
-  int retry_backoff_factor = 2;
 };
 
 class ParallelScanner {
@@ -122,6 +160,12 @@ class ParallelScanner {
   struct ScanState;
   void pump(ScanState& st);
   void dispatch(ScanState& st, std::size_t host, std::size_t task);
+  /// Terminal/retry resolution of one measurement. Always entered through a
+  /// deferred event, never directly from dispatch(): measure_async can fail
+  /// synchronously, and resolving inline would re-enter pump() once per
+  /// failing task (deep recursion on large scans).
+  void on_complete(ScanState& st, std::size_t host, std::size_t task,
+                   PairResult r);
 
   std::vector<TingMeasurer*> measurers_;
   RttMatrix& cache_;

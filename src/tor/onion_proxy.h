@@ -64,6 +64,10 @@ class OnionProxy {
   void set_consensus(dir::Consensus consensus) { consensus_ = std::move(consensus); }
   /// Inject a single descriptor (e.g. unpublished local relays).
   void add_descriptor(dir::RelayDescriptor desc) { consensus_.add(std::move(desc)); }
+  /// Drop a relay from this client's consensus view (directory churn: the
+  /// relay fell out of the consensus we would fetch next). Existing circuits
+  /// through it keep running; new paths can no longer include it.
+  bool remove_descriptor(const dir::Fingerprint& fp) { return consensus_.remove(fp); }
   const dir::Consensus& consensus() const { return consensus_; }
   void fetch_consensus(Endpoint authority, std::function<void()> on_done);
 

@@ -189,18 +189,18 @@ Histogram::Histogram(double bin_width, std::size_t nbins)
 }
 
 void Histogram::add(double x, double weight) {
-  std::size_t i;
   if (x < 0) {
-    i = 0;
-  } else {
-    i = static_cast<std::size_t>(x / bin_width_);
-    if (i >= counts_.size()) i = counts_.size() - 1;
+    underflow_ += weight;
+    return;
   }
+  std::size_t i = static_cast<std::size_t>(x / bin_width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;
   counts_[i] += weight;
 }
 
 double Histogram::total() const {
-  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+  return underflow_ +
+         std::accumulate(counts_.begin(), counts_.end(), 0.0);
 }
 
 }  // namespace ting

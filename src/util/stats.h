@@ -77,8 +77,10 @@ struct LinearFit {
 LinearFit linear_fit(const std::vector<double>& xs,
                      const std::vector<double>& ys);
 
-/// Fixed-width histogram over [0, bin_width * nbins); values outside clamp
-/// into the first/last bin. Used for Fig 16/17's 50 ms RTT bins.
+/// Fixed-width histogram over [0, bin_width * nbins); values past the top
+/// clamp into the last bin, negative values land in a separate underflow
+/// bin rather than silently padding bin 0. Used for Fig 16/17's 50 ms RTT
+/// bins.
 class Histogram {
  public:
   Histogram(double bin_width, std::size_t nbins);
@@ -87,10 +89,13 @@ class Histogram {
   double bin_width() const { return bin_width_; }
   double bin_center(std::size_t i) const { return (i + 0.5) * bin_width_; }
   double count(std::size_t i) const { return counts_.at(i); }
+  double underflow() const { return underflow_; }
+  /// Sum over all bins, underflow included.
   double total() const;
 
  private:
   double bin_width_;
+  double underflow_ = 0;
   std::vector<double> counts_;
 };
 

@@ -208,10 +208,48 @@ TEST(ParallelScanTest, PersistentFailuresSurfaceInFailedPairs) {
   EXPECT_EQ(report.measured, 1u);  // (0, 1) works
   EXPECT_EQ(report.failed, 2u);
   ASSERT_EQ(report.failed_pairs.size(), 2u);
-  for (const auto& [a, b] : report.failed_pairs)
-    EXPECT_TRUE(a == ghost || b == ghost);
-  EXPECT_EQ(report.retries, 2u);  // each ghost pair retried once
+  for (const auto& f : report.failed_pairs) {
+    EXPECT_TRUE(f.a == ghost || f.b == ghost);
+    EXPECT_EQ(f.error_class, ErrorClass::kPermanent);
+  }
+  EXPECT_EQ(report.failed_permanent, 2u);
+  // Permanent failures consume exactly one attempt: no retries were spent
+  // on the ghost pairs.
+  EXPECT_EQ(report.retries, 0u);
   EXPECT_TRUE(cache.contains(tb.fp(0), tb.fp(1)));
+}
+
+TEST(ParallelScanTest, ManySynchronousFailuresDoNotRecursePump) {
+  // Regression: measure_async fails synchronously for relays missing from
+  // the consensus. The dispatch callback used to resolve such failures
+  // inline, re-entering pump() from inside pump()'s dispatch loop — one
+  // stack frame per failing task. With a scan made almost entirely of
+  // sync-failing pairs, that was deep recursion; resolution must instead
+  // ride a deferred event.
+  scenario::Testbed tb = scenario::planetlab31(calm(907));
+  TingConfig cfg;
+  cfg.samples = 5;
+
+  std::vector<dir::Fingerprint> nodes{tb.fp(0)};
+  for (std::uint8_t i = 0; i < 40; ++i) {
+    crypto::X25519Key key;
+    key.fill(static_cast<std::uint8_t>(0x30 + i));
+    nodes.push_back(dir::Fingerprint::of_identity(key));
+  }
+
+  Pool pool(tb, 4, cfg);
+  RttMatrix cache;
+  ParallelScanner scanner(pool.measurers, cache);
+  ParallelScanOptions options;
+  options.attempts_per_pair = 1;
+  const ScanReport report = scanner.scan(nodes, options);
+
+  const std::size_t pairs = nodes.size() * (nodes.size() - 1) / 2;
+  EXPECT_EQ(report.pairs_total, pairs);
+  EXPECT_EQ(report.measured, 0u);  // every pair touches a ghost
+  EXPECT_EQ(report.failed, pairs);
+  EXPECT_EQ(report.failed_permanent, pairs);
+  EXPECT_EQ(report.retries, 0u);
 }
 
 TEST(ParallelScanTest, FreshCacheEntriesAreSkipped) {

@@ -108,8 +108,14 @@ TEST(SchedulerTest, PersistentFailuresAreRetriedAndReported) {
   EXPECT_EQ(report.measured, 1u);  // (0,1) works
   EXPECT_EQ(report.failed, 2u);    // both ghost pairs fail
   ASSERT_EQ(report.failed_pairs.size(), 2u);
-  for (const auto& [a, b] : report.failed_pairs)
-    EXPECT_TRUE(a == ghost || b == ghost);
+  for (const auto& f : report.failed_pairs) {
+    EXPECT_TRUE(f.a == ghost || f.b == ghost);
+    // Never-in-consensus relays are permanent failures: classified as such
+    // and failed on the first attempt without consuming retries.
+    EXPECT_EQ(f.error_class, ErrorClass::kPermanent);
+  }
+  EXPECT_EQ(report.failed_permanent, 2u);
+  EXPECT_EQ(report.retries, 0u);
   EXPECT_TRUE(cache.contains(tb.fp(0), tb.fp(1)));
   EXPECT_FALSE(cache.contains(tb.fp(0), ghost));
 }

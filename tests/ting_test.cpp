@@ -264,6 +264,32 @@ TEST(RttMatrixTest, CsvRejectsGarbage) {
   EXPECT_THROW(RttMatrix::from_csv("header\nnot,enough"), CheckError);
 }
 
+TEST(RttMatrixTest, CsvRejectsCorruptNumericFields) {
+  const std::string a = fake_fp(1).hex(), b = fake_fp(2).hex();
+  const std::string header = "fp_a,fp_b,rtt_ms,measured_at_ns,samples\n";
+  // Non-numeric rtt: stod would throw std::invalid_argument; we want a
+  // CheckError naming the row instead.
+  EXPECT_THROW(RttMatrix::from_csv(header + a + "," + b + ",oops,777,200"),
+               CheckError);
+  // Trailing garbage after a valid prefix ("12.5x") must also be rejected.
+  EXPECT_THROW(RttMatrix::from_csv(header + a + "," + b + ",12.5x,777,200"),
+               CheckError);
+  // Out-of-range timestamp (std::out_of_range from stoll).
+  EXPECT_THROW(RttMatrix::from_csv(header + a + "," + b +
+                                   ",12.5,99999999999999999999999999,200"),
+               CheckError);
+  // Non-numeric sample count.
+  EXPECT_THROW(RttMatrix::from_csv(header + a + "," + b + ",12.5,777,many"),
+               CheckError);
+  // The error message should carry the offending line for debugging.
+  try {
+    RttMatrix::from_csv(header + a + "," + b + ",oops,777,200");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace ting::meas
 

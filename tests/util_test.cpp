@@ -272,13 +272,24 @@ TEST(HistogramTest, BinningAndClamping) {
   h.add(50);
   h.add(175);
   h.add(1e9);   // clamps into last bin
-  h.add(-5);    // clamps into first bin
-  EXPECT_EQ(h.count(0), 3);
+  h.add(-5);    // lands in the underflow bin, not bin 0
+  EXPECT_EQ(h.count(0), 2);
   EXPECT_EQ(h.count(1), 1);
   EXPECT_EQ(h.count(2), 0);
   EXPECT_EQ(h.count(3), 2);
+  EXPECT_EQ(h.underflow(), 1);
   EXPECT_EQ(h.total(), 6);
   EXPECT_DOUBLE_EQ(h.bin_center(1), 75.0);
+}
+
+TEST(HistogramTest, UnderflowIsWeightedAndSeparate) {
+  Histogram h(1.0, 2);
+  h.add(-0.001, 2.0);
+  h.add(-100);
+  EXPECT_EQ(h.count(0), 0);
+  EXPECT_EQ(h.count(1), 0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
 }
 
 TEST(HistogramTest, WeightedCounts) {

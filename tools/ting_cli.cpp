@@ -22,8 +22,10 @@
 #include "analysis/coverage.h"
 #include "analysis/deanon.h"
 #include "analysis/tiv.h"
+#include "scenario/faults.h"
 #include "scenario/testbed.h"
 #include "scenario/timeline.h"
+#include "simnet/fault_plan.h"
 #include "ting/measurer.h"
 #include "ting/scheduler.h"
 #include "util/stats.h"
@@ -93,6 +95,7 @@ int cmd_scan(const Args& args) {
   const int parallel = static_cast<int>(args.num("parallel", 1));
   const int cap = static_cast<int>(args.num("cap", 1));
   const std::string out = args.str("out", "matrix.csv");
+  const std::string faults = args.str("faults", "");
   if (parallel < 1 || cap < 1) {
     std::fprintf(stderr, "--parallel and --cap must be >= 1\n");
     return 2;
@@ -106,16 +109,27 @@ int cmd_scan(const Args& args) {
   for (std::size_t i = 0; i < std::min(nodes, world.relay_count()); ++i)
     subset.push_back(world.fp(i));
 
+  simnet::FaultPlan plan(world.net());
+  if (!faults.empty()) {
+    const auto spec = scenario::FaultSpec::parse(faults);
+    scenario::apply_fault_spec(spec, world, subset, plan, options.seed);
+  }
+
   const auto progress = [](std::size_t done, std::size_t total,
                            const meas::PairResult& r) {
     std::fprintf(stderr, "\r[%zu/%zu] last=%.1fms   ", done, total, r.rtt_ms);
   };
   meas::RttMatrix matrix;
   meas::ScanReport report;
+  meas::ScanOptions common;
+  if (!faults.empty()) {
+    common.live_consensus = &world.consensus();
+    common.fault_plan = &plan;
+  }
   if (parallel == 1) {
     meas::TingMeasurer measurer(world.ting(), cfg);
     meas::AllPairsScanner scanner(measurer, matrix);
-    report = scanner.scan(subset, {}, progress);
+    report = scanner.scan(subset, common, progress);
   } else {
     // One measurement host per in-flight pair, all driving the same
     // simulated world; the admission policy caps circuits per target relay.
@@ -128,20 +142,34 @@ int cmd_scan(const Args& args) {
     }
     meas::ParallelScanner scanner(pool, matrix);
     meas::ParallelScanOptions scan_options;
+    static_cast<meas::ScanOptions&>(scan_options) = common;
     scan_options.per_relay_cap = cap;
     report = scanner.scan(subset, scan_options, progress);
   }
   std::fprintf(stderr, "\n");
   matrix.save_csv(out);
-  std::printf("scanned %zu pairs (%zu measured, %zu failed, %zu retries) in "
-              "%.1f virtual hours -> %s\n",
-              report.pairs_total, report.measured, report.failed,
-              report.retries, report.virtual_time.sec() / 3600.0, out.c_str());
+  std::printf("scanned %zu pairs (%zu measured, %zu cached, %zu failed, "
+              "%zu retries) in %.1f virtual hours -> %s\n",
+              report.pairs_total, report.measured, report.from_cache,
+              report.failed, report.retries,
+              report.virtual_time.sec() / 3600.0, out.c_str());
   std::printf("engine: K=%d in-flight peak %zu, per-relay peak %zu (cap %d), "
               "build %.1fh sample %.1fh\n",
               parallel, report.max_in_flight, report.max_per_relay_in_flight,
               cap, report.time_building.sec() / 3600.0,
               report.time_sampling.sec() / 3600.0);
+  if (!faults.empty()) {
+    std::printf("failures by class: %zu transient, %zu permanent, %zu "
+                "churned (%zu pairs re-resolved after churn)\n",
+                report.failed_transient, report.failed_permanent,
+                report.failed_churned, report.churn_reresolved);
+    for (const auto& e : report.fault_events)
+      std::printf("  fault @%8.1fs  %s\n", e.at.sec(), e.what.c_str());
+  }
+  for (const auto& fp : report.failed_pairs)
+    std::fprintf(stderr, "failed [%s] %s <-> %s: %s\n",
+                 meas::to_string(fp.error_class), fp.a.short_name().c_str(),
+                 fp.b.short_name().c_str(), fp.error.c_str());
   return report.failed == 0 ? 0 : 1;
 }
 
@@ -240,7 +268,14 @@ void usage() {
       "commands:\n"
       "  measure   measure one relay pair with Ting     (--relays --samples --x --y --seed)\n"
       "  scan      all-pairs scan to a CSV matrix       (--relays --nodes --samples --out --seed\n"
-      "                                                  --parallel K --cap per-relay-circuits)\n"
+      "                                                  --parallel K --cap per-relay-circuits\n"
+      "                                                  --faults SPEC)\n"
+      "fault spec (clauses ';'-separated, see src/scenario/faults.h):\n"
+      "  loss:<target>:<prob>[:<start_s>:<dur_s>]\n"
+      "  degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>]\n"
+      "  crash:<target>:<start_s>:<dur_s>\n"
+      "  churn:<events>:<start_s>:<period_s>:<down_s>\n"
+      "  (<target> = scan-node index or '*'; e.g. \"loss:*:0.05;churn:2:30:60:120\")\n"
       "  tiv       triangle-inequality report           (--matrix)\n"
       "  deanon    deanonymization strategy comparison  (--matrix --runs)\n"
       "  coords    Vivaldi-embedding comparison         (--matrix --percent --seed)\n"
