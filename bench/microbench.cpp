@@ -77,6 +77,57 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopScheduleRun);
 
+void BM_EventLoopCancelChurn(benchmark::State& state) {
+  // The parallel scanner's retry-timer pattern at scale: 1M schedule+cancel
+  // rounds against one loop. Regresses badly if cancellation tombstones are
+  // never compacted (the old priority_queue grew without bound).
+  const int kEvents = 1'000'000;
+  for (auto _ : state) {
+    simnet::EventLoop loop;
+    for (int i = 0; i < kEvents; ++i) {
+      const simnet::EventId id =
+          loop.schedule(Duration::seconds(3600), []() {});
+      loop.cancel(id);
+    }
+    benchmark::DoNotOptimize(loop.cancelled_tombstones());
+    if (loop.pending() != 0) state.SkipWithError("events leaked");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kEvents);
+}
+BENCHMARK(BM_EventLoopCancelChurn)->Unit(benchmark::kMillisecond);
+
+void relay_cell_round_trip(benchmark::State& state, bool pooled) {
+  // The per-cell data plane a relay executes: decode the wire bytes, touch
+  // the payload, re-encode, recycle — with and without the Bytes pool that
+  // on_cell/handle_relay use.
+  pool::set_enabled(pooled);
+  cells::Cell cell =
+      cells::Cell::make(42, cells::CellCommand::kRelay, Bytes(100, 1));
+  Bytes wire = cell.encode();
+  for (auto _ : state) {
+    cells::Cell c = cells::Cell::decode(
+        std::span<const std::uint8_t>(wire.data(), wire.size()));
+    c.payload[0] ^= 1;
+    Bytes out = c.encode();
+    benchmark::DoNotOptimize(out.data());
+    pool::recycle(std::move(c.payload));
+    pool::recycle(std::move(out));
+  }
+  pool::set_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_RelayCellRoundTripPooled(benchmark::State& state) {
+  relay_cell_round_trip(state, true);
+}
+BENCHMARK(BM_RelayCellRoundTripPooled);
+
+void BM_RelayCellRoundTripUnpooled(benchmark::State& state) {
+  relay_cell_round_trip(state, false);
+}
+BENCHMARK(BM_RelayCellRoundTripUnpooled);
+
 void BM_TingPairMeasurement(benchmark::State& state) {
   scenario::TestbedOptions options;
   options.seed = 31337;

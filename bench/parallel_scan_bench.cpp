@@ -3,12 +3,21 @@
 // quantified. Prints virtual hours and speedup vs the sequential engine for
 // K in {1, 2, 4, 8}, plus the engine's admission/retry statistics, and the
 // overhead a faulted network (packet loss + consensus churn) adds at K=4.
+//
+// A final leg benches the sharded engine's WALL-CLOCK scaling (real threads,
+// one world clone per shard): a 50-node all-pairs scan at --shards 1 vs 4,
+// verifying the merged matrices are bit-identical, and writes the result as
+// machine-readable BENCH_scan.json for CI to archive.
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "bench_common.h"
 #include "scenario/faults.h"
+#include "scenario/shard_world.h"
 #include "simnet/fault_plan.h"
 #include "ting/scheduler.h"
+#include "ting/sharded_scan.h"
 
 int main() {
   using namespace ting;
@@ -91,6 +100,76 @@ int main() {
                 r.virtual_time.sec() / 3600.0, r.measured, r.pairs_total,
                 r.retries, r.churn_reresolved, r.failed_transient,
                 r.failed_permanent, r.failed_churned);
+  }
+
+  // ---- sharded engine: wall-clock scaling + bit-identity --------------------
+  {
+    scenario::ShardWorldOptions swo;
+    swo.relays = static_cast<std::size_t>(scaled(50, 16));
+    swo.scan_nodes = swo.relays;  // all-pairs over the whole testbed
+    swo.testbed.seed = 421;
+    swo.testbed.differential_fraction = 0;
+    swo.ting.samples = scaled(100, 20);
+    const std::vector<dir::Fingerprint> sharded_nodes =
+        scenario::shard_scan_nodes(swo);
+
+    const auto run = [&](std::size_t shards, meas::RttMatrix& m,
+                         meas::ScanReport& r) {
+      meas::ShardedScanner scanner(scenario::make_testbed_shard_factory(swo));
+      meas::ShardedScanOptions so;
+      so.shards = shards;
+      so.pair_seed = swo.testbed.seed;
+      const auto t0 = std::chrono::steady_clock::now();
+      r = scanner.scan(sharded_nodes, m, so);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    meas::RttMatrix m1, m4;
+    meas::ScanReport r1, r4;
+    const double wall1 = run(1, m1, r1);
+    const double wall4 = run(4, m4, r4);
+    const bool identical = m1.to_csv() == m4.to_csv();
+    const double speedup = wall4 > 0 ? wall1 / wall4 : 0;
+    const unsigned cpus = std::thread::hardware_concurrency();
+
+    std::printf("# sharded engine (wall clock, deterministic): %zu nodes, "
+                "%zu pairs, %u host cpus\n",
+                sharded_nodes.size(), r1.pairs_total, cpus);
+    std::printf("# W\twall_seconds\tspeedup\tmeasured\tfailed\n");
+    std::printf("1\t%.2f\t%.2f\t%zu\t%zu\n", wall1, 1.0, r1.measured,
+                r1.failed);
+    std::printf("4\t%.2f\t%.2f\t%zu\t%zu\n", wall4, speedup, r4.measured,
+                r4.failed);
+    std::printf("# merged matrices bit-identical across W: %s\n",
+                identical ? "yes" : "NO");
+    if (cpus < 4)
+      std::printf("# (only %u cpu(s) available: wall-clock speedup is "
+                  "core-bound, not engine-bound)\n",
+                  cpus);
+
+    std::FILE* json = std::fopen("BENCH_scan.json", "w");
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "{\n"
+          "  \"benchmark\": \"sharded_scan\",\n"
+          "  \"nodes\": %zu,\n"
+          "  \"pairs\": %zu,\n"
+          "  \"samples_per_circuit\": %d,\n"
+          "  \"host_cpus\": %u,\n"
+          "  \"shards_1_wall_s\": %.3f,\n"
+          "  \"shards_4_wall_s\": %.3f,\n"
+          "  \"speedup_4_vs_1\": %.3f,\n"
+          "  \"bit_identical\": %s,\n"
+          "  \"measured\": %zu,\n"
+          "  \"failed\": %zu\n"
+          "}\n",
+          sharded_nodes.size(), r1.pairs_total, swo.ting.samples, cpus, wall1,
+          wall4, speedup, identical ? "true" : "false", r4.measured, r4.failed);
+      std::fclose(json);
+      std::printf("# wrote BENCH_scan.json\n");
+    }
   }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "cells/cell.h"
 
+#include <cstring>
+
 #include "util/assert.h"
 
 namespace ting::cells {
@@ -25,22 +27,30 @@ void Cell::normalize() {
 
 Bytes Cell::encode() const {
   TING_CHECK(payload.size() == kPayloadSize);
-  ByteWriter w;
-  w.u32(circ_id);
-  w.u8(static_cast<std::uint8_t>(command));
-  w.raw(std::span<const std::uint8_t>(payload.data(), payload.size()));
-  return w.take();
+  // Direct header writes into a pooled buffer: encode runs once per hop per
+  // cell, so this is the hottest serialization path in the simulator.
+  Bytes out = pool::acquire(kCellSize);
+  out[0] = static_cast<std::uint8_t>(circ_id >> 24);
+  out[1] = static_cast<std::uint8_t>(circ_id >> 16);
+  out[2] = static_cast<std::uint8_t>(circ_id >> 8);
+  out[3] = static_cast<std::uint8_t>(circ_id);
+  out[4] = static_cast<std::uint8_t>(command);
+  std::memcpy(out.data() + kCellHeader, payload.data(), kPayloadSize);
+  return out;
 }
 
 Cell Cell::decode(std::span<const std::uint8_t> wire) {
   TING_CHECK_MSG(wire.size() == kCellSize,
                  "cell must be exactly " << kCellSize << " bytes, got "
                                          << wire.size());
-  ByteReader r(wire);
   Cell c;
-  c.circ_id = r.u32();
-  c.command = static_cast<CellCommand>(r.u8());
-  c.payload = r.raw(kPayloadSize);
+  c.circ_id = static_cast<CircuitId>(wire[0]) << 24 |
+              static_cast<CircuitId>(wire[1]) << 16 |
+              static_cast<CircuitId>(wire[2]) << 8 |
+              static_cast<CircuitId>(wire[3]);
+  c.command = static_cast<CellCommand>(wire[4]);
+  c.payload = pool::acquire(kPayloadSize);
+  std::memcpy(c.payload.data(), wire.data() + kCellHeader, kPayloadSize);
   return c;
 }
 

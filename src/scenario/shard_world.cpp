@@ -1,0 +1,50 @@
+#include "scenario/shard_world.h"
+
+#include <algorithm>
+
+#include "scenario/faults.h"
+#include "util/assert.h"
+
+namespace ting::scenario {
+
+TestbedShardWorld::TestbedShardWorld(const ShardWorldOptions& options)
+    : world_(live_tor(options.relays, options.testbed)) {
+  std::vector<dir::Fingerprint> nodes;
+  const std::size_t n = std::min(options.scan_nodes, world_.relay_count());
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) nodes.push_back(world_.fp(i));
+
+  plan_ = std::make_unique<simnet::FaultPlan>(world_.net());
+  if (!options.fault_spec.empty()) {
+    const FaultSpec spec = FaultSpec::parse(options.fault_spec);
+    apply_fault_spec(spec, world_, nodes, *plan_, options.testbed.seed);
+    has_faults_ = true;
+  }
+
+  for (meas::MeasurementHost* host :
+       world_.measurement_pool(std::max<std::size_t>(1, options.pool))) {
+    measurers_.push_back(
+        std::make_unique<meas::TingMeasurer>(*host, options.ting));
+    pool_.push_back(measurers_.back().get());
+  }
+}
+
+meas::ShardWorldFactory make_testbed_shard_factory(ShardWorldOptions options) {
+  return [options](std::size_t) -> std::unique_ptr<meas::ShardWorld> {
+    return std::make_unique<TestbedShardWorld>(options);
+  };
+}
+
+std::vector<dir::Fingerprint> shard_scan_nodes(
+    const ShardWorldOptions& options) {
+  TestbedOptions to = options.testbed;
+  to.start_measurement_host = false;
+  Testbed tb = live_tor(options.relays, to);
+  std::vector<dir::Fingerprint> nodes;
+  const std::size_t n = std::min(options.scan_nodes, tb.relay_count());
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) nodes.push_back(tb.fp(i));
+  return nodes;
+}
+
+}  // namespace ting::scenario

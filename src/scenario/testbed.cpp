@@ -109,6 +109,15 @@ void Testbed::directory_restore(const dir::RelayDescriptor& desc) {
   consensus_.add(desc);
 }
 
+void Testbed::reseed_stochastics(std::uint64_t seed) {
+  net_->reseed(mix64(seed ^ 0x6e6574));  // "net"
+  for (std::size_t i = 0; i < relays_.size(); ++i)
+    relays_[i]->reseed(mix64(seed + 1000 + i));
+  if (ting_host_) ting_host_->reseed(mix64(seed ^ 0x74696e67));  // "ting"
+  for (std::size_t n = 0; n < pool_extras_.size(); ++n)
+    pool_extras_[n]->reseed(mix64(seed + 5000 + 13 * n));
+}
+
 Testbed build_testbed(const std::vector<RelaySpec>& specs,
                       const TestbedOptions& options) {
   Testbed tb;

@@ -98,6 +98,15 @@ class Testbed {
   /// own "consensus fetch").
   void directory_restore(const dir::RelayDescriptor& desc);
 
+  /// Reset every stochastic component of the world — network jitter rng,
+  /// all relay queue rngs (plus their load watermarks), and each
+  /// measurement host's apparatus — to a deterministic function of `seed`.
+  /// Topology, fingerprints, and established sessions are untouched. This
+  /// is the sharded scanner's per-pair world reseed (ScanOptions::
+  /// reseed_world): two same-seed testbeds given the same reseed produce
+  /// identical subsequent stochastic behaviour.
+  void reseed_stochastics(std::uint64_t seed);
+
  private:
   friend Testbed build_testbed(const std::vector<RelaySpec>&,
                                const TestbedOptions&);

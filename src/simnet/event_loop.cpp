@@ -1,8 +1,26 @@
 #include "simnet/event_loop.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace ting::simnet {
+
+namespace {
+
+// Compact once at least this many tombstones exist AND they outnumber the
+// live events — amortized O(1) per cancel, and the heap never holds more
+// than ~half garbage.
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  heap_.reserve(kCompactionFloor);
+  // Handler storage sized for a busy measurement world up front; rehashing
+  // the map mid-scan is pure overhead on the per-cell path.
+  handlers_.reserve(1024);
+}
 
 EventId EventLoop::schedule(Duration delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
@@ -11,19 +29,37 @@ EventId EventLoop::schedule(Duration delay, std::function<void()> fn) {
 EventId EventLoop::schedule_at(TimePoint when, std::function<void()> fn) {
   TING_CHECK_MSG(when >= now_, "cannot schedule into the past");
   const EventId id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id});
+  heap_.push_back(Event{when, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   handlers_.emplace(id, std::move(fn));
   return id;
 }
 
 void EventLoop::cancel(EventId id) {
-  if (handlers_.erase(id) > 0) cancelled_.insert(id);
+  if (handlers_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  if (cancelled_.size() >= kCompactionFloor &&
+      cancelled_.size() * 2 >= heap_.size())
+    compact();
+}
+
+EventLoop::Event EventLoop::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
+void EventLoop::compact() {
+  std::erase_if(heap_,
+                [this](const Event& e) { return cancelled_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
 }
 
 bool EventLoop::run_one() {
   while (!heap_.empty()) {
-    const Event ev = heap_.top();
-    heap_.pop();
+    const Event ev = pop_top();
     if (cancelled_.erase(ev.id) > 0) continue;  // was cancelled
     auto it = handlers_.find(ev.id);
     if (it == handlers_.end()) continue;
@@ -33,6 +69,8 @@ bool EventLoop::run_one() {
     fn();
     return true;
   }
+  // Queue drained: any tombstones left are unreachable — sweep them.
+  cancelled_.clear();
   return false;
 }
 
@@ -44,12 +82,11 @@ void EventLoop::run() {
 void EventLoop::run_until(TimePoint deadline) {
   while (!heap_.empty()) {
     // Peek without firing cancelled entries.
-    const Event ev = heap_.top();
-    if (cancelled_.erase(ev.id) > 0) {
-      heap_.pop();
+    if (cancelled_.erase(heap_.front().id) > 0) {
+      pop_top();
       continue;
     }
-    if (ev.when > deadline) break;
+    if (heap_.front().when > deadline) break;
     run_one();
   }
   if (now_ < deadline) now_ = deadline;
@@ -60,15 +97,21 @@ bool EventLoop::run_while_waiting_for(const std::function<bool()>& pred,
   const TimePoint deadline = now_ + timeout;
   while (!pred()) {
     // Drop cancelled entries so a stale top can't trigger a spurious timeout.
-    while (!heap_.empty() && cancelled_.erase(heap_.top().id) > 0) heap_.pop();
+    while (!heap_.empty() && cancelled_.erase(heap_.front().id) > 0) pop_top();
     if (heap_.empty()) return false;
-    if (heap_.top().when > deadline) {
+    if (heap_.front().when > deadline) {
       now_ = deadline;
       return false;
     }
     run_one();
   }
   return true;
+}
+
+std::optional<TimePoint> EventLoop::next_event_time() {
+  while (!heap_.empty() && cancelled_.erase(heap_.front().id) > 0) pop_top();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().when;
 }
 
 }  // namespace ting::simnet

@@ -4,11 +4,18 @@
 // expressed as events on one EventLoop with virtual time, so an entire
 // evaluation (e.g. 930 pairs × 1000 samples) runs in seconds of wall-clock
 // and reproduces exactly.
+//
+// The heap is an explicit vector managed with the <algorithm> heap
+// primitives rather than a std::priority_queue: cancellation leaves
+// tombstones in the heap (erasing mid-heap would be O(n)), and owning the
+// vector lets the loop rebuild it without the tombstones once they outgrow
+// the live events — long scans with heavy deadline-cancel churn stay
+// compact instead of accumulating an unbounded cancelled set.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -21,6 +28,8 @@ using EventId = std::uint64_t;
 
 class EventLoop {
  public:
+  EventLoop();
+
   TimePoint now() const { return now_; }
 
   /// Schedule `fn` to run `delay` from now. Returns an id for cancel().
@@ -54,7 +63,15 @@ class EventLoop {
   bool run_while_waiting_for(const std::function<bool()>& pred,
                              Duration timeout);
 
+  /// Timestamp of the next live (uncancelled) event, or nullopt when the
+  /// queue is empty. Never advances now(). Lets a driver drain in-flight
+  /// traffic without fast-forwarding to far-future scheduled work.
+  std::optional<TimePoint> next_event_time();
+
   std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Cancelled events still parked in the heap (bounded by compaction;
+  /// exposed so tests can pin the bound down).
+  std::size_t cancelled_tombstones() const { return cancelled_.size(); }
 
  private:
   struct Event {
@@ -69,10 +86,16 @@ class EventLoop {
     }
   };
 
+  /// Pop the top heap entry (caller checked non-empty).
+  Event pop_top();
+  /// Rebuild the heap without tombstoned entries and clear the cancelled
+  /// set. Called when tombstones outnumber live events.
+  void compact();
+
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  ///< min-heap via push_heap/pop_heap with Later
   std::unordered_map<EventId, std::function<void()>> handlers_;
   std::unordered_set<EventId> cancelled_;
 };

@@ -42,8 +42,30 @@ HostId Network::add_host(IpAddr ip, const geo::GeoPoint& location,
   const HostId id = model_.add_host(location, policy, group_tag);
   by_ip_[ip] = id;
   ips_.push_back(ip);
-  next_ephemeral_port_[id] = 40000;
+  next_ephemeral_port_.push_back(kEphemeralBase);
   return id;
+}
+
+void Network::set_next_ephemeral_port(HostId host, std::uint16_t port) {
+  TING_CHECK(host < next_ephemeral_port_.size());
+  TING_CHECK_MSG(port >= kEphemeralBase,
+                 "ephemeral ports start at " << kEphemeralBase);
+  next_ephemeral_port_[host] = port;
+}
+
+std::uint16_t Network::alloc_ephemeral_port(HostId from) {
+  std::uint16_t& eph = next_ephemeral_port_[from];
+  const IpAddr ip = ips_[from];
+  // One full lap over the ephemeral range before giving up.
+  constexpr int kRangeSize = 0x10000 - kEphemeralBase;
+  for (int tries = 0; tries < kRangeSize; ++tries) {
+    const std::uint16_t candidate = eph++;
+    if (eph == 0) eph = kEphemeralBase;  // wrapped past 65535
+    const Endpoint ep{ip, candidate};
+    if (!listeners_.contains(ep) && !bound_ports_.contains(ep))
+      return candidate;
+  }
+  TING_CHECK_MSG(false, "host " << ip.str() << ": ephemeral ports exhausted");
 }
 
 IpAddr Network::ip_of(HostId h) const {
@@ -176,6 +198,10 @@ void Network::gc_pair(Connection* side) {
   ConnPtr peer = side->peer_.lock();
   if (peer && peer->open_) return;
   if (side->open_) return;
+  // Free the client side's ephemeral port (never a listener's endpoint;
+  // only outbound local endpoints are ever in bound_ports_).
+  bound_ports_.erase(side->local_);
+  if (peer) bound_ports_.erase(peer->local_);
   conns_.erase(side);
   if (peer) conns_.erase(peer.get());
 }
@@ -197,9 +223,8 @@ void Network::connect(HostId from, Endpoint to, Protocol protocol,
   Listener* listener = lit->second.get();
   const HostId to_host = listener->host_;
 
-  std::uint16_t& eph = next_ephemeral_port_[from];
-  const Endpoint local_ep{ip_of(from), eph++};
-  if (eph == 0) eph = 40000;  // wrapped
+  const Endpoint local_ep{ip_of(from), alloc_ephemeral_port(from)};
+  bound_ports_.insert(local_ep);
 
   auto client_side = std::make_shared<Connection>();
   auto server_side = std::make_shared<Connection>();

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "simnet/event_loop.h"
@@ -114,6 +114,16 @@ class Network {
   const LatencyModel& latency() const { return model_; }
   Rng& rng() { return rng_; }
 
+  /// Replace the stochastic state (jitter/loss draws) with a fresh
+  /// deterministically-seeded generator. The sharded scan engine reseeds
+  /// every world identically before each pair so the sampled delays match
+  /// bit for bit regardless of which shard measures the pair.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Test seam: position a host's ephemeral-port counter (e.g. just below
+  /// the wrap) to exercise the reuse-skip logic without 25k connects.
+  void set_next_ephemeral_port(HostId host, std::uint16_t port);
+
   /// Number of connections the network is keeping alive (open pairs).
   std::size_t live_connections() const { return conns_.size(); }
 
@@ -159,6 +169,10 @@ class Network {
   void deliver(const ConnPtr& to, Bytes msg);
   void deliver_close(const ConnPtr& to);
   TimePoint fifo_arrival(Connection& to, Duration delay);
+  /// Next free ephemeral port on `from`: skips ports still bound by a live
+  /// Listener or Connection, wrapping within [kEphemeralBase, 65535].
+  /// Throws CheckError if the host's whole ephemeral range is in use.
+  std::uint16_t alloc_ephemeral_port(HostId from);
   /// One-way delay with both endpoints' link faults applied (degradation
   /// always; loss-as-retransmission only for reliable protocols).
   Duration faulted_one_way(HostId from, HostId to, Protocol protocol);
@@ -167,18 +181,26 @@ class Network {
   /// Drop our owning refs once both sides of a pair have closed.
   void gc_pair(Connection* side);
 
+  /// First ephemeral port a host hands out (and the wrap-around target).
+  static constexpr std::uint16_t kEphemeralBase = 40000;
+
   EventLoop& loop_;
   LatencyModel model_;
   Rng rng_;
-  std::map<IpAddr, HostId> by_ip_;
+  // Hot-path tables are unordered: every delivery and connect hits them,
+  // and nothing iterates them in an order-sensitive way.
+  std::unordered_map<IpAddr, HostId> by_ip_;
   std::vector<IpAddr> ips_;
-  std::map<Endpoint, std::unique_ptr<Listener>> listeners_;
-  std::map<HostId, std::uint16_t> next_ephemeral_port_;
+  std::unordered_map<Endpoint, std::unique_ptr<Listener>> listeners_;
+  std::vector<std::uint16_t> next_ephemeral_port_;  ///< indexed by HostId
   // The network owns live connections (a socket exists independently of the
   // application's references); both-sides-closed pairs are released.
-  std::map<Connection*, ConnPtr> conns_;
-  std::set<HostId> down_;
-  std::map<HostId, LinkFault> link_faults_;
+  std::unordered_map<Connection*, ConnPtr> conns_;
+  /// Local endpoints of live outbound connections, so ephemeral allocation
+  /// skips ports still in use after the counter wraps.
+  std::unordered_set<Endpoint> bound_ports_;
+  std::unordered_set<HostId> down_;
+  std::unordered_map<HostId, LinkFault> link_faults_;
 };
 
 }  // namespace ting::simnet

@@ -1,6 +1,7 @@
 #include "ting/measurement_host.h"
 
 #include "util/assert.h"
+#include "util/rng.h"
 
 namespace ting::meas {
 
@@ -45,6 +46,12 @@ MeasurementHost::MeasurementHost(simnet::Network& net, simnet::HostId host,
   control_server_ =
       std::make_unique<ctrl::ControlServer>(*op_, config_.control_port);
   echo_ = std::make_unique<echo::EchoServer>(net_, host_, config_.echo_port);
+}
+
+void MeasurementHost::reseed(std::uint64_t seed) {
+  w_->reseed(mix64(seed ^ 0x77));  // 'w'
+  z_->reseed(mix64(seed ^ 0x7a));  // 'z'
+  op_->reseed(mix64(seed ^ 0x6f70));  // "op"
 }
 
 Endpoint MeasurementHost::socks_endpoint() const {

@@ -51,6 +51,11 @@ class MeasurementHost {
 
   bool ready() const { return controller_ != nullptr; }
 
+  /// Reseed the apparatus's stochastic state (w/z relay rngs, the OP rng)
+  /// deterministically — part of the sharded scanner's per-pair world
+  /// reseed. Fingerprints and established sessions are untouched.
+  void reseed(std::uint64_t seed);
+
   simnet::Network& net() { return net_; }
   simnet::EventLoop& loop() { return net_.loop(); }
   simnet::HostId host() const { return host_; }

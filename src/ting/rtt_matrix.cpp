@@ -46,6 +46,10 @@ bool RttMatrix::is_fresh(const dir::Fingerprint& a, const dir::Fingerprint& b,
   return e != nullptr && now - e->measured_at <= max_age;
 }
 
+void RttMatrix::merge(const RttMatrix& other) {
+  for (const auto& [k, v] : other.entries_) entries_[k] = v;
+}
+
 std::vector<dir::Fingerprint> RttMatrix::nodes() const {
   std::set<dir::Fingerprint> uniq;
   for (const auto& [k, v] : entries_) {

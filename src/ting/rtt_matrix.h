@@ -37,6 +37,12 @@ class RttMatrix {
   bool is_fresh(const dir::Fingerprint& a, const dir::Fingerprint& b,
                 TimePoint now, Duration max_age) const;
 
+  /// Copy every entry of `other` into this matrix (overwriting duplicates).
+  /// Shard matrices cover disjoint pair sets, so merging them is pure
+  /// union; the ordered underlying map keeps to_csv() output independent of
+  /// merge order.
+  void merge(const RttMatrix& other);
+
   std::size_t size() const { return entries_.size(); }
   /// All distinct relays appearing in the matrix.
   std::vector<dir::Fingerprint> nodes() const;

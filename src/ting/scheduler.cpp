@@ -4,10 +4,31 @@
 #include <set>
 
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace ting::meas {
 
 namespace {
+
+/// Fold a fingerprint into a well-mixed 64-bit value (order-sensitive over
+/// its bytes, so distinct fingerprints rarely collide).
+std::uint64_t fp_mix(const dir::Fingerprint& fp) {
+  std::uint64_t v = 0x243F6A8885A308D3ULL;
+  for (std::uint8_t b : fp.bytes()) v = mix64(v ^ b);
+  return v;
+}
+
+/// Let in-flight teardown traffic from the previous pair finish without
+/// fast-forwarding to far-future scheduled work (fault windows): execute
+/// events only while the next one lies within `horizon` of virtual now.
+void drain_in_flight(simnet::EventLoop& loop, Duration horizon) {
+  while (const auto next = loop.next_event_time()) {
+    if (*next > loop.now() + horizon) break;
+    loop.run_one();
+  }
+}
+
+constexpr Duration kDrainHorizon = Duration::seconds(60);
 
 /// Snapshot of which scan nodes the directory knows at scan start. A
 /// churned-classified failure for a relay that was never known upgrades to
@@ -73,6 +94,13 @@ void annotate_fault_events(ScanReport& report, const ScanOptions& options,
 }
 
 }  // namespace
+
+std::uint64_t pair_reseed(std::uint64_t pair_seed, const dir::Fingerprint& x,
+                          const dir::Fingerprint& y) {
+  // XOR of the per-fingerprint folds makes the value commutative in (x, y),
+  // so both orderings of a pair reseed the world identically.
+  return mix64(pair_seed ^ fp_mix(x) ^ fp_mix(y));
+}
 
 ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                                  const ScanOptions& options,
@@ -333,9 +361,28 @@ void ParallelScanner::on_complete(ScanState& st, std::size_t host,
 ScanReport ParallelScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                                  const ParallelScanOptions& options,
                                  const Progress& progress) {
+  PairList pairs;
+  if (!nodes.empty())
+    pairs.reserve(nodes.size() * (nodes.size() - 1) / 2);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      pairs.emplace_back(i, j);
+  return scan_pairs(nodes, pairs, options, progress);
+}
+
+ScanReport ParallelScanner::scan_pairs(
+    const std::vector<dir::Fingerprint>& nodes, const PairList& pairs,
+    const ParallelScanOptions& options, const Progress& progress) {
   TING_CHECK(options.attempts_per_pair >= 1);
   TING_CHECK(options.per_relay_cap >= 1);
   TING_CHECK(options.retry_backoff_factor >= 1);
+  for (const auto& [i, j] : pairs) {
+    TING_CHECK(i < nodes.size() && j < nodes.size());
+    TING_CHECK_MSG(i != j, "self-pairs are not measurable");
+  }
+
+  if (options.reseed_world)
+    return scan_deterministic(nodes, pairs, options, progress);
 
   simnet::EventLoop& loop = measurers_[0]->host().loop();
   const TimePoint started = loop.now();
@@ -351,21 +398,18 @@ ScanReport ParallelScanner::scan(const std::vector<dir::Fingerprint>& nodes,
       nodes, options.live_consensus != nullptr
                  ? *options.live_consensus
                  : measurers_[0]->host().op().consensus());
-  st.report.pairs_total =
-      nodes.empty() ? 0 : nodes.size() * (nodes.size() - 1) / 2;
+  st.report.pairs_total = pairs.size();
 
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      if (cache_.is_fresh(nodes[i], nodes[j], loop.now(), options.max_age)) {
-        ++st.report.from_cache;
-        ++st.done;
-        if (progress)
-          progress(st.done, st.report.pairs_total,
-                   cached_result(cache_, nodes[i], nodes[j]));
-        continue;
-      }
-      st.tasks.push_back(ScanState::Task{i, j, 0});
+  for (const auto& [i, j] : pairs) {
+    if (cache_.is_fresh(nodes[i], nodes[j], loop.now(), options.max_age)) {
+      ++st.report.from_cache;
+      ++st.done;
+      if (progress)
+        progress(st.done, st.report.pairs_total,
+                 cached_result(cache_, nodes[i], nodes[j]));
+      continue;
     }
+    st.tasks.push_back(ScanState::Task{i, j, 0});
   }
   if (options.randomize_order) {
     Rng rng(options.order_seed);
@@ -389,6 +433,101 @@ ScanReport ParallelScanner::scan(const std::vector<dir::Fingerprint>& nodes,
   st.report.virtual_time = loop.now() - started;
   annotate_fault_events(st.report, options, started, loop.now());
   return st.report;
+}
+
+ScanReport ParallelScanner::scan_deterministic(
+    const std::vector<dir::Fingerprint>& nodes, const PairList& pairs,
+    const ParallelScanOptions& options, const Progress& progress) {
+  // Strictly serial on the first measurer: the pool's extra hosts carry
+  // world-specific fingerprints and seeds, so touching them would make the
+  // result depend on pool size. Before every attempt the world's stochastic
+  // state is reset to a pure function of (pair_seed, x, y), which makes each
+  // pair's estimate independent of scan order and shard partitioning.
+  TingMeasurer& m = *measurers_[0];
+  simnet::EventLoop& loop = m.host().loop();
+  const TimePoint started = loop.now();
+
+  ScanReport report;
+  report.retry_histogram.assign(
+      static_cast<std::size_t>(options.attempts_per_pair), 0);
+  report.pairs_total = pairs.size();
+  const std::set<dir::Fingerprint> never_known = never_known_nodes(
+      nodes, options.live_consensus != nullptr ? *options.live_consensus
+                                               : m.host().op().consensus());
+
+  PairList order = pairs;
+  if (options.randomize_order) {
+    Rng rng(options.order_seed);
+    rng.shuffle(order);
+  }
+
+  std::size_t done = 0;
+  for (const auto& [i, j] : order) {
+    const dir::Fingerprint& x = nodes[i];
+    const dir::Fingerprint& y = nodes[j];
+    ++done;
+
+    if (cache_.is_fresh(x, y, loop.now(), options.max_age)) {
+      ++report.from_cache;
+      if (progress)
+        progress(done, report.pairs_total, cached_result(cache_, x, y));
+      continue;
+    }
+
+    report.max_in_flight = 1;
+    report.max_per_relay_in_flight = 1;
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > 0) ++report.retries;
+      // Teardown cells from the previous pair must not consume draws from
+      // the freshly-seeded rngs, so quiesce the loop before reseeding.
+      drain_in_flight(loop, kDrainHorizon);
+      options.reseed_world(pair_reseed(options.pair_seed, x, y));
+      const PairResult r = m.measure_blocking(x, y);
+      report.time_building += r.build_time();
+      report.time_sampling += r.sample_time();
+      if (r.ok) {
+        // Zero timestamp: shard worlds run unrelated virtual clocks, and a
+        // clock-free entry keeps merged CSVs bit-identical across shard
+        // counts.
+        cache_.set(x, y, r.rtt_ms, TimePoint{}, m.config().samples);
+        ++report.measured;
+        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
+        if (progress) progress(done, report.pairs_total, r);
+        break;
+      }
+      ErrorClass cls = r.error_class == ErrorClass::kNone
+                           ? ErrorClass::kTransient
+                           : r.error_class;
+      if (cls == ErrorClass::kRelayChurned &&
+          (never_known.contains(x) || never_known.contains(y)))
+        cls = ErrorClass::kPermanent;
+      if (cls == ErrorClass::kPermanent ||
+          attempt + 1 >= options.attempts_per_pair) {
+        TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
+                                << " failed (" << to_string(cls)
+                                << "): " << r.error);
+        count_failure(report, cls);
+        report.failed_pairs.push_back(FailedPair{x, y, cls, r.error});
+        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
+        if (progress) progress(done, report.pairs_total, r);
+        break;
+      }
+      if (cls == ErrorClass::kRelayChurned) {
+        loop.run_until(loop.now() + options.churn_requeue_delay);
+        if (reresolve_pair(options.live_consensus, measurers_, x, y))
+          ++report.churn_reresolved;
+      } else {
+        Duration delay = options.retry_backoff_base;
+        for (int k = 0; k < attempt; ++k)
+          delay = delay * options.retry_backoff_factor;
+        loop.run_until(loop.now() + delay);
+      }
+    }
+  }
+
+  report.virtual_time = loop.now() - started;
+  annotate_fault_events(report, options, started, loop.now());
+  return report;
 }
 
 }  // namespace ting::meas

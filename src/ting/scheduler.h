@@ -61,7 +61,24 @@ struct ScanOptions {
   /// Optional fault plan whose scheduled events (those firing inside the
   /// scan window) are copied into ScanReport::fault_events.
   const simnet::FaultPlan* fault_plan = nullptr;
+
+  // ---- deterministic per-pair mode (sharded scanning) ----------------------
+  /// When set, the parallel engine measures pairs strictly one at a time on
+  /// its first measurer: before every attempt it drains in-flight traffic
+  /// and calls reseed_world(pair_reseed(pair_seed, x, y)), making each
+  /// pair's estimate a pure function of (world construction seed, pair_seed,
+  /// x, y) — bit-identical no matter how pairs are partitioned across shard
+  /// worlds. Cache entries are recorded with a zero timestamp because shard
+  /// worlds have unrelated virtual clocks.
+  std::function<void(std::uint64_t)> reseed_world;
+  /// Master seed mixed into every per-pair reseed value.
+  std::uint64_t pair_seed = 1;
 };
+
+/// The world-reseed value for a pair: a well-mixed function of the master
+/// seed and both fingerprints, commutative in (x, y).
+std::uint64_t pair_reseed(std::uint64_t pair_seed, const dir::Fingerprint& x,
+                          const dir::Fingerprint& y);
 
 /// A pair that exhausted its attempts (or failed permanently), with the
 /// classification and message of its final failure.
@@ -146,6 +163,9 @@ class ParallelScanner {
   /// pair; all must share one event loop. Concurrency K = measurers.size().
   ParallelScanner(std::vector<TingMeasurer*> measurers, RttMatrix& cache);
 
+  /// Index pairs into a `nodes` vector: (i, j) with i != j.
+  using PairList = std::vector<std::pair<std::size_t, std::size_t>>;
+
   /// Measure all unordered pairs of `nodes` (blocking; pumps the shared
   /// event loop until every pair has succeeded, exhausted its attempts, or
   /// been served from cache). Results are written into the cache matrix.
@@ -153,10 +173,25 @@ class ParallelScanner {
                   const ParallelScanOptions& options = {},
                   const Progress& progress = {});
 
+  /// Measure an explicit pair worklist — the sharded scanner's entry point
+  /// (each shard world gets a slice of the canonical all-pairs list). When
+  /// options.reseed_world is set, pairs run strictly serially on the first
+  /// measurer with a world reseed before every attempt (see ScanOptions);
+  /// otherwise the normal concurrent engine runs over the list.
+  ScanReport scan_pairs(const std::vector<dir::Fingerprint>& nodes,
+                        const PairList& pairs,
+                        const ParallelScanOptions& options = {},
+                        const Progress& progress = {});
+
   RttMatrix& cache() { return cache_; }
   std::size_t pool_size() const { return measurers_.size(); }
 
  private:
+  ScanReport scan_deterministic(const std::vector<dir::Fingerprint>& nodes,
+                                const PairList& pairs,
+                                const ParallelScanOptions& options,
+                                const Progress& progress);
+
   struct ScanState;
   void pump(ScanState& st);
   void dispatch(ScanState& st, std::size_t host, std::size_t task);

@@ -1,0 +1,135 @@
+#include "ting/sharded_scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "util/assert.h"
+
+namespace ting::meas {
+
+namespace {
+
+/// Merge shard `r` into `merged`. Counters sum; concurrency high-water
+/// marks sum across shards (the machines really do run at once) except the
+/// per-relay mark, which is a per-world invariant and takes the max;
+/// virtual_time is the max because shard clocks advance independently.
+void merge_report(ScanReport& merged, const ScanReport& r) {
+  merged.measured += r.measured;
+  merged.from_cache += r.from_cache;
+  merged.failed += r.failed;
+  merged.failed_transient += r.failed_transient;
+  merged.failed_permanent += r.failed_permanent;
+  merged.failed_churned += r.failed_churned;
+  merged.churn_reresolved += r.churn_reresolved;
+  merged.retries += r.retries;
+  merged.time_building += r.time_building;
+  merged.time_sampling += r.time_sampling;
+  merged.max_in_flight += r.max_in_flight;
+  merged.max_per_relay_in_flight =
+      std::max(merged.max_per_relay_in_flight, r.max_per_relay_in_flight);
+  merged.virtual_time = std::max(merged.virtual_time, r.virtual_time);
+  if (merged.retry_histogram.size() < r.retry_histogram.size())
+    merged.retry_histogram.resize(r.retry_histogram.size(), 0);
+  for (std::size_t k = 0; k < r.retry_histogram.size(); ++k)
+    merged.retry_histogram[k] += r.retry_histogram[k];
+  merged.failed_pairs.insert(merged.failed_pairs.end(), r.failed_pairs.begin(),
+                             r.failed_pairs.end());
+  merged.fault_events.insert(merged.fault_events.end(), r.fault_events.begin(),
+                             r.fault_events.end());
+}
+
+}  // namespace
+
+ShardedScanner::ShardedScanner(ShardWorldFactory factory)
+    : factory_(std::move(factory)) {
+  TING_CHECK_MSG(factory_ != nullptr, "sharded scan needs a world factory");
+}
+
+ScanReport ShardedScanner::scan(const std::vector<dir::Fingerprint>& nodes,
+                                RttMatrix& out,
+                                const ShardedScanOptions& options,
+                                const ScanProgress& progress) {
+  TING_CHECK(options.shards >= 1);
+  const std::size_t shards = options.shards;
+
+  // Canonical worklist, partitioned round-robin so every shard gets a
+  // representative mix of relays (block partitioning would hand one shard
+  // all the pairs of the hottest relays).
+  ParallelScanner::PairList all;
+  if (!nodes.empty()) all.reserve(nodes.size() * (nodes.size() - 1) / 2);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      all.emplace_back(i, j);
+  std::vector<ParallelScanner::PairList> slices(shards);
+  for (std::size_t p = 0; p < all.size(); ++p)
+    slices[p % shards].push_back(all[p]);
+
+  struct ShardResult {
+    ScanReport report;
+    RttMatrix matrix;
+    std::exception_ptr error;
+  };
+  std::vector<ShardResult> results(shards);
+  const std::size_t total = all.size();
+  std::atomic<std::size_t> global_done{0};
+  std::mutex progress_mu;
+
+  auto run_shard = [&](std::size_t s) {
+    try {
+      std::unique_ptr<ShardWorld> world = factory_(s);
+      TING_CHECK_MSG(world != nullptr, "shard factory returned null");
+      ParallelScanner scanner(world->measurers(), results[s].matrix);
+      ParallelScanOptions opt = options;  // slice off the shard fields
+      if (options.deterministic)
+        opt.reseed_world = [&world](std::uint64_t seed) {
+          world->reseed(seed);
+        };
+      if (opt.live_consensus == nullptr)
+        opt.live_consensus = world->live_consensus();
+      if (opt.fault_plan == nullptr) opt.fault_plan = world->fault_plan();
+      ScanProgress shard_progress;
+      if (progress)
+        shard_progress = [&](std::size_t, std::size_t, const PairResult& r) {
+          const std::size_t d = global_done.fetch_add(1) + 1;
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          progress(d, total, r);
+        };
+      results[s].report =
+          scanner.scan_pairs(nodes, slices[s], opt, shard_progress);
+    } catch (...) {
+      results[s].error = std::current_exception();
+    }
+  };
+
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) workers.emplace_back(run_shard, s);
+    for (std::thread& t : workers) t.join();
+  }
+
+  for (const ShardResult& r : results)
+    if (r.error) std::rethrow_exception(r.error);
+
+  ScanReport merged;
+  merged.pairs_total = total;
+  for (const ShardResult& r : results) merge_report(merged, r.report);
+  // Shard-count-independent ordering for the concatenated lists.
+  std::sort(merged.failed_pairs.begin(), merged.failed_pairs.end(),
+            [](const FailedPair& a, const FailedPair& b) {
+              return std::tie(a.a, a.b) < std::tie(b.a, b.b);
+            });
+  std::stable_sort(merged.fault_events.begin(), merged.fault_events.end(),
+                   [](const simnet::FaultPlan::Event& a,
+                      const simnet::FaultPlan::Event& b) { return a.at < b.at; });
+  for (const ShardResult& r : results) out.merge(r.matrix);
+  return merged;
+}
+
+}  // namespace ting::meas

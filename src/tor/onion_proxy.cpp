@@ -186,10 +186,12 @@ void OnionProxy::send_relay(const CircuitPtr& circ, std::size_t hop_index,
   // Onion layering: innermost (target hop) first, entry layer last.
   for (std::size_t i = hop_index + 1; i-- > 0;)
     circ->hops[i].crypto->apply_forward(wire_payload);
-  if (circ->conn && circ->conn->is_open())
-    circ->conn->send(
-        Cell::make(circ->wire_id, CellCommand::kRelay, std::move(wire_payload))
-            .encode());
+  if (circ->conn && circ->conn->is_open()) {
+    Cell cell =
+        Cell::make(circ->wire_id, CellCommand::kRelay, std::move(wire_payload));
+    circ->conn->send(cell.encode());
+    pool::recycle(std::move(cell.payload));
+  }
 }
 
 void OnionProxy::on_cell(const CircuitPtr& circ, Bytes wire) {
@@ -198,6 +200,7 @@ void OnionProxy::on_cell(const CircuitPtr& circ, Bytes wire) {
     return;
   Cell cell =
       Cell::decode(std::span<const std::uint8_t>(wire.data(), wire.size()));
+  pool::recycle(std::move(wire));
   if (cell.circ_id != circ->wire_id) {
     TING_DEBUG("op: cell for unknown wire circuit " << cell.circ_id);
     return;
@@ -244,6 +247,7 @@ void OnionProxy::handle_backward_relay(const CircuitPtr& circ,
         std::span<const std::uint8_t>(cell.payload.data(), cell.payload.size()),
         circ->hops[i].crypto->backward_digest());
     if (recognized.has_value()) {
+      pool::recycle(std::move(cell.payload));
       handle_recognized(circ, i, std::move(*recognized));
       return;
     }

@@ -147,6 +147,11 @@ class OnionProxy {
   simnet::HostId host() const { return host_; }
   simnet::Network& net() { return net_; }
   const OnionProxyConfig& config() const { return config_; }
+  /// Reset the client's rng (guard/default-path draws) deterministically —
+  /// part of the sharded scanner's per-pair world reseed. Ting's explicit
+  /// EXTENDCIRCUIT paths never draw from it, but a reseeded world should
+  /// have no stochastic state left over from earlier pairs anywhere.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
   /// SETCONF __LeaveStreamsUnattached toggles this at runtime.
   void set_leave_streams_unattached(bool v) { config_.leave_streams_unattached = v; }
 

@@ -66,6 +66,15 @@ void Relay::on_or_connection(simnet::ConnPtr conn) {
   });
 }
 
+void Relay::reseed(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  load_ = 0;
+  // With load_ == 0 the decay term vanishes, so the watermark values only
+  // need to be "not in the future"; now() keeps them world-local.
+  last_load_update_ = net_.loop().now();
+  last_dequeue_ = TimePoint{};
+}
+
 Duration Relay::forwarding_delay() {
   // Decay the load counter for the time elapsed, then count this cell.
   const TimePoint now = net_.loop().now();
@@ -84,6 +93,7 @@ Duration Relay::forwarding_delay() {
 
 void Relay::on_cell(const simnet::ConnPtr& conn, Bytes wire) {
   Cell cell = Cell::decode(std::span<const std::uint8_t>(wire.data(), wire.size()));
+  pool::recycle(std::move(wire));
   // Pay the forwarding delay, then process. A relay is a single service
   // queue: processing order follows arrival order even when sampled delays
   // would invert it (otherwise per-hop cipher streams would desync).
@@ -187,6 +197,7 @@ void Relay::handle_relay_forward(const EntryPtr& entry, Cell cell) {
       std::span<const std::uint8_t>(cell.payload.data(), cell.payload.size()),
       entry->crypto->forward_digest());
   if (recognized.has_value()) {
+    pool::recycle(std::move(cell.payload));
     handle_recognized(entry, std::move(*recognized));
     return;
   }
@@ -199,6 +210,7 @@ void Relay::handle_relay_forward(const EntryPtr& entry, Cell cell) {
   }
   cell.circ_id = entry->next_id;
   entry->next_conn->send(cell.encode());
+  pool::recycle(std::move(cell.payload));
 }
 
 void Relay::handle_relay_backward(const EntryPtr& entry, Cell cell) {
@@ -207,6 +219,7 @@ void Relay::handle_relay_backward(const EntryPtr& entry, Cell cell) {
   cell.circ_id = entry->prev_id;
   if (entry->prev_conn && entry->prev_conn->is_open())
     entry->prev_conn->send(cell.encode());
+  pool::recycle(std::move(cell.payload));
 }
 
 void Relay::send_to_client(const EntryPtr& entry, RelayCommand cmd,

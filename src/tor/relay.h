@@ -74,6 +74,12 @@ class Relay {
   std::uint64_t sendmes_received() const { return sendmes_received_; }
   /// Decayed recent-cell-rate counter (the congestion the probe senses).
   double current_load() const { return load_; }
+  /// Reset the relay's stochastic state — rng, load counter, and queue
+  /// watermark — to a deterministic function of `seed`. The sharded scan
+  /// engine calls this on every relay before each pair so forwarding-delay
+  /// draws are identical no matter which shard world measures the pair.
+  /// Identity keys (and hence the fingerprint) are untouched.
+  void reseed(std::uint64_t seed);
   /// Number of distinct circuits through this relay (an extended circuit is
   /// indexed from both its previous- and next-hop connections).
   std::size_t open_circuits() const;

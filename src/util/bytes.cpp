@@ -7,6 +7,52 @@
 
 namespace ting {
 
+namespace pool {
+
+namespace {
+
+// Only cell-sized buffers are worth parking; anything much larger would
+// pin memory, anything smaller predates the cell codec and is cheap anyway.
+constexpr std::size_t kMinPooledCapacity = 256;
+constexpr std::size_t kMaxPooledCapacity = 4096;
+constexpr std::size_t kMaxFreeBuffers = 256;
+
+bool g_enabled = true;  // flipped only by benches, before any threads spawn
+
+thread_local std::vector<Bytes> t_free;
+
+}  // namespace
+
+Bytes acquire(std::size_t size) {
+  if (g_enabled && !t_free.empty() && size <= kMaxPooledCapacity) {
+    Bytes b = std::move(t_free.back());
+    t_free.pop_back();
+    b.resize(size);
+    return b;
+  }
+  return Bytes(size);
+}
+
+void recycle(Bytes&& b) {
+  if (!g_enabled || b.capacity() < kMinPooledCapacity ||
+      b.capacity() > kMaxPooledCapacity || t_free.size() >= kMaxFreeBuffers) {
+    Bytes drop = std::move(b);  // free here
+    return;
+  }
+  t_free.push_back(std::move(b));
+}
+
+void set_enabled(bool enabled) {
+  g_enabled = enabled;
+  if (!enabled) t_free.clear();
+}
+
+bool enabled() { return g_enabled; }
+
+std::size_t free_count() { return t_free.size(); }
+
+}  // namespace pool
+
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
 void ByteWriter::u16(std::uint16_t v) {

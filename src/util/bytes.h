@@ -12,6 +12,34 @@ namespace ting {
 
 using Bytes = std::vector<std::uint8_t>;
 
+// ---- cell-buffer pool -------------------------------------------------------
+//
+// The simulated data plane allocates one ~512-byte Bytes per cell per hop
+// (encode on send, decode on receive). A per-thread free list recycles those
+// buffers so a long scan's inner loop stops hitting the allocator. The pool
+// is thread_local, so sharded scan workers each get their own — no locking,
+// no cross-thread traffic.
+namespace pool {
+
+/// A buffer of exactly `size` bytes (contents unspecified), drawn from the
+/// calling thread's free list when one is available.
+Bytes acquire(std::size_t size);
+
+/// Return a buffer to the calling thread's free list. The caller must not
+/// touch `b` afterwards. Tiny or oversized buffers and overflow beyond the
+/// pool cap are simply freed.
+void recycle(Bytes&& b);
+
+/// Toggle pooling (default on). When disabled, acquire allocates fresh and
+/// recycle frees — the baseline arm of the pooled-vs-unpooled benchmark.
+void set_enabled(bool enabled);
+bool enabled();
+
+/// Buffers currently parked in this thread's free list (introspection).
+std::size_t free_count();
+
+}  // namespace pool
+
 /// Append-only big-endian writer.
 class ByteWriter {
  public:

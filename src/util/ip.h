@@ -48,3 +48,23 @@ struct Endpoint {
 };
 
 }  // namespace ting
+
+// Hash support so the simulator's hot-path tables (host lookup, listener
+// and connection maps) can be unordered containers.
+template <>
+struct std::hash<ting::IpAddr> {
+  std::size_t operator()(const ting::IpAddr& ip) const noexcept {
+    // Fibonacci scramble: consecutive allocator-assigned addresses would
+    // otherwise collide into neighbouring buckets.
+    return static_cast<std::size_t>(ip.value()) * 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+template <>
+struct std::hash<ting::Endpoint> {
+  std::size_t operator()(const ting::Endpoint& ep) const noexcept {
+    const std::uint64_t v =
+        (static_cast<std::uint64_t>(ep.ip.value()) << 16) | ep.port;
+    return static_cast<std::size_t>(v * 0x9e3779b97f4a7c15ULL);
+  }
+};

@@ -1,0 +1,141 @@
+// Tests for the sharded scan engine: the merged RttMatrix must be
+// bit-identical (as CSV bytes) across shard counts and against the
+// non-sharded ParallelScanner driven in deterministic mode, and the merged
+// ScanReport counters must add up. Kept small (8 nodes, few samples) so the
+// whole binary stays in the smoke label and runs under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scenario/shard_world.h"
+#include "ting/scheduler.h"
+#include "ting/sharded_scan.h"
+
+namespace ting::meas {
+namespace {
+
+scenario::ShardWorldOptions small_world(std::uint64_t seed) {
+  scenario::ShardWorldOptions o;
+  o.relays = 10;
+  o.scan_nodes = 8;
+  o.testbed.seed = seed;
+  o.testbed.differential_fraction = 0;
+  o.ting.samples = 10;
+  return o;
+}
+
+ShardedScanOptions sharded(std::size_t shards, std::uint64_t pair_seed) {
+  ShardedScanOptions so;
+  so.shards = shards;
+  so.pair_seed = pair_seed;
+  return so;
+}
+
+TEST(ShardedScanTest, BitIdenticalAcrossShardCounts) {
+  const scenario::ShardWorldOptions wo = small_world(41);
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+  ASSERT_EQ(nodes.size(), 8u);
+
+  std::string csv1, csv4;
+  {
+    RttMatrix m;
+    ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+    const ScanReport r = scanner.scan(nodes, m, sharded(1, 7));
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_EQ(r.measured, 28u);
+    csv1 = m.to_csv();
+  }
+  {
+    RttMatrix m;
+    ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+    const ScanReport r = scanner.scan(nodes, m, sharded(4, 7));
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_EQ(r.measured, 28u);
+    // Four shards really do run at once.
+    EXPECT_EQ(r.max_in_flight, 4u);
+    EXPECT_EQ(r.max_per_relay_in_flight, 1u);
+    csv4 = m.to_csv();
+  }
+  EXPECT_EQ(csv1, csv4);
+}
+
+TEST(ShardedScanTest, MatchesNonShardedDeterministicScanner) {
+  const scenario::ShardWorldOptions wo = small_world(41);
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+
+  // The non-sharded path: one world, one ParallelScanner, deterministic
+  // per-pair reseeding wired up by hand.
+  scenario::Testbed tb = scenario::live_tor(wo.relays, wo.testbed);
+  TingMeasurer measurer(tb.ting(), wo.ting);
+  RttMatrix plain;
+  ParallelScanner scanner({&measurer}, plain);
+  ParallelScanOptions po;
+  po.pair_seed = 7;
+  po.reseed_world = [&tb](std::uint64_t s) { tb.reseed_stochastics(s); };
+  const ScanReport r = scanner.scan(nodes, po);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.measured, 28u);
+
+  RttMatrix merged;
+  ShardedScanner sharded_scanner(scenario::make_testbed_shard_factory(wo));
+  const ScanReport sr = sharded_scanner.scan(nodes, merged, sharded(3, 7));
+  EXPECT_EQ(sr.failed, 0u);
+
+  EXPECT_EQ(plain.to_csv(), merged.to_csv());
+}
+
+TEST(ShardedScanTest, MergedReportCountersAddUp) {
+  const scenario::ShardWorldOptions wo = small_world(43);
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+
+  RttMatrix m;
+  ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+  std::size_t progress_calls = 0;
+  std::size_t last_done = 0;
+  const ScanReport r = scanner.scan(
+      nodes, m, sharded(3, 11),
+      [&](std::size_t done, std::size_t total, const PairResult&) {
+        ++progress_calls;
+        EXPECT_LE(done, total);
+        last_done = std::max(last_done, done);
+      });
+
+  EXPECT_EQ(r.pairs_total, 28u);
+  EXPECT_EQ(r.measured + r.from_cache + r.failed, 28u);
+  EXPECT_EQ(r.failed,
+            r.failed_transient + r.failed_permanent + r.failed_churned);
+  EXPECT_EQ(progress_calls, 28u);
+  EXPECT_EQ(last_done, 28u);
+  EXPECT_EQ(m.size(), r.measured);
+  ASSERT_FALSE(r.retry_histogram.empty());
+  std::size_t hist_sum = 0;
+  for (const std::size_t h : r.retry_histogram) hist_sum += h;
+  EXPECT_EQ(hist_sum, r.measured + r.failed);
+  EXPECT_GT(r.virtual_time.sec(), 0.0);
+}
+
+TEST(ShardedScanTest, PairReseedIsCommutative) {
+  const scenario::ShardWorldOptions wo = small_world(41);
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+  EXPECT_EQ(pair_reseed(9, nodes[0], nodes[1]),
+            pair_reseed(9, nodes[1], nodes[0]));
+  EXPECT_NE(pair_reseed(9, nodes[0], nodes[1]),
+            pair_reseed(9, nodes[0], nodes[2]));
+  EXPECT_NE(pair_reseed(9, nodes[0], nodes[1]),
+            pair_reseed(10, nodes[0], nodes[1]));
+}
+
+TEST(ShardedScanTest, ShardExceptionIsRethrownAfterJoin) {
+  ShardedScanner scanner([](std::size_t shard) -> std::unique_ptr<ShardWorld> {
+    if (shard == 1) throw std::runtime_error("world build failed");
+    return std::make_unique<scenario::TestbedShardWorld>(small_world(41));
+  });
+  const std::vector<dir::Fingerprint> nodes =
+      scenario::shard_scan_nodes(small_world(41));
+  RttMatrix m;
+  EXPECT_THROW(scanner.scan(nodes, m, sharded(2, 7)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ting::meas

@@ -4,6 +4,7 @@
 // delivery, close propagation, ping).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <vector>
@@ -108,6 +109,52 @@ TEST(EventLoopTest, WaitForPredicateDrainedQueue) {
   EventLoop loop;
   EXPECT_FALSE(loop.run_while_waiting_for([] { return false; },
                                           Duration::seconds(1)));
+}
+
+TEST(EventLoopTest, NextEventTimePeeksWithoutAdvancing) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.next_event_time().has_value());
+  const EventId a = loop.schedule(Duration::millis(5), [] {});
+  loop.schedule(Duration::millis(9), [] {});
+  auto t = loop.next_event_time();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->ms(), 5.0);
+  EXPECT_EQ(loop.now().ms(), 0.0);  // peeking never advances the clock
+  loop.cancel(a);
+  t = loop.next_event_time();  // the cancelled front is pruned, not returned
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->ms(), 9.0);
+  EXPECT_TRUE(loop.run_one());
+  EXPECT_FALSE(loop.next_event_time().has_value());
+}
+
+TEST(EventLoopTest, CancelTombstonesStayBounded) {
+  EventLoop loop;
+  // Schedule/cancel churn (the parallel scanner's retry timers): tombstones
+  // must be compacted away, not accumulate one per cancel.
+  std::size_t max_tombstones = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = loop.schedule(Duration::seconds(3600), [] {});
+    loop.cancel(id);
+    max_tombstones = std::max(max_tombstones, loop.cancelled_tombstones());
+  }
+  EXPECT_LE(max_tombstones, 4096u);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_FALSE(loop.run_one());
+  EXPECT_EQ(loop.cancelled_tombstones(), 0u);
+}
+
+TEST(EventLoopTest, CompactionPreservesLiveEvents) {
+  EventLoop loop;
+  int fired = 0;
+  std::vector<EventId> ids;
+  ids.reserve(1000);
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(loop.schedule(Duration::millis(1 + i), [&] { ++fired; }));
+  for (std::size_t i = 0; i < ids.size(); i += 2) loop.cancel(ids[i]);
+  EXPECT_EQ(loop.pending(), 500u);
+  loop.run();
+  EXPECT_EQ(fired, 500);
 }
 
 // ----------------------------------------------------------- LatencyModel
@@ -303,6 +350,70 @@ TEST(NetworkTest, FifoDeliveryPerConnection) {
   f.loop.run();
   ASSERT_EQ(received.size(), 50u);
   for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(NetworkTest, EphemeralPortsSkipBoundPortsAtWrap) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {40.1, -74.1});
+  f.net.listen(b, 80);
+  // Park a listener on the very last port so the wrap has to skip it.
+  f.net.listen(a, 65535);
+  f.net.set_next_ephemeral_port(a, 65534);
+
+  std::vector<ConnPtr> conns;
+  const auto dial = [&] {
+    f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, Protocol::kTcp,
+                  [&](ConnPtr c) { conns.push_back(std::move(c)); });
+    f.loop.run();
+  };
+
+  dial();
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(conns[0]->local().port, 65534);
+  // The counter now wraps: 65535 is a listener, so the next connection must
+  // land back at the bottom of the ephemeral range.
+  dial();
+  ASSERT_EQ(conns.size(), 2u);
+  EXPECT_EQ(conns[1]->local().port, 40000);
+  // Re-park just below the wrap: 65534 is held by a live connection now, so
+  // allocation must skip it (and the listener, and the connection on 40000).
+  f.net.set_next_ephemeral_port(a, 65534);
+  dial();
+  ASSERT_EQ(conns.size(), 3u);
+  EXPECT_EQ(conns[2]->local().port, 40001);
+  // No two live connections share a local endpoint.
+  for (std::size_t i = 0; i < conns.size(); ++i)
+    for (std::size_t j = i + 1; j < conns.size(); ++j)
+      EXPECT_FALSE(conns[i]->local() == conns[j]->local());
+}
+
+TEST(NetworkTest, ClosedConnectionsReleaseTheirEphemeralPorts) {
+  NetFixture f;
+  const HostId a = f.net.add_host(IpAddr(10, 0, 0, 1), {40.0, -74.0});
+  const HostId b = f.net.add_host(IpAddr(10, 0, 0, 2), {40.1, -74.1});
+  f.net.listen(b, 80);
+
+  f.net.set_next_ephemeral_port(a, 65534);
+  ConnPtr first;
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, Protocol::kTcp,
+                [&](ConnPtr c) { first = std::move(c); });
+  f.loop.run();
+  ASSERT_TRUE(first != nullptr);
+  EXPECT_EQ(first->local().port, 65534);
+  first->close();
+  first.reset();
+  f.loop.run();
+  EXPECT_EQ(f.net.live_connections(), 0u);
+
+  // The port is free again: re-parking the counter hands out 65534 anew.
+  f.net.set_next_ephemeral_port(a, 65534);
+  ConnPtr second;
+  f.net.connect(a, Endpoint{IpAddr(10, 0, 0, 2), 80}, Protocol::kTcp,
+                [&](ConnPtr c) { second = std::move(c); });
+  f.loop.run();
+  ASSERT_TRUE(second != nullptr);
+  EXPECT_EQ(second->local().port, 65534);
 }
 
 TEST(NetworkTest, CloseReachesPeer) {

@@ -23,6 +23,7 @@
 #include "analysis/deanon.h"
 #include "analysis/tiv.h"
 #include "scenario/faults.h"
+#include "scenario/shard_world.h"
 #include "scenario/testbed.h"
 #include "scenario/timeline.h"
 #include "simnet/fault_plan.h"
@@ -93,27 +94,18 @@ int cmd_scan(const Args& args) {
   const auto nodes = static_cast<std::size_t>(args.num("nodes", 12));
   const int samples = static_cast<int>(args.num("samples", 100));
   const int parallel = static_cast<int>(args.num("parallel", 1));
+  const int shards = static_cast<int>(args.num("shards", 1));
   const int cap = static_cast<int>(args.num("cap", 1));
   const std::string out = args.str("out", "matrix.csv");
   const std::string faults = args.str("faults", "");
-  if (parallel < 1 || cap < 1) {
-    std::fprintf(stderr, "--parallel and --cap must be >= 1\n");
+  if (parallel < 1 || cap < 1 || shards < 1) {
+    std::fprintf(stderr, "--parallel, --cap, and --shards must be >= 1\n");
     return 2;
   }
   scenario::TestbedOptions options;
   options.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  scenario::Testbed world = scenario::live_tor(relays, options);
   meas::TingConfig cfg;
   cfg.samples = samples;
-  std::vector<dir::Fingerprint> subset;
-  for (std::size_t i = 0; i < std::min(nodes, world.relay_count()); ++i)
-    subset.push_back(world.fp(i));
-
-  simnet::FaultPlan plan(world.net());
-  if (!faults.empty()) {
-    const auto spec = scenario::FaultSpec::parse(faults);
-    scenario::apply_fault_spec(spec, world, subset, plan, options.seed);
-  }
 
   const auto progress = [](std::size_t done, std::size_t total,
                            const meas::PairResult& r) {
@@ -121,30 +113,65 @@ int cmd_scan(const Args& args) {
   };
   meas::RttMatrix matrix;
   meas::ScanReport report;
-  meas::ScanOptions common;
-  if (!faults.empty()) {
-    common.live_consensus = &world.consensus();
-    common.fault_plan = &plan;
-  }
-  if (parallel == 1) {
-    meas::TingMeasurer measurer(world.ting(), cfg);
-    meas::AllPairsScanner scanner(measurer, matrix);
-    report = scanner.scan(subset, common, progress);
-  } else {
-    // One measurement host per in-flight pair, all driving the same
-    // simulated world; the admission policy caps circuits per target relay.
-    std::vector<std::unique_ptr<meas::TingMeasurer>> measurers;
-    std::vector<meas::TingMeasurer*> pool;
-    for (meas::MeasurementHost* host :
-         world.measurement_pool(static_cast<std::size_t>(parallel))) {
-      measurers.push_back(std::make_unique<meas::TingMeasurer>(*host, cfg));
-      pool.push_back(measurers.back().get());
-    }
-    meas::ParallelScanner scanner(pool, matrix);
-    meas::ParallelScanOptions scan_options;
-    static_cast<meas::ScanOptions&>(scan_options) = common;
+
+  if (args.kv.contains("shards")) {
+    // Sharded engine: W worker threads, each owning an independent clone of
+    // the world. With --parallel 1 (the default) pairs are measured
+    // deterministically — the merged matrix is bit-identical for any W.
+    scenario::ShardWorldOptions swo;
+    swo.relays = relays;
+    swo.scan_nodes = nodes;
+    swo.testbed = options;
+    swo.ting = cfg;
+    swo.pool = static_cast<std::size_t>(parallel);
+    swo.fault_spec = faults;
+    const std::vector<dir::Fingerprint> subset =
+        scenario::shard_scan_nodes(swo);
+    meas::ShardedScanner scanner(scenario::make_testbed_shard_factory(swo));
+    meas::ShardedScanOptions scan_options;
     scan_options.per_relay_cap = cap;
-    report = scanner.scan(subset, scan_options, progress);
+    scan_options.pair_seed = options.seed;
+    scan_options.shards = static_cast<std::size_t>(shards);
+    scan_options.deterministic = parallel == 1;
+    report = scanner.scan(subset, matrix, scan_options, progress);
+  } else {
+    scenario::Testbed world = scenario::live_tor(relays, options);
+    std::vector<dir::Fingerprint> subset;
+    for (std::size_t i = 0; i < std::min(nodes, world.relay_count()); ++i)
+      subset.push_back(world.fp(i));
+
+    simnet::FaultPlan plan(world.net());
+    if (!faults.empty()) {
+      const auto spec = scenario::FaultSpec::parse(faults);
+      scenario::apply_fault_spec(spec, world, subset, plan, options.seed);
+    }
+
+    meas::ScanOptions common;
+    if (!faults.empty()) {
+      common.live_consensus = &world.consensus();
+      common.fault_plan = &plan;
+    }
+    if (parallel == 1) {
+      meas::TingMeasurer measurer(world.ting(), cfg);
+      meas::AllPairsScanner scanner(measurer, matrix);
+      report = scanner.scan(subset, common, progress);
+    } else {
+      // One measurement host per in-flight pair, all driving the same
+      // simulated world; the admission policy caps circuits per target
+      // relay.
+      std::vector<std::unique_ptr<meas::TingMeasurer>> measurers;
+      std::vector<meas::TingMeasurer*> pool;
+      for (meas::MeasurementHost* host :
+           world.measurement_pool(static_cast<std::size_t>(parallel))) {
+        measurers.push_back(std::make_unique<meas::TingMeasurer>(*host, cfg));
+        pool.push_back(measurers.back().get());
+      }
+      meas::ParallelScanner scanner(pool, matrix);
+      meas::ParallelScanOptions scan_options;
+      static_cast<meas::ScanOptions&>(scan_options) = common;
+      scan_options.per_relay_cap = cap;
+      report = scanner.scan(subset, scan_options, progress);
+    }
   }
   std::fprintf(stderr, "\n");
   matrix.save_csv(out);
@@ -153,10 +180,11 @@ int cmd_scan(const Args& args) {
               report.pairs_total, report.measured, report.from_cache,
               report.failed, report.retries,
               report.virtual_time.sec() / 3600.0, out.c_str());
-  std::printf("engine: K=%d in-flight peak %zu, per-relay peak %zu (cap %d), "
-              "build %.1fh sample %.1fh\n",
-              parallel, report.max_in_flight, report.max_per_relay_in_flight,
-              cap, report.time_building.sec() / 3600.0,
+  std::printf("engine: W=%d K=%d in-flight peak %zu, per-relay peak %zu "
+              "(cap %d), build %.1fh sample %.1fh\n",
+              shards, parallel, report.max_in_flight,
+              report.max_per_relay_in_flight, cap,
+              report.time_building.sec() / 3600.0,
               report.time_sampling.sec() / 3600.0);
   if (!faults.empty()) {
     std::printf("failures by class: %zu transient, %zu permanent, %zu "
@@ -269,7 +297,9 @@ void usage() {
       "  measure   measure one relay pair with Ting     (--relays --samples --x --y --seed)\n"
       "  scan      all-pairs scan to a CSV matrix       (--relays --nodes --samples --out --seed\n"
       "                                                  --parallel K --cap per-relay-circuits\n"
-      "                                                  --faults SPEC)\n"
+      "                                                  --shards W --faults SPEC)\n"
+      "  (--shards W fans the pair list across W threads, each with its own\n"
+      "   world clone; with --parallel 1 output is bit-identical for any W)\n"
       "fault spec (clauses ';'-separated, see src/scenario/faults.h):\n"
       "  loss:<target>:<prob>[:<start_s>:<dur_s>]\n"
       "  degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>]\n"
