@@ -1,0 +1,123 @@
+#include "ting/half_circuit_cache.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::meas {
+
+void HalfCircuitCache::store(const dir::Fingerprint& host_w,
+                             const dir::Fingerprint& relay, double rtt_ms,
+                             TimePoint measured_at, int samples) {
+  TING_CHECK_MSG(!(host_w == relay),
+                 "half-circuit cache: apparatus cannot be its own target");
+  entries_[Key{host_w, relay}] = Entry{rtt_ms, measured_at, samples};
+}
+
+const HalfCircuitCache::Entry* HalfCircuitCache::lookup(
+    const dir::Fingerprint& host_w, const dir::Fingerprint& relay) const {
+  const auto it = entries_.find(Key{host_w, relay});
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+const HalfCircuitCache::Entry* HalfCircuitCache::fresh(
+    const dir::Fingerprint& host_w, const dir::Fingerprint& relay,
+    TimePoint now) const {
+  const Entry* e = lookup(host_w, relay);
+  if (e == nullptr || now - e->measured_at > max_age_) return nullptr;
+  return e;
+}
+
+bool HalfCircuitCache::erase(const dir::Fingerprint& host_w,
+                             const dir::Fingerprint& relay) {
+  return entries_.erase(Key{host_w, relay}) > 0;
+}
+
+std::size_t HalfCircuitCache::erase_relay(const dir::Fingerprint& relay) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.second == relay) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void HalfCircuitCache::merge_freshest(const HalfCircuitCache& other) {
+  for (const auto& [k, v] : other.entries_) {
+    const auto it = entries_.find(k);
+    if (it == entries_.end() || v.measured_at > it->second.measured_at)
+      entries_[k] = v;
+  }
+}
+
+std::string HalfCircuitCache::to_csv() const {
+  std::ostringstream os;
+  os << "host_fp,relay_fp,rtt_ms,measured_at_ns,samples\n";
+  for (const auto& [k, v] : entries_) {
+    os << k.first.hex() << "," << k.second.hex() << "," << v.rtt_ms << ","
+       << v.measured_at.ns() << "," << v.samples << "\n";
+  }
+  return os.str();
+}
+
+HalfCircuitCache HalfCircuitCache::from_csv(const std::string& csv) {
+  HalfCircuitCache c;
+  bool first = true;
+  for (const std::string& line : split(csv, '\n')) {
+    if (first) {
+      first = false;
+      continue;  // header
+    }
+    if (trim(line).empty()) continue;
+    const auto cols = split(line, ',');
+    TING_CHECK_MSG(cols.size() == 5, "bad half-circuit cache row: " << line);
+    // Same strict parsing as RttMatrix::from_csv: re-raise stod/stoll/stoi
+    // failures as CheckError naming the line, and reject trailing junk.
+    double rtt_ms = 0;
+    long long at_ns = 0;
+    int samples = 0;
+    bool ok = false;
+    try {
+      std::size_t pos = 0;
+      rtt_ms = std::stod(cols[2], &pos);
+      if (pos == cols[2].size()) {
+        at_ns = std::stoll(cols[3], &pos);
+        if (pos == cols[3].size()) {
+          samples = std::stoi(cols[4], &pos);
+          ok = pos == cols[4].size();
+        }
+      }
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+    TING_CHECK_MSG(ok, "bad half-circuit cache row: " << line);
+    c.store(dir::Fingerprint::from_hex(cols[0]),
+            dir::Fingerprint::from_hex(cols[1]), rtt_ms,
+            TimePoint::from_ns(at_ns), samples);
+  }
+  return c;
+}
+
+void HalfCircuitCache::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  TING_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f << to_csv();
+}
+
+HalfCircuitCache HalfCircuitCache::load_csv(const std::string& path) {
+  std::ifstream f(path);
+  TING_CHECK_MSG(f.good(), "cannot open " << path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return from_csv(buf.str());
+}
+
+}  // namespace ting::meas

@@ -1,0 +1,91 @@
+// HalfCircuitCache — memoized half-circuit measurements (the R_Cx / R_Cy
+// terms of Eq. (4)).
+//
+// A Ting pair measurement builds three circuits, but C_x = (w, x, z) and
+// C_y = (w, y, z) depend on a single target relay plus the fixed
+// measurement apparatus — so an n-node all-pairs scan re-measures every
+// half circuit ~n−1 times. Memoizing R_Cx per relay lets the measurer skip
+// the C_x/C_y probes on a fresh hit and cuts per-pair cost from three full
+// circuit measurements toward one, without touching Eq. (4)'s cancellation:
+// the cached value estimates exactly the same quantity (2·R(h,x) + F_w +
+// 2·F_x + F_z + local legs) the skipped probe would have.
+//
+// Entries are keyed by the measuring host's w fingerprint AND the target
+// relay: path latency is drawn per host pair, so a half-circuit minimum
+// observed from one measurement host is not valid for another even when
+// both sit in the same rack. Staleness mirrors RttMatrix::is_fresh
+// (virtual-time timestamps, max-age TTL), persistence uses the same strict
+// CSV idiom, and a churned relay's entries are dropped when the scan
+// engines re-resolve it — a relay that left and rejoined the consensus may
+// have moved.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "dir/fingerprint.h"
+#include "util/time.h"
+
+namespace ting::meas {
+
+class HalfCircuitCache {
+ public:
+  struct Entry {
+    double rtt_ms = 0;
+    TimePoint measured_at;
+    int samples = 0;
+  };
+
+  explicit HalfCircuitCache(
+      Duration max_age = Duration::seconds(7 * 24 * 3600))
+      : max_age_(max_age) {}
+
+  Duration max_age() const { return max_age_; }
+  void set_max_age(Duration d) { max_age_ = d; }
+
+  /// Record a half-circuit minimum measured by apparatus `host_w` (its w
+  /// relay's fingerprint) through `relay`. Overwrites older entries.
+  void store(const dir::Fingerprint& host_w, const dir::Fingerprint& relay,
+             double rtt_ms, TimePoint measured_at, int samples);
+
+  const Entry* lookup(const dir::Fingerprint& host_w,
+                      const dir::Fingerprint& relay) const;
+  /// The entry for (host_w, relay) if it exists and was measured within
+  /// max_age of `now`; nullptr otherwise.
+  const Entry* fresh(const dir::Fingerprint& host_w,
+                     const dir::Fingerprint& relay, TimePoint now) const;
+
+  /// Drop one apparatus's entry. Returns whether one existed.
+  bool erase(const dir::Fingerprint& host_w, const dir::Fingerprint& relay);
+  /// Churn invalidation: drop `relay`'s entries under every apparatus (its
+  /// descriptor changed; all memoized minima are suspect). Returns the
+  /// number of entries dropped.
+  std::size_t erase_relay(const dir::Fingerprint& relay);
+
+  /// Copy every entry of `other` into this cache, keeping whichever side's
+  /// entry is fresher (larger measured_at; ties keep the existing entry).
+  /// This is the sharded scanner's post-join merge: deterministic shards
+  /// store identical values with zero timestamps, so the merge is
+  /// order-independent there by construction.
+  void merge_freshest(const HalfCircuitCache& other);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// CSV with header "host_fp,relay_fp,rtt_ms,measured_at_ns,samples";
+  /// ordered-map iteration keeps the output independent of insertion order.
+  std::string to_csv() const;
+  static HalfCircuitCache from_csv(const std::string& csv);
+  void save_csv(const std::string& path) const;
+  static HalfCircuitCache load_csv(const std::string& path);
+
+ private:
+  using Key = std::pair<dir::Fingerprint, dir::Fingerprint>;  // (host_w, relay)
+  std::map<Key, Entry> entries_;
+  Duration max_age_;
+};
+
+}  // namespace ting::meas

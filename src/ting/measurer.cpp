@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ting/half_circuit_cache.h"
 #include "util/assert.h"
 #include "util/log.h"
 
@@ -20,21 +21,30 @@ const char* to_string(ErrorClass c) {
 }
 
 double PairResult::estimate_with_prefix(std::size_t k) const {
-  TING_CHECK_MSG(!cxy.raw_samples_ms.empty() && !cx.raw_samples_ms.empty() &&
-                     !cy.raw_samples_ms.empty(),
-                 "estimate_with_prefix requires keep_raw_samples");
-  auto prefix_min = [](const std::vector<double>& v, std::size_t n) {
-    n = std::min(std::max<std::size_t>(n, 1), v.size());
-    return *std::min_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n));
+  // Per-probe clamp: under adaptive early-stop the three probes hold
+  // different sample counts, and a memoized half holds none at all — it
+  // contributes its cached minimum instead.
+  const auto prefix_min = [k](const CircuitMeasurement& m) {
+    if (m.memoized && m.raw_samples_ms.empty()) return m.min_rtt_ms;
+    TING_CHECK_MSG(!m.raw_samples_ms.empty(),
+                   "estimate_with_prefix requires keep_raw_samples");
+    const std::size_t n =
+        std::min(std::max<std::size_t>(k, 1), m.raw_samples_ms.size());
+    return *std::min_element(
+        m.raw_samples_ms.begin(),
+        m.raw_samples_ms.begin() + static_cast<std::ptrdiff_t>(n));
   };
-  return prefix_min(cxy.raw_samples_ms, k) - 0.5 * prefix_min(cx.raw_samples_ms, k) -
-         0.5 * prefix_min(cy.raw_samples_ms, k);
+  return prefix_min(cxy) - 0.5 * prefix_min(cx) - 0.5 * prefix_min(cy);
 }
 
 TingMeasurer::TingMeasurer(MeasurementHost& host, TingConfig config)
     : host_(host), config_(config) {
   TING_CHECK(config_.samples > 0);
+  TING_CHECK(config_.min_samples >= 1);
+  TING_CHECK(config_.plateau_samples >= 1);
 }
+
+TingMeasurer::~TingMeasurer() = default;
 
 // ---- single-circuit probe ---------------------------------------------------
 
@@ -44,6 +54,14 @@ struct TingMeasurer::CircuitProbe
   std::vector<dir::Fingerprint> path;  ///< full path including w and z
   int samples_target = 0;
   bool keep_raw = false;
+  /// Adaptive early-stop (TingConfig): stop once the running minimum has
+  /// not improved by > epsilon_ms for plateau_samples consecutive echoes,
+  /// after at least min_samples.
+  bool adaptive = false;
+  int min_samples = 0;
+  int plateau_samples = 0;
+  double epsilon_ms = 0;
+  int plateau_run = 0;  ///< consecutive echoes without material improvement
   std::function<void(CircuitMeasurement)> on_done;
 
   tor::CircuitHandle handle = 0;
@@ -96,10 +114,22 @@ struct TingMeasurer::CircuitProbe
 
   void on_echo() {
     const double rtt_ms = (self->host_.loop().now() - sample_start).ms();
+    if (min_ms - rtt_ms > epsilon_ms)
+      plateau_run = 0;  // the minimum materially improved
+    else
+      ++plateau_run;
     min_ms = std::min(min_ms, rtt_ms);
     if (keep_raw) result.raw_samples_ms.push_back(rtt_ms);
     ++result.samples_taken;
     if (result.samples_taken >= samples_target) {
+      finish(true);
+      return;
+    }
+    if (adaptive && result.samples_taken >= min_samples &&
+        plateau_run >= plateau_samples) {
+      // §4.4: the per-circuit minimum converges in ~10 samples; once it has
+      // plateaued, further echoes only spend time.
+      result.samples_saved = samples_target - result.samples_taken;
       finish(true);
       return;
     }
@@ -109,35 +139,66 @@ struct TingMeasurer::CircuitProbe
 
 void TingMeasurer::measure_circuit(
     const std::vector<dir::Fingerprint>& middle_relays, int samples,
-    std::function<void(CircuitMeasurement)> on_done) {
+    std::function<void(CircuitMeasurement)> on_done,
+    std::optional<bool> adaptive) {
   std::vector<dir::Fingerprint> full_path;
   full_path.push_back(host_.w_fp());
   for (const auto& fp : middle_relays) full_path.push_back(fp);
   full_path.push_back(host_.z_fp());
-  measure_circuit_attempt(std::move(full_path), samples, 1, std::move(on_done));
+  measure_circuit_attempt(std::move(full_path), samples, 1,
+                          adaptive.value_or(config_.adaptive_samples),
+                          std::move(on_done));
 }
 
 void TingMeasurer::measure_circuit_attempt(
     std::vector<dir::Fingerprint> full_path, int samples, int attempt,
-    std::function<void(CircuitMeasurement)> on_done) {
+    bool adaptive, std::function<void(CircuitMeasurement)> on_done) {
   auto probe = std::make_shared<CircuitProbe>();
   probe->self = this;
   probe->path = full_path;
   probe->samples_target = samples;
   probe->keep_raw = config_.keep_raw_samples;
+  probe->adaptive = adaptive;
+  probe->min_samples = config_.min_samples;
+  probe->plateau_samples = config_.plateau_samples;
+  probe->epsilon_ms = config_.epsilon_ms;
   probe->on_done = [this, full_path = std::move(full_path), samples, attempt,
+                    adaptive,
                     on_done = std::move(on_done)](CircuitMeasurement m) mutable {
     if (!m.ok && attempt < config_.max_build_attempts) {
       TING_DEBUG("circuit attempt " << attempt << " failed (" << m.error
                                     << "), retrying");
-      measure_circuit_attempt(std::move(full_path), samples, attempt + 1,
-                              std::move(on_done));
+      // The final measurement reports circuits built across every attempt.
+      const int built_so_far = m.circuits_built;
+      measure_circuit_attempt(
+          std::move(full_path), samples, attempt + 1, adaptive,
+          [built_so_far, on_done = std::move(on_done)](
+              CircuitMeasurement retried) mutable {
+            retried.circuits_built += built_so_far;
+            on_done(std::move(retried));
+          });
       return;
     }
     on_done(std::move(m));
   };
   run_probe(probe);
 }
+
+// ---- pipelined circuit builds ----------------------------------------------
+
+struct TingMeasurer::Prebuilt {
+  std::uint64_t generation = 0;
+  std::vector<dir::Fingerprint> path;  ///< full path including w and z
+  tor::CircuitHandle handle = 0;       ///< 0 while the build is in flight
+  bool building = true;
+  /// A probe waiting on an in-flight build; fired with built-ok once the
+  /// EXTENDCIRCUIT resolves either way.
+  std::function<void(bool)> on_settled;
+};
+
+/// Prebuilt circuits held per measurer: the scan engines stay one pair
+/// ahead, so two covers a hint plus one stale leftover.
+constexpr std::size_t kMaxPrebuilts = 2;
 
 void TingMeasurer::run_probe(const std::shared_ptr<CircuitProbe>& probe) {
   // Overall deadline: build + all samples.
@@ -149,69 +210,218 @@ void TingMeasurer::run_probe(const std::shared_ptr<CircuitProbe>& probe) {
     probe->finish(false, "measurement deadline exceeded");
   });
 
+  // Pipelining: adopt a prebuilt circuit for this exact path if one is held
+  // (or still building) instead of serialising a fresh EXTENDCIRCUIT.
+  for (const auto& pb : prebuilts_) {
+    if (pb->path == probe->path) {
+      adopt_prebuilt(probe, pb->generation);
+      return;
+    }
+  }
+  start_build(probe);
+}
+
+void TingMeasurer::start_build(const std::shared_ptr<CircuitProbe>& probe) {
+  ++probe->result.circuits_built;
   host_.controller().extend_circuit(
       probe->path,
       [this, probe](tor::CircuitHandle h) {
         if (probe->finished) return;
         probe->handle = h;
-        // The stream must be attached manually: claim the next STREAM NEW
-        // notification and route it to ATTACHSTREAM on our fresh circuit.
-        probe->stream_wait = host_.controller().expect_stream_new(
-            [this, probe](std::uint16_t stream_id, std::string) {
-              probe->stream_wait = 0;
-              if (probe->finished) return;
-              host_.controller().attach_stream(
-                  stream_id, probe->handle, [probe](bool ok) {
-                    if (!ok) probe->finish(false, "ATTACHSTREAM failed");
-                  });
-            });
-        // Echo client s: open the app connection through the SOCKS port.
-        host_.net().connect(
-            host_.host(), host_.socks_endpoint(), simnet::Protocol::kTcp,
-            [this, probe](simnet::ConnPtr conn) {
-              if (probe->finished) {
-                conn->close();
-                return;
-              }
-              probe->app_conn = conn;
-              conn->set_on_message([probe](Bytes msg) {
-                if (probe->finished) return;
-                if (!probe->sampling) {
-                  const std::string s(msg.begin(), msg.end());
-                  if (s == "OK") {
-                    probe->begin_sampling();
-                  } else {
-                    probe->finish(false, "SOCKS error: " + s);
-                  }
-                  return;
-                }
-                probe->on_echo();
-              });
-              conn->set_on_close([probe]() {
-                probe->finish(false, "echo stream closed early");
-              });
-              const std::string req =
-                  "CONNECT " + host_.echo_endpoint().str();
-              conn->send(Bytes(req.begin(), req.end()));
-            },
-            [probe](const std::string& err) {
-              probe->finish(false, "SOCKS connect failed: " + err);
-            });
+        attach_and_sample(probe);
       },
       [probe](const std::string& err) {
         probe->finish(false, "circuit build failed: " + err);
       });
 }
 
+void TingMeasurer::attach_and_sample(const std::shared_ptr<CircuitProbe>& probe) {
+  // The stream must be attached manually: claim the next STREAM NEW
+  // notification and route it to ATTACHSTREAM on our fresh circuit.
+  probe->stream_wait = host_.controller().expect_stream_new(
+      [this, probe](std::uint16_t stream_id, std::string) {
+        probe->stream_wait = 0;
+        if (probe->finished) return;
+        host_.controller().attach_stream(
+            stream_id, probe->handle, [probe](bool ok) {
+              if (!ok) probe->finish(false, "ATTACHSTREAM failed");
+            });
+      });
+  // Echo client s: open the app connection through the SOCKS port.
+  host_.net().connect(
+      host_.host(), host_.socks_endpoint(), simnet::Protocol::kTcp,
+      [this, probe](simnet::ConnPtr conn) {
+        if (probe->finished) {
+          conn->close();
+          return;
+        }
+        probe->app_conn = conn;
+        conn->set_on_message([probe](Bytes msg) {
+          if (probe->finished) return;
+          if (!probe->sampling) {
+            const std::string s(msg.begin(), msg.end());
+            if (s == "OK") {
+              probe->begin_sampling();
+            } else {
+              probe->finish(false, "SOCKS error: " + s);
+            }
+            return;
+          }
+          probe->on_echo();
+        });
+        conn->set_on_close([probe]() {
+          probe->finish(false, "echo stream closed early");
+        });
+        const std::string req =
+            "CONNECT " + host_.echo_endpoint().str();
+        conn->send(Bytes(req.begin(), req.end()));
+      },
+      [probe](const std::string& err) {
+        probe->finish(false, "SOCKS connect failed: " + err);
+      });
+}
+
+TingMeasurer::Prebuilt* TingMeasurer::find_prebuilt(std::uint64_t generation) {
+  for (const auto& pb : prebuilts_)
+    if (pb->generation == generation) return pb.get();
+  return nullptr;
+}
+
+void TingMeasurer::erase_prebuilt(std::uint64_t generation,
+                                  bool close_circuit) {
+  for (auto it = prebuilts_.begin(); it != prebuilts_.end(); ++it) {
+    if ((*it)->generation != generation) continue;
+    if (close_circuit && (*it)->handle != 0)
+      host_.controller().close_circuit((*it)->handle);
+    prebuilts_.erase(it);
+    return;
+  }
+}
+
+void TingMeasurer::prebuild(const dir::Fingerprint& x,
+                            const dir::Fingerprint& y) {
+  if (x == y || x == host_.w_fp() || y == host_.w_fp() ||
+      x == host_.z_fp() || y == host_.z_fp())
+    return;
+  if (host_.op().consensus().find(x) == nullptr ||
+      host_.op().consensus().find(y) == nullptr)
+    return;
+  std::vector<dir::Fingerprint> path{host_.w_fp(), x, y, host_.z_fp()};
+  for (const auto& pb : prebuilts_)
+    if (pb->path == path) return;  // already held or building
+  while (prebuilts_.size() >= kMaxPrebuilts)
+    erase_prebuilt(prebuilts_.front()->generation, /*close_circuit=*/true);
+
+  auto pb = std::make_unique<Prebuilt>();
+  pb->generation = ++prebuilt_generation_;
+  pb->path = path;
+  const std::uint64_t gen = pb->generation;
+  prebuilts_.push_back(std::move(pb));
+  host_.controller().extend_circuit(
+      path,
+      [this, gen](tor::CircuitHandle h) {
+        Prebuilt* held = find_prebuilt(gen);
+        if (held == nullptr) {
+          // Evicted while building; nobody wants the circuit anymore.
+          host_.controller().close_circuit(h);
+          return;
+        }
+        held->handle = h;
+        held->building = false;
+        if (held->on_settled) {
+          auto fn = std::move(held->on_settled);
+          held->on_settled = {};
+          fn(true);
+        }
+      },
+      [this, gen](const std::string&) {
+        Prebuilt* held = find_prebuilt(gen);
+        if (held == nullptr) return;
+        auto fn = std::move(held->on_settled);
+        erase_prebuilt(gen, /*close_circuit=*/false);
+        if (fn) fn(false);
+      });
+}
+
+void TingMeasurer::discard_prebuilts() {
+  while (!prebuilts_.empty())
+    erase_prebuilt(prebuilts_.front()->generation, /*close_circuit=*/true);
+}
+
+void TingMeasurer::adopt_prebuilt(const std::shared_ptr<CircuitProbe>& probe,
+                                  std::uint64_t generation) {
+  Prebuilt* pb = find_prebuilt(generation);
+  if (pb == nullptr) {  // raced with eviction or a failed build
+    start_build(probe);
+    return;
+  }
+  if (!pb->building) {
+    probe->handle = pb->handle;
+    // The prebuild's EXTENDCIRCUIT counts against this measurement:
+    // pipelining hides build latency, it does not skip builds.
+    ++probe->result.circuits_built;
+    erase_prebuilt(generation, /*close_circuit=*/false);
+    attach_and_sample(probe);
+    return;
+  }
+  // Build still in flight: wait for it to settle, then adopt or fall back.
+  pb->on_settled = [this, probe, generation](bool ok) {
+    if (probe->finished) {
+      erase_prebuilt(generation, /*close_circuit=*/ok);
+      return;
+    }
+    if (!ok) {
+      start_build(probe);
+      return;
+    }
+    adopt_prebuilt(probe, generation);
+  };
+}
+
 CircuitMeasurement TingMeasurer::measure_circuit_blocking(
-    const std::vector<dir::Fingerprint>& middle_relays, int samples) {
+    const std::vector<dir::Fingerprint>& middle_relays, int samples,
+    std::optional<bool> adaptive) {
   std::optional<CircuitMeasurement> out;
   measure_circuit(middle_relays, samples,
-                  [&out](CircuitMeasurement m) { out = std::move(m); });
+                  [&out](CircuitMeasurement m) { out = std::move(m); },
+                  adaptive);
   host_.loop().run_while_waiting_for([&out]() { return out.has_value(); },
                                      Duration::seconds(3600));
   TING_CHECK_MSG(out.has_value(), "circuit measurement never completed");
   return std::move(*out);
+}
+
+// ---- half-circuit memoization -----------------------------------------------
+
+void TingMeasurer::half_probe(const dir::Fingerprint& fp,
+                              std::function<void(CircuitMeasurement)> on_done) {
+  if (half_cache_ != nullptr) {
+    const HalfCircuitCache::Entry* e =
+        half_cache_->fresh(host_.w_fp(), fp, host_.loop().now());
+    if (e != nullptr) {
+      CircuitMeasurement m;
+      m.ok = true;
+      m.memoized = true;
+      m.min_rtt_ms = e->rtt_ms;
+      m.samples_taken = e->samples;
+      on_done(std::move(m));
+      return;
+    }
+  }
+  // A miss that will be stored samples fully even under adaptive_samples:
+  // the cached minimum is reused by every pair sharing this relay, so an
+  // early-stop bias would compound where a one-shot probe's would not.
+  const std::optional<bool> adaptive =
+      half_cache_ != nullptr ? std::optional<bool>(false) : std::nullopt;
+  measure_circuit(
+      {fp}, config_.samples,
+      [this, fp, on_done = std::move(on_done)](CircuitMeasurement m) mutable {
+        if (m.ok && half_cache_ != nullptr)
+          half_cache_->store(host_.w_fp(), fp, m.min_rtt_ms,
+                             host_.loop().now(), m.samples_taken);
+        on_done(std::move(m));
+      },
+      adaptive);
 }
 
 // ---- full Ting pair measurement ---------------------------------------------
@@ -271,9 +481,9 @@ void TingMeasurer::measure_async(const dir::Fingerprint& x,
       on_done(std::move(*result));
       return;
     }
-    measure_circuit({x}, config_.samples, [this, y, result, started,
-                                           on_done = std::move(on_done)](
-                                              CircuitMeasurement cx) mutable {
+    half_probe(x, [this, y, result, started,
+                   on_done = std::move(on_done)](
+                      CircuitMeasurement cx) mutable {
       result->cx = std::move(cx);
       if (!result->cx.ok) {
         result->error = "C_x: " + result->cx.error;
@@ -283,9 +493,9 @@ void TingMeasurer::measure_async(const dir::Fingerprint& x,
         on_done(std::move(*result));
         return;
       }
-      measure_circuit({y}, config_.samples, [this, result, started,
-                                             on_done = std::move(on_done)](
-                                                CircuitMeasurement cy) mutable {
+      half_probe(y, [this, result, started,
+                     on_done = std::move(on_done)](
+                        CircuitMeasurement cy) mutable {
         result->cy = std::move(cy);
         result->wall_time = host_.loop().now() - started;
         if (!result->cy.ok) {

@@ -32,6 +32,28 @@ struct TingConfig {
   /// Retain every raw sample in the result (needed by the sample-size and
   /// stability analyses, Figs 6/7/9/10).
   bool keep_raw_samples = false;
+
+  // ---- adaptive early-stop (§4.4) ------------------------------------------
+  /// Stop sampling a circuit once the running minimum has not improved by
+  /// more than `epsilon_ms` for `plateau_samples` consecutive echoes, after
+  /// at least `min_samples`. `samples` stays the hard upper bound and
+  /// `samples_taken` records the actual count. Off by default so library
+  /// callers keep full-sampling semantics; the CLI turns it on.
+  ///
+  /// The defaults are deliberately conservative. §4.4 observes the minimum
+  /// converging in ~10 samples on real circuits, but under the simulator's
+  /// per-hop exponential queueing jitter the minimum of an h-hop circuit
+  /// improves like n^(-1/h) — it keeps crawling down through all 200
+  /// samples, and a plateau rule that stops after only ~10 quiet echoes
+  /// leaves a multi-millisecond one-sided bias on unlucky streams. A
+  /// 120-echo plateau with a 0.01 ms improvement threshold keeps the
+  /// worst-case bias under 1 ms on the faulted bench worlds while still
+  /// shedding the tail of the budget; lower `plateau_samples` trades
+  /// accuracy for speed.
+  bool adaptive_samples = false;
+  int min_samples = 50;
+  int plateau_samples = 120;
+  double epsilon_ms = 0.01;
 };
 
 /// How a failure should be handled by whoever drives the measurement —
@@ -58,6 +80,16 @@ struct CircuitMeasurement {
   ErrorClass error_class = ErrorClass::kNone;
   double min_rtt_ms = 0;
   int samples_taken = 0;
+  /// Satisfied from a HalfCircuitCache: no circuit was built or sampled,
+  /// min_rtt_ms/samples_taken carry the memoized measurement's values.
+  bool memoized = false;
+  /// Circuits actually constructed for this measurement (one per attempt;
+  /// zero when memoized). A prebuilt circuit adopted from the pipeline
+  /// still counts — pipelining hides build latency, it does not skip builds.
+  int circuits_built = 0;
+  /// Echo samples the adaptive early-stop avoided (target − taken on a
+  /// successful early-stopped probe; zero otherwise).
+  int samples_saved = 0;
   Duration build_time;   ///< circuit construction + stream attach phase
   Duration sample_time;  ///< echo sampling phase (zero if never built)
   std::vector<double> raw_samples_ms;  ///< only if keep_raw_samples
@@ -83,15 +115,32 @@ struct PairResult {
     return cxy.sample_time + cx.sample_time + cy.sample_time;
   }
 
+  /// Optimization observability, summed over the three probes (the scan
+  /// engines aggregate these into ScanReport).
+  int circuits_built() const {
+    return cxy.circuits_built + cx.circuits_built + cy.circuits_built;
+  }
+  int half_cache_hits() const {
+    return (cx.memoized ? 1 : 0) + (cy.memoized ? 1 : 0);
+  }
+  int samples_saved() const {
+    return cxy.samples_saved + cx.samples_saved + cy.samples_saved;
+  }
+
   /// Recompute the estimate using only the first k samples of each circuit
   /// (prefix minima) — the convergence analysis of Fig 6. Requires raw
-  /// samples. k is clamped to the available count.
+  /// samples on every probe that was actually sampled (a memoized half falls
+  /// back to its cached minimum). k is clamped to each probe's available
+  /// count, so early-stopped probes holding fewer than k samples are safe.
   double estimate_with_prefix(std::size_t k) const;
 };
+
+class HalfCircuitCache;
 
 class TingMeasurer {
  public:
   TingMeasurer(MeasurementHost& host, TingConfig config = {});
+  ~TingMeasurer();  ///< out of line: prebuilts_ holds an incomplete type
 
   /// Continuation-style measurement of R(x, y): schedules the three circuit
   /// probes on the event loop and invokes `on_done` when the estimate (or an
@@ -113,12 +162,18 @@ class TingMeasurer {
                               const dir::Fingerprint& y);
 
   /// Measure a single circuit (w, relays..., z) and return the min RTT —
-  /// exposed for the forwarding-delay estimator and tests.
+  /// exposed for the forwarding-delay estimator and tests. `adaptive`
+  /// overrides TingConfig::adaptive_samples for this probe: half-circuit
+  /// measurements destined for the cache sample fully, because an
+  /// early-stopped minimum would be reused across every pair sharing the
+  /// relay, compounding its bias (a one-shot probe amortizes nothing).
   void measure_circuit(const std::vector<dir::Fingerprint>& middle_relays,
                        int samples,
-                       std::function<void(CircuitMeasurement)> on_done);
+                       std::function<void(CircuitMeasurement)> on_done,
+                       std::optional<bool> adaptive = std::nullopt);
   CircuitMeasurement measure_circuit_blocking(
-      const std::vector<dir::Fingerprint>& middle_relays, int samples);
+      const std::vector<dir::Fingerprint>& middle_relays, int samples,
+      std::optional<bool> adaptive = std::nullopt);
 
   /// §3.2 strawman baseline: end-to-end circuit (x, y) with x as entry and
   /// y as exit, minus ICMP ping RTTs to x and y. Subject to protocol-
@@ -131,18 +186,53 @@ class TingMeasurer {
   const TingConfig& config() const { return config_; }
   MeasurementHost& host() { return host_; }
 
- private:
-  struct CircuitProbe;
+  /// Attach (nullptr to detach) a half-circuit cache. When set,
+  /// measure_async consults it before the C_x/C_y probes — a fresh hit
+  /// skips the probe and is flagged `memoized` — and stores successful
+  /// misses. Entries are keyed under this host's w fingerprint: half-circuit
+  /// minima are apparatus-specific (see half_circuit_cache.h). The cache
+  /// must outlive every measurement started while attached.
+  void set_half_cache(HalfCircuitCache* cache) { half_cache_ = cache; }
+  HalfCircuitCache* half_cache() const { return half_cache_; }
+
+  /// Pipelining: start building the C_xy circuit for (x, y) now so a later
+  /// measure of that pair adopts the finished circuit instead of
+  /// serialising the EXTENDCIRCUIT round trips behind the previous pair's
+  /// sampling. Advisory — invalid pairs are ignored and a failed prebuild
+  /// falls back to a normal build. At most a couple of prebuilt circuits
+  /// are held (the scan engines stay one pair ahead); the oldest is
+  /// discarded when the ring is full.
+  void prebuild(const dir::Fingerprint& x, const dir::Fingerprint& y);
+  /// Close and drop every held prebuilt circuit (scan-end cleanup).
+  void discard_prebuilts();
+  std::size_t prebuilt_count() const { return prebuilts_.size(); }
+
   /// Classify a pair-measurement failure: a target missing from the OP's
   /// consensus is kRelayChurned (it vanished under us, or was never there —
   /// the scan engine disambiguates against the scan-start snapshot);
-  /// otherwise the circuit-level class stands.
+  /// otherwise the circuit-level class stands. Public because the
+  /// deterministic scan path decomposes a pair into its three circuit
+  /// probes and classifies each probe's failure itself.
   ErrorClass classify_failure(const dir::Fingerprint& x,
                               const dir::Fingerprint& y,
                               ErrorClass circuit_class);
+
+ private:
+  struct CircuitProbe;
+  struct Prebuilt;
   void run_probe(const std::shared_ptr<CircuitProbe>& probe);
+  void start_build(const std::shared_ptr<CircuitProbe>& probe);
+  void attach_and_sample(const std::shared_ptr<CircuitProbe>& probe);
+  void adopt_prebuilt(const std::shared_ptr<CircuitProbe>& probe,
+                      std::uint64_t generation);
+  Prebuilt* find_prebuilt(std::uint64_t generation);
+  void erase_prebuilt(std::uint64_t generation, bool close_circuit);
+  /// One half probe (C_x or C_y): memoized from the cache when fresh,
+  /// measured (and stored) otherwise.
+  void half_probe(const dir::Fingerprint& fp,
+                  std::function<void(CircuitMeasurement)> on_done);
   void measure_circuit_attempt(std::vector<dir::Fingerprint> full_path,
-                               int samples, int attempt,
+                               int samples, int attempt, bool adaptive,
                                std::function<void(CircuitMeasurement)> on_done);
   void ping_min(IpAddr target, int count,
                 std::function<void(std::optional<double>)> on_done);
@@ -150,6 +240,9 @@ class TingMeasurer {
   MeasurementHost& host_;
   TingConfig config_;
   bool busy_ = false;
+  HalfCircuitCache* half_cache_ = nullptr;
+  std::vector<std::unique_ptr<Prebuilt>> prebuilts_;
+  std::uint64_t prebuilt_generation_ = 0;
 };
 
 }  // namespace ting::meas

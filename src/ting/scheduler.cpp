@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "ting/half_circuit_cache.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -43,12 +44,19 @@ std::set<dir::Fingerprint> never_known_nodes(
 }
 
 /// Re-resolve a churned pair against the live consensus: re-inject the
-/// descriptors of x and y into every pool measurer that lost them. Returns
-/// true if both relays are resolvable again (descriptor present or
-/// re-injected everywhere).
+/// descriptors of x and y into every pool measurer that lost them, and drop
+/// both relays' half-circuit cache entries — a relay that left and rejoined
+/// may have moved, so its memoized minima are suspect. Returns true if both
+/// relays are resolvable again (descriptor present or re-injected
+/// everywhere).
 bool reresolve_pair(const dir::Consensus* live,
                     const std::vector<TingMeasurer*>& measurers,
-                    const dir::Fingerprint& x, const dir::Fingerprint& y) {
+                    const dir::Fingerprint& x, const dir::Fingerprint& y,
+                    HalfCircuitCache* half_cache) {
+  if (half_cache != nullptr) {
+    half_cache->erase_relay(x);
+    half_cache->erase_relay(y);
+  }
   if (live == nullptr) return false;
   bool both = true;
   for (const dir::Fingerprint* fp : {&x, &y}) {
@@ -63,6 +71,37 @@ bool reresolve_pair(const dir::Consensus* live,
   }
   return both;
 }
+
+/// Sum one attempted pair measurement's engine statistics into the report.
+void accumulate_pair_stats(ScanReport& report, const PairResult& r) {
+  report.time_building += r.build_time();
+  report.time_sampling += r.sample_time();
+  report.circuits_built += static_cast<std::size_t>(r.circuits_built());
+  report.half_cache_hits += static_cast<std::size_t>(r.half_cache_hits());
+  report.samples_saved += static_cast<std::size_t>(r.samples_saved());
+}
+
+/// Attach a half-circuit cache to every pool measurer for the scan's
+/// duration; detaching (and dropping leftover prebuilt circuits) on the way
+/// out keeps the measurers reusable outside the scan.
+class MeasurerScanScope {
+ public:
+  MeasurerScanScope(const std::vector<TingMeasurer*>& measurers,
+                    HalfCircuitCache* cache)
+      : measurers_(measurers) {
+    if (cache != nullptr)
+      for (TingMeasurer* m : measurers_) m->set_half_cache(cache);
+  }
+  ~MeasurerScanScope() {
+    for (TingMeasurer* m : measurers_) {
+      m->set_half_cache(nullptr);
+      m->discard_prebuilts();
+    }
+  }
+
+ private:
+  const std::vector<TingMeasurer*>& measurers_;
+};
 
 /// The result a progress callback sees for a cache hit: ok, flagged
 /// from_cache, carrying the cached estimate.
@@ -102,6 +141,13 @@ std::uint64_t pair_reseed(std::uint64_t pair_seed, const dir::Fingerprint& x,
   return mix64(pair_seed ^ fp_mix(x) ^ fp_mix(y));
 }
 
+std::uint64_t half_reseed(std::uint64_t pair_seed, const dir::Fingerprint& x) {
+  // Double-mixing the fold keeps the half-circuit domain disjoint from
+  // pair_reseed (where raw folds XOR together), so C_x never shares a world
+  // seed with any pair's C_xy.
+  return mix64(pair_seed ^ mix64(fp_mix(x)));
+}
+
 ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                                  const ScanOptions& options,
                                  const Progress& progress) {
@@ -112,6 +158,7 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
   simnet::EventLoop& loop = measurer_.host().loop();
   const TimePoint started = loop.now();
   const std::vector<TingMeasurer*> pool{&measurer_};
+  const MeasurerScanScope scope(pool, options.half_cache);
   const std::set<dir::Fingerprint> never_known = never_known_nodes(
       nodes, options.live_consensus != nullptr ? *options.live_consensus
                                                : measurer_.host().op().consensus());
@@ -128,7 +175,8 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
   }
 
   std::size_t done = 0;
-  for (const auto& [i, j] : pairs) {
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [i, j] = pairs[p];
     const dir::Fingerprint& x = nodes[i];
     const dir::Fingerprint& y = nodes[j];
     ++done;
@@ -140,16 +188,27 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
       continue;
     }
 
+    // Pipelining: launch the next pair's C_xy build now, so its
+    // EXTENDCIRCUIT round trips overlap this pair's sampling phase.
+    if (options.pipeline_builds) {
+      for (std::size_t q = p + 1; q < pairs.size(); ++q) {
+        const auto& [qi, qj] = pairs[q];
+        if (cache_.is_fresh(nodes[qi], nodes[qj], loop.now(), options.max_age))
+          continue;
+        measurer_.prebuild(nodes[qi], nodes[qj]);
+        break;
+      }
+    }
+
     // One measurement actually in flight (cache-only scans report 0).
     report.max_in_flight = 1;
     report.max_per_relay_in_flight = 1;
     for (int attempt = 0;; ++attempt) {
       if (attempt > 0) ++report.retries;
       const PairResult r = measurer_.measure_blocking(x, y);
-      report.time_building += r.build_time();
-      report.time_sampling += r.sample_time();
+      accumulate_pair_stats(report, r);
       if (r.ok) {
-        cache_.set(x, y, r.rtt_ms, loop.now(), measurer_.config().samples);
+        cache_.set(x, y, r.rtt_ms, loop.now(), r.cxy.samples_taken);
         ++report.measured;
         ++report.retry_histogram[static_cast<std::size_t>(attempt)];
         if (progress) progress(done, report.pairs_total, r);
@@ -178,7 +237,8 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
         // Wait out a consensus interval, then pull the relay's descriptor
         // back in if it rejoined.
         loop.run_until(loop.now() + options.churn_requeue_delay);
-        if (reresolve_pair(options.live_consensus, pool, x, y))
+        if (reresolve_pair(options.live_consensus, pool, x, y,
+                           options.half_cache))
           ++report.churn_reresolved;
       } else {
         // Transient: exponential backoff before re-attempting, mirroring
@@ -209,10 +269,16 @@ struct ParallelScanner::ScanState {
   Progress progress;
   ScanReport report;
 
+  static constexpr std::size_t kNoHint = static_cast<std::size_t>(-1);
+
   std::vector<Task> tasks;
   std::deque<std::size_t> ready;  ///< task indices awaiting a host + admission
   std::map<dir::Fingerprint, int> relay_in_flight;
   std::vector<bool> host_busy;
+  /// Pipelining: host_hint[h] is the task whose C_xy circuit host h
+  /// prebuilt while running its current measurement (kNoHint if none); pump
+  /// prefers routing that task back to h so the prebuilt circuit is adopted.
+  std::vector<std::size_t> host_hint;
   std::set<dir::Fingerprint> never_known;  ///< scan-start consensus snapshot
   std::size_t in_flight = 0;
   std::size_t outstanding = 0;  ///< tasks not yet terminally resolved
@@ -231,20 +297,29 @@ ParallelScanner::ParallelScanner(std::vector<TingMeasurer*> measurers,
 }
 
 void ParallelScanner::pump(ScanState& st) {
+  // Admission policy: a task may start only while both its target relays
+  // are below the per-relay concurrency cap.
+  const auto admissible = [&](std::size_t t) {
+    const ScanState::Task& task = st.tasks[t];
+    const auto x_it = st.relay_in_flight.find((*st.nodes)[task.i]);
+    const auto y_it = st.relay_in_flight.find((*st.nodes)[task.j]);
+    return (x_it == st.relay_in_flight.end() ||
+            x_it->second < st.options.per_relay_cap) &&
+           (y_it == st.relay_in_flight.end() ||
+            y_it->second < st.options.per_relay_cap);
+  };
   for (std::size_t h = 0; h < measurers_.size(); ++h) {
     if (st.host_busy[h]) continue;
-    // Admission policy: a task may start only while both its target relays
-    // are below the per-relay concurrency cap.
-    const auto it = std::find_if(
-        st.ready.begin(), st.ready.end(), [&](std::size_t t) {
-          const ScanState::Task& task = st.tasks[t];
-          const auto x_it = st.relay_in_flight.find((*st.nodes)[task.i]);
-          const auto y_it = st.relay_in_flight.find((*st.nodes)[task.j]);
-          return (x_it == st.relay_in_flight.end() ||
-                  x_it->second < st.options.per_relay_cap) &&
-                 (y_it == st.relay_in_flight.end() ||
-                  y_it->second < st.options.per_relay_cap);
-        });
+    // Prefer the task this host prebuilt a circuit for, so the pipeline's
+    // EXTENDCIRCUIT work is adopted instead of wasted.
+    auto it = st.ready.end();
+    if (st.host_hint[h] != ScanState::kNoHint) {
+      it = std::find(st.ready.begin(), st.ready.end(), st.host_hint[h]);
+      if (it != st.ready.end() && !admissible(*it)) it = st.ready.end();
+      st.host_hint[h] = ScanState::kNoHint;
+    }
+    if (it == st.ready.end())
+      it = std::find_if(st.ready.begin(), st.ready.end(), admissible);
     if (it == st.ready.end()) return;  // nothing admissible for any host
     const std::size_t t = *it;
     st.ready.erase(it);
@@ -279,6 +354,22 @@ void ParallelScanner::dispatch(ScanState& st, std::size_t host,
           on_complete(st, host, t, std::move(r));
         });
   });
+
+  // Pipelining: while this measurement samples, prebuild the C_xy circuit
+  // of a queued task on the same host, and hint pump to route that task
+  // back here. Tasks already hinted to another host are skipped so two
+  // hosts never prebuild the same pair.
+  if (st.options.pipeline_builds) {
+    for (const std::size_t t2 : st.ready) {
+      if (std::find(st.host_hint.begin(), st.host_hint.end(), t2) !=
+          st.host_hint.end())
+        continue;
+      const ScanState::Task& next = st.tasks[t2];
+      measurers_[host]->prebuild((*st.nodes)[next.i], (*st.nodes)[next.j]);
+      st.host_hint[host] = t2;
+      break;
+    }
+  }
 }
 
 void ParallelScanner::on_complete(ScanState& st, std::size_t host,
@@ -292,8 +383,7 @@ void ParallelScanner::on_complete(ScanState& st, std::size_t host,
   --st.in_flight;
   if (--st.relay_in_flight[x] == 0) st.relay_in_flight.erase(x);
   if (--st.relay_in_flight[y] == 0) st.relay_in_flight.erase(y);
-  st.report.time_building += r.build_time();
-  st.report.time_sampling += r.sample_time();
+  accumulate_pair_stats(st.report, r);
 
   ErrorClass cls = ErrorClass::kNone;
   if (!r.ok) {
@@ -305,8 +395,7 @@ void ParallelScanner::on_complete(ScanState& st, std::size_t host,
   }
 
   if (r.ok) {
-    cache_.set(x, y, r.rtt_ms, loop.now(),
-               measurers_[host]->config().samples);
+    cache_.set(x, y, r.rtt_ms, loop.now(), r.cxy.samples_taken);
     ++st.report.measured;
     ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
     ++st.done;
@@ -338,7 +427,8 @@ void ParallelScanner::on_complete(ScanState& st, std::size_t host,
       if (churned) {
         const ScanState::Task& task = st.tasks[t];
         if (reresolve_pair(st.options.live_consensus, measurers_,
-                           (*st.nodes)[task.i], (*st.nodes)[task.j]))
+                           (*st.nodes)[task.i], (*st.nodes)[task.j],
+                           st.options.half_cache))
           ++st.report.churn_reresolved;
       }
       st.ready.push_back(t);
@@ -386,6 +476,7 @@ ScanReport ParallelScanner::scan_pairs(
 
   simnet::EventLoop& loop = measurers_[0]->host().loop();
   const TimePoint started = loop.now();
+  const MeasurerScanScope scope(measurers_, options.half_cache);
 
   ScanState st;
   st.nodes = &nodes;
@@ -394,6 +485,7 @@ ScanReport ParallelScanner::scan_pairs(
   st.report.retry_histogram.assign(
       static_cast<std::size_t>(options.attempts_per_pair), 0);
   st.host_busy.assign(measurers_.size(), false);
+  st.host_hint.assign(measurers_.size(), ScanState::kNoHint);
   st.never_known = never_known_nodes(
       nodes, options.live_consensus != nullptr
                  ? *options.live_consensus
@@ -434,6 +526,98 @@ ScanReport ParallelScanner::scan_pairs(
   annotate_fault_events(st.report, options, started, loop.now());
   return st.report;
 }
+
+namespace {
+
+/// Deterministic-mode pair measurement with half-circuit memoization. The
+/// pair is decomposed into its three circuit probes, each run under its own
+/// world reseed: C_xy under pair_reseed(seed, x, y), C_x under
+/// half_reseed(seed, x), C_y under half_reseed(seed, y). That makes R_Cx a
+/// pure function of (world seed, pair_seed, x) — a memoized entry holds
+/// exactly the value a fresh probe would measure, so cache hits cannot
+/// perturb the merged CSV and bit-identity holds for any shard count.
+PairResult measure_pair_memoized(TingMeasurer& m, const ScanOptions& options,
+                                 const dir::Fingerprint& x,
+                                 const dir::Fingerprint& y,
+                                 simnet::EventLoop& loop, Duration horizon) {
+  MeasurementHost& host = m.host();
+  HalfCircuitCache& cache = *options.half_cache;
+  PairResult r;
+  r.x = x;
+  r.y = y;
+  const TimePoint started = loop.now();
+
+  // Mirror measure_async's validity screens.
+  if (x == y || x == host.w_fp() || y == host.w_fp() || x == host.z_fp() ||
+      y == host.z_fp()) {
+    r.error = "invalid pair (x, y must be distinct remote relays)";
+    r.error_class = ErrorClass::kPermanent;
+    return r;
+  }
+  for (const dir::Fingerprint* fp : {&x, &y}) {
+    if (host.op().consensus().find(*fp) == nullptr) {
+      r.error = "relay " + fp->short_name() + " not in consensus";
+      r.error_class = ErrorClass::kRelayChurned;
+      return r;
+    }
+  }
+
+  options.reseed_world(pair_reseed(options.pair_seed, x, y));
+  r.cxy = m.measure_circuit_blocking({x, y}, m.config().samples);
+  if (!r.cxy.ok) {
+    r.error = "C_xy: " + r.cxy.error;
+    r.error_class = m.classify_failure(x, y, r.cxy.error_class);
+    r.wall_time = loop.now() - started;
+    return r;
+  }
+
+  const auto half = [&](const dir::Fingerprint& fp) {
+    if (const HalfCircuitCache::Entry* e =
+            cache.fresh(host.w_fp(), fp, loop.now())) {
+      CircuitMeasurement out;
+      out.ok = true;
+      out.memoized = true;
+      out.min_rtt_ms = e->rtt_ms;
+      out.samples_taken = e->samples;
+      return out;
+    }
+    drain_in_flight(loop, horizon);
+    options.reseed_world(half_reseed(options.pair_seed, fp));
+    // Full sampling for cache-bound halves (see TingMeasurer::half_probe):
+    // the stored minimum is reused across every pair sharing this relay.
+    CircuitMeasurement out = m.measure_circuit_blocking(
+        {fp}, m.config().samples, /*adaptive=*/false);
+    // Zero timestamp, like the matrix entries: shard worlds run unrelated
+    // virtual clocks, and clock-free entries keep the merged cache CSV
+    // independent of the shard count.
+    if (out.ok)
+      cache.store(host.w_fp(), fp, out.min_rtt_ms, TimePoint{},
+                  out.samples_taken);
+    return out;
+  };
+
+  r.cx = half(x);
+  if (!r.cx.ok) {
+    r.error = "C_x: " + r.cx.error;
+    r.error_class = m.classify_failure(x, y, r.cx.error_class);
+    r.wall_time = loop.now() - started;
+    return r;
+  }
+  r.cy = half(y);
+  r.wall_time = loop.now() - started;
+  if (!r.cy.ok) {
+    r.error = "C_y: " + r.cy.error;
+    r.error_class = m.classify_failure(x, y, r.cy.error_class);
+    return r;
+  }
+  // Eq. (4): R(x,y) + F_x + F_y — identical cancellation whether the half
+  // minima were measured now or memoized.
+  r.rtt_ms = r.cxy.min_rtt_ms - 0.5 * r.cx.min_rtt_ms - 0.5 * r.cy.min_rtt_ms;
+  r.ok = true;
+  return r;
+}
+
+}  // namespace
 
 ScanReport ParallelScanner::scan_deterministic(
     const std::vector<dir::Fingerprint>& nodes, const PairList& pairs,
@@ -481,15 +665,19 @@ ScanReport ParallelScanner::scan_deterministic(
       // Teardown cells from the previous pair must not consume draws from
       // the freshly-seeded rngs, so quiesce the loop before reseeding.
       drain_in_flight(loop, kDrainHorizon);
-      options.reseed_world(pair_reseed(options.pair_seed, x, y));
-      const PairResult r = m.measure_blocking(x, y);
-      report.time_building += r.build_time();
-      report.time_sampling += r.sample_time();
+      const PairResult r =
+          options.half_cache != nullptr
+              ? measure_pair_memoized(m, options, x, y, loop, kDrainHorizon)
+              : [&] {
+                  options.reseed_world(pair_reseed(options.pair_seed, x, y));
+                  return m.measure_blocking(x, y);
+                }();
+      accumulate_pair_stats(report, r);
       if (r.ok) {
         // Zero timestamp: shard worlds run unrelated virtual clocks, and a
         // clock-free entry keeps merged CSVs bit-identical across shard
         // counts.
-        cache_.set(x, y, r.rtt_ms, TimePoint{}, m.config().samples);
+        cache_.set(x, y, r.rtt_ms, TimePoint{}, r.cxy.samples_taken);
         ++report.measured;
         ++report.retry_histogram[static_cast<std::size_t>(attempt)];
         if (progress) progress(done, report.pairs_total, r);
@@ -514,7 +702,8 @@ ScanReport ParallelScanner::scan_deterministic(
       }
       if (cls == ErrorClass::kRelayChurned) {
         loop.run_until(loop.now() + options.churn_requeue_delay);
-        if (reresolve_pair(options.live_consensus, measurers_, x, y))
+        if (reresolve_pair(options.live_consensus, measurers_, x, y,
+                           options.half_cache))
           ++report.churn_reresolved;
       } else {
         Duration delay = options.retry_backoff_base;

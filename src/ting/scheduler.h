@@ -62,6 +62,22 @@ struct ScanOptions {
   /// scan window) are copied into ScanReport::fault_events.
   const simnet::FaultPlan* fault_plan = nullptr;
 
+  // ---- measurement-plane optimizations -------------------------------------
+  /// Half-circuit memoization: when set, fresh R_Cx/R_Cy entries satisfy the
+  /// C_x/C_y probes without building a circuit, and successful misses are
+  /// stored back. The engines attach the cache to their pool measurers for
+  /// the scan's duration (entries are keyed per measurement apparatus — see
+  /// half_circuit_cache.h); the deterministic path instead reseeds the world
+  /// per half-circuit so memoized and fresh values are bit-identical. A
+  /// relay's entries are dropped whenever churn forces a re-resolution.
+  HalfCircuitCache* half_cache = nullptr;
+  /// Pipelined circuit builds: while one pair samples, its measurer (or the
+  /// predicted next pool host) prebuilds the next pair's C_xy circuit, so
+  /// EXTENDCIRCUIT round trips overlap sampling instead of serialising
+  /// behind it. Ignored in deterministic mode, where a circuit built under
+  /// the previous pair's world seed would break per-pair purity.
+  bool pipeline_builds = true;
+
   // ---- deterministic per-pair mode (sharded scanning) ----------------------
   /// When set, the parallel engine measures pairs strictly one at a time on
   /// its first measurer: before every attempt it drains in-flight traffic
@@ -79,6 +95,12 @@ struct ScanOptions {
 /// seed and both fingerprints, commutative in (x, y).
 std::uint64_t pair_reseed(std::uint64_t pair_seed, const dir::Fingerprint& x,
                           const dir::Fingerprint& y);
+
+/// The world-reseed value for a single half circuit C_x: a function of the
+/// master seed and x alone (distinct domain from pair_reseed), so R_Cx is a
+/// pure per-relay quantity the deterministic engine can memoize without
+/// breaking bit-identity across shard counts.
+std::uint64_t half_reseed(std::uint64_t pair_seed, const dir::Fingerprint& x);
 
 /// A pair that exhausted its attempts (or failed permanently), with the
 /// classification and message of its final failure.
@@ -122,6 +144,15 @@ struct ScanReport {
   /// retry_histogram[k] = pairs that finished (either way) after k retries;
   /// size is attempts_per_pair (index 0 = succeeded or failed first try).
   std::vector<std::size_t> retry_histogram;
+
+  // ---- optimization observability ------------------------------------------
+  /// EXTENDCIRCUIT launches across all attempts (a cold pair costs 3; a pair
+  /// with both halves memoized costs 1). Summed across shards.
+  std::size_t circuits_built = 0;
+  /// C_x/C_y probes satisfied from the half-circuit cache.
+  std::size_t half_cache_hits = 0;
+  /// Echo samples the adaptive early-stop avoided, summed over all probes.
+  std::size_t samples_saved = 0;
 };
 
 /// Progress callback: (pairs done, pairs total, last pair's result).

@@ -7,6 +7,7 @@
 #include <thread>
 #include <tuple>
 
+#include "ting/half_circuit_cache.h"
 #include "util/assert.h"
 
 namespace ting::meas {
@@ -26,6 +27,9 @@ void merge_report(ScanReport& merged, const ScanReport& r) {
   merged.failed_churned += r.failed_churned;
   merged.churn_reresolved += r.churn_reresolved;
   merged.retries += r.retries;
+  merged.circuits_built += r.circuits_built;
+  merged.half_cache_hits += r.half_cache_hits;
+  merged.samples_saved += r.samples_saved;
   merged.time_building += r.time_building;
   merged.time_sampling += r.time_sampling;
   merged.max_in_flight += r.max_in_flight;
@@ -71,6 +75,7 @@ ScanReport ShardedScanner::scan(const std::vector<dir::Fingerprint>& nodes,
   struct ShardResult {
     ScanReport report;
     RttMatrix matrix;
+    HalfCircuitCache half_cache;  ///< shard-private copy of the caller's cache
     std::exception_ptr error;
   };
   std::vector<ShardResult> results(shards);
@@ -84,6 +89,12 @@ ScanReport ShardedScanner::scan(const std::vector<dir::Fingerprint>& nodes,
       TING_CHECK_MSG(world != nullptr, "shard factory returned null");
       ParallelScanner scanner(world->measurers(), results[s].matrix);
       ParallelScanOptions opt = options;  // slice off the shard fields
+      if (options.half_cache != nullptr) {
+        // Each worker measures against a private copy — threads never share
+        // the cache — and the freshest entries are merged back after join.
+        results[s].half_cache = *options.half_cache;
+        opt.half_cache = &results[s].half_cache;
+      }
       if (options.deterministic)
         opt.reseed_world = [&world](std::uint64_t seed) {
           world->reseed(seed);
@@ -129,6 +140,9 @@ ScanReport ShardedScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                    [](const simnet::FaultPlan::Event& a,
                       const simnet::FaultPlan::Event& b) { return a.at < b.at; });
   for (const ShardResult& r : results) out.merge(r.matrix);
+  if (options.half_cache != nullptr)
+    for (const ShardResult& r : results)
+      options.half_cache->merge_freshest(r.half_cache);
   return merged;
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "scenario/testbed.h"
+#include "ting/half_circuit_cache.h"
 #include "ting/scheduler.h"
 
 namespace ting::meas {
@@ -250,6 +251,93 @@ TEST(ParallelScanTest, ManySynchronousFailuresDoNotRecursePump) {
   EXPECT_EQ(report.failed, pairs);
   EXPECT_EQ(report.failed_permanent, pairs);
   EXPECT_EQ(report.retries, 0u);
+}
+
+TEST(ParallelScanTest, OptimizedScanMatchesColdScanClosely) {
+  // The acceptance regression: a scan with every measurement-plane
+  // optimization on (half-circuit cache, adaptive early-stop, pipelined
+  // builds) produces per-pair estimates within 1 ms of a fully cold scan,
+  // while building far fewer circuits and taking fewer samples.
+  TingConfig cold_cfg;
+  cold_cfg.samples = 40;
+  TingConfig opt_cfg = cold_cfg;
+  opt_cfg.adaptive_samples = true;
+  // Aggressive stop rule so a 40-sample budget can early-stop at all (the
+  // conservative library defaults only bite near the full 200 budget).
+  opt_cfg.min_samples = 10;
+  opt_cfg.plateau_samples = 10;
+  opt_cfg.epsilon_ms = 0.05;
+  std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+  scenario::Testbed cold_world = scenario::planetlab31(stable(911));
+  std::vector<dir::Fingerprint> cold_nodes;
+  for (std::size_t i : idx) cold_nodes.push_back(cold_world.fp(i));
+  Pool cold_pool(cold_world, 4, cold_cfg);
+  RttMatrix cold_cache;
+  ParallelScanner cold_scanner(cold_pool.measurers, cold_cache);
+  ParallelScanOptions cold_options;
+  cold_options.pipeline_builds = false;
+  const ScanReport cold = cold_scanner.scan(cold_nodes, cold_options);
+  ASSERT_EQ(cold.measured, 45u);
+  EXPECT_EQ(cold.circuits_built, 3u * 45u);
+  EXPECT_EQ(cold.half_cache_hits, 0u);
+  EXPECT_EQ(cold.samples_saved, 0u);
+
+  scenario::Testbed opt_world = scenario::planetlab31(stable(911));
+  std::vector<dir::Fingerprint> opt_nodes;
+  for (std::size_t i : idx) opt_nodes.push_back(opt_world.fp(i));
+  Pool opt_pool(opt_world, 4, opt_cfg);
+  RttMatrix opt_cache;
+  ParallelScanner opt_scanner(opt_pool.measurers, opt_cache);
+  ParallelScanOptions opt_options;
+  HalfCircuitCache halves;
+  opt_options.half_cache = &halves;
+  const ScanReport opt = opt_scanner.scan(opt_nodes, opt_options);
+  ASSERT_EQ(opt.measured, 45u);
+
+  // Each of K=4 hosts memoizes its own halves, so hits are plentiful even
+  // though the first pair per (host, relay) still measures.
+  EXPECT_GT(opt.half_cache_hits, 0u);
+  EXPECT_LT(opt.circuits_built, cold.circuits_built);
+  EXPECT_GT(opt.samples_saved, 0u);
+  EXPECT_FALSE(halves.empty());
+
+  for (std::size_t i = 0; i < cold_nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < cold_nodes.size(); ++j)
+      EXPECT_NEAR(*cold_cache.rtt(cold_nodes[i], cold_nodes[j]),
+                  *opt_cache.rtt(opt_nodes[i], opt_nodes[j]), 1.0)
+          << "pair " << i << "," << j;
+}
+
+TEST(ParallelScanTest, PipelinedBuildsReduceSequentialScanTime) {
+  // AllPairsScanner with pipelining prebuilds pair p+1's C_xy while pair p
+  // samples, so the serial engine's virtual time drops by roughly one
+  // build's worth of EXTENDCIRCUIT round trips per pair.
+  TingConfig cfg;
+  cfg.samples = 20;
+  std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5, 6, 7};
+
+  const auto run = [&](bool pipeline) {
+    scenario::Testbed tb = scenario::planetlab31(stable(912));
+    std::vector<dir::Fingerprint> nodes;
+    for (std::size_t i : idx) nodes.push_back(tb.fp(i));
+    TingMeasurer m(tb.ting(), cfg);
+    RttMatrix cache;
+    AllPairsScanner scanner(m, cache);
+    ScanOptions options;
+    options.pipeline_builds = pipeline;
+    const ScanReport r = scanner.scan(nodes, options);
+    EXPECT_EQ(r.measured, 28u);
+    EXPECT_EQ(r.failed, 0u);
+    // Pipelining hides build latency but never skips builds.
+    EXPECT_EQ(r.circuits_built, 3u * 28u);
+    return r.virtual_time.sec();
+  };
+
+  const double plain = run(false);
+  const double pipelined = run(true);
+  EXPECT_LT(pipelined, plain)
+      << "pipelined " << pipelined << "s vs plain " << plain << "s";
 }
 
 TEST(ParallelScanTest, FreshCacheEntriesAreSkipped) {

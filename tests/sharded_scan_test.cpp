@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "scenario/shard_world.h"
+#include "ting/half_circuit_cache.h"
 #include "ting/scheduler.h"
 #include "ting/sharded_scan.h"
 
@@ -113,6 +114,87 @@ TEST(ShardedScanTest, MergedReportCountersAddUp) {
   for (const std::size_t h : r.retry_histogram) hist_sum += h;
   EXPECT_EQ(hist_sum, r.measured + r.failed);
   EXPECT_GT(r.virtual_time.sec(), 0.0);
+}
+
+TEST(ShardedScanTest, BitIdenticalAcrossShardCountsWithOptimizations) {
+  // Half-circuit memoization + adaptive early-stop must not perturb the
+  // deterministic guarantee: with per-half world reseeds, a memoized R_Cx
+  // equals the value a fresh probe would measure, so the merged matrix (and
+  // the merged half-circuit cache) stay bit-identical for any W.
+  scenario::ShardWorldOptions wo = small_world(47);
+  wo.ting.adaptive_samples = true;
+  wo.ting.samples = 40;
+  // Aggressive stop rule so the 40-sample budget early-stops (the
+  // conservative defaults only bite near the full 200 budget).
+  wo.ting.min_samples = 10;
+  wo.ting.plateau_samples = 10;
+  wo.ting.epsilon_ms = 0.05;
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+
+  std::string csv1, csv3, halves1, halves3;
+  std::size_t built1 = 0, built3 = 0;
+  {
+    RttMatrix m;
+    HalfCircuitCache halves;
+    ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+    ShardedScanOptions so = sharded(1, 7);
+    so.half_cache = &halves;
+    const ScanReport r = scanner.scan(nodes, m, so);
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_GT(r.half_cache_hits, 0u);
+    EXPECT_GT(r.samples_saved, 0u);
+    // With one shard every relay's half is memoized after its first pair:
+    // 8 half measurements + 28 C_xy builds, not 3 * 28.
+    EXPECT_EQ(r.circuits_built, 28u + 8u);
+    csv1 = m.to_csv();
+    halves1 = halves.to_csv();
+    built1 = r.circuits_built;
+  }
+  {
+    RttMatrix m;
+    HalfCircuitCache halves;
+    ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+    ShardedScanOptions so = sharded(3, 7);
+    so.half_cache = &halves;
+    const ScanReport r = scanner.scan(nodes, m, so);
+    EXPECT_EQ(r.failed, 0u);
+    csv3 = m.to_csv();
+    halves3 = halves.to_csv();
+    built3 = r.circuits_built;
+  }
+  EXPECT_EQ(csv1, csv3);
+  EXPECT_EQ(halves1, halves3);
+  // Shards each warm a private cache copy, so more shards build more half
+  // circuits — but deterministic values make the merged artifacts agree.
+  EXPECT_GE(built3, built1);
+}
+
+TEST(ShardedScanTest, MergedCountersIncludeOptimizationStats) {
+  scenario::ShardWorldOptions wo = small_world(48);
+  wo.ting.adaptive_samples = true;
+  wo.ting.samples = 40;
+  wo.ting.min_samples = 10;
+  wo.ting.plateau_samples = 10;
+  wo.ting.epsilon_ms = 0.05;
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+
+  RttMatrix m;
+  HalfCircuitCache halves;
+  ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+  ShardedScanOptions so = sharded(2, 9);
+  so.half_cache = &halves;
+  const ScanReport r = scanner.scan(nodes, m, so);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.measured, 28u);
+  // Every measured pair builds at least C_xy; memoization keeps the total
+  // well under the cold 3-per-pair.
+  EXPECT_GE(r.circuits_built, 28u);
+  EXPECT_LT(r.circuits_built, 3u * 28u);
+  EXPECT_GT(r.half_cache_hits, 0u);
+  EXPECT_GT(r.samples_saved, 0u);
+  // The merged cache holds one entry per (apparatus, relay); shard worlds
+  // are clones sharing one w fingerprint, so that is one entry per relay.
+  EXPECT_EQ(halves.size(), nodes.size());
 }
 
 TEST(ShardedScanTest, PairReseedIsCommutative) {

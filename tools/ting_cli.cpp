@@ -13,6 +13,7 @@
 // Matrices written by `scan` feed `tiv`, `deanon`, and `coords`.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +28,7 @@
 #include "scenario/testbed.h"
 #include "scenario/timeline.h"
 #include "simnet/fault_plan.h"
+#include "ting/half_circuit_cache.h"
 #include "ting/measurer.h"
 #include "ting/scheduler.h"
 #include "util/stats.h"
@@ -40,13 +42,20 @@ struct Args {
 
   static Args parse(int argc, char** argv, int from) {
     Args a;
-    for (int i = from; i + 1 < argc; i += 2) {
+    for (int i = from; i < argc;) {
       const std::string key = argv[i];
       if (key.size() < 3 || key[0] != '-' || key[1] != '-') {
         std::fprintf(stderr, "bad flag: %s\n", key.c_str());
         std::exit(2);
       }
-      a.kv[key.substr(2)] = argv[i + 1];
+      // A flag followed by another flag (or nothing) is boolean: "--pipeline".
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        a.kv[key.substr(2)] = "1";
+        i += 1;
+      } else {
+        a.kv[key.substr(2)] = argv[i + 1];
+        i += 2;
+      }
     }
     return a;
   }
@@ -57,6 +66,12 @@ struct Args {
   std::string str(const std::string& key, const std::string& fallback) const {
     auto it = kv.find(key);
     return it == kv.end() ? fallback : it->second;
+  }
+  /// On/off switch with a --no-<key> escape hatch; bare "--<key>" means on.
+  bool flag(const std::string& key, bool fallback) const {
+    if (kv.contains("no-" + key)) return false;
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second != "0";
   }
 };
 
@@ -92,12 +107,16 @@ int cmd_measure(const Args& args) {
 int cmd_scan(const Args& args) {
   const auto relays = static_cast<std::size_t>(args.num("relays", 25));
   const auto nodes = static_cast<std::size_t>(args.num("nodes", 12));
-  const int samples = static_cast<int>(args.num("samples", 100));
+  const int samples = static_cast<int>(args.num("samples", 200));
   const int parallel = static_cast<int>(args.num("parallel", 1));
   const int shards = static_cast<int>(args.num("shards", 1));
   const int cap = static_cast<int>(args.num("cap", 1));
   const std::string out = args.str("out", "matrix.csv");
   const std::string faults = args.str("faults", "");
+  // Measurement-plane optimizations, on by default (--no-* to disable).
+  const bool use_half_cache = args.flag("half-cache", true);
+  const bool adaptive = args.flag("adaptive-samples", true);
+  const bool pipeline = args.flag("pipeline", true);
   if (parallel < 1 || cap < 1 || shards < 1) {
     std::fprintf(stderr, "--parallel, --cap, and --shards must be >= 1\n");
     return 2;
@@ -106,6 +125,18 @@ int cmd_scan(const Args& args) {
   options.seed = static_cast<std::uint64_t>(args.num("seed", 1));
   meas::TingConfig cfg;
   cfg.samples = samples;
+  cfg.adaptive_samples = adaptive;
+
+  // The half-circuit cache persists beside the matrix, so re-scans reuse
+  // R_Cx measurements the same way they reuse fresh matrix entries.
+  const std::string halves_path = out + ".halves.csv";
+  meas::HalfCircuitCache half_cache;
+  if (use_half_cache) {
+    if (std::ifstream probe(halves_path); probe.good())
+      half_cache = meas::HalfCircuitCache::load_csv(halves_path);
+  }
+  meas::HalfCircuitCache* half_cache_ptr =
+      use_half_cache ? &half_cache : nullptr;
 
   const auto progress = [](std::size_t done, std::size_t total,
                            const meas::PairResult& r) {
@@ -133,6 +164,8 @@ int cmd_scan(const Args& args) {
     scan_options.pair_seed = options.seed;
     scan_options.shards = static_cast<std::size_t>(shards);
     scan_options.deterministic = parallel == 1;
+    scan_options.half_cache = half_cache_ptr;
+    scan_options.pipeline_builds = pipeline;
     report = scanner.scan(subset, matrix, scan_options, progress);
   } else {
     scenario::Testbed world = scenario::live_tor(relays, options);
@@ -147,6 +180,8 @@ int cmd_scan(const Args& args) {
     }
 
     meas::ScanOptions common;
+    common.half_cache = half_cache_ptr;
+    common.pipeline_builds = pipeline;
     if (!faults.empty()) {
       common.live_consensus = &world.consensus();
       common.fault_plan = &plan;
@@ -175,6 +210,7 @@ int cmd_scan(const Args& args) {
   }
   std::fprintf(stderr, "\n");
   matrix.save_csv(out);
+  if (use_half_cache) half_cache.save_csv(halves_path);
   std::printf("scanned %zu pairs (%zu measured, %zu cached, %zu failed, "
               "%zu retries) in %.1f virtual hours -> %s\n",
               report.pairs_total, report.measured, report.from_cache,
@@ -186,6 +222,11 @@ int cmd_scan(const Args& args) {
               report.max_per_relay_in_flight, cap,
               report.time_building.sec() / 3600.0,
               report.time_sampling.sec() / 3600.0);
+  std::printf("optimizations: %zu circuits built, %zu half-cache hits, "
+              "%zu samples saved%s\n",
+              report.circuits_built, report.half_cache_hits,
+              report.samples_saved,
+              use_half_cache ? (" -> " + halves_path).c_str() : "");
   if (!faults.empty()) {
     std::printf("failures by class: %zu transient, %zu permanent, %zu "
                 "churned (%zu pairs re-resolved after churn)\n",
@@ -300,6 +341,11 @@ void usage() {
       "                                                  --shards W --faults SPEC)\n"
       "  (--shards W fans the pair list across W threads, each with its own\n"
       "   world clone; with --parallel 1 output is bit-identical for any W)\n"
+      "  (scan optimizations, on by default: --half-cache memoizes R_Cx per\n"
+      "   relay and persists it at <out>.halves.csv, --adaptive-samples stops\n"
+      "   sampling once the running minimum plateaus, --pipeline prebuilds the\n"
+      "   next pair's circuit while the current one samples; disable with\n"
+      "   --no-half-cache / --no-adaptive-samples / --no-pipeline)\n"
       "fault spec (clauses ';'-separated, see src/scenario/faults.h):\n"
       "  loss:<target>:<prob>[:<start_s>:<dur_s>]\n"
       "  degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>]\n"
