@@ -19,6 +19,7 @@
 #include "scenario/faults.h"
 #include "scenario/shard_world.h"
 #include "simnet/fault_plan.h"
+#include "ting/scan_journal.h"
 #include "ting/scheduler.h"
 #include "ting/sharded_scan.h"
 
@@ -280,6 +281,40 @@ int main() {
     const double speedup = wall4 > 0 ? wall1 / wall4 : 0;
     const unsigned cpus = std::thread::hardware_concurrency();
 
+    // Journaling overhead: the identical W=1 scan with the write-ahead
+    // journal attached — one fsync'd record per resolved pair and per
+    // half-circuit store. Compares wall clock against the unjournaled run
+    // above and checks the crash-safety machinery costs no correctness
+    // (the journaled matrix must still be bit-identical).
+    double wall_journal = 0;
+    std::size_t journal_fsyncs = 0, journal_pair_records = 0;
+    bool journal_identical = false;
+    {
+      meas::ScanJournal::Meta jm;
+      jm.pair_seed = swo.testbed.seed;
+      jm.nodes = sharded_nodes.size();
+      meas::ScanJournal journal("BENCH_scan.journal",
+                                meas::ScanJournal::Mode::kFresh, jm);
+      meas::RttMatrix mj;
+      meas::ShardedScanner scanner(scenario::make_testbed_shard_factory(swo));
+      meas::ShardedScanOptions so;
+      so.shards = 1;
+      so.pair_seed = swo.testbed.seed;
+      so.journal = &journal;
+      const auto t0 = std::chrono::steady_clock::now();
+      const meas::ScanReport rj = scanner.scan(sharded_nodes, mj, so);
+      wall_journal = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+      journal_fsyncs = journal.fsyncs();
+      journal_pair_records = journal.pairs().size();
+      journal_identical =
+          rj.failed == 0 && mj.to_csv() == m1.to_csv();
+      journal.remove_file();
+    }
+    const double journal_overhead =
+        wall1 > 0 ? wall_journal / wall1 : 0;
+
     std::printf("# sharded engine (wall clock, deterministic): %zu nodes, "
                 "%zu pairs, %u host cpus\n",
                 sharded_nodes.size(), r1.pairs_total, cpus);
@@ -290,6 +325,10 @@ int main() {
                 r4.failed);
     std::printf("# merged matrices bit-identical across W: %s\n",
                 identical ? "yes" : "NO");
+    std::printf("# journaling overhead at W=1: %.2fs vs %.2fs (x%.3f), "
+                "%zu fsyncs, %zu pair records, bit-identical: %s\n",
+                wall_journal, wall1, journal_overhead, journal_fsyncs,
+                journal_pair_records, journal_identical ? "yes" : "NO");
     if (cpus < 4)
       std::printf("# (only %u cpu(s) available: wall-clock speedup is "
                   "core-bound, not engine-bound)\n",
@@ -327,13 +366,24 @@ int main() {
           "    \"deviation_method\": \"deterministic per-pair replay "
           "(reseed_world): cached+adaptive vs cold on identical jitter "
           "streams\"\n"
+          "  },\n"
+          "  \"journaling\": {\n"
+          "    \"leg\": \"W=1 sharded scan, write-ahead journal on vs off\",\n"
+          "    \"wall_off_s\": %.3f,\n"
+          "    \"wall_on_s\": %.3f,\n"
+          "    \"overhead_ratio\": %.3f,\n"
+          "    \"fsyncs\": %zu,\n"
+          "    \"pair_records\": %zu,\n"
+          "    \"bit_identical_with_journal\": %s\n"
           "  }\n"
           "}\n",
           sharded_nodes.size(), r1.pairs_total, swo.ting.samples, cpus, wall1,
           wall4, speedup, identical ? "true" : "false", r4.measured, r4.failed,
           opt_pairs, base_pairs_per_hour, opt_pairs_per_hour, opt_speedup,
           base_circuits, opt_circuits, opt_circuit_ratio, opt_half_hits,
-          opt_samples_saved, opt_max_dev_ms);
+          opt_samples_saved, opt_max_dev_ms, wall1, wall_journal,
+          journal_overhead, journal_fsyncs, journal_pair_records,
+          journal_identical ? "true" : "false");
       std::fclose(json);
       std::printf("# wrote BENCH_scan.json\n");
     }

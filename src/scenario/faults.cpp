@@ -84,6 +84,12 @@ FaultClause parse_clause(const std::string& text) {
     c.down_s = parse_number(fields[4], text);
     TING_CHECK_MSG(c.events >= 1 && c.period_s > 0 && c.down_s > 0,
                    "churn needs events >= 1, period > 0, down > 0: " << text);
+  } else if (kind == "die") {
+    TING_CHECK_MSG(fields.size() == 2 || fields.size() == 3,
+                   "die:<target>[:<start_s>] — got: " << text);
+    c.kind = FaultClause::Kind::kDie;
+    c.target = parse_target(fields[1], text);
+    if (fields.size() == 3) c.start_s = parse_number(fields[2], text);
   } else {
     TING_CHECK_MSG(false, "unknown fault kind '" << kind << "' in: " << text);
   }
@@ -141,6 +147,31 @@ void apply_fault_spec(const FaultSpec& spec, Testbed& tb,
           plan.crash_window(h, Duration::from_ms(c.start_s * 1000.0),
                             Duration::from_ms(c.duration_s * 1000.0));
         break;
+      case FaultClause::Kind::kDie: {
+        std::vector<dir::Fingerprint> fps;
+        if (c.target < 0) {
+          fps = scan_nodes;
+        } else {
+          TING_CHECK_MSG(
+              static_cast<std::size_t>(c.target) < scan_nodes.size(),
+              "fault target " << c.target << " out of range (scan has "
+                              << scan_nodes.size() << " nodes)");
+          fps.push_back(scan_nodes[static_cast<std::size_t>(c.target)]);
+        }
+        for (const dir::Fingerprint& fp : fps) {
+          if (c.start_s <= 0) {
+            // Immediate removal, before the scan takes its consensus
+            // snapshot: the relay is never-known, so its failures classify
+            // permanent (the quarantine-breaker scenario).
+            tb.directory_remove(fp);
+          } else {
+            plan.at(Duration::from_ms(c.start_s * 1000.0),
+                    "consensus: x" + fp.short_name(),
+                    [&tb, fp]() { tb.directory_remove(fp); });
+          }
+        }
+        break;
+      }
       case FaultClause::Kind::kChurn: {
         ScanChurnOptions churn;
         churn.seed = seed;

@@ -16,10 +16,16 @@
 //       <events> scripted consensus leave/rejoin cycles over the scan
 //       nodes, starting at <start_s>, one every <period_s>, each relay
 //       rejoining <down_s> after it leaves.
+//   die:<target>[:<start_s>]
+//       Permanent consensus removal — the relay leaves and never rejoins.
+//       With start 0 (the default) it is removed before the scan's
+//       consensus snapshot, so its failures classify as permanent (the
+//       scenario that trips the relay quarantine breaker); with a later
+//       start it vanishes mid-scan like unrecovered churn.
 //
 //   <target> is a scan-node index, or '*' for every scan node.
 //
-// Example: "loss:*:0.05;crash:3:30:60;churn:2:10:45:90"
+// Example: "loss:*:0.05;crash:3:30:60;churn:2:10:45:90;die:5"
 #pragma once
 
 #include <string>
@@ -34,7 +40,7 @@ namespace ting::scenario {
 class Testbed;
 
 struct FaultClause {
-  enum class Kind { kLoss, kDegrade, kCrash, kChurn };
+  enum class Kind { kLoss, kDegrade, kCrash, kChurn, kDie };
   Kind kind = Kind::kLoss;
   int target = -1;  ///< scan-node index; -1 = '*' (all scan nodes)
   double prob = 0;                      ///< loss

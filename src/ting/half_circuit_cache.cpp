@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/assert.h"
+#include "util/atomic_file.h"
 #include "util/bytes.h"
 
 namespace ting::meas {
@@ -14,7 +15,9 @@ void HalfCircuitCache::store(const dir::Fingerprint& host_w,
                              TimePoint measured_at, int samples) {
   TING_CHECK_MSG(!(host_w == relay),
                  "half-circuit cache: apparatus cannot be its own target");
-  entries_[Key{host_w, relay}] = Entry{rtt_ms, measured_at, samples};
+  const Entry entry{rtt_ms, measured_at, samples};
+  entries_[Key{host_w, relay}] = entry;
+  if (store_observer_) store_observer_(host_w, relay, entry);
 }
 
 const HalfCircuitCache::Entry* HalfCircuitCache::lookup(
@@ -107,9 +110,8 @@ HalfCircuitCache HalfCircuitCache::from_csv(const std::string& csv) {
 }
 
 void HalfCircuitCache::save_csv(const std::string& path) const {
-  std::ofstream f(path);
-  TING_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
-  f << to_csv();
+  // Crash-safe replacement, same rationale as RttMatrix::save_csv.
+  atomic_write_file(path, to_csv());
 }
 
 HalfCircuitCache HalfCircuitCache::load_csv(const std::string& path) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -75,6 +76,20 @@ class HalfCircuitCache {
   bool empty() const { return entries_.empty(); }
   void clear() { entries_.clear(); }
 
+  /// Observer invoked after every store() — the scan journal's hook for
+  /// recording half-circuit measurements as they land. Deliberately NOT
+  /// fired by from_csv / merge_freshest / copy construction: those move
+  /// already-recorded entries around, and re-observing them would duplicate
+  /// journal records. The observer is copied along with the cache, so the
+  /// sharded engine's per-shard copies keep journaling (the journal itself
+  /// is thread-safe).
+  using StoreObserver =
+      std::function<void(const dir::Fingerprint& host_w,
+                         const dir::Fingerprint& relay, const Entry& entry)>;
+  void set_store_observer(StoreObserver observer) {
+    store_observer_ = std::move(observer);
+  }
+
   /// CSV with header "host_fp,relay_fp,rtt_ms,measured_at_ns,samples";
   /// ordered-map iteration keeps the output independent of insertion order.
   std::string to_csv() const;
@@ -86,6 +101,7 @@ class HalfCircuitCache {
   using Key = std::pair<dir::Fingerprint, dir::Fingerprint>;  // (host_w, relay)
   std::map<Key, Entry> entries_;
   Duration max_age_;
+  StoreObserver store_observer_;
 };
 
 }  // namespace ting::meas

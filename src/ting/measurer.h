@@ -102,6 +102,10 @@ struct PairResult {
   std::string error;
   ErrorClass error_class = ErrorClass::kNone;
   bool from_cache = false;  ///< satisfied from the scan cache, not measured
+  /// Never probed: a quarantined-terminal relay touches this pair, so the
+  /// scan engine deferred it (see quarantine.h). ok stays false but the
+  /// pair is not counted as failed either.
+  bool deferred = false;
   double rtt_ms = 0;  ///< the Ting estimate of R(x, y)
   CircuitMeasurement cxy, cx, cy;
   Duration wall_time;  ///< virtual time the measurement took

@@ -1,0 +1,65 @@
+#include "ting/quarantine.h"
+
+namespace ting::meas {
+
+RelayQuarantine::State RelayQuarantine::state(const dir::Fingerprint& relay,
+                                              TimePoint now) const {
+  const auto it = cells_.find(relay);
+  if (it == cells_.end()) return State::kClear;
+  const Cell& c = it->second;
+  if (c.terminal) return State::kTerminal;
+  if (c.windows == 0) return State::kClear;  // failures below threshold
+  return now < c.until ? State::kQuarantined : State::kProbation;
+}
+
+TimePoint RelayQuarantine::release_at(const dir::Fingerprint& relay) const {
+  const auto it = cells_.find(relay);
+  return it == cells_.end() ? TimePoint{} : it->second.until;
+}
+
+bool RelayQuarantine::on_permanent_failure(const dir::Fingerprint& relay,
+                                           TimePoint now) {
+  if (!options_.enabled) return false;
+  Cell& c = cells_[relay];
+  if (c.terminal) return false;
+  const bool in_window = c.windows > 0 && now < c.until;
+  const bool probation = c.windows > 0 && now >= c.until;
+  ++c.consecutive;
+  if (in_window) {
+    // A pair dispatched before the window opened finished inside it; count
+    // the failure but don't extend or re-open the window.
+    return false;
+  }
+  if (probation) {
+    // The probation probe failed: re-open the window, or write the relay
+    // off once the window budget is spent.
+    if (c.windows >= options_.max_windows) {
+      c.terminal = true;
+      events_.push_back(QuarantineEvent{relay, now, now, c.consecutive, true});
+      return true;
+    }
+    ++c.windows;
+    c.until = now + options_.cooldown;
+    events_.push_back(
+        QuarantineEvent{relay, now, c.until, c.consecutive, false});
+    return true;
+  }
+  if (c.consecutive >= options_.threshold) {
+    c.windows = 1;
+    c.until = now + options_.cooldown;
+    events_.push_back(
+        QuarantineEvent{relay, now, c.until, c.consecutive, false});
+    return true;
+  }
+  return false;
+}
+
+void RelayQuarantine::on_success(const dir::Fingerprint& relay) {
+  // Terminal is sticky for the scan: a success through a written-off relay
+  // cannot happen (its pairs are deferred, never probed), so erasing
+  // unconditionally is safe — but keep the invariant explicit.
+  const auto it = cells_.find(relay);
+  if (it != cells_.end() && !it->second.terminal) cells_.erase(it);
+}
+
+}  // namespace ting::meas

@@ -1,0 +1,97 @@
+// RelayQuarantine — the per-relay circuit breaker the scan engines consult
+// before probing a pair.
+//
+// Ting's operational reality (§4.5, and the project's own published scans)
+// is that a minority of relays fail chronically: dead forever, firewalled,
+// or long gone from the consensus. PR 2's ErrorClass taxonomy already stops
+// retrying a *pair* after a permanent failure, but a sick relay still costs
+// one wasted attempt per pair touching it — O(n) wasted circuit builds per
+// sick relay in an n-node scan. The breaker extends the taxonomy to the
+// relay level: after `threshold` consecutive permanent failures a relay is
+// quarantined for a cooldown window; while quarantined, its pending pairs
+// are held (not probed, not failed). When the window expires the relay is
+// on probation — one probe is let through; success clears the breaker,
+// another permanent failure re-opens it. After `max_windows` windows the
+// relay is terminal and every remaining pair touching it is deferred and
+// reported in ScanReport::deferred_pairs (a deferred pair is retried by a
+// future scan or --resume; it is deliberately NOT a failure — the pair was
+// never attempted).
+//
+// State is engine-local and scan-scoped: each shard world quarantines
+// independently (mirroring how per-shard fault plans already localise
+// failures), and a resumed scan starts with a clear breaker — a still-sick
+// relay re-trips within `threshold` probes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "util/time.h"
+
+namespace ting::meas {
+
+struct QuarantineOptions {
+  /// Master switch. Off by default so library callers keep the established
+  /// per-pair failure semantics (mirroring TingConfig::adaptive_samples);
+  /// the CLI turns the breaker on for real scans.
+  bool enabled = false;
+  /// Consecutive permanent failures that open the breaker.
+  int threshold = 3;
+  /// How long a quarantine window lasts (virtual time).
+  Duration cooldown = Duration::seconds(600);
+  /// Windows before the relay is written off for this scan: after the
+  /// max_windows-th window's probation probe also fails permanently, the
+  /// relay goes terminal and its remaining pairs are deferred.
+  int max_windows = 2;
+};
+
+/// One breaker transition, reported in ScanReport::quarantine_events.
+struct QuarantineEvent {
+  dir::Fingerprint relay;
+  TimePoint at;     ///< when the transition fired (shard-local virtual time)
+  TimePoint until;  ///< window end (equal to `at` for terminal transitions)
+  int failures = 0; ///< consecutive permanent failures at that point
+  bool terminal = false;
+};
+
+class RelayQuarantine {
+ public:
+  explicit RelayQuarantine(QuarantineOptions options = {})
+      : options_(options) {}
+
+  enum class State {
+    kClear,        ///< no open breaker; probe freely
+    kQuarantined,  ///< inside a cooldown window; hold the relay's pairs
+    kProbation,    ///< window expired; let one probe through
+    kTerminal,     ///< written off for this scan; defer remaining pairs
+  };
+
+  State state(const dir::Fingerprint& relay, TimePoint now) const;
+  /// When the relay's current window expires (meaningful for kQuarantined).
+  TimePoint release_at(const dir::Fingerprint& relay) const;
+
+  /// Record a permanent failure charged to `relay`. Returns true when the
+  /// breaker transitioned (a window opened, re-opened, or went terminal) —
+  /// the caller's cue to log/journal the event (the newest entry of
+  /// events()) and schedule a wake-up at its window end.
+  bool on_permanent_failure(const dir::Fingerprint& relay, TimePoint now);
+  /// A successful measurement touching `relay` clears its breaker.
+  void on_success(const dir::Fingerprint& relay);
+
+  const std::vector<QuarantineEvent>& events() const { return events_; }
+  const QuarantineOptions& options() const { return options_; }
+
+ private:
+  struct Cell {
+    int consecutive = 0;  ///< consecutive permanent failures
+    int windows = 0;      ///< quarantine windows opened so far
+    TimePoint until;      ///< current window's end
+    bool terminal = false;
+  };
+  std::map<dir::Fingerprint, Cell> cells_;
+  QuarantineOptions options_;
+  std::vector<QuarantineEvent> events_;
+};
+
+}  // namespace ting::meas

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/assert.h"
+#include "util/atomic_file.h"
 #include "util/bytes.h"
 
 namespace ting::meas {
@@ -123,9 +124,10 @@ RttMatrix RttMatrix::from_csv(const std::string& csv) {
 }
 
 void RttMatrix::save_csv(const std::string& path) const {
-  std::ofstream f(path);
-  TING_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
-  f << to_csv();
+  // Crash-safe replacement: a reader never observes a torn matrix, and a
+  // failed write (disk full, bad path) throws instead of silently losing
+  // the dataset.
+  atomic_write_file(path, to_csv());
 }
 
 RttMatrix RttMatrix::load_csv(const std::string& path) {

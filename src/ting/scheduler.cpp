@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ting/half_circuit_cache.h"
+#include "ting/scan_journal.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -132,6 +133,284 @@ void annotate_fault_events(ScanReport& report, const ScanOptions& options,
     if (e.at >= started && e.at <= ended) report.fault_events.push_back(e);
 }
 
+// ---- crash safety & graceful degradation helpers ----------------------------
+
+bool stop_requested(const ScanOptions& options) {
+  return options.stop != nullptr &&
+         options.stop->load(std::memory_order_relaxed);
+}
+
+/// Append one terminally-resolved pair to the write-ahead journal (no-op
+/// without one). `measured_at` must equal the timestamp the engine stored in
+/// the matrix, so a resume rebuilds identical entries.
+void journal_pair(const ScanOptions& options, const dir::Fingerprint& x,
+                  const dir::Fingerprint& y, const PairResult& r, int attempts,
+                  ErrorClass cls, TimePoint measured_at) {
+  if (options.journal == nullptr) return;
+  ScanJournal::PairRecord rec;
+  rec.a = x;
+  rec.b = y;
+  rec.ok = r.ok;
+  rec.attempts = attempts;
+  rec.error_class = r.ok ? ErrorClass::kNone : cls;
+  rec.rtt_ms = r.ok ? r.rtt_ms : 0.0;
+  rec.measured_at = measured_at;
+  rec.samples = r.cxy.samples_taken;
+  rec.error = r.error;
+  options.journal->record_pair(rec);
+}
+
+/// What the quarantine breaker says about probing pair (x, y) right now.
+struct QuarantineGate {
+  enum class Verdict {
+    kProceed,  ///< both relays probe-able
+    kHold,     ///< a relay is inside a cooldown window; park the pair
+    kDefer,    ///< a relay is terminal; resolve the pair as deferred
+  };
+  Verdict verdict = Verdict::kProceed;
+  dir::Fingerprint culprit;  ///< the terminal relay (kDefer)
+  bool probation = false;    ///< this probe tests an expired window
+};
+
+QuarantineGate quarantine_gate(const RelayQuarantine& q,
+                               const ScanOptions& options,
+                               const dir::Fingerprint& x,
+                               const dir::Fingerprint& y, TimePoint now) {
+  QuarantineGate g;
+  if (!options.quarantine.enabled) return g;
+  for (const dir::Fingerprint* fp : {&x, &y}) {
+    switch (q.state(*fp, now)) {
+      case RelayQuarantine::State::kTerminal:
+        g.verdict = QuarantineGate::Verdict::kDefer;
+        g.culprit = *fp;
+        return g;
+      case RelayQuarantine::State::kQuarantined:
+        g.verdict = QuarantineGate::Verdict::kHold;
+        break;
+      case RelayQuarantine::State::kProbation:
+        g.probation = true;
+        break;
+      case RelayQuarantine::State::kClear:
+        break;
+    }
+  }
+  return g;
+}
+
+/// Charge a pair's permanent failure to the relays the scan can actually
+/// blame: endpoints the directory never knew are definite culprits;
+/// otherwise both endpoints share the charge (successes reset the counter,
+/// so a healthy relay paired with a sick one doesn't accumulate). New
+/// breaker transitions are appended to the report (and journal) and
+/// returned so the caller can schedule window-expiry wake-ups.
+std::vector<QuarantineEvent> charge_permanent(
+    RelayQuarantine& q, ScanReport& report, const ScanOptions& options,
+    const dir::Fingerprint& x, const dir::Fingerprint& y,
+    const std::set<dir::Fingerprint>& never_known, TimePoint now) {
+  if (!options.quarantine.enabled) return {};
+  const std::size_t before = q.events().size();
+  bool charged = false;
+  for (const dir::Fingerprint* fp : {&x, &y}) {
+    if (never_known.contains(*fp)) {
+      q.on_permanent_failure(*fp, now);
+      charged = true;
+    }
+  }
+  if (!charged) {
+    q.on_permanent_failure(x, now);
+    q.on_permanent_failure(y, now);
+  }
+  std::vector<QuarantineEvent> fresh(q.events().begin() + static_cast<long>(before),
+                                     q.events().end());
+  for (const QuarantineEvent& ev : fresh) {
+    TING_WARN("scan: relay " << ev.relay.short_name()
+                             << (ev.terminal
+                                     ? " written off (quarantine budget spent)"
+                                     : " quarantined")
+                             << " after " << ev.failures
+                             << " consecutive permanent failures");
+    report.quarantine_events.push_back(ev);
+    if (options.journal != nullptr)
+      options.journal->record_quarantine(ScanJournal::QuarantineRecord{
+          ev.relay, ev.at, ev.until, ev.failures, ev.terminal});
+  }
+  return fresh;
+}
+
+void clear_quarantine(RelayQuarantine& q, const ScanOptions& options,
+                      const dir::Fingerprint& x, const dir::Fingerprint& y) {
+  if (!options.quarantine.enabled) return;
+  q.on_success(x);
+  q.on_success(y);
+}
+
+/// The result a progress callback sees for a deferred pair.
+PairResult deferred_result(const dir::Fingerprint& x, const dir::Fingerprint& y,
+                           const dir::Fingerprint& culprit) {
+  PairResult r;
+  r.x = x;
+  r.y = y;
+  r.deferred = true;
+  r.error = "deferred: relay " + culprit.short_name() + " quarantined";
+  return r;
+}
+
+/// The serial scan driver shared by AllPairsScanner and the deterministic
+/// sharded path: one pair at a time through the cache check, quarantine
+/// gate, retry policy (per-class, like the parallel engine), journaling,
+/// and graceful-stop handling. The two engines differ only in how a single
+/// attempt is measured (`measure_attempt`) and in whether matrix/journal
+/// timestamps are zeroed (deterministic mode: shard worlds run unrelated
+/// virtual clocks).
+///
+/// Quarantine-held pairs are parked in a side list; when the live worklist
+/// drains, the driver fast-forwards virtual time to the earliest window
+/// expiry and requeues them — probation probes then decide between clearing
+/// the breaker and walking it to terminal, at which point remaining pairs
+/// resolve as deferred. Every round either resolves a pair or advances a
+/// breaker window, so the loop terminates.
+void serial_scan_pairs(
+    TingMeasurer& m, const std::vector<TingMeasurer*>& pool, RttMatrix& cache,
+    const std::vector<dir::Fingerprint>& nodes,
+    std::deque<std::pair<std::size_t, std::size_t>> work,
+    const ScanOptions& options, const ScanProgress& progress,
+    ScanReport& report, simnet::EventLoop& loop,
+    const std::set<dir::Fingerprint>& never_known,
+    const std::function<PairResult(const dir::Fingerprint&,
+                                   const dir::Fingerprint&)>& measure_attempt,
+    bool zero_timestamps, bool pipeline) {
+  RelayQuarantine quarantine(options.quarantine);
+  std::vector<std::pair<std::size_t, std::size_t>> held;
+  std::size_t done = 0;
+
+  while (!work.empty()) {
+    if (stop_requested(options)) break;
+    const auto [i, j] = work.front();
+    work.pop_front();
+    const dir::Fingerprint& x = nodes[i];
+    const dir::Fingerprint& y = nodes[j];
+
+    if (cache.is_fresh(x, y, loop.now(), options.max_age)) {
+      ++done;
+      ++report.from_cache;
+      if (progress)
+        progress(done, report.pairs_total, cached_result(cache, x, y));
+    } else if (const QuarantineGate gate =
+                   quarantine_gate(quarantine, options, x, y, loop.now());
+               gate.verdict == QuarantineGate::Verdict::kDefer) {
+      ++done;
+      ++report.deferred;
+      report.deferred_pairs.push_back(DeferredPair{x, y, gate.culprit});
+      if (progress)
+        progress(done, report.pairs_total, deferred_result(x, y, gate.culprit));
+    } else if (gate.verdict == QuarantineGate::Verdict::kHold) {
+      held.emplace_back(i, j);
+    } else {
+      if (gate.probation) ++report.probation_probes;
+      // Pipelining: launch the next pair's C_xy build now, so its
+      // EXTENDCIRCUIT round trips overlap this pair's sampling phase.
+      if (pipeline) {
+        for (const auto& [qi, qj] : work) {
+          if (cache.is_fresh(nodes[qi], nodes[qj], loop.now(),
+                             options.max_age))
+            continue;
+          m.prebuild(nodes[qi], nodes[qj]);
+          break;
+        }
+      }
+      // One measurement actually in flight (cache-only scans report 0).
+      report.max_in_flight = 1;
+      report.max_per_relay_in_flight = 1;
+      for (int attempt = 0;; ++attempt) {
+        if (attempt > 0) {
+          // A stop request between attempts abandons the pair (it counts as
+          // interrupted and --resume retries it).
+          if (stop_requested(options)) break;
+          ++report.retries;
+        }
+        const PairResult r = measure_attempt(x, y);
+        accumulate_pair_stats(report, r);
+        const TimePoint stamp = zero_timestamps ? TimePoint{} : loop.now();
+        if (r.ok) {
+          cache.set(x, y, r.rtt_ms, stamp, r.cxy.samples_taken);
+          ++report.measured;
+          ++report.retry_histogram[static_cast<std::size_t>(attempt)];
+          ++done;
+          journal_pair(options, x, y, r, attempt + 1, ErrorClass::kNone, stamp);
+          clear_quarantine(quarantine, options, x, y);
+          if (progress) progress(done, report.pairs_total, r);
+          break;
+        }
+        ErrorClass cls = r.error_class == ErrorClass::kNone
+                             ? ErrorClass::kTransient
+                             : r.error_class;
+        if (cls == ErrorClass::kRelayChurned &&
+            (never_known.contains(x) || never_known.contains(y)))
+          cls = ErrorClass::kPermanent;
+        // Permanents get no further attempts; everything else retries until
+        // the budget is exhausted.
+        if (cls == ErrorClass::kPermanent ||
+            attempt + 1 >= options.attempts_per_pair) {
+          TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
+                                  << " failed (" << to_string(cls)
+                                  << "): " << r.error);
+          count_failure(report, cls);
+          report.failed_pairs.push_back(FailedPair{x, y, cls, r.error});
+          ++report.retry_histogram[static_cast<std::size_t>(attempt)];
+          ++done;
+          journal_pair(options, x, y, r, attempt + 1, cls, stamp);
+          if (cls == ErrorClass::kPermanent)
+            charge_permanent(quarantine, report, options, x, y, never_known,
+                             loop.now());
+          if (progress) progress(done, report.pairs_total, r);
+          break;
+        }
+        if (cls == ErrorClass::kRelayChurned) {
+          // Wait out a consensus interval, then pull the relay's descriptor
+          // back in if it rejoined.
+          loop.run_until(loop.now() + options.churn_requeue_delay);
+          if (reresolve_pair(options.live_consensus, pool, x, y,
+                             options.half_cache))
+            ++report.churn_reresolved;
+        } else {
+          // Transient: exponential backoff before re-attempting — a crashed
+          // relay gets time to come back.
+          Duration delay = options.retry_backoff_base;
+          for (int k = 0; k < attempt; ++k)
+            delay = delay * options.retry_backoff_factor;
+          loop.run_until(loop.now() + delay);
+        }
+      }
+    }
+
+    // The live worklist drained but quarantined pairs are parked: advance
+    // virtual time to the earliest window expiry and requeue them, so
+    // probation probes can run (or terminal relays defer their pairs).
+    if (work.empty() && !held.empty() && !stop_requested(options)) {
+      TimePoint wake;
+      bool any_quarantined = false;
+      for (const auto& [hi, hj] : held) {
+        for (const dir::Fingerprint* fp : {&nodes[hi], &nodes[hj]}) {
+          if (quarantine.state(*fp, loop.now()) ==
+              RelayQuarantine::State::kQuarantined) {
+            const TimePoint rel = quarantine.release_at(*fp);
+            if (!any_quarantined || rel < wake) wake = rel;
+            any_quarantined = true;
+          }
+        }
+      }
+      if (any_quarantined && wake > loop.now()) loop.run_until(wake);
+      for (const auto& h : held) work.push_back(h);
+      held.clear();
+    }
+  }
+
+  // Anything not terminally resolved (stop mid-scan) is interrupted; a
+  // --resume retries it.
+  report.interrupted_pairs = report.pairs_total - done;
+  report.interrupted = report.interrupted_pairs > 0;
+}
+
 }  // namespace
 
 std::uint64_t pair_reseed(std::uint64_t pair_seed, const dir::Fingerprint& x,
@@ -174,82 +453,15 @@ ScanReport AllPairsScanner::scan(const std::vector<dir::Fingerprint>& nodes,
     rng.shuffle(pairs);
   }
 
-  std::size_t done = 0;
-  for (std::size_t p = 0; p < pairs.size(); ++p) {
-    const auto& [i, j] = pairs[p];
-    const dir::Fingerprint& x = nodes[i];
-    const dir::Fingerprint& y = nodes[j];
-    ++done;
-
-    if (cache_.is_fresh(x, y, loop.now(), options.max_age)) {
-      ++report.from_cache;
-      if (progress)
-        progress(done, report.pairs_total, cached_result(cache_, x, y));
-      continue;
-    }
-
-    // Pipelining: launch the next pair's C_xy build now, so its
-    // EXTENDCIRCUIT round trips overlap this pair's sampling phase.
-    if (options.pipeline_builds) {
-      for (std::size_t q = p + 1; q < pairs.size(); ++q) {
-        const auto& [qi, qj] = pairs[q];
-        if (cache_.is_fresh(nodes[qi], nodes[qj], loop.now(), options.max_age))
-          continue;
-        measurer_.prebuild(nodes[qi], nodes[qj]);
-        break;
-      }
-    }
-
-    // One measurement actually in flight (cache-only scans report 0).
-    report.max_in_flight = 1;
-    report.max_per_relay_in_flight = 1;
-    for (int attempt = 0;; ++attempt) {
-      if (attempt > 0) ++report.retries;
-      const PairResult r = measurer_.measure_blocking(x, y);
-      accumulate_pair_stats(report, r);
-      if (r.ok) {
-        cache_.set(x, y, r.rtt_ms, loop.now(), r.cxy.samples_taken);
-        ++report.measured;
-        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
-        if (progress) progress(done, report.pairs_total, r);
-        break;
-      }
-      ErrorClass cls = r.error_class == ErrorClass::kNone
-                           ? ErrorClass::kTransient
-                           : r.error_class;
-      if (cls == ErrorClass::kRelayChurned &&
-          (never_known.contains(x) || never_known.contains(y)))
-        cls = ErrorClass::kPermanent;
-      // Permanents get no further attempts; everything else retries until
-      // the budget is exhausted.
-      if (cls == ErrorClass::kPermanent ||
-          attempt + 1 >= options.attempts_per_pair) {
-        TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
-                                << " failed (" << to_string(cls)
-                                << "): " << r.error);
-        count_failure(report, cls);
-        report.failed_pairs.push_back(FailedPair{x, y, cls, r.error});
-        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
-        if (progress) progress(done, report.pairs_total, r);
-        break;
-      }
-      if (cls == ErrorClass::kRelayChurned) {
-        // Wait out a consensus interval, then pull the relay's descriptor
-        // back in if it rejoined.
-        loop.run_until(loop.now() + options.churn_requeue_delay);
-        if (reresolve_pair(options.live_consensus, pool, x, y,
-                           options.half_cache))
-          ++report.churn_reresolved;
-      } else {
-        // Transient: exponential backoff before re-attempting, mirroring
-        // the parallel engine — a crashed relay gets time to come back.
-        Duration delay = options.retry_backoff_base;
-        for (int k = 0; k < attempt; ++k)
-          delay = delay * options.retry_backoff_factor;
-        loop.run_until(loop.now() + delay);
-      }
-    }
-  }
+  serial_scan_pairs(
+      measurer_, pool, cache_, nodes,
+      std::deque<std::pair<std::size_t, std::size_t>>(pairs.begin(),
+                                                      pairs.end()),
+      options, progress, report, loop, never_known,
+      [&](const dir::Fingerprint& x, const dir::Fingerprint& y) {
+        return measurer_.measure_blocking(x, y);
+      },
+      /*zero_timestamps=*/false, /*pipeline=*/options.pipeline_builds);
 
   report.virtual_time = loop.now() - started;
   annotate_fault_events(report, options, started, loop.now());
@@ -283,6 +495,15 @@ struct ParallelScanner::ScanState {
   std::size_t in_flight = 0;
   std::size_t outstanding = 0;  ///< tasks not yet terminally resolved
   std::size_t done = 0;         ///< resolved pairs, for progress reporting
+  /// Per-relay circuit breaker; quarantine-held tasks simply stay in `ready`
+  /// (inadmissible) until a scheduled wake at their window's expiry.
+  RelayQuarantine quarantine;
+  /// Graceful shutdown: once the stop flag is seen, no new dispatches happen
+  /// and queued retries/ready tasks resolve as interrupted.
+  bool stopping = false;
+  /// Wake events scheduled at quarantine-window expiries; cancelled at scan
+  /// end so none can fire against a dead ScanState.
+  std::vector<simnet::EventId> wakes;
 };
 
 ParallelScanner::ParallelScanner(std::vector<TingMeasurer*> measurers,
@@ -297,10 +518,46 @@ ParallelScanner::ParallelScanner(std::vector<TingMeasurer*> measurers,
 }
 
 void ParallelScanner::pump(ScanState& st) {
+  simnet::EventLoop& loop = measurers_[0]->host().loop();
+
+  // Graceful shutdown: on the first stop sighting, everything still queued
+  // resolves as interrupted (in-flight measurements drain via on_complete,
+  // which also sees `stopping` and won't schedule retries).
+  if (!st.stopping && stop_requested(st.options)) {
+    st.stopping = true;
+    st.report.interrupted_pairs += st.ready.size();
+    st.outstanding -= st.ready.size();
+    st.ready.clear();
+  }
+  if (st.stopping) return;
+
+  // A terminal relay's tasks resolve as deferred the moment they surface.
+  if (st.options.quarantine.enabled) {
+    for (auto it = st.ready.begin(); it != st.ready.end();) {
+      const ScanState::Task& task = st.tasks[*it];
+      const QuarantineGate gate =
+          quarantine_gate(st.quarantine, st.options, (*st.nodes)[task.i],
+                          (*st.nodes)[task.j], loop.now());
+      if (gate.verdict == QuarantineGate::Verdict::kDefer) {
+        const std::size_t t = *it;
+        it = st.ready.erase(it);
+        resolve_deferred(st, t, gate.culprit);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   // Admission policy: a task may start only while both its target relays
-  // are below the per-relay concurrency cap.
+  // are below the per-relay concurrency cap (and neither is inside a
+  // quarantine window).
   const auto admissible = [&](std::size_t t) {
     const ScanState::Task& task = st.tasks[t];
+    if (st.options.quarantine.enabled &&
+        quarantine_gate(st.quarantine, st.options, (*st.nodes)[task.i],
+                        (*st.nodes)[task.j], loop.now())
+                .verdict != QuarantineGate::Verdict::kProceed)
+      return false;
     const auto x_it = st.relay_in_flight.find((*st.nodes)[task.i]);
     const auto y_it = st.relay_in_flight.find((*st.nodes)[task.j]);
     return (x_it == st.relay_in_flight.end() ||
@@ -327,11 +584,30 @@ void ParallelScanner::pump(ScanState& st) {
   }
 }
 
+void ParallelScanner::resolve_deferred(ScanState& st, std::size_t t,
+                                       const dir::Fingerprint& culprit) {
+  const ScanState::Task& task = st.tasks[t];
+  const dir::Fingerprint& x = (*st.nodes)[task.i];
+  const dir::Fingerprint& y = (*st.nodes)[task.j];
+  ++st.report.deferred;
+  st.report.deferred_pairs.push_back(DeferredPair{x, y, culprit});
+  ++st.done;
+  --st.outstanding;
+  if (st.progress)
+    st.progress(st.done, st.report.pairs_total, deferred_result(x, y, culprit));
+}
+
 void ParallelScanner::dispatch(ScanState& st, std::size_t host,
                                std::size_t t) {
   const ScanState::Task& task = st.tasks[t];
   const dir::Fingerprint& x = (*st.nodes)[task.i];
   const dir::Fingerprint& y = (*st.nodes)[task.j];
+
+  if (st.options.quarantine.enabled &&
+      quarantine_gate(st.quarantine, st.options, x, y,
+                      measurers_[host]->host().loop().now())
+          .probation)
+    ++st.report.probation_probes;
 
   st.host_busy[host] = true;
   ++st.in_flight;
@@ -400,7 +676,15 @@ void ParallelScanner::on_complete(ScanState& st, std::size_t host,
     ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
     ++st.done;
     --st.outstanding;
+    journal_pair(st.options, x, y, r, task.attempt + 1, ErrorClass::kNone,
+                 loop.now());
+    clear_quarantine(st.quarantine, st.options, x, y);
     if (st.progress) st.progress(st.done, st.report.pairs_total, r);
+  } else if (st.stopping) {
+    // Shutdown drain: the measurement finished after the stop flag fired;
+    // don't retry or fail it — --resume re-attempts the pair.
+    ++st.report.interrupted_pairs;
+    --st.outstanding;
   } else if (cls != ErrorClass::kPermanent &&
              task.attempt + 1 < st.options.attempts_per_pair) {
     ++task.attempt;
@@ -424,6 +708,12 @@ void ParallelScanner::on_complete(ScanState& st, std::size_t host,
                              << " in " << delay.str());
     const bool churned = cls == ErrorClass::kRelayChurned;
     loop.schedule(delay, [this, &st, t, churned]() {
+      if (st.stopping) {
+        // The pair was abandoned mid-retry; --resume re-attempts it.
+        ++st.report.interrupted_pairs;
+        --st.outstanding;
+        return;
+      }
       if (churned) {
         const ScanState::Task& task = st.tasks[t];
         if (reresolve_pair(st.options.live_consensus, measurers_,
@@ -443,6 +733,18 @@ void ParallelScanner::on_complete(ScanState& st, std::size_t host,
     ++st.report.retry_histogram[static_cast<std::size_t>(task.attempt)];
     ++st.done;
     --st.outstanding;
+    journal_pair(st.options, x, y, r, task.attempt + 1, cls, loop.now());
+    if (cls == ErrorClass::kPermanent) {
+      // New quarantine windows get a wake at their expiry so held tasks in
+      // `ready` are re-examined even when nothing else is scheduled.
+      for (const QuarantineEvent& ev :
+           charge_permanent(st.quarantine, st.report, st.options, x, y,
+                            st.never_known, loop.now())) {
+        if (!ev.terminal)
+          st.wakes.push_back(
+              loop.schedule_at(ev.until, [this, &st]() { pump(st); }));
+      }
+    }
     if (st.progress) st.progress(st.done, st.report.pairs_total, r);
   }
   pump(st);
@@ -482,6 +784,7 @@ ScanReport ParallelScanner::scan_pairs(
   st.nodes = &nodes;
   st.options = options;
   st.progress = progress;
+  st.quarantine = RelayQuarantine(options.quarantine);
   st.report.retry_histogram.assign(
       static_cast<std::size_t>(options.attempts_per_pair), 0);
   st.host_busy.assign(measurers_.size(), false);
@@ -512,15 +815,37 @@ ScanReport ParallelScanner::scan_pairs(
 
   pump(st);
   if (st.outstanding > 0) {
-    // Every dispatched measurement has an internal deadline and every retry
-    // a bounded backoff, so the scan always terminates; the timeout here is
-    // a generous safety net against engine bugs.
+    // Every dispatched measurement has an internal deadline, every retry a
+    // bounded backoff, and every quarantine window a scheduled wake, so the
+    // scan always terminates; the timeout here is a generous safety net
+    // against engine bugs.
     const bool ok = loop.run_while_waiting_for(
         [&]() { return st.outstanding == 0; },
         Duration::seconds(365LL * 24 * 3600));
-    TING_CHECK_MSG(ok, "parallel scan stalled (event queue drained or "
-                       "safety timeout hit)");
+    if (!ok) {
+      // Count how much of the backlog is quarantine-held — the most likely
+      // stall cause worth distinguishing in the diagnostic.
+      std::size_t held = 0;
+      for (const std::size_t t : st.ready) {
+        const ScanState::Task& task = st.tasks[t];
+        if (quarantine_gate(st.quarantine, st.options, (*st.nodes)[task.i],
+                            (*st.nodes)[task.j], loop.now())
+                .verdict == QuarantineGate::Verdict::kHold)
+          ++held;
+      }
+      TING_CHECK_MSG(ok, "parallel scan stalled (event queue drained or "
+                         "safety timeout hit): "
+                             << st.outstanding << " pairs outstanding, "
+                             << st.in_flight << " in flight, "
+                             << st.ready.size() << " ready (" << held
+                             << " quarantine-held)");
+    }
   }
+
+  // Quarantine wakes still pending reference &st; cancel them before it
+  // goes out of scope (an interrupted scan can return with wakes queued).
+  for (const simnet::EventId id : st.wakes) loop.cancel(id);
+  st.report.interrupted = st.report.interrupted_pairs > 0;
 
   st.report.virtual_time = loop.now() - started;
   annotate_fault_events(st.report, options, started, loop.now());
@@ -645,74 +970,25 @@ ScanReport ParallelScanner::scan_deterministic(
     rng.shuffle(order);
   }
 
-  std::size_t done = 0;
-  for (const auto& [i, j] : order) {
-    const dir::Fingerprint& x = nodes[i];
-    const dir::Fingerprint& y = nodes[j];
-    ++done;
-
-    if (cache_.is_fresh(x, y, loop.now(), options.max_age)) {
-      ++report.from_cache;
-      if (progress)
-        progress(done, report.pairs_total, cached_result(cache_, x, y));
-      continue;
-    }
-
-    report.max_in_flight = 1;
-    report.max_per_relay_in_flight = 1;
-    for (int attempt = 0;; ++attempt) {
-      if (attempt > 0) ++report.retries;
-      // Teardown cells from the previous pair must not consume draws from
-      // the freshly-seeded rngs, so quiesce the loop before reseeding.
-      drain_in_flight(loop, kDrainHorizon);
-      const PairResult r =
-          options.half_cache != nullptr
-              ? measure_pair_memoized(m, options, x, y, loop, kDrainHorizon)
-              : [&] {
-                  options.reseed_world(pair_reseed(options.pair_seed, x, y));
-                  return m.measure_blocking(x, y);
-                }();
-      accumulate_pair_stats(report, r);
-      if (r.ok) {
-        // Zero timestamp: shard worlds run unrelated virtual clocks, and a
-        // clock-free entry keeps merged CSVs bit-identical across shard
-        // counts.
-        cache_.set(x, y, r.rtt_ms, TimePoint{}, r.cxy.samples_taken);
-        ++report.measured;
-        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
-        if (progress) progress(done, report.pairs_total, r);
-        break;
-      }
-      ErrorClass cls = r.error_class == ErrorClass::kNone
-                           ? ErrorClass::kTransient
-                           : r.error_class;
-      if (cls == ErrorClass::kRelayChurned &&
-          (never_known.contains(x) || never_known.contains(y)))
-        cls = ErrorClass::kPermanent;
-      if (cls == ErrorClass::kPermanent ||
-          attempt + 1 >= options.attempts_per_pair) {
-        TING_WARN("scan: pair " << x.short_name() << "," << y.short_name()
-                                << " failed (" << to_string(cls)
-                                << "): " << r.error);
-        count_failure(report, cls);
-        report.failed_pairs.push_back(FailedPair{x, y, cls, r.error});
-        ++report.retry_histogram[static_cast<std::size_t>(attempt)];
-        if (progress) progress(done, report.pairs_total, r);
-        break;
-      }
-      if (cls == ErrorClass::kRelayChurned) {
-        loop.run_until(loop.now() + options.churn_requeue_delay);
-        if (reresolve_pair(options.live_consensus, measurers_, x, y,
-                           options.half_cache))
-          ++report.churn_reresolved;
-      } else {
-        Duration delay = options.retry_backoff_base;
-        for (int k = 0; k < attempt; ++k)
-          delay = delay * options.retry_backoff_factor;
-        loop.run_until(loop.now() + delay);
-      }
-    }
-  }
+  serial_scan_pairs(
+      m, measurers_, cache_, nodes,
+      std::deque<std::pair<std::size_t, std::size_t>>(order.begin(),
+                                                      order.end()),
+      options, progress, report, loop, never_known,
+      [&](const dir::Fingerprint& x, const dir::Fingerprint& y) {
+        // Teardown cells from the previous pair must not consume draws from
+        // the freshly-seeded rngs, so quiesce the loop before reseeding.
+        drain_in_flight(loop, kDrainHorizon);
+        if (options.half_cache != nullptr)
+          return measure_pair_memoized(m, options, x, y, loop, kDrainHorizon);
+        options.reseed_world(pair_reseed(options.pair_seed, x, y));
+        return m.measure_blocking(x, y);
+      },
+      // Zero timestamps: shard worlds run unrelated virtual clocks, and
+      // clock-free entries keep merged CSVs bit-identical across shard
+      // counts. Pipelining stays off — a circuit built under the previous
+      // pair's world seed would break per-pair purity.
+      /*zero_timestamps=*/true, /*pipeline=*/false);
 
   report.virtual_time = loop.now() - started;
   annotate_fault_events(report, options, started, loop.now());

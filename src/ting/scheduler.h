@@ -24,6 +24,7 @@
 // re-injected into the pool's onion proxies) before the pair is requeued.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -33,9 +34,12 @@
 #include "dir/consensus.h"
 #include "simnet/fault_plan.h"
 #include "ting/measurer.h"
+#include "ting/quarantine.h"
 #include "ting/rtt_matrix.h"
 
 namespace ting::meas {
+
+class ScanJournal;
 
 struct ScanOptions {
   /// Skip pairs whose cached entry is younger than this (0 = remeasure all).
@@ -78,6 +82,21 @@ struct ScanOptions {
   /// the previous pair's world seed would break per-pair purity.
   bool pipeline_builds = true;
 
+  // ---- crash safety and graceful degradation -------------------------------
+  /// Write-ahead journal: every terminally-resolved pair (and, via the
+  /// half-circuit cache's store observer, every half measurement) is
+  /// appended and fsync'd as it lands, so a crashed scan can resume from
+  /// the journal. Shared across shard threads (the journal is thread-safe).
+  ScanJournal* journal = nullptr;
+  /// Graceful-shutdown flag (e.g. set from a SIGINT handler). When it goes
+  /// true the engines stop claiming new pairs, let in-flight measurements
+  /// drain, and report the unprobed remainder as interrupted_pairs.
+  const std::atomic<bool>* stop = nullptr;
+  /// Per-relay circuit breaker (see quarantine.h): consecutive permanent
+  /// failures quarantine a relay, deferring its pending pairs instead of
+  /// burning one doomed attempt per pair.
+  QuarantineOptions quarantine;
+
   // ---- deterministic per-pair mode (sharded scanning) ----------------------
   /// When set, the parallel engine measures pairs strictly one at a time on
   /// its first measurer: before every attempt it drains in-flight traffic
@@ -110,6 +129,14 @@ struct FailedPair {
   std::string error;
 };
 
+/// A pair held back because a quarantined-terminal relay touches it. Not a
+/// failure — the pair was never probed this scan; a future scan (or
+/// --resume) retries it.
+struct DeferredPair {
+  dir::Fingerprint a, b;
+  dir::Fingerprint relay;  ///< the quarantined relay the deferral is due to
+};
+
 struct ScanReport {
   std::size_t pairs_total = 0;
   std::size_t measured = 0;      ///< freshly measured this scan
@@ -123,6 +150,20 @@ struct ScanReport {
   /// Churned pairs whose relays were found again in the live consensus and
   /// re-injected into the measurement hosts before requeueing.
   std::size_t churn_reresolved = 0;
+  /// Pairs deferred because a relay's circuit breaker went terminal (see
+  /// quarantine.h). measured + from_cache + failed + deferred +
+  /// interrupted_pairs == pairs_total.
+  std::size_t deferred = 0;
+  std::vector<DeferredPair> deferred_pairs;
+  /// Every breaker transition (window opened/re-opened, terminal).
+  std::vector<QuarantineEvent> quarantine_events;
+  /// Probation probes allowed through an expired quarantine window.
+  std::size_t probation_probes = 0;
+  /// Graceful shutdown: the stop flag fired mid-scan. interrupted_pairs
+  /// counts the pairs never resolved (not probed, or abandoned mid-retry);
+  /// they are retried by --resume.
+  bool interrupted = false;
+  std::size_t interrupted_pairs = 0;
   /// Fault-plan events that fired during the scan window (annotation only).
   std::vector<simnet::FaultPlan::Event> fault_events;
   Duration virtual_time;         ///< simulated time the scan took
@@ -232,6 +273,9 @@ class ParallelScanner {
   /// failing task (deep recursion on large scans).
   void on_complete(ScanState& st, std::size_t host, std::size_t task,
                    PairResult r);
+  /// Resolve a task as deferred (a quarantined-terminal relay touches it).
+  void resolve_deferred(ScanState& st, std::size_t task,
+                        const dir::Fingerprint& culprit);
 
   std::vector<TingMeasurer*> measurers_;
   RttMatrix& cache_;

@@ -36,12 +36,22 @@ void merge_report(ScanReport& merged, const ScanReport& r) {
   merged.max_per_relay_in_flight =
       std::max(merged.max_per_relay_in_flight, r.max_per_relay_in_flight);
   merged.virtual_time = std::max(merged.virtual_time, r.virtual_time);
+  merged.deferred += r.deferred;
+  merged.probation_probes += r.probation_probes;
+  merged.interrupted_pairs += r.interrupted_pairs;
+  merged.interrupted = merged.interrupted || r.interrupted;
   if (merged.retry_histogram.size() < r.retry_histogram.size())
     merged.retry_histogram.resize(r.retry_histogram.size(), 0);
   for (std::size_t k = 0; k < r.retry_histogram.size(); ++k)
     merged.retry_histogram[k] += r.retry_histogram[k];
   merged.failed_pairs.insert(merged.failed_pairs.end(), r.failed_pairs.begin(),
                              r.failed_pairs.end());
+  merged.deferred_pairs.insert(merged.deferred_pairs.end(),
+                               r.deferred_pairs.begin(),
+                               r.deferred_pairs.end());
+  merged.quarantine_events.insert(merged.quarantine_events.end(),
+                                  r.quarantine_events.begin(),
+                                  r.quarantine_events.end());
   merged.fault_events.insert(merged.fault_events.end(), r.fault_events.begin(),
                              r.fault_events.end());
 }
@@ -87,6 +97,10 @@ ScanReport ShardedScanner::scan(const std::vector<dir::Fingerprint>& nodes,
     try {
       std::unique_ptr<ShardWorld> world = factory_(s);
       TING_CHECK_MSG(world != nullptr, "shard factory returned null");
+      // Seed the shard-private matrix with the caller's entries so a
+      // resumed scan (matrix preloaded from the journal) skips completed
+      // pairs in every shard, not just in the merged output.
+      results[s].matrix = out;
       ParallelScanner scanner(world->measurers(), results[s].matrix);
       ParallelScanOptions opt = options;  // slice off the shard fields
       if (options.half_cache != nullptr) {
@@ -136,6 +150,15 @@ ScanReport ShardedScanner::scan(const std::vector<dir::Fingerprint>& nodes,
             [](const FailedPair& a, const FailedPair& b) {
               return std::tie(a.a, a.b) < std::tie(b.a, b.b);
             });
+  std::sort(merged.deferred_pairs.begin(), merged.deferred_pairs.end(),
+            [](const DeferredPair& a, const DeferredPair& b) {
+              return std::tie(a.a, a.b) < std::tie(b.a, b.b);
+            });
+  std::stable_sort(merged.quarantine_events.begin(),
+                   merged.quarantine_events.end(),
+                   [](const QuarantineEvent& a, const QuarantineEvent& b) {
+                     return std::tie(a.at, a.relay) < std::tie(b.at, b.relay);
+                   });
   std::stable_sort(merged.fault_events.begin(), merged.fault_events.end(),
                    [](const simnet::FaultPlan::Event& a,
                       const simnet::FaultPlan::Event& b) { return a.at < b.at; });

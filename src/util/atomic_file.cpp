@@ -1,0 +1,82 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace ting {
+
+namespace {
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp.XXXXXX";
+  const int fd = ::mkstemp(tmp.data());
+  TING_CHECK_MSG(fd >= 0, "atomic write: cannot create temp file for "
+                              << path << ": " << std::strerror(errno));
+
+  // From here on, any failure must unlink the temp file before throwing.
+  const auto fail = [&](const char* stage) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    TING_CHECK_MSG(false, "atomic write: " << stage << " failed for " << path
+                                           << ": " << std::strerror(saved));
+  };
+
+  if (!write_all(fd, content.data(), content.size())) fail("write");
+  if (::fsync(fd) != 0) fail("fsync");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    TING_CHECK_MSG(false, "atomic write: close failed for " << path << ": "
+                                                            << std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    TING_CHECK_MSG(false, "atomic write: rename to " << path << " failed: "
+                                                     << std::strerror(saved));
+  }
+
+  // Make the rename itself durable: fsync the directory entry. Some
+  // filesystems refuse O_RDONLY fsync on directories; treat open failure as
+  // non-fatal (the data file itself is already synced) but surface fsync
+  // errors, which indicate real I/O trouble.
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    const bool ok = ::fsync(dfd) == 0;
+    const int saved = errno;
+    ::close(dfd);
+    TING_CHECK_MSG(ok || saved == EINVAL || saved == EBADF,
+                   "atomic write: directory fsync failed for "
+                       << path << ": " << std::strerror(saved));
+  }
+}
+
+}  // namespace ting

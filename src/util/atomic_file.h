@@ -1,0 +1,26 @@
+// Crash-safe file replacement: write-temp + fsync + rename, so a reader
+// (or a process resuming after a crash) only ever sees either the old
+// complete file or the new complete file — never a torn write.
+//
+// Every persistence path in the repo (RTT matrices, half-circuit caches,
+// scan checkpoints) goes through atomic_write_file; a plain ofstream write
+// can be truncated by disk-full or process death and silently lose the
+// dataset it took a multi-day scan to build.
+#pragma once
+
+#include <string>
+
+namespace ting {
+
+/// Atomically replace `path` with `content`:
+///
+///   1. write `content` to a unique temp file in the same directory,
+///   2. fsync the temp file (data durable before the name flips),
+///   3. rename(2) it over `path` (atomic on POSIX),
+///   4. fsync the containing directory (the rename itself durable).
+///
+/// Throws CheckError (with errno detail) on any failure; the temp file is
+/// unlinked on the error path so failed writes leave no debris.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace ting

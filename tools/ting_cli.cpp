@@ -11,6 +11,8 @@
 //   ting coverage --days 60 --relays 6400
 //
 // Matrices written by `scan` feed `tiv`, `deanon`, and `coords`.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,12 +32,19 @@
 #include "simnet/fault_plan.h"
 #include "ting/half_circuit_cache.h"
 #include "ting/measurer.h"
+#include "ting/scan_journal.h"
 #include "ting/scheduler.h"
 #include "util/stats.h"
 
 namespace {
 
 using namespace ting;
+
+/// Graceful shutdown: SIGINT/SIGTERM ask the scan engines to stop claiming
+/// pairs, drain what's in flight, and flush the artifacts + journal.
+std::atomic<bool> g_stop{false};
+
+void handle_stop(int) { g_stop.store(true); }
 
 struct Args {
   std::map<std::string, std::string> kv;
@@ -117,8 +126,23 @@ int cmd_scan(const Args& args) {
   const bool use_half_cache = args.flag("half-cache", true);
   const bool adaptive = args.flag("adaptive-samples", true);
   const bool pipeline = args.flag("pipeline", true);
+  // Crash safety and graceful degradation, on by default (--no-* to disable).
+  const bool use_journal = args.flag("journal", true);
+  const bool resume = args.flag("resume", false);
+  const auto checkpoint_every =
+      static_cast<std::size_t>(args.num("checkpoint-every", 25));
+  meas::QuarantineOptions quarantine;
+  quarantine.enabled = args.flag("quarantine", true);
+  quarantine.threshold = static_cast<int>(args.num("quarantine-threshold", 3));
+  quarantine.cooldown = Duration::seconds(args.num("quarantine-cooldown", 600));
+  quarantine.max_windows =
+      static_cast<int>(args.num("quarantine-max-windows", 2));
   if (parallel < 1 || cap < 1 || shards < 1) {
     std::fprintf(stderr, "--parallel, --cap, and --shards must be >= 1\n");
+    return 2;
+  }
+  if (resume && !use_journal) {
+    std::fprintf(stderr, "--resume needs the journal (drop --no-journal)\n");
     return 2;
   }
   scenario::TestbedOptions options;
@@ -128,10 +152,13 @@ int cmd_scan(const Args& args) {
   cfg.adaptive_samples = adaptive;
 
   // The half-circuit cache persists beside the matrix, so re-scans reuse
-  // R_Cx measurements the same way they reuse fresh matrix entries.
+  // R_Cx measurements the same way they reuse fresh matrix entries. On
+  // --resume the CSV is skipped: the journal restores the cache with exact
+  // bit patterns (the CSV rounds to 6 significant digits, which would break
+  // the deterministic mode's bit-identity guarantee).
   const std::string halves_path = out + ".halves.csv";
   meas::HalfCircuitCache half_cache;
-  if (use_half_cache) {
+  if (use_half_cache && !resume) {
     if (std::ifstream probe(halves_path); probe.good())
       half_cache = meas::HalfCircuitCache::load_csv(halves_path);
   }
@@ -144,6 +171,46 @@ int cmd_scan(const Args& args) {
   };
   meas::RttMatrix matrix;
   meas::ScanReport report;
+
+  // The journal needs the scan-node count (a cheap same-scan check on
+  // resume), so it opens inside each engine branch once the subset is known.
+  const std::string journal_path = out + ".journal";
+  std::unique_ptr<meas::ScanJournal> journal;
+  const auto open_journal = [&](std::size_t node_count) {
+    if (!use_journal) return;
+    meas::ScanJournal::Meta meta;
+    meta.pair_seed = options.seed;
+    meta.nodes = node_count;
+    journal = std::make_unique<meas::ScanJournal>(
+        journal_path,
+        resume ? meas::ScanJournal::Mode::kResume
+               : meas::ScanJournal::Mode::kFresh,
+        meta);
+    if (resume) {
+      journal->restore(matrix, half_cache_ptr);
+      std::fprintf(stderr,
+                   "resume: %zu records recovered (%zu pairs done) from %s",
+                   journal->records_recovered(), journal->pairs().size(),
+                   journal_path.c_str());
+      if (journal->torn_bytes() > 0)
+        std::fprintf(stderr, "; dropped %zu-byte torn tail",
+                     journal->torn_bytes());
+      std::fprintf(stderr, "\n");
+    }
+    journal->enable_checkpoints(out, use_half_cache ? halves_path : "",
+                                checkpoint_every);
+    if (half_cache_ptr != nullptr)
+      half_cache.set_store_observer(
+          [&journal](const dir::Fingerprint& host_w,
+                     const dir::Fingerprint& relay,
+                     const meas::HalfCircuitCache::Entry& e) {
+            journal->record_half(meas::ScanJournal::HalfRecord{
+                host_w, relay, e.rtt_ms, e.measured_at, e.samples});
+          });
+  };
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
 
   if (args.kv.contains("shards")) {
     // Sharded engine: W worker threads, each owning an independent clone of
@@ -158,6 +225,7 @@ int cmd_scan(const Args& args) {
     swo.fault_spec = faults;
     const std::vector<dir::Fingerprint> subset =
         scenario::shard_scan_nodes(swo);
+    open_journal(subset.size());
     meas::ShardedScanner scanner(scenario::make_testbed_shard_factory(swo));
     meas::ShardedScanOptions scan_options;
     scan_options.per_relay_cap = cap;
@@ -166,12 +234,16 @@ int cmd_scan(const Args& args) {
     scan_options.deterministic = parallel == 1;
     scan_options.half_cache = half_cache_ptr;
     scan_options.pipeline_builds = pipeline;
+    scan_options.journal = journal.get();
+    scan_options.stop = &g_stop;
+    scan_options.quarantine = quarantine;
     report = scanner.scan(subset, matrix, scan_options, progress);
   } else {
     scenario::Testbed world = scenario::live_tor(relays, options);
     std::vector<dir::Fingerprint> subset;
     for (std::size_t i = 0; i < std::min(nodes, world.relay_count()); ++i)
       subset.push_back(world.fp(i));
+    open_journal(subset.size());
 
     simnet::FaultPlan plan(world.net());
     if (!faults.empty()) {
@@ -182,6 +254,9 @@ int cmd_scan(const Args& args) {
     meas::ScanOptions common;
     common.half_cache = half_cache_ptr;
     common.pipeline_builds = pipeline;
+    common.journal = journal.get();
+    common.stop = &g_stop;
+    common.quarantine = quarantine;
     if (!faults.empty()) {
       common.live_consensus = &world.consensus();
       common.fault_plan = &plan;
@@ -216,6 +291,20 @@ int cmd_scan(const Args& args) {
               report.pairs_total, report.measured, report.from_cache,
               report.failed, report.retries,
               report.virtual_time.sec() / 3600.0, out.c_str());
+  if (!report.quarantine_events.empty() || report.deferred > 0) {
+    std::printf("quarantine: %zu breaker events, %zu pairs deferred, "
+                "%zu probation probes\n",
+                report.quarantine_events.size(), report.deferred,
+                report.probation_probes);
+    for (const auto& ev : report.quarantine_events)
+      std::printf("  quarantine @%8.1fs  %s %s (%d consecutive failures)\n",
+                  ev.at.sec(), ev.relay.short_name().c_str(),
+                  ev.terminal ? "written off" : "quarantined", ev.failures);
+    for (const auto& dp : report.deferred_pairs)
+      std::fprintf(stderr, "deferred %s <-> %s (relay %s quarantined)\n",
+                   dp.a.short_name().c_str(), dp.b.short_name().c_str(),
+                   dp.relay.short_name().c_str());
+  }
   std::printf("engine: W=%d K=%d in-flight peak %zu, per-relay peak %zu "
               "(cap %d), build %.1fh sample %.1fh\n",
               shards, parallel, report.max_in_flight,
@@ -239,6 +328,19 @@ int cmd_scan(const Args& args) {
     std::fprintf(stderr, "failed [%s] %s <-> %s: %s\n",
                  meas::to_string(fp.error_class), fp.a.short_name().c_str(),
                  fp.b.short_name().c_str(), fp.error.c_str());
+  if (report.interrupted) {
+    // Keep the journal: it carries the exact-bit state --resume needs.
+    std::fprintf(stderr,
+                 "interrupted: %zu of %zu pairs unresolved; journal kept at "
+                 "%s — re-run the same scan command with --resume to "
+                 "continue\n",
+                 report.interrupted_pairs, report.pairs_total,
+                 journal != nullptr ? journal_path.c_str() : "(no journal)");
+    return 130;
+  }
+  // Clean finish: the CSV artifacts carry the full state, so the journal
+  // has nothing left to protect.
+  if (journal != nullptr) journal->remove_file();
   return report.failed == 0 ? 0 : 1;
 }
 
@@ -346,11 +448,21 @@ void usage() {
       "   sampling once the running minimum plateaus, --pipeline prebuilds the\n"
       "   next pair's circuit while the current one samples; disable with\n"
       "   --no-half-cache / --no-adaptive-samples / --no-pipeline)\n"
+      "  (crash safety, on by default: every resolved pair is fsync'd to\n"
+      "   <out>.journal and the artifacts are checkpointed atomically every\n"
+      "   --checkpoint-every pairs [25]; after a crash or SIGINT/SIGTERM,\n"
+      "   re-run with --resume to continue from the journal; --no-journal\n"
+      "   disables. --quarantine [on] benches a relay after\n"
+      "   --quarantine-threshold [3] consecutive permanent failures for\n"
+      "   --quarantine-cooldown seconds [600], deferring its pairs once\n"
+      "   --quarantine-max-windows [2] windows are spent; --no-quarantine\n"
+      "   disables)\n"
       "fault spec (clauses ';'-separated, see src/scenario/faults.h):\n"
       "  loss:<target>:<prob>[:<start_s>:<dur_s>]\n"
       "  degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>]\n"
       "  crash:<target>:<start_s>:<dur_s>\n"
       "  churn:<events>:<start_s>:<period_s>:<down_s>\n"
+      "  die:<target>[:<start_s>]\n"
       "  (<target> = scan-node index or '*'; e.g. \"loss:*:0.05;churn:2:30:60:120\")\n"
       "  tiv       triangle-inequality report           (--matrix)\n"
       "  deanon    deanonymization strategy comparison  (--matrix --runs)\n"
