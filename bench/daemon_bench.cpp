@@ -1,0 +1,157 @@
+// Continuous scan daemon under consensus churn: coverage convergence and
+// the cost profile of delta epochs vs the initial full-mesh epoch.
+//
+// A testbed consensus churns 5% per epoch while the daemon chases it with
+// delta worklists. Prints the per-epoch series (churn, planned pairs,
+// wall clock, coverage), the delta-vs-full work ratio, and the sparse-
+// matrix lookup/merge microcosts; writes BENCH_daemon.json for CI to
+// archive alongside BENCH_scan.json.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "scenario/daemon_world.h"
+#include "ting/daemon.h"
+#include "ting/sparse_matrix.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace ting;
+  using namespace ting::bench;
+  header("Scan daemon", "delta epochs against a 5%-churn consensus");
+
+  scenario::DaemonWorldOptions wo;
+  wo.relays = static_cast<std::size_t>(scaled(60, 20));
+  wo.testbed.seed = 430;
+  wo.testbed.differential_fraction = 0;
+  wo.ting.samples = scaled(50, 10);
+  wo.churn.seed = 431;
+  wo.churn.churn_rate = 0.05;
+  wo.churn.rejoin_rate = 0.5;
+  wo.churn.initially_absent = 0.1;  // some relays join mid-run
+  scenario::TestbedDaemonEnvironment env(wo);
+
+  meas::DaemonOptions d;
+  d.epochs = static_cast<std::size_t>(scaled(6, 3));
+  d.out = "BENCH_daemon.tingmx";
+  d.seed = 430;
+  d.config_tag = "daemon-bench";
+
+  std::printf("# relays %zu, %.0f%% churn/epoch, samples/circuit %d, "
+              "%zu epochs\n",
+              wo.relays, wo.churn.churn_rate * 100, wo.ting.samples, d.epochs);
+  std::printf("# epoch\tnodes\tjoin\tleave\tplanned\tnew\texpired\tfresh"
+              "\twall_s\tcoverage\n");
+
+  meas::ScanDaemon daemon(env, d);
+  auto t0 = std::chrono::steady_clock::now();
+  std::size_t first_epoch_pairs = 0, delta_pairs = 0, delta_epochs = 0;
+  double first_epoch_wall = 0, delta_wall = 0;
+  const meas::DaemonReport report = daemon.run([&](const meas::EpochStats& e) {
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    t0 = t1;
+    std::printf("%zu\t%zu\t%zu\t%zu\t%zu\t%zu\t%zu\t%zu\t%.2f\t%.4f\n",
+                e.epoch, e.nodes, e.joined, e.left, e.plan.pairs.size(),
+                e.plan.new_pairs, e.plan.expired_pairs, e.plan.fresh_pairs,
+                wall, e.coverage.coverage());
+    if (e.epoch == 0) {
+      first_epoch_pairs = e.plan.pairs.size();
+      first_epoch_wall = wall;
+    } else {
+      delta_pairs += e.plan.pairs.size();
+      delta_wall += wall;
+      ++delta_epochs;
+    }
+  });
+
+  const double mean_delta_pairs =
+      delta_epochs > 0 ? static_cast<double>(delta_pairs) /
+                             static_cast<double>(delta_epochs)
+                       : 0;
+  const double delta_work_ratio =
+      first_epoch_pairs > 0 ? mean_delta_pairs /
+                                  static_cast<double>(first_epoch_pairs)
+                            : 0;
+  std::printf("# converged %s, final coverage %.4f, %zu pairs stored\n",
+              report.converged ? "yes" : "NO", report.final_coverage,
+              report.matrix_pairs);
+  std::printf("# delta epochs average %.1f pairs vs %zu full-mesh "
+              "(x%.3f of the initial work)\n",
+              mean_delta_pairs, first_epoch_pairs, delta_work_ratio);
+
+  // ---- sparse matrix microcosts --------------------------------------------
+  // Lookup + merge throughput on a daemon-scale pair set (the operations
+  // the planner does once per pair per epoch).
+  double lookup_ns = 0, merge_ms = 0;
+  std::size_t micro_pairs = 0;
+  {
+    const std::size_t n = static_cast<std::size_t>(scaled(300, 100));
+    std::vector<dir::Fingerprint> fps;
+    Rng rng(99);
+    for (std::size_t i = 0; i < n; ++i) {
+      char hex[48];
+      std::snprintf(hex, sizeof(hex), "%040zx",
+                    static_cast<std::size_t>(rng.next_u64()));
+      fps.push_back(dir::Fingerprint::from_hex(hex));
+    }
+    meas::SparseRttMatrix m;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        m.set(fps[i], fps[j], 1.0 + static_cast<double>(i + j),
+              TimePoint::from_ns(static_cast<std::int64_t>(i * n + j)), 1);
+    micro_pairs = m.size();
+
+    const auto t_look = std::chrono::steady_clock::now();
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (m.contains(fps[i], fps[j])) ++hits;
+    lookup_ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t_look)
+                    .count() /
+                static_cast<double>(hits);
+
+    meas::SparseRttMatrix other;
+    for (std::size_t i = 0; i < n; ++i)
+      other.set(fps[i], fps[(i + 1) % n], 2.0,
+                TimePoint::from_ns(static_cast<std::int64_t>(i + 1)), 1);
+    const auto t_merge = std::chrono::steady_clock::now();
+    m.merge(other);
+    merge_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t_merge)
+                   .count();
+    std::printf("# sparse micro: %zu pairs, lookup %.0f ns/pair, "
+                "merge(+%zu) %.2f ms\n",
+                micro_pairs, lookup_ns, other.size(), merge_ms);
+  }
+
+  std::FILE* json = std::fopen("BENCH_daemon.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"benchmark\": \"scan_daemon\",\n"
+                 "  \"relays\": %zu,\n"
+                 "  \"churn_rate\": %.3f,\n"
+                 "  \"epochs\": %zu,\n"
+                 "  \"converged\": %s,\n"
+                 "  \"final_coverage\": %.4f,\n"
+                 "  \"matrix_pairs\": %zu,\n"
+                 "  \"first_epoch_pairs\": %zu,\n"
+                 "  \"first_epoch_wall_s\": %.3f,\n"
+                 "  \"mean_delta_epoch_pairs\": %.1f,\n"
+                 "  \"delta_work_ratio\": %.4f,\n"
+                 "  \"sparse_lookup_ns_per_pair\": %.1f,\n"
+                 "  \"sparse_merge_ms\": %.3f,\n"
+                 "  \"sparse_micro_pairs\": %zu\n"
+                 "}\n",
+                 wo.relays, wo.churn.churn_rate, d.epochs,
+                 report.converged ? "true" : "false", report.final_coverage,
+                 report.matrix_pairs, first_epoch_pairs, first_epoch_wall,
+                 mean_delta_pairs, delta_work_ratio, lookup_ns, merge_ms,
+                 micro_pairs);
+    std::fclose(json);
+    std::printf("# wrote BENCH_daemon.json\n");
+  }
+  return report.converged ? 0 : 1;
+}

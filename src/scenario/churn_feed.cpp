@@ -1,0 +1,97 @@
+#include "scenario/churn_feed.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace ting::scenario {
+
+ChurnFeed::ChurnFeed(std::vector<dir::Fingerprint> relays,
+                     ChurnFeedOptions options)
+    : relays_(std::move(relays)),
+      present_(relays_.size(), true),
+      options_(options) {
+  TING_CHECK_MSG(options_.churn_rate >= 0 && options_.churn_rate <= 1,
+                 "churn rate must be a probability");
+  TING_CHECK_MSG(options_.rejoin_rate >= 0 && options_.rejoin_rate <= 1,
+                 "rejoin rate must be a probability");
+  TING_CHECK_MSG(
+      options_.initially_absent >= 0 && options_.initially_absent <= 1,
+      "initial holdout must be a fraction");
+}
+
+std::vector<ChurnFeed::Event> ChurnFeed::advance(std::size_t epoch) {
+  TING_CHECK_MSG(epoch == next_epoch_,
+                 "churn feed must advance sequentially (expected epoch "
+                     << next_epoch_ << ", got " << epoch << ")");
+  ++next_epoch_;
+
+  // One generator per epoch, derived from (seed, epoch) alone — a resumed
+  // daemon replaying epochs 0..E reproduces the exact event history.
+  Rng rng(mix64(options_.seed ^
+                mix64(static_cast<std::uint64_t>(epoch) + 0x5eedULL)));
+  std::vector<Event> events;
+
+  if (epoch == 0 && options_.initially_absent > 0) {
+    for (std::size_t i = 0; i < relays_.size(); ++i) {
+      if (rng.chance(options_.initially_absent)) {
+        present_[i] = false;
+        events.push_back(Event{relays_[i], /*leave=*/true});
+      }
+    }
+    return events;  // the holdout IS epoch 0's churn
+  }
+
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    if (present_[i]) {
+      if (rng.chance(options_.churn_rate)) {
+        present_[i] = false;
+        events.push_back(Event{relays_[i], /*leave=*/true});
+      }
+    } else {
+      if (rng.chance(options_.rejoin_rate)) {
+        present_[i] = true;
+        events.push_back(Event{relays_[i], /*leave=*/false});
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<dir::Fingerprint> ChurnFeed::members() const {
+  std::vector<dir::Fingerprint> out;
+  out.reserve(relays_.size());
+  for (std::size_t i = 0; i < relays_.size(); ++i)
+    if (present_[i]) out.push_back(relays_[i]);
+  return out;
+}
+
+std::size_t ChurnFeed::member_count() const {
+  std::size_t n = 0;
+  for (const bool p : present_)
+    if (p) ++n;
+  return n;
+}
+
+void ChurnApplier::apply(const std::vector<ChurnFeed::Event>& events,
+                         const std::vector<meas::MeasurementHost*>& pool) {
+  for (const ChurnFeed::Event& ev : events) {
+    if (ev.leave) {
+      // nullopt = already out of the consensus (a die: fault beat us to
+      // it); stash nothing so the relay stays dead.
+      if (auto desc = tb_.directory_remove(ev.relay))
+        stash_.emplace(ev.relay, std::move(*desc));
+    } else {
+      const auto it = stash_.find(ev.relay);
+      if (it == stash_.end()) continue;  // never saw it leave — nothing to do
+      tb_.directory_restore(it->second);
+      // The hosts' "next consensus fetch": without this the epoch's scan
+      // would classify every pair of the returnee as churned first.
+      for (meas::MeasurementHost* host : pool)
+        if (host->op().consensus().find(ev.relay) == nullptr)
+          host->op().add_descriptor(it->second);
+      stash_.erase(it);
+    }
+  }
+}
+
+}  // namespace ting::scenario

@@ -1,0 +1,90 @@
+// ChurnFeed — a deterministic epoch-boundary consensus churn generator for
+// the scan daemon's simulated deployments.
+//
+// The live network loses and gains relays continuously (the paper's
+// deanonymization discussion assumes ~5% hourly churn); the daemon's delta
+// planner exists to chase exactly that. The feed models it as a discrete
+// process: at every epoch boundary each present relay leaves with
+// probability `churn_rate` and each absent relay rejoins with probability
+// `rejoin_rate`. Everything is a pure function of (seed, epoch), so a
+// daemon resumed after a crash replays the identical churn history — the
+// property the byte-for-byte resume guarantee rests on. (Contrast
+// timeline.h's make_scan_churn, which scripts mid-scan events at virtual
+// times; the feed churns only *between* epochs, where the consensus is
+// observable at a well-defined instant.)
+//
+// ChurnApplier projects feed events onto one Testbed: leaves go through
+// directory_remove (descriptor stashed for the comeback), rejoins through
+// directory_restore plus re-injection into the measurement hosts' onion
+// proxy views (their "next consensus fetch"). A relay a fault plan killed
+// (die:) is never resurrected: the applier only restores descriptors it
+// stashed itself, and a remove that finds the relay already gone stashes
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dir/consensus.h"
+#include "dir/fingerprint.h"
+#include "scenario/testbed.h"
+
+namespace ting::scenario {
+
+struct ChurnFeedOptions {
+  std::uint64_t seed = 7;
+  /// Per-epoch leave probability for each present relay (~hourly churn).
+  double churn_rate = 0.05;
+  /// Per-epoch rejoin probability for each absent relay.
+  double rejoin_rate = 0.5;
+  /// Fraction of relays held out of the consensus before epoch 0 — lets a
+  /// run exercise "new relay joined" deltas from the start.
+  double initially_absent = 0.0;
+};
+
+class ChurnFeed {
+ public:
+  struct Event {
+    dir::Fingerprint relay;
+    bool leave = false;  ///< false = (re)join
+  };
+
+  ChurnFeed(std::vector<dir::Fingerprint> relays, ChurnFeedOptions options);
+
+  /// The churn events at the boundary into `epoch`. Must be called with
+  /// epoch = 0, 1, 2, ... in order (the membership state is sequential);
+  /// each epoch's draw is seeded from (seed, epoch) alone. Epoch 0 first
+  /// applies the initial holdout as leave events.
+  std::vector<Event> advance(std::size_t epoch);
+
+  /// Relays currently in the consensus, in construction order.
+  std::vector<dir::Fingerprint> members() const;
+  std::size_t member_count() const;
+
+ private:
+  std::vector<dir::Fingerprint> relays_;
+  std::vector<bool> present_;
+  ChurnFeedOptions options_;
+  std::size_t next_epoch_ = 0;
+};
+
+/// Applies feed events to one Testbed (one per shard world — every world
+/// needs the same directory history).
+class ChurnApplier {
+ public:
+  explicit ChurnApplier(Testbed& tb) : tb_(tb) {}
+
+  /// Project `events` onto the testbed's directory. Rejoining relays are
+  /// also re-injected into every measurement-pool onion proxy in `pool` (the
+  /// hosts' next consensus fetch), so the epoch's scan can build circuits
+  /// through them immediately.
+  void apply(const std::vector<ChurnFeed::Event>& events,
+             const std::vector<meas::MeasurementHost*>& pool);
+
+ private:
+  Testbed& tb_;
+  std::map<dir::Fingerprint, dir::RelayDescriptor> stash_;
+};
+
+}  // namespace ting::scenario

@@ -1,0 +1,102 @@
+#include "scenario/daemon_world.h"
+
+#include <algorithm>
+
+#include "ting/sharded_scan.h"
+#include "util/assert.h"
+
+namespace ting::scenario {
+
+namespace {
+
+/// Non-owning ShardWorld view over a persistent TestbedShardWorld: the
+/// sharded scanner expects to own the worlds it builds, but the daemon's
+/// worlds must outlive every epoch, so the factory hands out borrows.
+class BorrowedShardWorld : public meas::ShardWorld {
+ public:
+  explicit BorrowedShardWorld(TestbedShardWorld& w) : w_(w) {}
+  std::vector<meas::TingMeasurer*> measurers() override {
+    return w_.measurers();
+  }
+  void reseed(std::uint64_t seed) override { w_.reseed(seed); }
+  const dir::Consensus* live_consensus() override {
+    return w_.live_consensus();
+  }
+  const simnet::FaultPlan* fault_plan() override { return w_.fault_plan(); }
+
+ private:
+  TestbedShardWorld& w_;
+};
+
+std::vector<meas::MeasurementHost*> pool_hosts(TestbedShardWorld& w) {
+  std::vector<meas::MeasurementHost*> hosts;
+  for (meas::TingMeasurer* m : w.measurers()) hosts.push_back(&m->host());
+  return hosts;
+}
+
+}  // namespace
+
+TestbedDaemonEnvironment::TestbedDaemonEnvironment(
+    const DaemonWorldOptions& options)
+    : options_(options) {
+  TING_CHECK(options_.shards >= 1);
+  ShardWorldOptions swo;
+  swo.relays = options_.relays;
+  swo.scan_nodes = options_.relays;  // the consensus is the scan set
+  swo.testbed = options_.testbed;
+  swo.ting = options_.ting;
+  swo.pool = options_.pool;
+  swo.fault_spec = options_.fault_spec;
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    worlds_.push_back(std::make_unique<TestbedShardWorld>(swo));
+    appliers_.push_back(std::make_unique<ChurnApplier>(worlds_[s]->world()));
+  }
+  feed_ = std::make_unique<ChurnFeed>(worlds_[0]->world().all_fingerprints(),
+                                      options_.churn);
+}
+
+void TestbedDaemonEnvironment::advance_epoch(std::size_t epoch) {
+  const std::vector<ChurnFeed::Event> events = feed_->advance(epoch);
+  for (std::size_t s = 0; s < worlds_.size(); ++s)
+    appliers_[s]->apply(events, pool_hosts(*worlds_[s]));
+}
+
+std::vector<dir::Fingerprint> TestbedDaemonEnvironment::nodes() {
+  // Construction order filtered by consensus membership: deterministic
+  // across processes, which the planner's index pairs rely on.
+  Testbed& tb = worlds_[0]->world();
+  std::vector<dir::Fingerprint> out;
+  out.reserve(tb.relay_count());
+  for (std::size_t i = 0; i < tb.relay_count(); ++i)
+    if (tb.consensus().find(tb.fp(i)) != nullptr) out.push_back(tb.fp(i));
+  return out;
+}
+
+meas::ScanReport TestbedDaemonEnvironment::scan_pairs(
+    const std::vector<dir::Fingerprint>& nodes,
+    const meas::ParallelScanner::PairList& pairs,
+    meas::RttMatrix& epoch_matrix, const meas::ScanOptions& options,
+    const meas::ScanProgress& progress) {
+  if (worlds_.size() == 1) {
+    TestbedShardWorld& w = *worlds_[0];
+    meas::ParallelScanner scanner(w.measurers(), epoch_matrix);
+    meas::ParallelScanOptions popt;
+    static_cast<meas::ScanOptions&>(popt) = options;
+    popt.reseed_world = [&w](std::uint64_t seed) { w.reseed(seed); };
+    if (popt.live_consensus == nullptr) popt.live_consensus = w.live_consensus();
+    if (popt.fault_plan == nullptr) popt.fault_plan = w.fault_plan();
+    return scanner.scan_pairs(nodes, pairs, popt, progress);
+  }
+  meas::ShardedScanner scanner(
+      [this](std::size_t shard) -> std::unique_ptr<meas::ShardWorld> {
+        return std::make_unique<BorrowedShardWorld>(
+            *worlds_[shard % worlds_.size()]);
+      });
+  meas::ShardedScanOptions sopt;
+  static_cast<meas::ScanOptions&>(sopt) = options;
+  sopt.shards = worlds_.size();
+  sopt.deterministic = true;
+  return scanner.scan_pairs(nodes, pairs, epoch_matrix, sopt, progress);
+}
+
+}  // namespace ting::scenario

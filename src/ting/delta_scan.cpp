@@ -1,0 +1,100 @@
+#include "ting/delta_scan.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "util/assert.h"
+
+namespace ting::meas {
+
+namespace {
+
+struct ExpiredCandidate {
+  std::size_t i, j;
+  TimePoint measured_at;
+};
+
+/// Priority among expired candidates: older beats newer, ties broken by
+/// index pair so the plan is deterministic.
+bool older(const ExpiredCandidate& l, const ExpiredCandidate& r) {
+  return std::tie(l.measured_at, l.i, l.j) < std::tie(r.measured_at, r.i, r.j);
+}
+
+}  // namespace
+
+DeltaPlan plan_delta(const SparseRttMatrix& matrix,
+                     const std::vector<dir::Fingerprint>& nodes, TimePoint now,
+                     const DeltaPlanOptions& options) {
+  DeltaPlan plan;
+  std::vector<ExpiredCandidate> expired;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const SparseRttMatrix::Entry* e = matrix.entry(nodes[i], nodes[j]);
+      if (e == nullptr) {
+        ++plan.new_pairs;
+        if (options.budget == 0 || plan.pairs.size() < options.budget)
+          plan.pairs.emplace_back(i, j);
+        else
+          ++plan.dropped_over_budget;
+      } else if (now - e->measured_at <= options.ttl) {
+        ++plan.fresh_pairs;
+      } else {
+        expired.push_back(ExpiredCandidate{i, j, e->measured_at});
+      }
+    }
+  }
+  plan.expired_pairs = expired.size();
+
+  // Budget remaining after the never-measured pairs (which always win: a
+  // missing pair costs coverage, a stale one only accuracy).
+  std::size_t room = expired.size();
+  if (options.budget != 0)
+    room = options.budget - std::min(options.budget, plan.pairs.size());
+
+  if (room >= expired.size()) {
+    // Everything fits — just order oldest-first.
+    std::sort(expired.begin(), expired.end(), older);
+  } else {
+    // Freshness heap: keep the `room` oldest candidates in a bounded
+    // max-heap (top = freshest of the kept), O(n log room) instead of
+    // sorting every stale pair of a large consensus.
+    auto fresher = [](const ExpiredCandidate& l, const ExpiredCandidate& r) {
+      return older(l, r);  // max-heap on "older" puts the freshest kept on top
+    };
+    std::priority_queue<ExpiredCandidate, std::vector<ExpiredCandidate>,
+                        decltype(fresher)>
+        keep(fresher);
+    for (const ExpiredCandidate& c : expired) {
+      if (keep.size() < room) {
+        keep.push(c);
+      } else if (room > 0 && older(c, keep.top())) {
+        keep.pop();
+        keep.push(c);
+      }
+    }
+    plan.dropped_over_budget += expired.size() - keep.size();
+    expired.clear();
+    while (!keep.empty()) {
+      expired.push_back(keep.top());
+      keep.pop();
+    }
+    std::reverse(expired.begin(), expired.end());  // heap drains freshest-first
+  }
+  for (const ExpiredCandidate& c : expired) plan.pairs.emplace_back(c.i, c.j);
+  return plan;
+}
+
+ConsensusDeltaTracker::Delta ConsensusDeltaTracker::observe(
+    const std::vector<dir::Fingerprint>& nodes) {
+  const std::set<dir::Fingerprint> next(nodes.begin(), nodes.end());
+  Delta d;
+  for (const dir::Fingerprint& fp : next)
+    if (!current_.contains(fp)) d.joined.push_back(fp);
+  for (const dir::Fingerprint& fp : current_)
+    if (!next.contains(fp)) d.left.push_back(fp);
+  current_ = next;
+  return d;
+}
+
+}  // namespace ting::meas

@@ -1,0 +1,85 @@
+// Consensus-delta scan planning — the daemon's answer to "which pairs does
+// this epoch actually need to measure?".
+//
+// A continuous scan never re-runs all-pairs from scratch (DiProber's
+// continuous-estimation framing; at live-network scale a full rescan is
+// ~18M pairs). Instead each epoch plans a *delta* worklist against the
+// sparse matrix:
+//
+//   - never-measured pairs (a relay joined the consensus, or a prior epoch
+//     failed/deferred the pair) go first — every missing pair costs
+//     coverage,
+//   - then TTL-expired pairs, oldest first — refreshing the stalest
+//     estimate buys the most accuracy per measurement,
+//   - fresh pairs are skipped entirely.
+//
+// Under a per-epoch measurement budget the ordered candidate list is cut by
+// a freshness heap (new pairs always beat expired ones; among expired,
+// oldest-first), and the remainder waits for the next epoch. Planning is a
+// pure function of (matrix, node set, clock, options), so an epoch resumed
+// after a crash re-derives exactly the worklist the crashed process was
+// running.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "ting/scheduler.h"
+#include "ting/sparse_matrix.h"
+#include "util/time.h"
+
+namespace ting::meas {
+
+struct DeltaPlanOptions {
+  /// Refresh TTL: a pair measured within `ttl` of the planning clock is
+  /// fresh and not replanned. Sits on top of the engines' 7-day staleness
+  /// (ScanOptions::max_age governs intra-scan cache skips; this governs
+  /// which pairs enter the worklist at all).
+  Duration ttl = Duration::seconds(7 * 24 * 3600);
+  /// Per-epoch measurement budget: keep at most this many pairs (0 =
+  /// unlimited). Truncation drops the lowest-priority candidates.
+  std::size_t budget = 0;
+};
+
+struct DeltaPlan {
+  /// The epoch worklist as index pairs into the planning node vector
+  /// (ParallelScanner::scan_pairs / ShardedScanner::scan_pairs input),
+  /// priority order: new pairs (by index), then expired pairs oldest-first.
+  ParallelScanner::PairList pairs;
+  std::size_t new_pairs = 0;      ///< never measured
+  std::size_t expired_pairs = 0;  ///< measured, but older than ttl
+  std::size_t fresh_pairs = 0;    ///< skipped: measured within ttl
+  /// Candidates cut by the budget (they stay stale and re-plan next epoch).
+  std::size_t dropped_over_budget = 0;
+};
+
+/// Plan one epoch's delta worklist over the all-pairs set of `nodes`.
+DeltaPlan plan_delta(const SparseRttMatrix& matrix,
+                     const std::vector<dir::Fingerprint>& nodes, TimePoint now,
+                     const DeltaPlanOptions& options = {});
+
+/// Tracks consensus membership across epochs and reports the churn delta —
+/// which relays joined and which left since the previous observation. The
+/// daemon feeds each epoch's node set through this to log churn and to
+/// decide nothing: planning needs no history (the matrix itself encodes
+/// what is known), so the planner stays a pure function.
+class ConsensusDeltaTracker {
+ public:
+  struct Delta {
+    std::vector<dir::Fingerprint> joined;  ///< sorted
+    std::vector<dir::Fingerprint> left;    ///< sorted
+  };
+
+  /// Record `nodes` as the current consensus and return the delta against
+  /// the previously observed set (first call: everything joined).
+  Delta observe(const std::vector<dir::Fingerprint>& nodes);
+
+  const std::set<dir::Fingerprint>& current() const { return current_; }
+
+ private:
+  std::set<dir::Fingerprint> current_;
+};
+
+}  // namespace ting::meas

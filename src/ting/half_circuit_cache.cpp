@@ -1,9 +1,12 @@
 #include "ting/half_circuit_cache.h"
 
+#include <bit>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "ting/bin_codec.h"
 #include "util/assert.h"
 #include "util/atomic_file.h"
 #include "util/bytes.h"
@@ -120,6 +123,59 @@ HalfCircuitCache HalfCircuitCache::load_csv(const std::string& path) {
   std::stringstream buf;
   buf << f.rdbuf();
   return from_csv(buf.str());
+}
+
+std::string HalfCircuitCache::to_bin() const {
+  // Same fixed 60-byte record layout as the sparse matrix: (host_w, relay)
+  // in place of the pair, then rtt bits / timestamp / samples. The ordered
+  // map iterates in key order, so equal caches serialize to equal bytes.
+  std::string out;
+  out.reserve(16 + entries_.size() * 60);
+  out.append(kBinMagic, 8);
+  binfmt::put_u64le(out, entries_.size());
+  for (const auto& [k, v] : entries_) {
+    binfmt::put_fp(out, k.first);
+    binfmt::put_fp(out, k.second);
+    binfmt::put_u64le(out, std::bit_cast<std::uint64_t>(v.rtt_ms));
+    binfmt::put_u64le(out, static_cast<std::uint64_t>(v.measured_at.ns()));
+    binfmt::put_u32le(out, static_cast<std::uint32_t>(v.samples));
+  }
+  return out;
+}
+
+HalfCircuitCache HalfCircuitCache::from_bin(const std::string& bin) {
+  TING_CHECK_MSG(bin.size() >= 16 && std::memcmp(bin.data(), kBinMagic, 8) == 0,
+                 "half-circuit cache: missing TINGHCX1 magic");
+  const std::uint64_t count = binfmt::get_u64le(bin, 8);
+  TING_CHECK_MSG(bin.size() == 16 + count * 60,
+                 "half-circuit cache: truncated binary image ("
+                     << bin.size() << " bytes for " << count << " records)");
+  HalfCircuitCache c;
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const std::size_t off = 16 + r * 60;
+    const dir::Fingerprint host_w = binfmt::get_fp(bin, off);
+    const dir::Fingerprint relay = binfmt::get_fp(bin, off + 20);
+    const double rtt_ms = std::bit_cast<double>(binfmt::get_u64le(bin, off + 40));
+    const auto at_ns = static_cast<std::int64_t>(binfmt::get_u64le(bin, off + 48));
+    const auto samples = static_cast<std::int32_t>(binfmt::get_u32le(bin, off + 56));
+    // Direct insertion: loading moves already-recorded entries around, so
+    // the store observer must not re-fire (see the header's observer note).
+    c.entries_[Key{host_w, relay}] = Entry{rtt_ms, TimePoint::from_ns(at_ns),
+                                           static_cast<int>(samples)};
+  }
+  return c;
+}
+
+void HalfCircuitCache::save_bin(const std::string& path) const {
+  atomic_write_file(path, to_bin());
+}
+
+HalfCircuitCache HalfCircuitCache::load_bin(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  TING_CHECK_MSG(f.good(), "cannot open " << path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return from_bin(buf.str());
 }
 
 }  // namespace ting::meas

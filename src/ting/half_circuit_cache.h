@@ -97,6 +97,20 @@ class HalfCircuitCache {
   void save_csv(const std::string& path) const;
   static HalfCircuitCache load_csv(const std::string& path);
 
+  /// Compact exact-bits binary image (magic "TINGHCX1", u64 count, fixed
+  /// 60-byte little-endian records in key order). CSV prints 6 significant
+  /// digits, which perturbs resumed values; the daemon checkpoints halves in
+  /// this format so a resumed run memoizes bit-identical R_Cx values and its
+  /// final matrix matches an uninterrupted run byte-for-byte. Loading does
+  /// not fire the store observer (same rationale as from_csv). max_age is
+  /// not serialized — it is the consumer's policy, not the data's.
+  std::string to_bin() const;
+  static HalfCircuitCache from_bin(const std::string& bin);
+  void save_bin(const std::string& path) const;
+  static HalfCircuitCache load_bin(const std::string& path);
+
+  static constexpr char kBinMagic[] = "TINGHCX1";
+
  private:
   using Key = std::pair<dir::Fingerprint, dir::Fingerprint>;  // (host_w, relay)
   std::map<Key, Entry> entries_;

@@ -67,17 +67,26 @@ ScanReport ShardedScanner::scan(const std::vector<dir::Fingerprint>& nodes,
                                 RttMatrix& out,
                                 const ShardedScanOptions& options,
                                 const ScanProgress& progress) {
-  TING_CHECK(options.shards >= 1);
-  const std::size_t shards = options.shards;
-
-  // Canonical worklist, partitioned round-robin so every shard gets a
-  // representative mix of relays (block partitioning would hand one shard
-  // all the pairs of the hottest relays).
+  // Canonical all-pairs worklist; scan_pairs does the real work.
   ParallelScanner::PairList all;
   if (!nodes.empty()) all.reserve(nodes.size() * (nodes.size() - 1) / 2);
   for (std::size_t i = 0; i < nodes.size(); ++i)
     for (std::size_t j = i + 1; j < nodes.size(); ++j)
       all.emplace_back(i, j);
+  return scan_pairs(nodes, all, out, options, progress);
+}
+
+ScanReport ShardedScanner::scan_pairs(const std::vector<dir::Fingerprint>& nodes,
+                                      const ParallelScanner::PairList& all,
+                                      RttMatrix& out,
+                                      const ShardedScanOptions& options,
+                                      const ScanProgress& progress) {
+  TING_CHECK(options.shards >= 1);
+  const std::size_t shards = options.shards;
+
+  // Partition round-robin so every shard gets a representative mix of
+  // relays (block partitioning would hand one shard all the pairs of the
+  // hottest relays).
   std::vector<ParallelScanner::PairList> slices(shards);
   for (std::size_t p = 0; p < all.size(); ++p)
     slices[p % shards].push_back(all[p]);

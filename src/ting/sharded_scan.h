@@ -83,6 +83,16 @@ class ShardedScanner {
                   const ShardedScanOptions& options = {},
                   const ScanProgress& progress = {});
 
+  /// Measure an explicit worklist of index pairs into `nodes` — the scan
+  /// daemon's entry point (each epoch hands over the delta planner's
+  /// worklist rather than all pairs). Same partitioning, merge, and
+  /// determinism rules as scan(), which is this method over the full
+  /// all-pairs list.
+  ScanReport scan_pairs(const std::vector<dir::Fingerprint>& nodes,
+                        const ParallelScanner::PairList& pairs, RttMatrix& out,
+                        const ShardedScanOptions& options = {},
+                        const ScanProgress& progress = {});
+
  private:
   ShardWorldFactory factory_;
 };

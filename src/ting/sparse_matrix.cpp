@@ -1,0 +1,271 @@
+#include "ting/sparse_matrix.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "ting/bin_codec.h"
+#include "util/assert.h"
+#include "util/atomic_file.h"
+
+namespace ting::meas {
+
+using binfmt::get_fp;
+using binfmt::get_u32le;
+using binfmt::get_u64le;
+using binfmt::put_fp;
+using binfmt::put_u32le;
+using binfmt::put_u64le;
+
+SparseRttMatrix::Key SparseRttMatrix::key(const dir::Fingerprint& a,
+                                          const dir::Fingerprint& b) {
+  return a < b ? Key{a, b} : Key{b, a};
+}
+
+bool SparseRttMatrix::fresher(const Entry& l, const Entry& r) {
+  if (l.measured_at != r.measured_at) return l.measured_at > r.measured_at;
+  const std::uint64_t lb = std::bit_cast<std::uint64_t>(l.rtt_ms);
+  const std::uint64_t rb = std::bit_cast<std::uint64_t>(r.rtt_ms);
+  if (lb != rb) return lb > rb;
+  return l.samples > r.samples;
+}
+
+void SparseRttMatrix::set(const dir::Fingerprint& a, const dir::Fingerprint& b,
+                          double rtt_ms, TimePoint measured_at, int samples) {
+  TING_CHECK_MSG(!(a == b), "SparseRttMatrix: self-pairs are not meaningful");
+  entries_[key(a, b)] = Entry{rtt_ms, measured_at, samples};
+}
+
+const SparseRttMatrix::Entry* SparseRttMatrix::entry(
+    const dir::Fingerprint& a, const dir::Fingerprint& b) const {
+  auto it = entries_.find(key(a, b));
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+std::optional<double> SparseRttMatrix::rtt(const dir::Fingerprint& a,
+                                           const dir::Fingerprint& b) const {
+  const Entry* e = entry(a, b);
+  if (e == nullptr) return std::nullopt;
+  return e->rtt_ms;
+}
+
+bool SparseRttMatrix::contains(const dir::Fingerprint& a,
+                               const dir::Fingerprint& b) const {
+  return entry(a, b) != nullptr;
+}
+
+bool SparseRttMatrix::is_fresh(const dir::Fingerprint& a,
+                               const dir::Fingerprint& b, TimePoint now,
+                               Duration max_age) const {
+  const Entry* e = entry(a, b);
+  return e != nullptr && now - e->measured_at <= max_age;
+}
+
+void SparseRttMatrix::merge(const SparseRttMatrix& other) {
+  for (const auto& [k, v] : other.entries_) {
+    auto [it, inserted] = entries_.try_emplace(k, v);
+    if (!inserted && fresher(v, it->second)) it->second = v;
+  }
+}
+
+void SparseRttMatrix::absorb(const RttMatrix& results, TimePoint stamp) {
+  // Walk the dense matrix through its CSV-visible accessors: RttMatrix
+  // exposes no iterator, but its node list plus entry() reaches every pair.
+  const std::vector<dir::Fingerprint> nodes = results.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const Entry* e = results.entry(nodes[i], nodes[j]);
+      if (e != nullptr) set(nodes[i], nodes[j], e->rtt_ms, stamp, e->samples);
+    }
+  }
+}
+
+std::size_t SparseRttMatrix::erase_relay(const dir::Fingerprint& relay) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.a == relay || it->first.b == relay) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::vector<std::pair<SparseRttMatrix::Key, SparseRttMatrix::Entry>>
+SparseRttMatrix::sorted_items() const {
+  std::vector<std::pair<Key, Entry>> items(entries_.begin(), entries_.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& l, const auto& r) {
+              if (l.first.a != r.first.a) return l.first.a < r.first.a;
+              return l.first.b < r.first.b;
+            });
+  return items;
+}
+
+std::vector<dir::Fingerprint> SparseRttMatrix::nodes() const {
+  std::set<dir::Fingerprint> uniq;
+  for (const auto& [k, v] : entries_) {
+    uniq.insert(k.a);
+    uniq.insert(k.b);
+  }
+  return {uniq.begin(), uniq.end()};
+}
+
+std::vector<double> SparseRttMatrix::values() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : sorted_items()) out.push_back(v.rtt_ms);
+  return out;
+}
+
+double SparseRttMatrix::mean_rtt() const {
+  TING_CHECK_MSG(!entries_.empty(), "empty RTT matrix");
+  double total = 0;
+  for (const auto& [k, v] : sorted_items()) total += v.rtt_ms;
+  return total / static_cast<double>(entries_.size());
+}
+
+std::vector<SparseRttMatrix::PairAge> SparseRttMatrix::expired_pairs(
+    TimePoint now, Duration max_age) const {
+  std::vector<PairAge> out;
+  for (const auto& [k, v] : entries_)
+    if (now - v.measured_at > max_age)
+      out.push_back(PairAge{k.a, k.b, v.measured_at});
+  std::sort(out.begin(), out.end(), [](const PairAge& l, const PairAge& r) {
+    if (l.measured_at != r.measured_at) return l.measured_at < r.measured_at;
+    if (l.a != r.a) return l.a < r.a;
+    return l.b < r.b;
+  });
+  return out;
+}
+
+SparseRttMatrix::CoverageCount SparseRttMatrix::coverage(
+    const std::vector<dir::Fingerprint>& nodes, TimePoint now,
+    Duration max_age) const {
+  CoverageCount c;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      ++c.total;
+      const Entry* e = entry(nodes[i], nodes[j]);
+      if (e == nullptr) {
+        ++c.missing;
+      } else if (now - e->measured_at <= max_age) {
+        ++c.fresh;
+      } else {
+        ++c.stale;
+      }
+    }
+  }
+  return c;
+}
+
+RttMatrix SparseRttMatrix::to_rtt_matrix() const {
+  RttMatrix dense;
+  for (const auto& [k, v] : entries_)
+    dense.set(k.a, k.b, v.rtt_ms, v.measured_at, v.samples);
+  return dense;
+}
+
+SparseRttMatrix SparseRttMatrix::from_rtt_matrix(const RttMatrix& dense) {
+  SparseRttMatrix sparse;
+  const std::vector<dir::Fingerprint> nodes = dense.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const Entry* e = dense.entry(nodes[i], nodes[j]);
+      if (e != nullptr)
+        sparse.set(nodes[i], nodes[j], e->rtt_ms, e->measured_at, e->samples);
+    }
+  }
+  return sparse;
+}
+
+std::string SparseRttMatrix::to_csv() const {
+  std::ostringstream os;
+  os << "fp_a,fp_b,rtt_ms,measured_at_ns,samples\n";
+  for (const auto& [k, v] : sorted_items()) {
+    os << k.a.hex() << "," << k.b.hex() << "," << v.rtt_ms << ","
+       << v.measured_at.ns() << "," << v.samples << "\n";
+  }
+  return os.str();
+}
+
+SparseRttMatrix SparseRttMatrix::from_csv(const std::string& csv) {
+  // Reuse the dense parser — identical schema, identical strictness.
+  return from_rtt_matrix(RttMatrix::from_csv(csv));
+}
+
+void SparseRttMatrix::save_csv(const std::string& path) const {
+  atomic_write_file(path, to_csv());
+}
+
+SparseRttMatrix SparseRttMatrix::load_csv(const std::string& path) {
+  return from_rtt_matrix(RttMatrix::load_csv(path));
+}
+
+std::string SparseRttMatrix::to_bin() const {
+  std::string out;
+  out.reserve(16 + entries_.size() * kBinRecordSize);
+  out.append(kBinMagic, 8);
+  put_u64le(out, entries_.size());
+  for (const auto& [k, v] : sorted_items()) {
+    put_fp(out, k.a);
+    put_fp(out, k.b);
+    put_u64le(out, std::bit_cast<std::uint64_t>(v.rtt_ms));
+    put_u64le(out, static_cast<std::uint64_t>(v.measured_at.ns()));
+    put_u32le(out, static_cast<std::uint32_t>(v.samples));
+  }
+  return out;
+}
+
+SparseRttMatrix SparseRttMatrix::from_bin(const std::string& bin) {
+  TING_CHECK_MSG(bin.size() >= 16 && std::memcmp(bin.data(), kBinMagic, 8) == 0,
+                 "sparse matrix: missing TINGSMX1 magic");
+  const std::uint64_t count = get_u64le(bin, 8);
+  TING_CHECK_MSG(bin.size() == 16 + count * kBinRecordSize,
+                 "sparse matrix: truncated binary image ("
+                     << bin.size() << " bytes for " << count << " records)");
+  SparseRttMatrix m;
+  m.entries_.reserve(count);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const std::size_t off = 16 + r * kBinRecordSize;
+    const dir::Fingerprint a = get_fp(bin, off);
+    const dir::Fingerprint b = get_fp(bin, off + 20);
+    const double rtt_ms = std::bit_cast<double>(get_u64le(bin, off + 40));
+    const auto at_ns = static_cast<std::int64_t>(get_u64le(bin, off + 48));
+    const auto samples = static_cast<std::int32_t>(get_u32le(bin, off + 56));
+    m.set(a, b, rtt_ms, TimePoint::from_ns(at_ns), samples);
+  }
+  return m;
+}
+
+void SparseRttMatrix::save_bin(const std::string& path) const {
+  atomic_write_file(path, to_bin());
+}
+
+SparseRttMatrix SparseRttMatrix::load_bin(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  TING_CHECK_MSG(f.good(), "cannot open " << path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return from_bin(buf.str());
+}
+
+RttMatrix load_matrix_any(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  TING_CHECK_MSG(f.good(), "cannot open " << path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string content = buf.str();
+  if (content.size() >= 8 &&
+      std::memcmp(content.data(), SparseRttMatrix::kBinMagic, 8) == 0)
+    return SparseRttMatrix::from_bin(content).to_rtt_matrix();
+  return RttMatrix::from_csv(content);
+}
+
+}  // namespace ting::meas

@@ -1,0 +1,196 @@
+// Property tests for the consensus-delta planner: churn produces exactly
+// the new/expired pairs with no duplicates, priority order holds (new pairs
+// first, expired oldest-first), budgets cut from the back, and the
+// ConsensusDeltaTracker reports joins/leaves correctly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ting/delta_scan.h"
+#include "ting/sparse_matrix.h"
+
+namespace ting::meas {
+namespace {
+
+dir::Fingerprint fp(std::size_t i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%040zx", i);
+  return dir::Fingerprint::from_hex(buf);
+}
+
+TimePoint at(std::int64_t s) { return TimePoint::from_ns(s * 1'000'000'000); }
+
+std::vector<dir::Fingerprint> node_set(std::size_t n) {
+  std::vector<dir::Fingerprint> nodes;
+  for (std::size_t i = 0; i < n; ++i) nodes.push_back(fp(i));
+  return nodes;
+}
+
+std::size_t all_pairs(std::size_t n) { return n * (n - 1) / 2; }
+
+/// No pair appears twice in a plan, in either orientation.
+void expect_no_duplicates(const DeltaPlan& plan) {
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto& [i, j] : plan.pairs) {
+    EXPECT_NE(i, j);
+    const auto key = std::minmax(i, j);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate pair (" << i << "," << j << ")";
+  }
+}
+
+TEST(DeltaScanTest, EmptyMatrixPlansAllPairs) {
+  const auto nodes = node_set(7);
+  const DeltaPlan plan = plan_delta(SparseRttMatrix{}, nodes, at(100));
+  EXPECT_EQ(plan.pairs.size(), all_pairs(7));
+  EXPECT_EQ(plan.new_pairs, all_pairs(7));
+  EXPECT_EQ(plan.expired_pairs, 0u);
+  EXPECT_EQ(plan.fresh_pairs, 0u);
+  EXPECT_EQ(plan.dropped_over_budget, 0u);
+  expect_no_duplicates(plan);
+}
+
+TEST(DeltaScanTest, FullyFreshMatrixPlansNothing) {
+  const auto nodes = node_set(6);
+  SparseRttMatrix m;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      m.set(nodes[i], nodes[j], 10.0, at(95), 1);
+  DeltaPlanOptions opt;
+  opt.ttl = Duration::seconds(10);
+  const DeltaPlan plan = plan_delta(m, nodes, at(100), opt);
+  EXPECT_TRUE(plan.pairs.empty());
+  EXPECT_EQ(plan.fresh_pairs, all_pairs(6));
+}
+
+TEST(DeltaScanTest, ChurnYieldsExactlyNewAndExpiredPairs) {
+  // Matrix covers nodes {0..4} freshly except: pair (1,2) is expired, and
+  // node 5 just joined (all 5 of its pairs are new). Nothing else plans.
+  const auto nodes = node_set(6);
+  SparseRttMatrix m;
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j)
+      m.set(nodes[i], nodes[j], 10.0, (i == 1 && j == 2) ? at(10) : at(95), 1);
+  DeltaPlanOptions opt;
+  opt.ttl = Duration::seconds(10);
+  const DeltaPlan plan = plan_delta(m, nodes, at(100), opt);
+  EXPECT_EQ(plan.new_pairs, 5u);
+  EXPECT_EQ(plan.expired_pairs, 1u);
+  EXPECT_EQ(plan.fresh_pairs, all_pairs(5) - 1);
+  ASSERT_EQ(plan.pairs.size(), 6u);
+  expect_no_duplicates(plan);
+  // New pairs come first; the expired pair is last.
+  for (std::size_t k = 0; k < 5; ++k)
+    EXPECT_TRUE(plan.pairs[k].first == 5 || plan.pairs[k].second == 5);
+  EXPECT_EQ(plan.pairs.back(), (std::pair<std::size_t, std::size_t>{1, 2}));
+}
+
+TEST(DeltaScanTest, ExpiredPairsPlannedOldestFirst) {
+  const auto nodes = node_set(4);
+  SparseRttMatrix m;
+  m.set(nodes[0], nodes[1], 1.0, at(30), 1);
+  m.set(nodes[0], nodes[2], 1.0, at(10), 1);
+  m.set(nodes[0], nodes[3], 1.0, at(20), 1);
+  m.set(nodes[1], nodes[2], 1.0, at(95), 1);  // fresh
+  m.set(nodes[1], nodes[3], 1.0, at(95), 1);  // fresh
+  m.set(nodes[2], nodes[3], 1.0, at(95), 1);  // fresh
+  DeltaPlanOptions opt;
+  opt.ttl = Duration::seconds(10);
+  const DeltaPlan plan = plan_delta(m, nodes, at(100), opt);
+  ASSERT_EQ(plan.pairs.size(), 3u);
+  EXPECT_EQ(plan.pairs[0], (std::pair<std::size_t, std::size_t>{0, 2}));  // t=10
+  EXPECT_EQ(plan.pairs[1], (std::pair<std::size_t, std::size_t>{0, 3}));  // t=20
+  EXPECT_EQ(plan.pairs[2], (std::pair<std::size_t, std::size_t>{0, 1}));  // t=30
+}
+
+TEST(DeltaScanTest, BudgetKeepsNewPairsOverExpired) {
+  // 3 new pairs (node 3 joined a 4-node set) + 3 expired; budget 4 must
+  // keep all 3 new pairs and only the single oldest expired pair.
+  const auto nodes = node_set(4);
+  SparseRttMatrix m;
+  m.set(nodes[0], nodes[1], 1.0, at(30), 1);
+  m.set(nodes[0], nodes[2], 1.0, at(10), 1);
+  m.set(nodes[1], nodes[2], 1.0, at(20), 1);
+  DeltaPlanOptions opt;
+  opt.ttl = Duration::seconds(10);
+  opt.budget = 4;
+  const DeltaPlan plan = plan_delta(m, nodes, at(100), opt);
+  // new/expired count the census (pre-budget); the cut shows up in
+  // dropped_over_budget and the worklist length.
+  EXPECT_EQ(plan.new_pairs, 3u);
+  EXPECT_EQ(plan.expired_pairs, 3u);
+  EXPECT_EQ(plan.dropped_over_budget, 2u);
+  ASSERT_EQ(plan.pairs.size(), 4u);
+  expect_no_duplicates(plan);
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_TRUE(plan.pairs[k].first == 3 || plan.pairs[k].second == 3);
+  EXPECT_EQ(plan.pairs[3], (std::pair<std::size_t, std::size_t>{0, 2}));  // t=10
+}
+
+TEST(DeltaScanTest, BudgetTruncatesNewPairs) {
+  const auto nodes = node_set(6);
+  DeltaPlanOptions opt;
+  opt.budget = 4;
+  const DeltaPlan plan = plan_delta(SparseRttMatrix{}, nodes, at(1), opt);
+  EXPECT_EQ(plan.pairs.size(), 4u);
+  EXPECT_EQ(plan.new_pairs, all_pairs(6));  // census, not kept
+  EXPECT_EQ(plan.dropped_over_budget, all_pairs(6) - 4);
+  expect_no_duplicates(plan);
+}
+
+TEST(DeltaScanTest, BudgetedExpiredSelectionMatchesFullSort) {
+  // The bounded-heap cut must select exactly the same pairs, in the same
+  // order, as sorting every expired candidate and taking the oldest K.
+  const auto nodes = node_set(10);
+  SparseRttMatrix m;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      m.set(nodes[i], nodes[j], 1.0, at((t = (t * 31 + 17) % 80)), 1);
+  DeltaPlanOptions unbounded;
+  unbounded.ttl = Duration::seconds(10);
+  DeltaPlanOptions bounded = unbounded;
+  bounded.budget = 11;
+  const DeltaPlan full = plan_delta(m, nodes, at(100), unbounded);
+  const DeltaPlan cut = plan_delta(m, nodes, at(100), bounded);
+  ASSERT_EQ(cut.pairs.size(), 11u);
+  EXPECT_EQ(cut.dropped_over_budget, full.pairs.size() - 11);
+  for (std::size_t k = 0; k < 11; ++k) EXPECT_EQ(cut.pairs[k], full.pairs[k]);
+}
+
+TEST(DeltaScanTest, PlanIsPureFunctionOfInputs) {
+  const auto nodes = node_set(8);
+  SparseRttMatrix m;
+  m.set(nodes[2], nodes[5], 1.0, at(3), 1);
+  DeltaPlanOptions opt;
+  opt.ttl = Duration::seconds(50);
+  opt.budget = 9;
+  const DeltaPlan p1 = plan_delta(m, nodes, at(100), opt);
+  const DeltaPlan p2 = plan_delta(m, nodes, at(100), opt);
+  EXPECT_EQ(p1.pairs, p2.pairs);
+}
+
+TEST(DeltaScanTest, TrackerReportsJoinsAndLeaves) {
+  ConsensusDeltaTracker tracker;
+  const auto first = tracker.observe({fp(1), fp(2), fp(3)});
+  EXPECT_EQ(first.joined.size(), 3u);
+  EXPECT_TRUE(first.left.empty());
+
+  const auto delta = tracker.observe({fp(2), fp(3), fp(4), fp(5)});
+  ASSERT_EQ(delta.joined.size(), 2u);
+  EXPECT_EQ(delta.joined[0], fp(4));
+  EXPECT_EQ(delta.joined[1], fp(5));
+  ASSERT_EQ(delta.left.size(), 1u);
+  EXPECT_EQ(delta.left[0], fp(1));
+  EXPECT_EQ(tracker.current().size(), 4u);
+
+  const auto none = tracker.observe({fp(2), fp(3), fp(4), fp(5)});
+  EXPECT_TRUE(none.joined.empty());
+  EXPECT_TRUE(none.left.empty());
+}
+
+}  // namespace
+}  // namespace ting::meas

@@ -208,6 +208,33 @@ TEST(ShardedScanTest, PairReseedIsCommutative) {
             pair_reseed(10, nodes[0], nodes[1]));
 }
 
+TEST(ShardedScanTest, ScanPairsSubsetMatchesFullScanEntries) {
+  // The daemon feeds explicit worklists through scan_pairs(); a subset
+  // scan must reproduce exactly the full scan's per-pair estimates (each
+  // estimate is a pure function of the pair, never of the worklist).
+  const scenario::ShardWorldOptions wo = small_world(41);
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+
+  RttMatrix full;
+  {
+    ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+    scanner.scan(nodes, full, sharded(2, 7));
+  }
+
+  const ParallelScanner::PairList subset = {{0, 1}, {2, 5}, {6, 7}, {3, 4}};
+  RttMatrix m;
+  ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+  const ScanReport r = scanner.scan_pairs(nodes, subset, m, sharded(2, 7));
+  EXPECT_EQ(r.pairs_total, subset.size());
+  EXPECT_EQ(r.measured, subset.size());
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(m.size(), subset.size());
+  for (const auto& [i, j] : subset) {
+    ASSERT_TRUE(m.rtt(nodes[i], nodes[j]).has_value());
+    EXPECT_EQ(*m.rtt(nodes[i], nodes[j]), *full.rtt(nodes[i], nodes[j]));
+  }
+}
+
 TEST(ShardedScanTest, ShardExceptionIsRethrownAfterJoin) {
   ShardedScanner scanner([](std::size_t shard) -> std::unique_ptr<ShardWorld> {
     if (shard == 1) throw std::runtime_error("world build failed");

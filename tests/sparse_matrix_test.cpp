@@ -1,0 +1,258 @@
+// Property tests for SparseRttMatrix: exact binary round-trips (including
+// adversarial double bit patterns), byte-determinism of serialization,
+// commutative/associative merge, TTL-expiry enumeration, CSV interop with
+// the dense RttMatrix, and the load_matrix_any() format sniffer.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ting/rtt_matrix.h"
+#include "ting/sparse_matrix.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace ting::meas {
+namespace {
+
+dir::Fingerprint fp(std::size_t i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%040zx", i);
+  return dir::Fingerprint::from_hex(buf);
+}
+
+TimePoint at(std::int64_t s) { return TimePoint::from_ns(s * 1'000'000'000); }
+
+/// A randomly filled matrix over `n` relays with ~half the pairs present.
+SparseRttMatrix random_matrix(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  SparseRttMatrix m;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < 0.5) continue;
+      m.set(fp(i), fp(j), rng.uniform() * 300.0,
+            at(static_cast<std::int64_t>(rng.uniform_int(1, 1000000))),
+            static_cast<int>(rng.uniform_int(1, 50)));
+    }
+  }
+  return m;
+}
+
+bool same_entries(const SparseRttMatrix& a, const SparseRttMatrix& b) {
+  return a.to_bin() == b.to_bin();
+}
+
+TEST(SparseRttMatrixTest, SetLookupAndCanonicalPairOrder) {
+  SparseRttMatrix m;
+  m.set(fp(2), fp(1), 12.5, at(10), 3);
+  EXPECT_EQ(m.size(), 1u);
+  // The pair is unordered: both orientations see the same entry.
+  ASSERT_TRUE(m.rtt(fp(1), fp(2)).has_value());
+  EXPECT_DOUBLE_EQ(*m.rtt(fp(1), fp(2)), 12.5);
+  EXPECT_DOUBLE_EQ(*m.rtt(fp(2), fp(1)), 12.5);
+  EXPECT_TRUE(m.contains(fp(2), fp(1)));
+  EXPECT_FALSE(m.contains(fp(1), fp(3)));
+  const SparseRttMatrix::Entry* e = m.entry(fp(1), fp(2));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->measured_at, at(10));
+  EXPECT_EQ(e->samples, 3);
+  // set() overwrites unconditionally, like RttMatrix::set.
+  m.set(fp(1), fp(2), 9.0, at(5), 1);
+  EXPECT_DOUBLE_EQ(*m.rtt(fp(1), fp(2)), 9.0);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SparseRttMatrixTest, BinRoundTripIsExact) {
+  const SparseRttMatrix m = random_matrix(17, 12);
+  ASSERT_GT(m.size(), 0u);
+  const std::string bin = m.to_bin();
+  EXPECT_EQ(bin.size(), 16 + m.size() * SparseRttMatrix::kBinRecordSize);
+  const SparseRttMatrix back = SparseRttMatrix::from_bin(bin);
+  EXPECT_EQ(back.size(), m.size());
+  // Equal data serializes to equal bytes (sorted record order).
+  EXPECT_EQ(back.to_bin(), bin);
+}
+
+TEST(SparseRttMatrixTest, BinRoundTripsAdversarialDoubles) {
+  // CSV's 6-significant-digit printing would destroy all of these; the
+  // binary format must carry the exact bit patterns.
+  const double values[] = {
+      0.1 + 0.2,                                    // classic 0.30000000000000004
+      1.0 / 3.0,
+      std::nextafter(25.0, 26.0),                   // one ulp off a round value
+      1e-300,                                       // subnormal-adjacent
+      123456.789012345,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+  };
+  SparseRttMatrix m;
+  std::size_t i = 0;
+  for (const double v : values) m.set(fp(0), fp(++i), v, at(1), 1);
+  const SparseRttMatrix back = SparseRttMatrix::from_bin(m.to_bin());
+  i = 0;
+  for (const double v : values) {
+    const SparseRttMatrix::Entry* e = back.entry(fp(0), fp(++i));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(e->rtt_ms),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(SparseRttMatrixTest, BinRejectsCorruptInput) {
+  const SparseRttMatrix m = random_matrix(3, 6);
+  std::string bin = m.to_bin();
+  EXPECT_THROW(SparseRttMatrix::from_bin(bin.substr(0, bin.size() - 1)),
+               CheckError);
+  std::string bad_magic = bin;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(SparseRttMatrix::from_bin(bad_magic), CheckError);
+  EXPECT_THROW(SparseRttMatrix::from_bin("short"), CheckError);
+}
+
+TEST(SparseRttMatrixTest, MergeIsCommutativeAndAssociative) {
+  // Overlapping pair sets with conflicting entries: merge order must not
+  // matter (freshest-wins with a total-order tiebreak).
+  const SparseRttMatrix a = random_matrix(101, 10);
+  const SparseRttMatrix b = random_matrix(202, 10);
+  const SparseRttMatrix c = random_matrix(303, 10);
+
+  SparseRttMatrix ab = a;
+  ab.merge(b);
+  SparseRttMatrix ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(same_entries(ab, ba));
+
+  SparseRttMatrix ab_c = ab;
+  ab_c.merge(c);
+  SparseRttMatrix bc = b;
+  bc.merge(c);
+  SparseRttMatrix a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_TRUE(same_entries(ab_c, a_bc));
+}
+
+TEST(SparseRttMatrixTest, MergeTiebreaksEqualTimestamps) {
+  // Same pair, same timestamp, different values: the winner must be the
+  // same regardless of merge direction (rtt bit pattern breaks the tie).
+  SparseRttMatrix x, y;
+  x.set(fp(1), fp(2), 10.0, at(5), 1);
+  y.set(fp(1), fp(2), 20.0, at(5), 1);
+  SparseRttMatrix xy = x;
+  xy.merge(y);
+  SparseRttMatrix yx = y;
+  yx.merge(x);
+  EXPECT_EQ(xy.to_bin(), yx.to_bin());
+  EXPECT_DOUBLE_EQ(*xy.rtt(fp(1), fp(2)), 20.0);  // larger bits win
+}
+
+TEST(SparseRttMatrixTest, MergePrefersFresher) {
+  SparseRttMatrix old_m, new_m;
+  old_m.set(fp(1), fp(2), 50.0, at(5), 9);
+  new_m.set(fp(1), fp(2), 60.0, at(6), 1);
+  old_m.merge(new_m);
+  EXPECT_DOUBLE_EQ(*old_m.rtt(fp(1), fp(2)), 60.0);
+}
+
+TEST(SparseRttMatrixTest, AbsorbRestampsDenseResults) {
+  RttMatrix dense;
+  dense.set(fp(1), fp(2), 30.0, TimePoint{}, 5);  // deterministic scans stamp 0
+  dense.set(fp(2), fp(3), 40.0, TimePoint{}, 5);
+  SparseRttMatrix m;
+  m.set(fp(0), fp(1), 10.0, at(1), 1);
+  m.absorb(dense, at(100));
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.entry(fp(1), fp(2))->measured_at, at(100));
+  EXPECT_EQ(m.entry(fp(2), fp(3))->measured_at, at(100));
+  EXPECT_EQ(m.entry(fp(0), fp(1))->measured_at, at(1));  // untouched
+}
+
+TEST(SparseRttMatrixTest, ExpiredPairsOldestFirst) {
+  SparseRttMatrix m;
+  m.set(fp(1), fp(2), 1.0, at(10), 1);
+  m.set(fp(3), fp(4), 2.0, at(30), 1);
+  m.set(fp(5), fp(6), 3.0, at(20), 1);
+  m.set(fp(7), fp(8), 4.0, at(95), 1);  // fresh at now=100, ttl=10
+  const auto expired = m.expired_pairs(at(100), Duration::seconds(10));
+  ASSERT_EQ(expired.size(), 3u);
+  EXPECT_EQ(expired[0].measured_at, at(10));
+  EXPECT_EQ(expired[1].measured_at, at(20));
+  EXPECT_EQ(expired[2].measured_at, at(30));
+  EXPECT_EQ(expired[0].a, fp(1));
+  EXPECT_EQ(expired[0].b, fp(2));
+}
+
+TEST(SparseRttMatrixTest, CoverageCensus) {
+  SparseRttMatrix m;
+  m.set(fp(0), fp(1), 1.0, at(95), 1);  // fresh
+  m.set(fp(0), fp(2), 2.0, at(10), 1);  // stale
+  const std::vector<dir::Fingerprint> nodes = {fp(0), fp(1), fp(2)};
+  const auto cc = m.coverage(nodes, at(100), Duration::seconds(10));
+  EXPECT_EQ(cc.total, 3u);
+  EXPECT_EQ(cc.fresh, 1u);
+  EXPECT_EQ(cc.stale, 1u);
+  EXPECT_EQ(cc.missing, 1u);
+  EXPECT_DOUBLE_EQ(cc.coverage(), 1.0 / 3.0);
+  // Degenerate node sets are fully covered by definition.
+  EXPECT_DOUBLE_EQ(m.coverage({}, at(100), Duration::seconds(10)).coverage(),
+                   1.0);
+}
+
+TEST(SparseRttMatrixTest, EraseRelayDropsAllTouchingPairs) {
+  SparseRttMatrix m = random_matrix(7, 8);
+  const std::size_t before = m.size();
+  std::size_t touching = 0;
+  for (std::size_t j = 0; j < 8; ++j)
+    if (j != 3 && m.contains(fp(3), fp(j))) ++touching;
+  EXPECT_EQ(m.erase_relay(fp(3)), touching);
+  EXPECT_EQ(m.size(), before - touching);
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_FALSE(m.contains(fp(3), fp(j)));
+}
+
+TEST(SparseRttMatrixTest, DenseInteropAndCsvSchema) {
+  const SparseRttMatrix m = random_matrix(23, 9);
+  const RttMatrix dense = m.to_rtt_matrix();
+  EXPECT_EQ(dense.size(), m.size());
+  // CSV output is byte-identical to the dense matrix's (same schema, same
+  // canonical order), so daemon artifacts drop into existing tooling.
+  EXPECT_EQ(m.to_csv(), dense.to_csv());
+  const SparseRttMatrix back = SparseRttMatrix::from_rtt_matrix(dense);
+  EXPECT_TRUE(same_entries(back, m));
+  // And the dense parser accepts sparse CSV (round trip through RttMatrix).
+  const RttMatrix reparsed = RttMatrix::from_csv(m.to_csv());
+  EXPECT_EQ(reparsed.to_csv(), dense.to_csv());
+}
+
+TEST(SparseRttMatrixTest, AggregatesMatchDense) {
+  const SparseRttMatrix m = random_matrix(31, 7);
+  const RttMatrix dense = m.to_rtt_matrix();
+  EXPECT_EQ(m.nodes(), dense.nodes());
+  EXPECT_EQ(m.values(), dense.values());
+  EXPECT_DOUBLE_EQ(m.mean_rtt(), dense.mean_rtt());
+}
+
+TEST(SparseRttMatrixTest, SaveLoadAnySniffsFormat) {
+  const SparseRttMatrix m = random_matrix(5, 6);
+  const std::string dir = ::testing::TempDir();
+  const std::string bin_path = dir + "/sm_test.tingmx";
+  const std::string csv_path = dir + "/sm_test.csv";
+  m.save_bin(bin_path);
+  m.save_csv(csv_path);
+
+  const SparseRttMatrix from_disk = SparseRttMatrix::load_bin(bin_path);
+  EXPECT_TRUE(same_entries(from_disk, m));
+
+  const RttMatrix via_bin = load_matrix_any(bin_path);
+  const RttMatrix via_csv = load_matrix_any(csv_path);
+  // CSV rounds to 6 significant digits, so compare through CSV text (the
+  // binary path must not lose anything the CSV path keeps).
+  EXPECT_EQ(via_bin.to_csv(), m.to_csv());
+  EXPECT_EQ(via_csv.to_csv(), RttMatrix::from_csv(m.to_csv()).to_csv());
+}
+
+}  // namespace
+}  // namespace ting::meas

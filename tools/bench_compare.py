@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI gates over BENCH_scan.json (bench/parallel_scan_bench.cpp output).
+
+Two subcommands, both stdlib-only:
+
+  gate-speedup FRESH.json [--min-speedup 1.3] [--min-cpus 4]
+      Fail if the fresh run's host had >= --min-cpus CPUs but the sharded
+      engine's wall-clock speedup_4_vs_1 came in under --min-speedup. On a
+      host with fewer CPUs the gate records the numbers and passes (the
+      speedup is core-bound, not engine-bound — the committed baseline was
+      produced on a 1-CPU container and reads 0.944).
+
+  gate-regression BASELINE.json FRESH.json [--max-regression 0.15]
+      Fail if the optimizations leg regressed: the fresh
+      optimizations.throughput_speedup must be at least
+      (1 - max_regression) x the baseline's. The speedup is a
+      within-run ratio (optimized vs cold pairs/vhour on the same host and
+      scale), so it is comparable across machines where raw pairs/vhour is
+      not; absolute pairs/vhour is additionally compared only when the two
+      runs measured the same leg (same pairs and samples_per_circuit).
+
+Exit status: 0 = pass, 1 = gate failed, 2 = unusable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def require(doc, path, *keys):
+    cur = doc
+    for k in keys:
+        if not isinstance(cur, dict) or k not in cur:
+            print(f"bench_compare: {path} is missing {'.'.join(keys)}",
+                  file=sys.stderr)
+            sys.exit(2)
+        cur = cur[k]
+    return cur
+
+
+def gate_speedup(args):
+    doc = load(args.fresh)
+    cpus = require(doc, args.fresh, "host_cpus")
+    speedup = require(doc, args.fresh, "speedup_4_vs_1")
+    identical = require(doc, args.fresh, "bit_identical")
+    print(f"sharded scan: host_cpus={cpus} speedup_4_vs_1={speedup} "
+          f"bit_identical={identical}")
+    if not identical:
+        print("FAIL: shard counts disagreed on the merged matrix")
+        return 1
+    if cpus < args.min_cpus:
+        print(f"PASS (informational): {cpus} < {args.min_cpus} CPUs, "
+              "wall-clock speedup is core-bound on this host")
+        return 0
+    if speedup < args.min_speedup:
+        print(f"FAIL: {cpus}-CPU host but speedup_4_vs_1={speedup} "
+              f"< {args.min_speedup}")
+        return 1
+    print(f"PASS: speedup_4_vs_1={speedup} >= {args.min_speedup}")
+    return 0
+
+
+def gate_regression(args):
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    b = require(base, args.baseline, "optimizations", "throughput_speedup")
+    f = require(fresh, args.fresh, "optimizations", "throughput_speedup")
+    floor = b * (1.0 - args.max_regression)
+    print(f"optimizations leg: baseline throughput_speedup={b} "
+          f"fresh={f} floor={floor:.3f}")
+    failed = False
+    if f < floor:
+        print(f"FAIL: throughput_speedup regressed more than "
+              f"{args.max_regression:.0%}")
+        failed = True
+
+    # Absolute pairs/vhour is host- and scale-sensitive; only comparable
+    # when both runs measured the same leg.
+    same_leg = all(
+        require(base, args.baseline, "optimizations", k)
+        == require(fresh, args.fresh, "optimizations", k)
+        for k in ("pairs",)
+    ) and require(base, args.baseline, "samples_per_circuit") == require(
+        fresh, args.fresh, "samples_per_circuit")
+    if same_leg:
+        pb = require(base, args.baseline, "optimizations",
+                     "optimized_pairs_per_vhour")
+        pf = require(fresh, args.fresh, "optimizations",
+                     "optimized_pairs_per_vhour")
+        pfloor = pb * (1.0 - args.max_regression)
+        print(f"optimized pairs/vhour: baseline={pb} fresh={pf} "
+              f"floor={pfloor:.2f}")
+        if pf < pfloor:
+            print(f"FAIL: optimized pairs/vhour regressed more than "
+                  f"{args.max_regression:.0%}")
+            failed = True
+    else:
+        print("pairs/vhour comparison skipped: runs measured different legs")
+
+    if not failed:
+        print("PASS: no bench regression")
+    return 1 if failed else 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    sp = sub.add_parser("gate-speedup")
+    sp.add_argument("fresh")
+    sp.add_argument("--min-speedup", type=float, default=1.3)
+    sp.add_argument("--min-cpus", type=int, default=4)
+    sp.set_defaults(func=gate_speedup)
+
+    rp = sub.add_parser("gate-regression")
+    rp.add_argument("baseline")
+    rp.add_argument("fresh")
+    rp.add_argument("--max-regression", type=float, default=0.15)
+    rp.set_defaults(func=gate_regression)
+
+    args = p.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

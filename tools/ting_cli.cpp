@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,15 +26,18 @@
 #include "analysis/coverage.h"
 #include "analysis/deanon.h"
 #include "analysis/tiv.h"
+#include "scenario/daemon_world.h"
 #include "scenario/faults.h"
 #include "scenario/shard_world.h"
 #include "scenario/testbed.h"
 #include "scenario/timeline.h"
 #include "simnet/fault_plan.h"
+#include "ting/daemon.h"
 #include "ting/half_circuit_cache.h"
 #include "ting/measurer.h"
 #include "ting/scan_journal.h"
 #include "ting/scheduler.h"
+#include "ting/sparse_matrix.h"
 #include "util/stats.h"
 
 namespace {
@@ -71,6 +75,10 @@ struct Args {
   long num(const std::string& key, long fallback) const {
     auto it = kv.find(key);
     return it == kv.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double real(const std::string& key, double fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::atof(it->second.c_str());
   }
   std::string str(const std::string& key, const std::string& fallback) const {
     auto it = kv.find(key);
@@ -344,9 +352,136 @@ int cmd_scan(const Args& args) {
   return report.failed == 0 ? 0 : 1;
 }
 
+int cmd_daemon(const Args& args) {
+  const auto relays = static_cast<std::size_t>(args.num("relays", 20));
+  const auto epochs = static_cast<std::size_t>(args.num("epochs", 6));
+  const auto budget = static_cast<std::size_t>(args.num("budget", 0));
+  const auto shards = static_cast<std::size_t>(args.num("shards", 1));
+  const auto pool = static_cast<std::size_t>(args.num("pool", 1));
+  const int samples = static_cast<int>(args.num("samples", 50));
+  const double epoch_hours = args.real("epoch-hours", 1.0);
+  const double ttl_hours = args.real("ttl-hours", 7 * 24.0);
+  const double churn = args.real("churn", 0.05);
+  const double rejoin = args.real("rejoin", 0.5);
+  const double absent = args.real("absent", 0.0);
+  const double coverage_target = args.real("coverage", 0.99);
+  const std::string out = args.str("out", "daemon.tingmx");
+  const std::string csv_out = args.str("csv", "");
+  const std::string faults = args.str("faults", "");
+  const bool resume = args.flag("resume", false);
+  const bool use_half_cache = args.flag("half-cache", true);
+  const bool adaptive = args.flag("adaptive-samples", true);
+  if (relays < 2 || epochs < 1 || shards < 1 || pool < 1 ||
+      epoch_hours <= 0 || ttl_hours <= 0) {
+    std::fprintf(stderr, "daemon: bad sizing flags\n");
+    return 2;
+  }
+
+  scenario::DaemonWorldOptions dwo;
+  dwo.relays = relays;
+  dwo.testbed.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  dwo.ting.samples = samples;
+  dwo.ting.adaptive_samples = adaptive;
+  dwo.churn.seed = dwo.testbed.seed;
+  dwo.churn.churn_rate = churn;
+  dwo.churn.rejoin_rate = rejoin;
+  dwo.churn.initially_absent = absent;
+  dwo.fault_spec = faults;
+  dwo.shards = shards;
+  dwo.pool = pool;
+  scenario::TestbedDaemonEnvironment env(dwo);
+
+  meas::DaemonOptions opt;
+  opt.epochs = epochs;
+  opt.epoch_interval = Duration::from_ms(epoch_hours * 3600e3);
+  opt.ttl = Duration::from_ms(ttl_hours * 3600e3);
+  opt.budget = budget;
+  opt.coverage_target = coverage_target;
+  opt.out = out;
+  opt.resume = resume;
+  opt.seed = dwo.testbed.seed;
+  opt.half_cache = use_half_cache;
+  opt.stop = &g_stop;
+  opt.engine.quarantine.enabled = args.flag("quarantine", true);
+  opt.engine.quarantine.threshold =
+      static_cast<int>(args.num("quarantine-threshold", 3));
+  // Identify the world this store belongs to, so --resume against the wrong
+  // testbed or measurement config fails loudly instead of corrupting it.
+  // --shards is deliberately absent: deterministic output is shard-count-
+  // independent, so a store may resume under a different thread count.
+  char tag[256];
+  std::snprintf(tag, sizeof(tag),
+                "relays=%zu;churn=%.6f;rejoin=%.6f;absent=%.6f;samples=%d;"
+                "adaptive=%d;half=%d;faults=%s",
+                relays, churn, rejoin, absent, samples, adaptive ? 1 : 0,
+                use_half_cache ? 1 : 0, faults.c_str());
+  opt.config_tag = tag;
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  meas::ScanDaemon daemon(env, opt);
+  const auto on_epoch = [](const meas::EpochStats& s) {
+    std::printf("epoch %zu: %zu nodes (+%zu/-%zu), planned %zu "
+                "(%zu new, %zu expired, %zu over budget), measured %zu, "
+                "cached %zu, failed %zu, deferred %zu -> coverage %.1f%% "
+                "(%zu/%zu pairs fresh)\n",
+                s.epoch, s.nodes, s.joined, s.left, s.plan.pairs.size(),
+                s.plan.new_pairs, s.plan.expired_pairs,
+                s.plan.dropped_over_budget, s.scan.measured,
+                s.scan.from_cache, s.scan.failed, s.scan.deferred,
+                100 * s.coverage.coverage(), s.coverage.fresh,
+                s.coverage.total);
+    std::fflush(stdout);
+  };
+  const meas::DaemonReport report = daemon.run(on_epoch);
+
+  if (!csv_out.empty()) daemon.matrix().save_csv(csv_out);
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted at epoch %zu; journal and state kept — re-run "
+                 "the same daemon command with --resume to continue\n",
+                 report.epochs_completed);
+    return 130;
+  }
+  std::printf("daemon: %zu epochs complete, %zu pairs stored, final "
+              "coverage %.2f%% (target %.0f%%) -> %s\n",
+              report.epochs_completed, report.matrix_pairs,
+              100 * report.final_coverage, 100 * coverage_target,
+              out.c_str());
+  return report.converged ? 0 : 1;
+}
+
+int cmd_convert(const Args& args) {
+  const std::string in = args.str("matrix", "matrix.csv");
+  const std::string csv_out = args.str("csv", "");
+  const std::string bin_out = args.str("bin", "");
+  std::ifstream f(in, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "cannot open %s\n", in.c_str());
+    return 2;
+  }
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  const bool is_bin =
+      content.size() >= 8 &&
+      std::memcmp(content.data(), meas::SparseRttMatrix::kBinMagic, 8) == 0;
+  const meas::SparseRttMatrix matrix =
+      is_bin ? meas::SparseRttMatrix::from_bin(content)
+             : meas::SparseRttMatrix::from_csv(content);
+  if (!csv_out.empty()) matrix.save_csv(csv_out);
+  if (!bin_out.empty()) matrix.save_bin(bin_out);
+  std::printf("%s: %s, %zu pairs over %zu relays%s%s%s%s\n", in.c_str(),
+              is_bin ? "sparse binary" : "csv", matrix.size(),
+              matrix.nodes().size(), csv_out.empty() ? "" : " -> ",
+              csv_out.c_str(), bin_out.empty() ? "" : " -> ",
+              bin_out.c_str());
+  return 0;
+}
+
 int cmd_tiv(const Args& args) {
   const meas::RttMatrix matrix =
-      meas::RttMatrix::load_csv(args.str("matrix", "matrix.csv"));
+      meas::load_matrix_any(args.str("matrix", "matrix.csv"));
   const auto tivs = analysis::find_all_tivs(matrix);
   const double frac = analysis::fraction_pairs_with_tiv(matrix);
   std::printf("%zu pairs, %.0f%% with a TIV\n", matrix.size(), 100 * frac);
@@ -369,7 +504,7 @@ int cmd_tiv(const Args& args) {
 
 int cmd_deanon(const Args& args) {
   const meas::RttMatrix matrix =
-      meas::RttMatrix::load_csv(args.str("matrix", "matrix.csv"));
+      meas::load_matrix_any(args.str("matrix", "matrix.csv"));
   const int runs = static_cast<int>(args.num("runs", 300));
   analysis::DeanonWorld world;
   world.nodes = matrix.nodes();
@@ -401,7 +536,7 @@ int cmd_deanon(const Args& args) {
 
 int cmd_coords(const Args& args) {
   const meas::RttMatrix matrix =
-      meas::RttMatrix::load_csv(args.str("matrix", "matrix.csv"));
+      meas::load_matrix_any(args.str("matrix", "matrix.csv"));
   analysis::VivaldiSystem vivaldi;
   Rng rng(static_cast<std::uint64_t>(args.num("seed", 2)));
   vivaldi.fit(matrix, matrix.nodes(), rng,
@@ -464,10 +599,24 @@ void usage() {
       "  churn:<events>:<start_s>:<period_s>:<down_s>\n"
       "  die:<target>[:<start_s>]\n"
       "  (<target> = scan-node index or '*'; e.g. \"loss:*:0.05;churn:2:30:60:120\")\n"
+      "  daemon    continuous scan service              (--relays --epochs --budget --ttl-hours\n"
+      "                                                  --epoch-hours --churn --rejoin --absent\n"
+      "                                                  --coverage --samples --shards --pool\n"
+      "                                                  --faults --seed --out --csv --resume)\n"
+      "  (scans the whole consensus in epochs: each epoch applies churn, plans\n"
+      "   a delta worklist [new pairs first, then TTL-expired oldest-first, cut\n"
+      "   to --budget pairs], measures it deterministically, and checkpoints the\n"
+      "   sparse binary matrix at <out>, state at <out>.state, journal at\n"
+      "   <out>.journal, half cache at <out>.halves. SIGTERM/kill at any point\n"
+      "   resumes into the same epoch with --resume, byte-identically for\n"
+      "   churn-only runs. exit: 0 converged to --coverage, 1 not converged,\n"
+      "   130 interrupted)\n"
+      "  convert   matrix format conversion             (--matrix in [--csv out] [--bin out])\n"
       "  tiv       triangle-inequality report           (--matrix)\n"
       "  deanon    deanonymization strategy comparison  (--matrix --runs)\n"
       "  coords    Vivaldi-embedding comparison         (--matrix --percent --seed)\n"
-      "  coverage  consensus timeline + host classes    (--days --relays)\n",
+      "  coverage  consensus timeline + host classes    (--days --relays)\n"
+      "  (tiv/deanon/coords accept scan CSVs and daemon sparse binaries alike)\n",
       stderr);
 }
 
@@ -483,6 +632,8 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "measure") return cmd_measure(args);
     if (cmd == "scan") return cmd_scan(args);
+    if (cmd == "daemon") return cmd_daemon(args);
+    if (cmd == "convert") return cmd_convert(args);
     if (cmd == "tiv") return cmd_tiv(args);
     if (cmd == "deanon") return cmd_deanon(args);
     if (cmd == "coords") return cmd_coords(args);
