@@ -6,17 +6,25 @@
 
 namespace ting::analysis {
 
-double circuit_rtt_ms(const meas::RttMatrix& matrix,
-                      const std::vector<dir::Fingerprint>& nodes,
-                      const std::vector<std::size_t>& path) {
+std::optional<double> try_circuit_rtt_ms(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    const std::vector<std::size_t>& path) {
   TING_CHECK(path.size() >= 2);
   double total = 0;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const auto r = matrix.rtt(nodes.at(path[i]), nodes.at(path[i + 1]));
-    TING_CHECK_MSG(r.has_value(), "missing RTT along circuit");
+    if (!r.has_value()) return std::nullopt;
     total += *r;
   }
   return total;
+}
+
+double circuit_rtt_ms(const meas::RttMatrix& matrix,
+                      const std::vector<dir::Fingerprint>& nodes,
+                      const std::vector<std::size_t>& path) {
+  const auto r = try_circuit_rtt_ms(matrix, nodes, path);
+  TING_CHECK_MSG(r.has_value(), "missing RTT along circuit");
+  return *r;
 }
 
 std::vector<CircuitSample> sample_circuits(
@@ -25,10 +33,18 @@ std::vector<CircuitSample> sample_circuits(
   TING_CHECK(len >= 2 && len <= nodes.size());
   std::vector<CircuitSample> out;
   out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  // Incomplete draws (a hop over an unmeasured pair) are skipped rather
+  // than aborted on. The attempt budget bounds the loop on very sparse
+  // matrices; on a complete matrix every draw is valid and the RNG stream
+  // matches the historical one draw per sample.
+  const std::size_t max_attempts = count * 10 + 100;
+  for (std::size_t attempt = 0; attempt < max_attempts && out.size() < count;
+       ++attempt) {
     CircuitSample s;
     s.path = rng.sample_indices(nodes.size(), len);
-    s.rtt_ms = circuit_rtt_ms(matrix, nodes, s.path);
+    const auto rtt = try_circuit_rtt_ms(matrix, nodes, s.path);
+    if (!rtt.has_value()) continue;
+    s.rtt_ms = *rtt;
     out.push_back(std::move(s));
   }
   return out;
@@ -53,6 +69,7 @@ CircuitRttHistogram circuit_rtt_histogram(
   out.median_node_probability.assign(nbins, 0.0);
 
   const auto samples = sample_circuits(matrix, nodes, len, sample_count, rng);
+  if (samples.empty()) return out;  // sparse matrix: no complete circuit found
 
   // Raw counts per bin, plus per-bin per-node membership counts.
   std::vector<double> raw(nbins, 0.0);
@@ -70,9 +87,11 @@ CircuitRttHistogram circuit_rtt_histogram(
   }
 
   // Scale sampled counts to the full population C(n, len) (the paper's
-  // procedure for Fig 16).
+  // procedure for Fig 16). The divisor is the number of *valid* samples
+  // drawn, which is sample_count on a complete matrix but smaller on a
+  // sparse one — dividing by the request would bias every bin low.
   const double scale = n_choose_k(nodes.size(), len) /
-                       static_cast<double>(sample_count);
+                       static_cast<double>(samples.size());
   for (std::size_t b = 0; b < nbins; ++b)
     out.scaled_counts[b] = raw[b] * scale;
 
@@ -86,7 +105,7 @@ CircuitRttHistogram circuit_rtt_histogram(
     probs.reserve(nodes.size());
     for (std::size_t node = 0; node < nodes.size(); ++node)
       probs.push_back(node_in_bin[b][node] /
-                      static_cast<double>(sample_count));
+                      static_cast<double>(samples.size()));
     out.median_node_probability[b] = quantile(std::move(probs), 0.5);
   }
   return out;

@@ -19,12 +19,25 @@ struct CircuitSample {
   double rtt_ms = 0;              ///< sum of inter-relay RTTs along the path
 };
 
-/// Sum of consecutive-hop RTTs for a path of node indices.
+/// Sum of consecutive-hop RTTs for a path of node indices, or nullopt when
+/// any hop's pair is missing from the matrix — the form every sampler uses,
+/// so partially-converged daemon stores are analyzable without aborting.
+std::optional<double> try_circuit_rtt_ms(const meas::RttMatrix& matrix,
+                                         const std::vector<dir::Fingerprint>& nodes,
+                                         const std::vector<std::size_t>& path);
+
+/// Sum of consecutive-hop RTTs for a path of node indices. Aborts
+/// (TING_CHECK) on a missing pair: callers that can see incomplete
+/// matrices should use try_circuit_rtt_ms.
 double circuit_rtt_ms(const meas::RttMatrix& matrix,
                       const std::vector<dir::Fingerprint>& nodes,
                       const std::vector<std::size_t>& path);
 
 /// Draw `count` random simple circuits (distinct relays) of length `len`.
+/// Circuits crossing an unmeasured pair are skipped, not aborted on; on a
+/// sparse matrix fewer than `count` samples may come back (the draw budget
+/// is a fixed multiple of `count`). On a complete matrix this returns
+/// exactly `count` samples from the same RNG stream as always.
 std::vector<CircuitSample> sample_circuits(
     const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
     std::size_t len, std::size_t count, Rng& rng);

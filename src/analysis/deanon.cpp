@@ -10,10 +10,14 @@
 namespace ting::analysis {
 
 double DeanonWorld::rtt(std::size_t a, std::size_t b) const {
-  TING_CHECK(matrix != nullptr);
-  const auto r = matrix->rtt(nodes.at(a), nodes.at(b));
+  const auto r = try_rtt(a, b);
   TING_CHECK_MSG(r.has_value(), "missing RTT for node pair");
   return *r;
+}
+
+std::optional<double> DeanonWorld::try_rtt(std::size_t a, std::size_t b) const {
+  TING_CHECK(matrix != nullptr);
+  return matrix->rtt(nodes.at(a), nodes.at(b));
 }
 
 double DeanonWorld::weight(std::size_t i) const {
@@ -21,8 +25,12 @@ double DeanonWorld::weight(std::size_t i) const {
   return weights.at(i);
 }
 
-CircuitInstance sample_circuit(const DeanonWorld& world, Rng& rng,
-                               bool weighted) {
+namespace {
+
+/// One circuit draw, e2e left unset; the callers decide what a circuit with
+/// an unmeasured leg means (abort vs. redraw).
+CircuitInstance draw_circuit(const DeanonWorld& world, Rng& rng,
+                             bool weighted) {
   const std::size_t n = world.nodes.size();
   TING_CHECK(n >= 4);
   CircuitInstance c;
@@ -37,9 +45,32 @@ CircuitInstance sample_circuit(const DeanonWorld& world, Rng& rng,
                                        c.exit == c.middle);
   // The attacker-destination sits at a plausible server RTT from the exit.
   c.exit_to_dst_ms = rng.uniform(5.0, 80.0);
+  return c;
+}
+
+}  // namespace
+
+CircuitInstance sample_circuit(const DeanonWorld& world, Rng& rng,
+                               bool weighted) {
+  CircuitInstance c = draw_circuit(world, rng, weighted);
   c.e2e_ms = world.rtt(c.source, c.entry) + world.rtt(c.entry, c.middle) +
              world.rtt(c.middle, c.exit) + c.exit_to_dst_ms;
   return c;
+}
+
+std::optional<CircuitInstance> try_sample_circuit(const DeanonWorld& world,
+                                                  Rng& rng, bool weighted,
+                                                  std::size_t max_attempts) {
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    CircuitInstance c = draw_circuit(world, rng, weighted);
+    const auto se = world.try_rtt(c.source, c.entry);
+    const auto em = world.try_rtt(c.entry, c.middle);
+    const auto mx = world.try_rtt(c.middle, c.exit);
+    if (!se || !em || !mx) continue;  // unmeasured leg: redraw
+    c.e2e_ms = *se + *em + *mx + c.exit_to_dst_ms;
+    return c;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -71,8 +102,12 @@ struct Episode {
       if (p != e && p != m) return false;
     if (use_constraints) {
       // The paper's conservative inequality (drops R(source, entry) >= 0).
-      const double lower_bound =
-          world.rtt(e, m) + world.rtt(m, view.exit) + view.exit_to_dst_ms;
+      // An unmeasured leg means the bound cannot be evaluated, and a pair
+      // the attacker cannot bound is a pair it cannot rule out.
+      const auto em = world.try_rtt(e, m);
+      const auto mx = world.try_rtt(m, view.exit);
+      if (!em.has_value() || !mx.has_value()) return true;
+      const double lower_bound = *em + *mx + view.exit_to_dst_ms;
       if (lower_bound > view.e2e_ms + 1e-9) return false;
     }
     return true;
@@ -129,7 +164,12 @@ struct Episode {
       for (const auto& [e, m] : {std::pair<std::size_t, std::size_t>{i, other},
                                  std::pair<std::size_t, std::size_t>{other, i}}) {
         if (!pair_feasible(e, m)) continue;
-        const double circuit_rtt = world.rtt(e, m) + world.rtt(m, view.exit);
+        // Feasible-but-unmeasured pairs contribute no residual: nothing to
+        // rank by, but they stay probe-able through the baseline order.
+        const auto em = world.try_rtt(e, m);
+        const auto mx = world.try_rtt(m, view.exit);
+        if (!em.has_value() || !mx.has_value()) continue;
+        const double circuit_rtt = *em + *mx;
         best = std::min(
             best, std::abs(view.e2e_ms -
                            (circuit_rtt + view.exit_to_dst_ms + mu)));
@@ -174,15 +214,20 @@ DeanonResult deanonymize_with_probe(const DeanonWorld& world,
     if (strategy == Strategy::kInformed) {
       double best_score = std::numeric_limits<double>::infinity();
       std::optional<std::size_t> best;
+      std::optional<std::size_t> fallback;  // unscoreable but still alive
       for (std::size_t i : ep.alive) {
         if (probed.contains(i)) continue;
+        if (!fallback.has_value()) fallback = i;
         const double s = ep.score(i);
         if (s < best_score) {
           best_score = s;
           best = i;
         }
       }
-      return best;
+      // On a sparse matrix every candidate can score infinity (no measured
+      // feasible pair to rank by); probe in candidate order rather than
+      // stalling with probe-able candidates left.
+      return best.has_value() ? best : fallback;
     }
     for (std::size_t i : order) {
       if (probed.contains(i)) continue;

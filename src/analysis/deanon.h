@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -41,7 +42,12 @@ struct DeanonWorld {
   const meas::RttMatrix* matrix = nullptr;
   std::vector<double> weights;
 
+  /// RTT between two node indices; aborts (TING_CHECK) when the pair is
+  /// missing. Attack logic that can see a partially-converged matrix goes
+  /// through try_rtt instead.
   double rtt(std::size_t a, std::size_t b) const;
+  /// RTT between two node indices, or nullopt when the pair is unmeasured.
+  std::optional<double> try_rtt(std::size_t a, std::size_t b) const;
   double weight(std::size_t i) const;
   double mean_rtt() const { return matrix->mean_rtt(); }
 };
@@ -55,8 +61,18 @@ struct CircuitInstance {
 
 /// Draw a victim circuit (source uniform; relays uniform or
 /// bandwidth-weighted when the world carries weights), all four distinct.
+/// Aborts (TING_CHECK) if a leg of the drawn circuit is unmeasured; use
+/// try_sample_circuit against sparse matrices.
 CircuitInstance sample_circuit(const DeanonWorld& world, Rng& rng,
                                bool weighted);
+
+/// Like sample_circuit, but redraws (up to `max_attempts`) until every leg
+/// of the circuit is measured, and returns nullopt instead of aborting when
+/// the matrix is too sparse to yield one. On a complete matrix the first
+/// draw succeeds and the RNG stream matches sample_circuit exactly.
+std::optional<CircuitInstance> try_sample_circuit(const DeanonWorld& world,
+                                                  Rng& rng, bool weighted,
+                                                  std::size_t max_attempts = 100);
 
 enum class Strategy : std::uint8_t {
   kRttUnaware,

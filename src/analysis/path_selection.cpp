@@ -17,7 +17,11 @@ std::vector<CircuitSample> find_circuits_in_band(
        iter < query.max_iterations && hits.size() < query.want; ++iter) {
     CircuitSample s;
     s.path = rng.sample_indices(nodes.size(), query.length);
-    s.rtt_ms = circuit_rtt_ms(matrix, nodes, s.path);
+    // An incomplete path (unmeasured hop) spends an iteration but is never
+    // a hit — sparse matrices narrow the search, they don't abort it.
+    const auto rtt = try_circuit_rtt_ms(matrix, nodes, s.path);
+    if (!rtt.has_value()) continue;
+    s.rtt_ms = *rtt;
     if (s.rtt_ms < query.rtt_lo_ms || s.rtt_ms > query.rtt_hi_ms) continue;
     if (!seen.insert(s.path).second) continue;
     hits.push_back(std::move(s));
@@ -36,7 +40,11 @@ CircuitSample optimize_low_rtt_circuit(const meas::RttMatrix& matrix,
   for (int r = 0; r < restarts; ++r) {
     CircuitSample current;
     current.path = rng.sample_indices(nodes.size(), length);
-    current.rtt_ms = circuit_rtt_ms(matrix, nodes, current.path);
+    const auto start = try_circuit_rtt_ms(matrix, nodes, current.path);
+    // A start over an unmeasured hop burns the restart; local search needs
+    // a measurable incumbent to improve on.
+    if (!start.has_value()) continue;
+    current.rtt_ms = *start;
     bool improved = true;
     while (improved) {
       improved = false;
@@ -49,10 +57,11 @@ CircuitSample optimize_low_rtt_circuit(const meas::RttMatrix& matrix,
           if (used.contains(candidate)) continue;
           std::vector<std::size_t> trial = current.path;
           trial[pos] = candidate;
-          const double rtt = circuit_rtt_ms(matrix, nodes, trial);
-          if (rtt < current.rtt_ms - 1e-12) {
+          const auto rtt = try_circuit_rtt_ms(matrix, nodes, trial);
+          if (!rtt.has_value()) continue;  // swap crosses an unmeasured pair
+          if (*rtt < current.rtt_ms - 1e-12) {
             current.path = std::move(trial);
-            current.rtt_ms = rtt;
+            current.rtt_ms = *rtt;
             improved = true;
             break;
           }
@@ -61,19 +70,25 @@ CircuitSample optimize_low_rtt_circuit(const meas::RttMatrix& matrix,
     }
     if (current.rtt_ms < best.rtt_ms) best = std::move(current);
   }
+  // On a matrix too sparse for any complete circuit the result has an empty
+  // path (and the sentinel RTT) — callers check rather than crash.
   return best;
 }
 
-double circuit_options_in_band(const meas::RttMatrix& matrix,
-                               const std::vector<dir::Fingerprint>& nodes,
-                               std::size_t length, double rtt_lo_ms,
-                               double rtt_hi_ms, std::size_t sample_count,
-                               Rng& rng) {
+std::optional<double> circuit_options_in_band(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    std::size_t length, double rtt_lo_ms, double rtt_hi_ms,
+    std::size_t sample_count, Rng& rng) {
   const auto samples = sample_circuits(matrix, nodes, length, sample_count, rng);
+  // The scaling divisor must be the number of circuits actually *judged*
+  // (valid draws), not the number requested: on a sparse matrix skipped
+  // draws would otherwise deflate the estimate, and with zero valid draws
+  // there is no estimate at all.
+  if (samples.empty()) return std::nullopt;
   std::size_t in_band = 0;
   for (const auto& s : samples)
     if (s.rtt_ms >= rtt_lo_ms && s.rtt_ms <= rtt_hi_ms) ++in_band;
-  return static_cast<double>(in_band) / static_cast<double>(sample_count) *
+  return static_cast<double>(in_band) / static_cast<double>(samples.size()) *
          n_choose_k(nodes.size(), length);
 }
 
@@ -84,11 +99,11 @@ std::optional<BandRecommendation> recommend_length_for_band(
   TING_CHECK(max_length >= 3);
   std::optional<BandRecommendation> best;
   for (std::size_t len = 3; len <= std::min(max_length, nodes.size()); ++len) {
-    const double options = circuit_options_in_band(
+    const auto options = circuit_options_in_band(
         matrix, nodes, len, rtt_lo_ms, rtt_hi_ms, sample_count, rng);
-    if (options <= 0) continue;
-    if (!best.has_value() || options > best->options)
-      best = BandRecommendation{len, options};
+    if (!options.has_value() || *options <= 0) continue;
+    if (!best.has_value() || *options > best->options)
+      best = BandRecommendation{len, *options};
   }
   return best;
 }

@@ -33,7 +33,8 @@ std::vector<CircuitSample> find_circuits_in_band(
 /// Local-search optimizer: start from random circuits of `length` and
 /// improve by single-node swaps until no swap lowers the RTT; keep the best
 /// across `restarts`. Finds circuits far faster than random selection would
-/// (exploiting TIVs where they help).
+/// (exploiting TIVs where they help). On a matrix too sparse for any
+/// complete circuit the returned sample has an empty path.
 CircuitSample optimize_low_rtt_circuit(const meas::RttMatrix& matrix,
                                        const std::vector<dir::Fingerprint>& nodes,
                                        std::size_t length, Rng& rng,
@@ -41,11 +42,13 @@ CircuitSample optimize_low_rtt_circuit(const meas::RttMatrix& matrix,
 
 /// Estimated number of distinct circuits of `length` in the band, scaled to
 /// the full C(n, length) population (the anonymity-set size of Fig 16/17).
-double circuit_options_in_band(const meas::RttMatrix& matrix,
-                               const std::vector<dir::Fingerprint>& nodes,
-                               std::size_t length, double rtt_lo_ms,
-                               double rtt_hi_ms, std::size_t sample_count,
-                               Rng& rng);
+/// Scaled by the number of *valid* samples drawn (incomplete paths on a
+/// sparse matrix are skipped); nullopt when no valid sample could be drawn,
+/// so there is no estimate to report.
+std::optional<double> circuit_options_in_band(
+    const meas::RttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    std::size_t length, double rtt_lo_ms, double rtt_hi_ms,
+    std::size_t sample_count, Rng& rng);
 
 /// The §5.2.2 defence: among lengths [3, max_length], pick the length whose
 /// anonymity set within the band is largest. Returns nullopt if no length

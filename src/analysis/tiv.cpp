@@ -1,5 +1,8 @@
 #include "analysis/tiv.h"
 
+#include "serve/detour_index.h"
+#include "serve/snapshot.h"
+
 namespace ting::analysis {
 
 std::optional<TivFinding> best_tiv(const meas::RttMatrix& matrix,
@@ -28,30 +31,41 @@ std::optional<TivFinding> best_tiv(const meas::RttMatrix& matrix,
   return best;
 }
 
-std::vector<TivFinding> find_all_tivs(const meas::RttMatrix& matrix) {
-  std::vector<TivFinding> out;
-  const auto nodes = matrix.nodes();
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      if (auto f = best_tiv(matrix, nodes[i], nodes[j]); f.has_value())
-        out.push_back(*f);
+TivSummary tiv_summary(const meas::RttMatrix& matrix) {
+  // One snapshot build (O(n²)) + one DetourIndex build (O(n³)) replaces the
+  // historical per-pair best_tiv scans — and the fraction comes from the
+  // same pass as the findings instead of a second full scan. Node order is
+  // identical (both sides sort fingerprints) and the index breaks detour
+  // ties toward the lowest relay index, matching best_tiv's first-wins
+  // iteration, so the findings are bit-for-bit what the old loop produced.
+  TivSummary out;
+  const auto snapshot = serve::MatrixSnapshot::build(matrix);
+  const auto detours = serve::DetourIndex::build(snapshot);
+  const std::size_t n = snapshot.node_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto& d = detours.at(i, j);
+      if (!d.tiv) continue;
+      TivFinding f;
+      f.a = snapshot.node(i);
+      f.b = snapshot.node(j);
+      f.detour = snapshot.node(static_cast<std::size_t>(d.via));
+      f.direct_ms = snapshot.rtt_raw(i, j);
+      f.detour_ms = d.detour_ms;
+      out.findings.push_back(std::move(f));
     }
   }
+  out.measured_pairs = detours.measured_pairs();
+  out.fraction = detours.tiv_fraction();
   return out;
 }
 
+std::vector<TivFinding> find_all_tivs(const meas::RttMatrix& matrix) {
+  return tiv_summary(matrix).findings;
+}
+
 double fraction_pairs_with_tiv(const meas::RttMatrix& matrix) {
-  const auto nodes = matrix.nodes();
-  std::size_t pairs = 0, with_tiv = 0;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      if (!matrix.contains(nodes[i], nodes[j])) continue;
-      ++pairs;
-      if (best_tiv(matrix, nodes[i], nodes[j]).has_value()) ++with_tiv;
-    }
-  }
-  if (pairs == 0) return 0;
-  return static_cast<double>(with_tiv) / static_cast<double>(pairs);
+  return tiv_summary(matrix).fraction;
 }
 
 }  // namespace ting::analysis

@@ -22,15 +22,33 @@ struct TivFinding {
 };
 
 /// The best TIV for (a, b) over all candidate relays in the matrix, or
-/// nullopt if no relay beats the direct path.
+/// nullopt if no relay beats the direct path. One O(n) scan — fine for a
+/// single pair; anything iterating pairs should go through tiv_summary
+/// (or serve::DetourIndex directly) instead.
 std::optional<TivFinding> best_tiv(const meas::RttMatrix& matrix,
                                    const dir::Fingerprint& a,
                                    const dir::Fingerprint& b);
 
-/// Best TIVs for every pair that has one.
+/// Everything the §5.2.1 analysis wants from one O(n³) pass (via
+/// serve::DetourIndex): the per-pair findings and the aggregate fraction.
+/// Historically find_all_tivs and fraction_pairs_with_tiv each re-ran the
+/// full scan; now both are views of this.
+struct TivSummary {
+  /// Best TIV per pair that has one, ordered by (a, b) fingerprint.
+  std::vector<TivFinding> findings;
+  /// Pairs with a measured direct RTT (the denominator — on a sparse
+  /// matrix this is less than C(n, 2)).
+  std::size_t measured_pairs = 0;
+  /// findings.size() / measured_pairs (0 when nothing is measured).
+  double fraction = 0;
+};
+TivSummary tiv_summary(const meas::RttMatrix& matrix);
+
+/// Best TIVs for every pair that has one (tiv_summary's findings).
 std::vector<TivFinding> find_all_tivs(const meas::RttMatrix& matrix);
 
-/// Fraction of pairs with at least one TIV (the paper's 69% statistic).
+/// Fraction of measured pairs with at least one TIV (the paper's 69%
+/// statistic; tiv_summary's fraction).
 double fraction_pairs_with_tiv(const meas::RttMatrix& matrix);
 
 }  // namespace ting::analysis

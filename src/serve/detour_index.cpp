@@ -1,0 +1,68 @@
+#include "serve/detour_index.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace ting::serve {
+
+void DetourIndex::recompute_pair(const MatrixSnapshot& snapshot, std::size_t i,
+                                 std::size_t j) {
+  Detour& slot = best_[tri(i, j)];
+  measured_pairs_ -= slot.measured ? 1 : 0;
+  tiv_pairs_ -= slot.tiv ? 1 : 0;
+
+  Detour fresh;
+  // NaN legs fail every comparison, so unmeasured vias fall out without a
+  // branch; ties keep the lowest relay index (deterministic reports).
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (k == i || k == j) continue;
+    const double sum = snapshot.rtt_raw(i, k) + snapshot.rtt_raw(k, j);
+    if (sum < fresh.detour_ms) {
+      fresh.detour_ms = sum;
+      fresh.via = static_cast<std::int32_t>(k);
+    }
+  }
+  const double direct = snapshot.rtt_raw(i, j);
+  fresh.measured = !std::isnan(direct);
+  fresh.tiv = fresh.measured && fresh.detour_ms < direct;
+
+  slot = fresh;
+  measured_pairs_ += slot.measured ? 1 : 0;
+  tiv_pairs_ += slot.tiv ? 1 : 0;
+}
+
+DetourIndex DetourIndex::build(const MatrixSnapshot& snapshot) {
+  DetourIndex idx;
+  idx.n_ = snapshot.node_count();
+  idx.best_.assign(idx.n_ * (idx.n_ - 1) / 2, Detour{});
+  for (std::size_t i = 0; i < idx.n_; ++i)
+    for (std::size_t j = i + 1; j < idx.n_; ++j)
+      idx.recompute_pair(snapshot, i, j);
+  return idx;
+}
+
+void DetourIndex::update(const MatrixSnapshot& snapshot,
+                         const std::vector<std::size_t>& changed) {
+  TING_CHECK_MSG(snapshot.node_count() == n_,
+                 "DetourIndex::update needs a snapshot with the node set the "
+                 "index was built from");
+  // Dedupe and recompute each incident pair exactly once: pairs between two
+  // changed relays would otherwise be recomputed twice (harmless but
+  // wasteful — recompute_pair is idempotent).
+  std::vector<bool> is_changed(n_, false);
+  for (std::size_t r : changed) {
+    TING_CHECK(r < n_);
+    is_changed[r] = true;
+  }
+  for (std::size_t r = 0; r < n_; ++r) {
+    if (!is_changed[r]) continue;
+    for (std::size_t x = 0; x < n_; ++x) {
+      if (x == r) continue;
+      if (is_changed[x] && x < r) continue;  // already done from x's side
+      recompute_pair(snapshot, r, x);
+    }
+  }
+}
+
+}  // namespace ting::serve

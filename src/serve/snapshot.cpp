@@ -1,0 +1,75 @@
+#include "serve/snapshot.h"
+
+#include <limits>
+
+namespace ting::serve {
+
+void MatrixSnapshot::index_nodes(std::vector<dir::Fingerprint> nodes) {
+  nodes_ = std::move(nodes);  // both matrix types return sorted node lists
+  index_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    index_.emplace(nodes_[i], static_cast<std::uint32_t>(i));
+  rtt_.assign(nodes_.size() * nodes_.size(),
+              std::numeric_limits<double>::quiet_NaN());
+}
+
+void MatrixSnapshot::set_pair(std::size_t i, std::size_t j, double rtt_ms) {
+  rtt_[i * nodes_.size() + j] = rtt_ms;
+  rtt_[j * nodes_.size() + i] = rtt_ms;
+  ++pair_count_;
+}
+
+MatrixSnapshot MatrixSnapshot::build(const meas::RttMatrix& matrix,
+                                     std::uint64_t epoch, TimePoint stamp) {
+  MatrixSnapshot s;
+  s.epoch_ = epoch;
+  s.stamp_ = stamp;
+  s.index_nodes(matrix.nodes());
+  for (std::size_t i = 0; i < s.nodes_.size(); ++i)
+    for (std::size_t j = i + 1; j < s.nodes_.size(); ++j)
+      if (const auto r = matrix.rtt(s.nodes_[i], s.nodes_[j]); r.has_value())
+        s.set_pair(i, j, *r);
+  return s;
+}
+
+MatrixSnapshot MatrixSnapshot::build(const meas::SparseRttMatrix& matrix,
+                                     std::uint64_t epoch, TimePoint stamp) {
+  MatrixSnapshot s;
+  s.epoch_ = epoch;
+  s.stamp_ = stamp;
+  s.index_nodes(matrix.nodes());
+  for (std::size_t i = 0; i < s.nodes_.size(); ++i)
+    for (std::size_t j = i + 1; j < s.nodes_.size(); ++j)
+      if (const auto r = matrix.rtt(s.nodes_[i], s.nodes_[j]); r.has_value())
+        s.set_pair(i, j, *r);
+  return s;
+}
+
+std::optional<double> MatrixSnapshot::rtt(const dir::Fingerprint& a,
+                                          const dir::Fingerprint& b) const {
+  const auto i = index_of(a);
+  const auto j = index_of(b);
+  if (!i.has_value() || !j.has_value()) return std::nullopt;
+  return rtt(*i, *j);
+}
+
+std::optional<double> MatrixSnapshot::path_rtt_ms(
+    const std::vector<std::size_t>& path) const {
+  if (path.size() < 2) return std::nullopt;
+  double total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const double r = rtt_raw(path[i], path[i + 1]);
+    if (std::isnan(r)) return std::nullopt;
+    total += r;
+  }
+  return total;
+}
+
+double MatrixSnapshot::coverage() const {
+  const std::size_t n = nodes_.size();
+  const std::size_t total = n * (n - 1) / 2;
+  if (total == 0) return 1.0;
+  return static_cast<double>(pair_count_) / static_cast<double>(total);
+}
+
+}  // namespace ting::serve

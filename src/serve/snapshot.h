@@ -1,0 +1,99 @@
+// MatrixSnapshot — an immutable, read-optimized image of the all-pairs RTT
+// matrix, built for the serving layer (§5's applications: low-RTT circuit
+// selection, TIV detours) rather than for measurement bookkeeping.
+//
+// The measurement stores (RttMatrix's ordered map, SparseRttMatrix's hash
+// map) are write-side structures: node-keyed, mutable, and growing while a
+// scan runs. A query path serving "millions of clients picking circuits"
+// wants the opposite: a dense fingerprint→index table fixed at build time
+// plus a flat n×n RTT array, so every lookup is one hash probe (or none,
+// for index-based callers) and one array read — no tree walk, no pair-key
+// construction, no lock.
+//
+// Snapshots are built once (O(n²)) from either matrix type, then never
+// mutated; PathServer publishes them through an atomic shared_ptr swap so
+// readers always see a complete, internally consistent image. Missing pairs
+// are quiet NaNs in the flat array — a partially-converged daemon store is
+// a first-class input, and every accessor reports absence instead of
+// aborting (the analysis layer's TING_CHECK-on-missing behaviour is
+// deliberately not replicated here).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dir/fingerprint.h"
+#include "ting/rtt_matrix.h"
+#include "ting/sparse_matrix.h"
+#include "util/time.h"
+
+namespace ting::serve {
+
+class MatrixSnapshot {
+ public:
+  MatrixSnapshot() = default;
+
+  /// Build from a finished scan's dense matrix or a daemon's sparse store.
+  /// `epoch`/`stamp` identify which checkpoint this image reflects (readers
+  /// use them to reason about staleness; see PROTOCOL.md).
+  static MatrixSnapshot build(const meas::RttMatrix& matrix,
+                              std::uint64_t epoch = 0, TimePoint stamp = {});
+  static MatrixSnapshot build(const meas::SparseRttMatrix& matrix,
+                              std::uint64_t epoch = 0, TimePoint stamp = {});
+
+  std::size_t node_count() const { return nodes_.size(); }
+  /// All relays in the snapshot, sorted by fingerprint (index order).
+  const std::vector<dir::Fingerprint>& nodes() const { return nodes_; }
+  const dir::Fingerprint& node(std::size_t i) const { return nodes_[i]; }
+
+  /// Dense index of a fingerprint, or nullopt if the relay is unknown.
+  std::optional<std::size_t> index_of(const dir::Fingerprint& fp) const {
+    const auto it = index_.find(fp);
+    if (it == index_.end()) return std::nullopt;
+    return static_cast<std::size_t>(it->second);
+  }
+
+  /// The query hot path: one array read, NaN when the pair is unmeasured
+  /// (and on the diagonal — a relay has no RTT to itself worth serving).
+  double rtt_raw(std::size_t i, std::size_t j) const {
+    return rtt_[i * nodes_.size() + j];
+  }
+  bool has(std::size_t i, std::size_t j) const {
+    return !std::isnan(rtt_raw(i, j));
+  }
+  std::optional<double> rtt(std::size_t i, std::size_t j) const {
+    const double r = rtt_raw(i, j);
+    if (std::isnan(r)) return std::nullopt;
+    return r;
+  }
+  std::optional<double> rtt(const dir::Fingerprint& a,
+                            const dir::Fingerprint& b) const;
+
+  /// Sum of consecutive-hop RTTs along a path of node indices; nullopt when
+  /// any hop is unmeasured (never aborts — the serving layer's contract).
+  std::optional<double> path_rtt_ms(const std::vector<std::size_t>& path) const;
+
+  /// Unordered pairs with a measured RTT.
+  std::size_t pair_count() const { return pair_count_; }
+  /// Measured fraction of the all-pairs set (1.0 for a finished scan).
+  double coverage() const;
+
+  std::uint64_t epoch() const { return epoch_; }
+  TimePoint stamp() const { return stamp_; }
+
+ private:
+  void index_nodes(std::vector<dir::Fingerprint> nodes);
+  void set_pair(std::size_t i, std::size_t j, double rtt_ms);
+
+  std::vector<dir::Fingerprint> nodes_;  ///< sorted; index order
+  std::unordered_map<dir::Fingerprint, std::uint32_t> index_;
+  std::vector<double> rtt_;  ///< n×n, symmetric, NaN = unmeasured
+  std::size_t pair_count_ = 0;
+  std::uint64_t epoch_ = 0;
+  TimePoint stamp_;
+};
+
+}  // namespace ting::serve

@@ -239,6 +239,11 @@ DaemonReport ScanDaemon::run(const EpochCallback& on_epoch,
     stats.coverage = matrix_.coverage(nodes, now, options_.ttl);
     report.epochs.push_back(stats);
     report.epochs_completed = e + 1;
+    if (options_.on_checkpoint) {
+      // Relays with at least one new or refreshed pair this epoch — exactly
+      // the incremental-update worklist a detour index wants.
+      options_.on_checkpoint(matrix_, nodes, epoch_matrix.nodes(), stats);
+    }
     if (on_epoch) on_epoch(stats);
   }
 

@@ -75,6 +75,17 @@ class DaemonEnvironment {
                                 const ScanProgress& progress) = 0;
 };
 
+/// Post-checkpoint hook: invoked after an epoch's artifacts are durable on
+/// disk (matrix + halves saved, journal removed, state bumped) with the
+/// persistent matrix, the epoch's consensus, the relays that gained or
+/// refreshed at least one pair this epoch, and the epoch stats. The serving
+/// layer (serve::PathServer) publishes snapshots from here; keeping it a
+/// std::function keeps ting_core free of serving dependencies.
+struct EpochStats;
+using CheckpointHook = std::function<void(
+    const SparseRttMatrix& matrix, const std::vector<dir::Fingerprint>& nodes,
+    const std::vector<dir::Fingerprint>& changed, const EpochStats& stats)>;
+
 struct DaemonOptions {
   /// Epochs to run before returning (a real deployment would pass a large
   /// number and rely on SIGTERM + --resume; tests pass a handful).
@@ -110,6 +121,9 @@ struct DaemonOptions {
   /// etc. The daemon overrides journal/stop/half_cache/pair_seed/max_age
   /// per epoch.
   ScanOptions engine;
+  /// Invoked after each completed epoch's checkpoint is durable; see
+  /// CheckpointHook. Empty = no serving layer attached.
+  CheckpointHook on_checkpoint;
 };
 
 struct EpochStats {

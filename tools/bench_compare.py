@@ -19,6 +19,14 @@ Two subcommands, both stdlib-only:
       not; absolute pairs/vhour is additionally compared only when the two
       runs measured the same leg (same pairs and samples_per_circuit).
 
+  gate-serve FRESH.json [--min-qps 10000]
+      Gate over BENCH_serve.json (bench/serve_bench.cpp): fail unless the
+      path server sustained --min-qps queries/sec *while* the scan daemon
+      was publishing snapshots, and every daemon epoch actually published.
+      The floor is deliberately conservative (measured throughput is
+      ~1000x higher on a 1-CPU container): it catches an accidental lock
+      or a per-query rebuild, not host-speed variance.
+
 Exit status: 0 = pass, 1 = gate failed, 2 = unusable input.
 """
 
@@ -111,6 +119,28 @@ def gate_regression(args):
     return 1 if failed else 0
 
 
+def gate_serve(args):
+    doc = load(args.fresh)
+    qps = require(doc, args.fresh, "concurrent_queries_per_sec")
+    publishes = require(doc, args.fresh, "publishes")
+    epochs = require(doc, args.fresh, "epochs")
+    queries = require(doc, args.fresh, "concurrent_queries")
+    print(f"path server: concurrent_queries_per_sec={qps} "
+          f"({queries} queries), publishes={publishes}/{epochs} epochs")
+    failed = False
+    if publishes < epochs:
+        print(f"FAIL: only {publishes} of {epochs} epochs published "
+              "a snapshot")
+        failed = True
+    if qps < args.min_qps:
+        print(f"FAIL: concurrent query throughput {qps} < {args.min_qps}")
+        failed = True
+    if not failed:
+        print(f"PASS: sustained {qps} q/s >= {args.min_qps} "
+              "concurrent with daemon epochs")
+    return 1 if failed else 0
+
+
 def main():
     p = argparse.ArgumentParser(description=__doc__)
     sub = p.add_subparsers(dest="cmd", required=True)
@@ -126,6 +156,11 @@ def main():
     rp.add_argument("fresh")
     rp.add_argument("--max-regression", type=float, default=0.15)
     rp.set_defaults(func=gate_regression)
+
+    vp = sub.add_parser("gate-serve")
+    vp.add_argument("fresh")
+    vp.add_argument("--min-qps", type=float, default=10000)
+    vp.set_defaults(func=gate_serve)
 
     args = p.parse_args()
     sys.exit(args.func(args))

@@ -12,6 +12,7 @@
 //
 // Matrices written by `scan` feed `tiv`, `deanon`, and `coords`.
 #include <atomic>
+#include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "analysis/deanon.h"
 #include "analysis/tiv.h"
 #include "scenario/daemon_world.h"
+#include "serve/path_server.h"
 #include "scenario/faults.h"
 #include "scenario/shard_world.h"
 #include "scenario/testbed.h"
@@ -452,6 +454,199 @@ int cmd_daemon(const Args& args) {
   return report.converged ? 0 : 1;
 }
 
+void print_circuit(const serve::PathServer::Circuit& c) {
+  std::printf("  %7.1fms ", c.rtt_ms);
+  for (std::size_t i = 0; i < c.relays.size(); ++i)
+    std::printf("%s%s", i == 0 ? "" : " -> ", c.relays[i].short_name().c_str());
+  std::printf("\n");
+}
+
+/// Load a matrix, publish it into a PathServer once, and answer one query.
+int cmd_query(const Args& args) {
+  const meas::RttMatrix matrix =
+      meas::load_matrix_any(args.str("matrix", "matrix.csv"));
+  serve::ServeOptions so;
+  so.candidates_per_length =
+      static_cast<std::size_t>(args.num("candidates", 2000));
+  so.max_length = static_cast<std::size_t>(args.num("max-length", 6));
+  so.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  serve::PathServer server(so);
+  server.publish(matrix);
+  const auto st = server.state();
+  const auto& nodes = st->snapshot.nodes();
+  std::printf("serving %zu relays, %zu pairs (%.1f%% coverage), "
+              "%.0f%% of measured pairs have a TIV detour\n",
+              st->snapshot.node_count(), st->snapshot.pair_count(),
+              100 * st->snapshot.coverage(),
+              100 * st->detours.tiv_fraction());
+
+  const auto node_at = [&](long i) -> const dir::Fingerprint* {
+    if (i < 0 || static_cast<std::size_t>(i) >= nodes.size()) {
+      std::fprintf(stderr, "relay index %ld out of range [0, %zu)\n", i,
+                   nodes.size());
+      return nullptr;
+    }
+    return &nodes[static_cast<std::size_t>(i)];
+  };
+
+  if (args.kv.contains("pair")) {
+    long a = 0, b = 1;
+    if (std::sscanf(args.kv.at("pair").c_str(), "%ld,%ld", &a, &b) != 2) {
+      std::fprintf(stderr, "--pair wants i,j relay indices\n");
+      return 2;
+    }
+    const auto* fa = node_at(a);
+    const auto* fb = node_at(b);
+    if (fa == nullptr || fb == nullptr) return 2;
+    const auto direct = server.rtt(*fa, *fb);
+    if (direct.has_value())
+      std::printf("%s <-> %s: direct %.1fms\n", fa->short_name().c_str(),
+                  fb->short_name().c_str(), *direct);
+    else
+      std::printf("%s <-> %s: direct unmeasured\n", fa->short_name().c_str(),
+                  fb->short_name().c_str());
+    const auto detour = server.best_detour(*fa, *fb);
+    if (detour.has_value()) {
+      std::printf("  best detour: %.1fms via %s%s\n", detour->detour_ms,
+                  detour->via.short_name().c_str(),
+                  detour->tiv ? " (beats direct: TIV)" : "");
+    } else {
+      std::printf("  no relay has both legs measured\n");
+    }
+    return 0;
+  }
+  if (args.kv.contains("through")) {
+    const auto* relay = node_at(args.num("through", 0));
+    if (relay == nullptr) return 2;
+    const auto k = static_cast<std::size_t>(args.num("k", 5));
+    const auto circuits = server.fastest_through(*relay, k);
+    std::printf("fastest %zu 3-hop circuits with %s as middle:\n",
+                circuits.size(), relay->short_name().c_str());
+    for (const auto& c : circuits) print_circuit(c);
+    return 0;
+  }
+  if (args.kv.contains("band")) {
+    double lo = 0, hi = 0;
+    if (std::sscanf(args.kv.at("band").c_str(), "%lf:%lf", &lo, &hi) != 2) {
+      std::fprintf(stderr, "--band wants lo:hi in ms\n");
+      return 2;
+    }
+    const auto length = static_cast<std::size_t>(args.num("length", 3));
+    const auto want = static_cast<std::size_t>(args.num("want", 5));
+    const auto circuits = server.circuits_in_band(length, lo, hi, want);
+    std::printf("~%.3g circuits of length %zu in [%.0f, %.0f]ms; sampled:\n",
+                server.options_in_band(length, lo, hi), length, lo, hi);
+    for (const auto& c : circuits) print_circuit(c);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "query wants one of --pair i,j | --through i [--k n] | "
+               "--band lo:hi [--length l] [--want n]\n");
+  return 2;
+}
+
+/// A daemon run with the serving layer attached: every epoch checkpoint
+/// publishes a fresh snapshot + detour index while (in a deployment)
+/// readers keep querying the previous one lock-free.
+int cmd_serve(const Args& args) {
+  const auto relays = static_cast<std::size_t>(args.num("relays", 20));
+  const auto epochs = static_cast<std::size_t>(args.num("epochs", 6));
+  const auto budget = static_cast<std::size_t>(args.num("budget", 0));
+  const auto shards = static_cast<std::size_t>(args.num("shards", 1));
+  const int samples = static_cast<int>(args.num("samples", 50));
+  const double epoch_hours = args.real("epoch-hours", 1.0);
+  const double ttl_hours = args.real("ttl-hours", 7 * 24.0);
+  const double churn = args.real("churn", 0.05);
+  const std::string out = args.str("out", "daemon.tingmx");
+  const bool resume = args.flag("resume", false);
+  if (relays < 2 || epochs < 1 || shards < 1 || epoch_hours <= 0 ||
+      ttl_hours <= 0) {
+    std::fprintf(stderr, "serve: bad sizing flags\n");
+    return 2;
+  }
+
+  scenario::DaemonWorldOptions dwo;
+  dwo.relays = relays;
+  dwo.testbed.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  dwo.ting.samples = samples;
+  dwo.ting.adaptive_samples = true;
+  dwo.churn.seed = dwo.testbed.seed;
+  dwo.churn.churn_rate = churn;
+  dwo.churn.rejoin_rate = 0.5;
+  dwo.churn.initially_absent = 0.0;
+  dwo.shards = shards;
+  scenario::TestbedDaemonEnvironment env(dwo);
+
+  meas::DaemonOptions opt;
+  opt.epochs = epochs;
+  opt.epoch_interval = Duration::from_ms(epoch_hours * 3600e3);
+  opt.ttl = Duration::from_ms(ttl_hours * 3600e3);
+  opt.budget = budget;
+  opt.out = out;
+  opt.resume = resume;
+  opt.seed = dwo.testbed.seed;
+  opt.stop = &g_stop;
+  char tag[256];
+  std::snprintf(tag, sizeof(tag),
+                "relays=%zu;churn=%.6f;rejoin=%.6f;absent=%.6f;samples=%d;"
+                "adaptive=%d;half=%d;faults=",
+                relays, churn, 0.5, 0.0, samples, 1, 1);
+  opt.config_tag = tag;
+
+  serve::ServeOptions so;
+  so.candidates_per_length =
+      static_cast<std::size_t>(args.num("candidates", 500));
+  so.seed = opt.seed;
+  serve::PathServer server(so);
+  opt.on_checkpoint = [&server, &opt](
+                          const meas::SparseRttMatrix& m,
+                          const std::vector<dir::Fingerprint>&,
+                          const std::vector<dir::Fingerprint>& changed,
+                          const meas::EpochStats& s) {
+    server.publish(m, s.epoch,
+                   meas::ScanDaemon::epoch_clock(opt.epoch_interval, s.epoch),
+                   changed);
+    const auto st = server.state();
+    std::printf("epoch %zu: published snapshot — %zu relays, %zu pairs "
+                "(%.1f%% coverage), %.0f%% TIV, %zu changed relays\n",
+                s.epoch, st->snapshot.node_count(),
+                st->snapshot.pair_count(), 100 * st->snapshot.coverage(),
+                100 * st->detours.tiv_fraction(), changed.size());
+    std::fflush(stdout);
+  };
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  meas::ScanDaemon daemon(env, opt);
+  const meas::DaemonReport report = daemon.run();
+
+  if (report.interrupted) {
+    std::fprintf(stderr, "interrupted at epoch %zu; re-run with --resume\n",
+                 report.epochs_completed);
+    return 130;
+  }
+  if (!server.ready()) {
+    std::fprintf(stderr, "no epoch completed; nothing was published\n");
+    return 1;
+  }
+  // Show the serving layer answering off the last published state.
+  const auto st = server.state();
+  const auto& nodes = st->snapshot.nodes();
+  std::printf("%" PRIu64 " snapshots published; sample queries:\n",
+              server.publishes());
+  if (nodes.size() >= 2) {
+    const auto detour = server.best_detour(nodes[0], nodes[1]);
+    if (detour.has_value())
+      std::printf("  detour %s <-> %s: %.1fms via %s%s\n",
+                  nodes[0].short_name().c_str(), nodes[1].short_name().c_str(),
+                  detour->detour_ms, detour->via.short_name().c_str(),
+                  detour->tiv ? " (TIV)" : "");
+    for (const auto& c : server.fastest_through(nodes[0], 3)) print_circuit(c);
+  }
+  return 0;
+}
+
 int cmd_convert(const Args& args) {
   const std::string in = args.str("matrix", "matrix.csv");
   const std::string csv_out = args.str("csv", "");
@@ -482,9 +677,12 @@ int cmd_convert(const Args& args) {
 int cmd_tiv(const Args& args) {
   const meas::RttMatrix matrix =
       meas::load_matrix_any(args.str("matrix", "matrix.csv"));
-  const auto tivs = analysis::find_all_tivs(matrix);
-  const double frac = analysis::fraction_pairs_with_tiv(matrix);
-  std::printf("%zu pairs, %.0f%% with a TIV\n", matrix.size(), 100 * frac);
+  // One O(n³) detour-index pass yields the findings and the fraction
+  // together (this used to run the full scan twice).
+  const auto summary = analysis::tiv_summary(matrix);
+  const auto& tivs = summary.findings;
+  std::printf("%zu pairs, %.0f%% with a TIV\n", summary.measured_pairs,
+              100 * summary.fraction);
   std::vector<double> savings;
   for (const auto& t : tivs) savings.push_back(100 * t.savings());
   if (!savings.empty())
@@ -523,13 +721,30 @@ int cmd_deanon(const Args& args) {
         Row{"informed", analysis::Strategy::kInformed}}) {
     Rng crng(42), prng(43);
     std::vector<double> fr;
+    int skipped = 0;
     for (int i = 0; i < runs; ++i) {
-      const auto c = analysis::sample_circuit(world, crng, false);
+      // Redraws until every leg is measured, so a partially-converged
+      // daemon store analyses instead of aborting; on a complete matrix
+      // the first draw lands and the RNG stream is the historical one.
+      const auto c = analysis::try_sample_circuit(world, crng, false);
+      if (!c.has_value()) {
+        ++skipped;
+        continue;
+      }
       fr.push_back(
-          analysis::deanonymize(world, c, row.strategy, prng).fraction_probed);
+          analysis::deanonymize(world, *c, row.strategy, prng).fraction_probed);
     }
-    std::printf("%-18s median %.1f%% of nodes probed\n", row.name,
+    if (fr.empty()) {
+      std::printf("%-18s no measurable circuit in %d runs (matrix too "
+                  "sparse)\n",
+                  row.name, runs);
+      continue;
+    }
+    std::printf("%-18s median %.1f%% of nodes probed", row.name,
                 100 * quantile(fr, 0.5));
+    if (skipped > 0)
+      std::printf("  (%d/%d runs skipped: unmeasured legs)", skipped, runs);
+    std::printf("\n");
   }
   return 0;
 }
@@ -611,6 +826,16 @@ void usage() {
       "   resumes into the same epoch with --resume, byte-identically for\n"
       "   churn-only runs. exit: 0 converged to --coverage, 1 not converged,\n"
       "   130 interrupted)\n"
+      "  serve     daemon + path-selection serving      (--relays --epochs --budget --churn\n"
+      "                                                  --samples --shards --candidates\n"
+      "                                                  --out --resume)\n"
+      "  (runs the continuous scan with the serving layer attached: each epoch\n"
+      "   checkpoint publishes an immutable matrix snapshot + detour index via\n"
+      "   one atomic pointer swap, so path queries never lock and never see a\n"
+      "   half-updated epoch)\n"
+      "  query     path-selection queries off a matrix  (--matrix, then one of:\n"
+      "                                                  --pair i,j | --through i --k n |\n"
+      "                                                  --band lo:hi --length l --want n)\n"
       "  convert   matrix format conversion             (--matrix in [--csv out] [--bin out])\n"
       "  tiv       triangle-inequality report           (--matrix)\n"
       "  deanon    deanonymization strategy comparison  (--matrix --runs)\n"
@@ -633,6 +858,8 @@ int main(int argc, char** argv) {
     if (cmd == "measure") return cmd_measure(args);
     if (cmd == "scan") return cmd_scan(args);
     if (cmd == "daemon") return cmd_daemon(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "query") return cmd_query(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "tiv") return cmd_tiv(args);
     if (cmd == "deanon") return cmd_deanon(args);
