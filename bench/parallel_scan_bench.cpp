@@ -315,6 +315,62 @@ int main() {
     const double journal_overhead =
         wall1 > 0 ? wall_journal / wall1 : 0;
 
+    // ---- world construction: shared immutable topology vs legacy clones ---
+    // Times what the sharded-scan workers pay before the first probe (the
+    // quantity ScanReport.world_construct_ms tracks): the legacy path
+    // re-derives the full topology (identity keygen, geography, base-RTT
+    // table) inside every worker's factory call, the shared path
+    // instantiates only the mutable half over a topology the coordinating
+    // thread built once — and needed anyway, to derive the scan-node list.
+    // The one-time build is reported separately. Fixed at 100 relays /
+    // 4 shards regardless of TING_BENCH_SCALE: keygen cost grows with relay
+    // count, and the gate needs a stable operating point.
+    double legacy_construct_ms = 0, shared_construct_ms = 0;
+    double topology_build_ms = 0, construct_speedup = 0, reseed_us = 0;
+    const std::size_t kConstructRelays = 100, kConstructShards = 4;
+    {
+      scenario::ShardWorldOptions cwo;
+      cwo.relays = kConstructRelays;
+      cwo.scan_nodes = kConstructRelays;
+      cwo.testbed.seed = 421;
+      cwo.testbed.differential_fraction = 0;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t s = 0; s < kConstructShards; ++s)
+        scenario::TestbedShardWorld legacy(cwo);
+      legacy_construct_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+      const auto t1 = std::chrono::steady_clock::now();
+      const scenario::TopologyPtr topology = scenario::shard_topology(cwo);
+      topology_build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t1)
+                              .count();
+      const auto t2 = std::chrono::steady_clock::now();
+      std::vector<std::unique_ptr<scenario::TestbedShardWorld>> worlds;
+      for (std::size_t s = 0; s < kConstructShards; ++s)
+        worlds.push_back(
+            std::make_unique<scenario::TestbedShardWorld>(cwo, topology));
+      shared_construct_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t2)
+                                .count();
+      construct_speedup = shared_construct_ms > 0
+                              ? legacy_construct_ms / shared_construct_ms
+                              : 0;
+
+      // Reseed microbench: the deterministic engine reseeds the world before
+      // every pair replay, so this is a per-pair cost on the hot path.
+      const std::size_t kReseeds = 200;
+      const auto t3 = std::chrono::steady_clock::now();
+      for (std::size_t n = 0; n < kReseeds; ++n)
+        worlds[0]->reseed(0x5eed + n);
+      reseed_us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t3)
+                      .count() /
+                  static_cast<double>(kReseeds);
+    }
+
     std::printf("# sharded engine (wall clock, deterministic): %zu nodes, "
                 "%zu pairs, %u host cpus\n",
                 sharded_nodes.size(), r1.pairs_total, cpus);
@@ -329,6 +385,13 @@ int main() {
                 "%zu fsyncs, %zu pair records, bit-identical: %s\n",
                 wall_journal, wall1, journal_overhead, journal_fsyncs,
                 journal_pair_records, journal_identical ? "yes" : "NO");
+    std::printf("# world construction (%zu relays x %zu shards): legacy "
+                "clones %.1f ms, shared-topology worlds %.1f ms (x%.1f, "
+                "one-time topology build %.1f ms), reseed %.1f us; W=4 scan "
+                "spent %.1f ms constructing, %zu reseeds\n",
+                kConstructRelays, kConstructShards, legacy_construct_ms,
+                shared_construct_ms, construct_speedup, topology_build_ms,
+                reseed_us, r4.world_construct_ms, r4.reseeds);
     if (cpus < 4)
       std::printf("# (only %u cpu(s) available: wall-clock speedup is "
                   "core-bound, not engine-bound)\n",
@@ -375,6 +438,19 @@ int main() {
           "    \"fsyncs\": %zu,\n"
           "    \"pair_records\": %zu,\n"
           "    \"bit_identical_with_journal\": %s\n"
+          "  },\n"
+          "  \"world_construction\": {\n"
+          "    \"leg\": \"%zu-relay topology x %zu shard worlds, legacy "
+          "clone-per-shard vs shared immutable topology\",\n"
+          "    \"relays\": %zu,\n"
+          "    \"shards\": %zu,\n"
+          "    \"legacy_clone_ms\": %.3f,\n"
+          "    \"shared_topology_ms\": %.3f,\n"
+          "    \"topology_build_once_ms\": %.3f,\n"
+          "    \"construct_speedup\": %.3f,\n"
+          "    \"reseed_us\": %.3f,\n"
+          "    \"scan_w4_construct_ms\": %.3f,\n"
+          "    \"scan_w4_reseeds\": %zu\n"
           "  }\n"
           "}\n",
           sharded_nodes.size(), r1.pairs_total, swo.ting.samples, cpus, wall1,
@@ -383,7 +459,10 @@ int main() {
           base_circuits, opt_circuits, opt_circuit_ratio, opt_half_hits,
           opt_samples_saved, opt_max_dev_ms, wall1, wall_journal,
           journal_overhead, journal_fsyncs, journal_pair_records,
-          journal_identical ? "true" : "false");
+          journal_identical ? "true" : "false", kConstructRelays,
+          kConstructShards, kConstructRelays, kConstructShards,
+          legacy_construct_ms, shared_construct_ms, topology_build_ms,
+          construct_speedup, reseed_us, r4.world_construct_ms, r4.reseeds);
       std::fclose(json);
       std::printf("# wrote BENCH_scan.json\n");
     }

@@ -1,5 +1,6 @@
 #include "cells/relay_payload.h"
 
+#include <array>
 #include <cstring>
 
 #include "cells/cell.h"
@@ -64,8 +65,11 @@ std::optional<RelayPayload> try_parse_relay(
                                 static_cast<std::uint32_t>(payload[7]) << 8 |
                                 static_cast<std::uint32_t>(payload[8]);
   // Recompute over the payload with the digest field zeroed. Trial-absorb on
-  // a copy of the digest state: only commit on a match.
-  Bytes zeroed(payload.begin(), payload.end());
+  // a copy of the digest state: only commit on a match. The zeroed copy lives
+  // on the stack — this runs once per hop per cell, so a heap allocation here
+  // would be the codec's dominant cost.
+  std::array<std::uint8_t, kPayloadSize> zeroed;
+  std::memcpy(zeroed.data(), payload.data(), kPayloadSize);
   zeroed[5] = zeroed[6] = zeroed[7] = zeroed[8] = 0;
   RollingDigest trial = digest;
   const std::uint32_t computed =

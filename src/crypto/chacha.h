@@ -37,6 +37,17 @@ class ChaChaCipher {
   /// XOR the keystream into `data` in place, advancing the stream position.
   void apply(std::span<std::uint8_t> data);
 
+  /// XOR several independent keystreams into `data` in one cache-blocked
+  /// pass: the payload is walked chunk-by-chunk with every cipher applied
+  /// to the chunk while it is hot in L1, instead of one full sweep per
+  /// cipher. XOR layers commute and each cipher consumes exactly
+  /// data.size() keystream bytes, so the result — output bytes and every
+  /// cipher's stream position — is bit-identical to calling apply() on
+  /// each cipher in sequence. This is the client-side onion-layering path:
+  /// every forward cell XORs one layer per hop.
+  static void apply_layers(std::span<ChaChaCipher* const> ciphers,
+                           std::span<std::uint8_t> data);
+
   /// Convenience: returns the transformed copy.
   Bytes transform(std::span<const std::uint8_t> data);
 

@@ -44,15 +44,27 @@ void Hasher::update(std::span<const std::uint8_t> data) {
   TING_CHECK(!finalized_);
   total_len_ += data.size();
   std::size_t off = 0;
-  while (off < data.size()) {
-    const std::size_t take = std::min(data.size() - off, 32 - buf_len_);
-    std::memcpy(buf_ + buf_len_, data.data() + off, take);
+  // Top up a partially filled staging buffer first.
+  if (buf_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 32 - buf_len_);
+    std::memcpy(buf_ + buf_len_, data.data(), take);
     buf_len_ += take;
     off += take;
     if (buf_len_ == 32) {
       absorb_block(buf_);
       buf_len_ = 0;
     }
+  }
+  // Aligned to a block boundary: absorb straight from the input, skipping
+  // the staging memcpy. Relay-cell digests hash 500+ bytes per call, so this
+  // is the common path.
+  while (data.size() - off >= 32) {
+    absorb_block(data.data() + off);
+    off += 32;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_, data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
   }
 }
 

@@ -1,6 +1,7 @@
 #include "scenario/daemon_world.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "ting/sharded_scan.h"
 #include "util/assert.h"
@@ -47,10 +48,19 @@ TestbedDaemonEnvironment::TestbedDaemonEnvironment(
   swo.ting = options_.ting;
   swo.pool = options_.pool;
   swo.fault_spec = options_.fault_spec;
+  swo.share_topology = options_.share_topology;
+  const auto construct_start = std::chrono::steady_clock::now();
+  TopologyPtr topology =
+      options_.share_topology ? shard_topology(swo) : nullptr;
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    worlds_.push_back(std::make_unique<TestbedShardWorld>(swo));
+    worlds_.push_back(topology != nullptr
+                          ? std::make_unique<TestbedShardWorld>(swo, topology)
+                          : std::make_unique<TestbedShardWorld>(swo));
     appliers_.push_back(std::make_unique<ChurnApplier>(worlds_[s]->world()));
   }
+  world_construct_ms_ = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - construct_start)
+                            .count();
   feed_ = std::make_unique<ChurnFeed>(worlds_[0]->world().all_fingerprints(),
                                       options_.churn);
 }

@@ -42,6 +42,10 @@ struct DaemonWorldOptions {
   /// Measurement hosts per world (deterministic mode drives only the
   /// first; extras matter for non-deterministic experiments).
   std::size_t pool = 1;
+  /// Build the immutable topology once and share it across the persistent
+  /// shard worlds (default); false re-derives it per world (the historical
+  /// clone path, kept as the parity baseline).
+  bool share_topology = true;
 };
 
 class TestbedDaemonEnvironment : public meas::DaemonEnvironment {
@@ -59,8 +63,15 @@ class TestbedDaemonEnvironment : public meas::DaemonEnvironment {
   /// The reference world (index 0) — tests use it for ground truth.
   Testbed& world() { return worlds_[0]->world(); }
 
+  /// Wall-clock milliseconds spent building the persistent shard worlds
+  /// (topology + per-world instantiation), for the daemon's setup-cost
+  /// reporting; epoch scans borrow these worlds, so per-epoch
+  /// world_construct_ms is ~0.
+  double world_construct_ms() const { return world_construct_ms_; }
+
  private:
   DaemonWorldOptions options_;
+  double world_construct_ms_ = 0;
   std::vector<std::unique_ptr<TestbedShardWorld>> worlds_;
   std::vector<std::unique_ptr<ChurnApplier>> appliers_;
   std::unique_ptr<ChurnFeed> feed_;

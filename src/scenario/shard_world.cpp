@@ -8,7 +8,11 @@
 namespace ting::scenario {
 
 TestbedShardWorld::TestbedShardWorld(const ShardWorldOptions& options)
-    : world_(live_tor(options.relays, options.testbed)) {
+    : TestbedShardWorld(options, shard_topology(options)) {}
+
+TestbedShardWorld::TestbedShardWorld(const ShardWorldOptions& options,
+                                     TopologyPtr topology)
+    : world_(testbed_from_topology(std::move(topology))) {
   std::vector<dir::Fingerprint> nodes;
   const std::size_t n = std::min(options.scan_nodes, world_.relay_count());
   nodes.reserve(n);
@@ -30,20 +34,42 @@ TestbedShardWorld::TestbedShardWorld(const ShardWorldOptions& options)
 }
 
 meas::ShardWorldFactory make_testbed_shard_factory(ShardWorldOptions options) {
+  if (options.share_topology)
+    return make_testbed_shard_factory(options, shard_topology(options));
+  // Legacy clone path: every worker re-derives the topology from the seed.
   return [options](std::size_t) -> std::unique_ptr<meas::ShardWorld> {
-    return std::make_unique<TestbedShardWorld>(options);
+    return std::make_unique<TestbedShardWorld>(options,
+                                               shard_topology(options));
   };
+}
+
+meas::ShardWorldFactory make_testbed_shard_factory(ShardWorldOptions options,
+                                                   TopologyPtr topology) {
+  TING_CHECK(topology != nullptr);
+  return [options,
+          topology = std::move(topology)](std::size_t)
+             -> std::unique_ptr<meas::ShardWorld> {
+    return std::make_unique<TestbedShardWorld>(options, topology);
+  };
+}
+
+TopologyPtr shard_topology(const ShardWorldOptions& options) {
+  return SharedTopology::live_tor(options.relays, options.testbed);
 }
 
 std::vector<dir::Fingerprint> shard_scan_nodes(
     const ShardWorldOptions& options) {
-  TestbedOptions to = options.testbed;
-  to.start_measurement_host = false;
-  Testbed tb = live_tor(options.relays, to);
+  return shard_scan_nodes(options, shard_topology(options));
+}
+
+std::vector<dir::Fingerprint> shard_scan_nodes(
+    const ShardWorldOptions& options, const TopologyPtr& topology) {
   std::vector<dir::Fingerprint> nodes;
-  const std::size_t n = std::min(options.scan_nodes, tb.relay_count());
+  const std::size_t n =
+      std::min(options.scan_nodes, topology->relays().size());
   nodes.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) nodes.push_back(tb.fp(i));
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.push_back(topology->relays()[i].fingerprint);
   return nodes;
 }
 

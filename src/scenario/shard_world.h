@@ -29,13 +29,23 @@ struct ShardWorldOptions {
   /// world's scan nodes. Faults fire at per-shard virtual times, so
   /// bit-identity across shard counts no longer holds.
   std::string fault_spec;
+  /// Build the immutable topology (geography, identities, base-RTT table)
+  /// once and share it read-only across all shard worlds. When false, every
+  /// shard re-derives the full topology from the seed — the historical
+  /// clone-per-shard behaviour, kept as the parity baseline; output is
+  /// bit-identical either way.
+  bool share_topology = true;
 };
 
 /// One shard's world: a Testbed plus its measurers and (optional) fault
 /// plan, owned together so the factory result is self-contained.
 class TestbedShardWorld : public meas::ShardWorld {
  public:
+  /// Builds a private topology (honouring options.share_topology only in
+  /// the factory, which passes one in).
   explicit TestbedShardWorld(const ShardWorldOptions& options);
+  /// Instantiates the mutable world half over a pre-built shared topology.
+  TestbedShardWorld(const ShardWorldOptions& options, TopologyPtr topology);
 
   std::vector<meas::TingMeasurer*> measurers() override { return pool_; }
   void reseed(std::uint64_t seed) override {
@@ -59,12 +69,26 @@ class TestbedShardWorld : public meas::ShardWorld {
 };
 
 /// A factory building identical TestbedShardWorlds (one per worker thread).
+/// With options.share_topology (the default) the immutable topology is
+/// built once, eagerly, on the calling thread, and every worker world is
+/// instantiated over it; otherwise each worker re-derives everything.
 meas::ShardWorldFactory make_testbed_shard_factory(ShardWorldOptions options);
 
+/// Same, over a topology the caller already built (e.g. to also derive the
+/// scan-node list without a second topology build).
+meas::ShardWorldFactory make_testbed_shard_factory(ShardWorldOptions options,
+                                                   TopologyPtr topology);
+
+/// The topology such worlds share: live_tor(options.relays) frozen at the
+/// immutable layer.
+TopologyPtr shard_topology(const ShardWorldOptions& options);
+
 /// The scan-node fingerprints such worlds will carry — deterministic from
-/// the options alone, so callers can pick nodes without keeping a shard
-/// world around (builds a throwaway world without starting its controller).
+/// the options alone; reads them off the frozen topology without building
+/// any world.
 std::vector<dir::Fingerprint> shard_scan_nodes(
     const ShardWorldOptions& options);
+std::vector<dir::Fingerprint> shard_scan_nodes(
+    const ShardWorldOptions& options, const TopologyPtr& topology);
 
 }  // namespace ting::scenario

@@ -4,47 +4,6 @@
 
 namespace ting::scenario {
 
-namespace {
-
-/// Protocol-differential policy for an "anomalous" network (§3.2/§4.3):
-/// ICMP and TCP each get their own bias, sometimes opposite in sign, and a
-/// minority of networks additionally shape Tor itself.
-simnet::NetworkPolicy anomalous_policy(Rng& rng) {
-  simnet::NetworkPolicy p;
-  // Magnitudes are a few milliseconds: glaring at forwarding-delay scale
-  // (F is 0–3 ms, so Fig 5's estimates go visibly negative) yet only a few
-  // percent of a typical end-to-end RTT (Fig 3 stays accurate, with the
-  // <50 ms pairs providing the outlier tail the paper observes).
-  const int kind = static_cast<int>(rng.next_below(4));
-  switch (kind) {
-    case 0:  // ICMP deprioritised (classic slow-path ping)
-      p.icmp_extra_ms = rng.uniform(1.0, 4.0);
-      p.tcp_extra_ms = rng.uniform(0.0, 0.5);
-      break;
-    case 1:  // Tor shaped: ping looks faster than Tor
-      p.tor_extra_ms = rng.uniform(0.8, 3.0);
-      break;
-    case 2:  // TCP vs ICMP disparity both present
-      p.icmp_extra_ms = rng.uniform(0.8, 3.5);
-      p.tcp_extra_ms = rng.uniform(0.5, 2.5);
-      break;
-    default:  // mild mixed treatment
-      p.icmp_extra_ms = rng.uniform(0.3, 1.5);
-      p.tcp_extra_ms = rng.uniform(0.2, 1.0);
-      p.tor_extra_ms = rng.uniform(0.0, 0.8);
-      break;
-  }
-  return p;
-}
-
-const geo::City* city(const std::string& name) {
-  for (const geo::City& c : geo::all_cities())
-    if (name == c.name) return &c;
-  TING_CHECK_MSG(false, "unknown city " << name);
-}
-
-}  // namespace
-
 std::vector<dir::Fingerprint> Testbed::all_fingerprints() const {
   std::vector<dir::Fingerprint> out;
   out.reserve(relays_.size());
@@ -118,65 +77,34 @@ void Testbed::reseed_stochastics(std::uint64_t seed) {
     pool_extras_[n]->reseed(mix64(seed + 5000 + 13 * n));
 }
 
-Testbed build_testbed(const std::vector<RelaySpec>& specs,
-                      const TestbedOptions& options) {
+Testbed testbed_from_topology(TopologyPtr topology) {
+  TING_CHECK(topology != nullptr);
+  const TestbedOptions& options = topology->options();
   Testbed tb;
   tb.loop_ = std::make_unique<simnet::EventLoop>();
   tb.net_ = std::make_unique<simnet::Network>(*tb.loop_, options.latency,
                                               options.seed);
   tb.seed_ = options.seed;
-  Rng rng(mix64(options.seed ^ 0xbedbed));
-  tb.ipalloc_ = std::make_unique<geo::IpAllocator>(options.seed + 17);
-  geo::IpAllocator& ipalloc = *tb.ipalloc_;
+  // Copy the post-build allocator/geolocation state so on-demand
+  // allocations (measurement-pool extras) continue identically per world.
+  tb.ipalloc_ = std::make_unique<geo::IpAllocator>(
+      topology->ipalloc_after_build());
+  tb.geolocation_ = topology->geolocation();
 
-  // The measurement host: a well-connected host on a university network
-  // (the paper ran from College Park, MD).
-  const IpAddr meas_ip = ipalloc.allocate("US", geo::HostKind::kDatacenter);
-  tb.measurement_host_ = tb.net_->add_host(meas_ip, {38.99, -76.94});
-
-  std::uint64_t relay_seed = options.seed * 1000 + 5;
-  for (const auto& spec : specs) {
-    TING_CHECK(spec.city != nullptr);
-    const geo::GeoPoint where =
-        geo::jitter_location({spec.city->lat, spec.city->lon}, 15.0, rng);
-    const IpAddr ip = ipalloc.allocate(spec.city->country_code, spec.kind);
-    simnet::NetworkPolicy policy;
-    if (rng.chance(options.differential_fraction))
-      policy = anomalous_policy(rng);
-    // Group tag = country, so cross-border inflation (when enabled) is
-    // meaningful.
-    const std::uint32_t country_tag = static_cast<std::uint32_t>(
-        mix64(static_cast<std::uint64_t>(spec.city->country_code[0]) << 8 |
-              static_cast<std::uint64_t>(spec.city->country_code[1])));
+  tb.measurement_host_ = tb.net_->add_host(topology->measurement_ip(),
+                                           topology->measurement_location());
+  for (const RelayBlueprint& bp : topology->relays()) {
     const simnet::HostId host =
-        tb.net_->add_host(ip, where, policy, country_tag);
-    tb.geolocation_.register_host(ip, where);
-
-    tor::RelayConfig rc;
-    rc.nickname = "relay" + std::to_string(tb.relays_.size());
-    rc.or_port = 9001;
-    rc.bandwidth = spec.bandwidth;
-    rc.flags = spec.flags;
-    // Restrictive exit policy: exit only to addresses we control (§4.1) —
-    // enough for the strawman baseline; Ting itself never exits through
-    // measured relays.
-    rc.exit_policy = dir::ExitPolicy::accept_only({meas_ip});
-    rc.country_code = spec.city->country_code;
-    rc.reverse_dns =
-        make_rdns(ip, spec.host_class, spec.city->country_code, rng);
-    // Forwarding-delay model: a per-relay base (0.05–1.5 ms; the paper's
-    // observed minima sit in a 0–3 ms band) and a queueing tail that grows
-    // with how busy (high-bandwidth) the relay is.
-    rc.base_forward_ms = rng.uniform(0.05, 1.5);
-    rc.queue_mean_ms = options.forward_queue_scale *
-                       (rng.uniform(0.4, 1.2) +
-                        2.0 * static_cast<double>(spec.bandwidth) / 20000.0);
-
-    tb.relays_.push_back(
-        std::make_unique<tor::Relay>(*tb.net_, host, rc, relay_seed++));
+        tb.net_->add_host(bp.ip, bp.location, bp.policy, bp.group_tag);
+    tb.relays_.push_back(std::make_unique<tor::Relay>(
+        *tb.net_, host, bp.config, bp.identity, bp.rng_after_keygen));
     tb.consensus_.add(tb.relays_.back()->descriptor());
-    tb.host_by_fp_[tb.relays_.back()->fingerprint()] = host;
+    tb.host_by_fp_[bp.fingerprint] = host;
   }
+  // Host ids [0, 1+relays) match the table's build order exactly; packet
+  // deliveries now index into it instead of re-deriving geometry.
+  tb.net_->latency().attach_base_table(topology->base_rtt_table());
+  tb.topology_ = std::move(topology);
 
   tb.ting_host_ = std::make_unique<meas::MeasurementHost>(
       *tb.net_, tb.measurement_host_, tb.consensus_,
@@ -185,70 +113,17 @@ Testbed build_testbed(const std::vector<RelaySpec>& specs,
   return tb;
 }
 
-Testbed planetlab31(const TestbedOptions& options) {
-  // §4.1's geography: 6 European countries, 9 US states, and at least one
-  // relay in Asia, South America, Australia, and the Middle East — with the
-  // US/EU concentration of the real Tor network. PlanetLab hosts are
-  // universities/labs: datacenter-like addresses, no residential rDNS.
-  static const char* kSites[31] = {
-      // 9 distinct US states.
-      "New York", "San Francisco", "Seattle", "Chicago", "Houston", "Miami",
-      "Boston", "Denver", "Atlanta",
-      // 6 European countries.
-      "London", "Paris", "Frankfurt", "Amsterdam", "Stockholm", "Zurich",
-      // Required regions.
-      "Tokyo", "Sao Paulo", "Sydney", "Tel Aviv",
-      // Remaining: the US/EU concentration.
-      "Los Angeles", "Washington", "Philadelphia", "Portland", "Austin",
-      "Berlin", "Munich", "Rotterdam", "Manchester", "Marseille", "Vienna",
-      "Pittsburgh"};
+Testbed build_testbed(const std::vector<RelaySpec>& specs,
+                      const TestbedOptions& options) {
+  return testbed_from_topology(SharedTopology::build(specs, options));
+}
 
-  Rng rng(options.seed + 31);
-  std::vector<RelaySpec> specs;
-  for (const char* site : kSites) {
-    RelaySpec s;
-    s.city = city(site);
-    s.kind = geo::HostKind::kDatacenter;
-    s.bandwidth = static_cast<std::uint32_t>(rng.uniform_int(400, 5000));
-    s.flags = dir::kFlagRunning | dir::kFlagValid | dir::kFlagFast |
-              dir::kFlagGuard;
-    s.host_class = HostClass::kDatacenter;
-    specs.push_back(s);
-  }
-  return build_testbed(specs, options);
+Testbed planetlab31(const TestbedOptions& options) {
+  return testbed_from_topology(SharedTopology::planetlab31(options));
 }
 
 Testbed live_tor(std::size_t n, const TestbedOptions& options) {
-  Rng rng(options.seed + 7);
-  std::vector<RelaySpec> specs;
-  specs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    RelaySpec s;
-    s.city = &geo::sample_city_tor_weighted(rng);
-    // §5.3: ~61% of named relays are residential; ~17% have no rDNS at all;
-    // the rest are in datacenters.
-    const double u = rng.uniform();
-    if (u < 0.17) {
-      s.host_class = HostClass::kNoRdns;
-      s.kind = rng.chance(0.5) ? geo::HostKind::kResidential
-                               : geo::HostKind::kDatacenter;
-    } else if (u < 0.17 + 0.51) {
-      s.host_class = HostClass::kResidential;
-      s.kind = geo::HostKind::kResidential;
-    } else {
-      s.host_class = HostClass::kDatacenter;
-      s.kind = geo::HostKind::kDatacenter;
-    }
-    // Tor's long-tailed bandwidth distribution.
-    s.bandwidth = static_cast<std::uint32_t>(
-        std::min(50000.0, 20.0 + rng.lognormal(6.0, 1.4)));
-    s.flags = dir::kFlagRunning | dir::kFlagValid;
-    if (s.bandwidth > 300) s.flags |= dir::kFlagFast;
-    if (s.bandwidth > 1200 && rng.chance(0.6))
-      s.flags |= dir::kFlagGuard | dir::kFlagStable;
-    specs.push_back(s);
-  }
-  return build_testbed(specs, options);
+  return testbed_from_topology(SharedTopology::live_tor(n, options));
 }
 
 }  // namespace ting::scenario

@@ -23,36 +23,15 @@
 #include "geo/geolocation.h"
 #include "geo/ipalloc.h"
 #include "scenario/rdns.h"
+#include "scenario/topology.h"
 #include "simnet/network.h"
 #include "ting/measurement_host.h"
 #include "tor/relay.h"
 
 namespace ting::scenario {
 
-struct TestbedOptions {
-  std::uint64_t seed = 1;
-  /// Fraction of relay networks with protocol-differential treatment
-  /// (Fig 5 finds ~35% anomalous on PlanetLab).
-  double differential_fraction = 0.35;
-  /// Latency/jitter configuration of the underlying network.
-  simnet::LatencyConfig latency;
-  /// Scales every relay's random queueing-delay mean (base forwarding cost
-  /// is untouched). Tests that compare estimates across scan engines set
-  /// this low: min-of-N sampling then converges well inside 1 ms, so any
-  /// residual disagreement is an engine bug rather than sampling noise.
-  double forward_queue_scale = 1.0;
-  /// Start the measurement host's controller session (blocking).
-  bool start_measurement_host = true;
-};
-
-/// One relay to instantiate.
-struct RelaySpec {
-  const geo::City* city = nullptr;
-  geo::HostKind kind = geo::HostKind::kDatacenter;
-  std::uint32_t bandwidth = 1000;
-  std::uint32_t flags = 0;
-  HostClass host_class = HostClass::kDatacenter;
-};
+// TestbedOptions and RelaySpec live in scenario/topology.h (the frozen
+// topology is built from them); re-exported here for existing includers.
 
 class Testbed {
  public:
@@ -107,10 +86,15 @@ class Testbed {
   /// identical subsequent stochastic behaviour.
   void reseed_stochastics(std::uint64_t seed);
 
- private:
-  friend Testbed build_testbed(const std::vector<RelaySpec>&,
-                               const TestbedOptions&);
+  /// The frozen immutable layer this world was instantiated from. Shard
+  /// engines reuse it to build sibling worlds without re-deriving the
+  /// topology (never null: every construction path goes through one).
+  const TopologyPtr& topology() const { return topology_; }
 
+ private:
+  friend Testbed testbed_from_topology(TopologyPtr topology);
+
+  TopologyPtr topology_;
   std::unique_ptr<simnet::EventLoop> loop_;
   std::unique_ptr<simnet::Network> net_;
   std::vector<std::unique_ptr<tor::Relay>> relays_;
@@ -124,7 +108,13 @@ class Testbed {
   simnet::HostId measurement_host_ = 0;
 };
 
-/// Instantiate a world from explicit specs.
+/// Instantiate the mutable half of a world — event loop, network,
+/// connections, relays, measurement host — over a frozen shared topology.
+/// Bit-identical to a from-scratch build of the same specs/options; cheap
+/// enough to call once per shard (no keygen, no geometry, no RTT trig).
+Testbed testbed_from_topology(TopologyPtr topology);
+
+/// Instantiate a world from explicit specs (builds a private topology).
 Testbed build_testbed(const std::vector<RelaySpec>& specs,
                       const TestbedOptions& options);
 

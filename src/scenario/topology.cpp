@@ -1,0 +1,203 @@
+#include "scenario/topology.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace ting::scenario {
+
+namespace {
+
+/// Protocol-differential policy for an "anomalous" network (§3.2/§4.3):
+/// ICMP and TCP each get their own bias, sometimes opposite in sign, and a
+/// minority of networks additionally shape Tor itself.
+simnet::NetworkPolicy anomalous_policy(Rng& rng) {
+  simnet::NetworkPolicy p;
+  // Magnitudes are a few milliseconds: glaring at forwarding-delay scale
+  // (F is 0–3 ms, so Fig 5's estimates go visibly negative) yet only a few
+  // percent of a typical end-to-end RTT (Fig 3 stays accurate, with the
+  // <50 ms pairs providing the outlier tail the paper observes).
+  const int kind = static_cast<int>(rng.next_below(4));
+  switch (kind) {
+    case 0:  // ICMP deprioritised (classic slow-path ping)
+      p.icmp_extra_ms = rng.uniform(1.0, 4.0);
+      p.tcp_extra_ms = rng.uniform(0.0, 0.5);
+      break;
+    case 1:  // Tor shaped: ping looks faster than Tor
+      p.tor_extra_ms = rng.uniform(0.8, 3.0);
+      break;
+    case 2:  // TCP vs ICMP disparity both present
+      p.icmp_extra_ms = rng.uniform(0.8, 3.5);
+      p.tcp_extra_ms = rng.uniform(0.5, 2.5);
+      break;
+    default:  // mild mixed treatment
+      p.icmp_extra_ms = rng.uniform(0.3, 1.5);
+      p.tcp_extra_ms = rng.uniform(0.2, 1.0);
+      p.tor_extra_ms = rng.uniform(0.0, 0.8);
+      break;
+  }
+  return p;
+}
+
+const geo::City* city(const std::string& name) {
+  for (const geo::City& c : geo::all_cities())
+    if (name == c.name) return &c;
+  TING_CHECK_MSG(false, "unknown city " << name);
+}
+
+}  // namespace
+
+std::vector<dir::Fingerprint> SharedTopology::all_fingerprints() const {
+  std::vector<dir::Fingerprint> out;
+  out.reserve(relays_.size());
+  for (const RelayBlueprint& bp : relays_) out.push_back(bp.fingerprint);
+  return out;
+}
+
+std::shared_ptr<const SharedTopology> SharedTopology::build(
+    const std::vector<RelaySpec>& specs, const TestbedOptions& options) {
+  // Private ctor, so no make_shared.
+  std::shared_ptr<SharedTopology> topo(new SharedTopology);
+  topo->options_ = options;
+
+  // RNG discipline: this function consumes the seed's streams in exactly
+  // the order the monolithic world build historically did — location
+  // jitter, policy draws, rDNS, and forwarding-delay parameters all come
+  // from one `rng`; identities from per-relay seeded generators. Any
+  // reordering changes every fingerprint and stochastic draw downstream.
+  Rng rng(mix64(options.seed ^ 0xbedbed));
+  topo->ipalloc_ = geo::IpAllocator(options.seed + 17);
+  geo::IpAllocator& ipalloc = topo->ipalloc_;
+
+  // The measurement host: a well-connected host on a university network
+  // (the paper ran from College Park, MD).
+  topo->measurement_ip_ = ipalloc.allocate("US", geo::HostKind::kDatacenter);
+  topo->measurement_location_ = {38.99, -76.94};
+
+  // Hosts in id order, for the base-RTT table: measurement host first,
+  // then relays — the order every world registers them in.
+  simnet::LatencyModel model(options.latency);
+  model.add_host(topo->measurement_location_);
+
+  std::uint64_t relay_seed = options.seed * 1000 + 5;
+  topo->relays_.reserve(specs.size());
+  for (const RelaySpec& spec : specs) {
+    TING_CHECK(spec.city != nullptr);
+    RelayBlueprint bp;
+    bp.location =
+        geo::jitter_location({spec.city->lat, spec.city->lon}, 15.0, rng);
+    bp.ip = ipalloc.allocate(spec.city->country_code, spec.kind);
+    if (rng.chance(options.differential_fraction))
+      bp.policy = anomalous_policy(rng);
+    // Group tag = country, so cross-border inflation (when enabled) is
+    // meaningful.
+    bp.group_tag = static_cast<std::uint32_t>(
+        mix64(static_cast<std::uint64_t>(spec.city->country_code[0]) << 8 |
+              static_cast<std::uint64_t>(spec.city->country_code[1])));
+    model.add_host(bp.location, bp.policy, bp.group_tag);
+    topo->geolocation_.register_host(bp.ip, bp.location);
+
+    tor::RelayConfig& rc = bp.config;
+    rc.nickname = "relay" + std::to_string(topo->relays_.size());
+    rc.or_port = 9001;
+    rc.bandwidth = spec.bandwidth;
+    rc.flags = spec.flags;
+    // Restrictive exit policy: exit only to addresses we control (§4.1) —
+    // enough for the strawman baseline; Ting itself never exits through
+    // measured relays.
+    rc.exit_policy = dir::ExitPolicy::accept_only({topo->measurement_ip_});
+    rc.country_code = spec.city->country_code;
+    rc.reverse_dns =
+        make_rdns(bp.ip, spec.host_class, spec.city->country_code, rng);
+    // Forwarding-delay model: a per-relay base (0.05–1.5 ms; the paper's
+    // observed minima sit in a 0–3 ms band) and a queueing tail that grows
+    // with how busy (high-bandwidth) the relay is.
+    rc.base_forward_ms = rng.uniform(0.05, 1.5);
+    rc.queue_mean_ms = options.forward_queue_scale *
+                       (rng.uniform(0.4, 1.2) +
+                        2.0 * static_cast<double>(spec.bandwidth) / 20000.0);
+
+    // Identity keygen is the expensive per-relay step; do it once here and
+    // hand every world the post-keygen rng so relays resume the stream
+    // exactly where a from-scratch construction would.
+    Rng relay_rng(relay_seed++);
+    bp.identity = crypto::IdentityKeys::generate(relay_rng);
+    bp.rng_after_keygen = relay_rng;
+    bp.fingerprint = dir::Fingerprint::of_identity(bp.identity.public_key);
+
+    topo->relays_.push_back(std::move(bp));
+  }
+
+  topo->base_rtt_table_ = model.build_base_table();
+  return topo;
+}
+
+std::shared_ptr<const SharedTopology> SharedTopology::planetlab31(
+    const TestbedOptions& options) {
+  // §4.1's geography: 6 European countries, 9 US states, and at least one
+  // relay in Asia, South America, Australia, and the Middle East — with the
+  // US/EU concentration of the real Tor network. PlanetLab hosts are
+  // universities/labs: datacenter-like addresses, no residential rDNS.
+  static const char* kSites[31] = {
+      // 9 distinct US states.
+      "New York", "San Francisco", "Seattle", "Chicago", "Houston", "Miami",
+      "Boston", "Denver", "Atlanta",
+      // 6 European countries.
+      "London", "Paris", "Frankfurt", "Amsterdam", "Stockholm", "Zurich",
+      // Required regions.
+      "Tokyo", "Sao Paulo", "Sydney", "Tel Aviv",
+      // Remaining: the US/EU concentration.
+      "Los Angeles", "Washington", "Philadelphia", "Portland", "Austin",
+      "Berlin", "Munich", "Rotterdam", "Manchester", "Marseille", "Vienna",
+      "Pittsburgh"};
+
+  Rng rng(options.seed + 31);
+  std::vector<RelaySpec> specs;
+  for (const char* site : kSites) {
+    RelaySpec s;
+    s.city = city(site);
+    s.kind = geo::HostKind::kDatacenter;
+    s.bandwidth = static_cast<std::uint32_t>(rng.uniform_int(400, 5000));
+    s.flags = dir::kFlagRunning | dir::kFlagValid | dir::kFlagFast |
+              dir::kFlagGuard;
+    s.host_class = HostClass::kDatacenter;
+    specs.push_back(s);
+  }
+  return build(specs, options);
+}
+
+std::shared_ptr<const SharedTopology> SharedTopology::live_tor(
+    std::size_t n, const TestbedOptions& options) {
+  Rng rng(options.seed + 7);
+  std::vector<RelaySpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RelaySpec s;
+    s.city = &geo::sample_city_tor_weighted(rng);
+    // §5.3: ~61% of named relays are residential; ~17% have no rDNS at all;
+    // the rest are in datacenters.
+    const double u = rng.uniform();
+    if (u < 0.17) {
+      s.host_class = HostClass::kNoRdns;
+      s.kind = rng.chance(0.5) ? geo::HostKind::kResidential
+                               : geo::HostKind::kDatacenter;
+    } else if (u < 0.17 + 0.51) {
+      s.host_class = HostClass::kResidential;
+      s.kind = geo::HostKind::kResidential;
+    } else {
+      s.host_class = HostClass::kDatacenter;
+      s.kind = geo::HostKind::kDatacenter;
+    }
+    // Tor's long-tailed bandwidth distribution.
+    s.bandwidth = static_cast<std::uint32_t>(
+        std::min(50000.0, 20.0 + rng.lognormal(6.0, 1.4)));
+    s.flags = dir::kFlagRunning | dir::kFlagValid;
+    if (s.bandwidth > 300) s.flags |= dir::kFlagFast;
+    if (s.bandwidth > 1200 && rng.chance(0.6))
+      s.flags |= dir::kFlagGuard | dir::kFlagStable;
+    specs.push_back(s);
+  }
+  return build(specs, options);
+}
+
+}  // namespace ting::scenario

@@ -1,0 +1,132 @@
+// The shared immutable topology layer.
+//
+// A scan sharded across W worker threads used to build W complete worlds,
+// each re-deriving everything from the seed: geography draws, IP allocation,
+// network policies, rDNS names, and — dominating the cost — one X25519
+// keypair per relay plus a trig + hash base-RTT evaluation per delivered
+// packet. All of that state is immutable after construction and identical
+// across shards, so it belongs in one place built once.
+//
+// SharedTopology freezes the seed-derived world description: per-relay
+// blueprints (location, IP, policy, relay config, identity keys,
+// fingerprint), the measurement host's address, the post-build IP-allocator
+// state (so on-demand measurement-pool extras keep drawing the same
+// addresses in every world), the registered geolocation service, and a dense
+// base-RTT table over the host mesh. It is held by `shared_ptr<const>` and
+// read concurrently by every shard; per-shard worlds (Testbed) keep only the
+// mutable half — event loop, connections, relay/session state, RNG streams.
+//
+// Determinism contract: SharedTopology::build consumes the seed's RNG
+// streams in exactly the order build_testbed() historically did, and
+// per-relay identity generation leaves each blueprint's `rng_after_keygen`
+// positioned where a fresh relay's rng would be after keygen. A Testbed
+// instantiated from a topology is therefore bit-identical — fingerprints,
+// descriptors, stochastic draw sequences — to one built from scratch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/handshake.h"
+#include "dir/fingerprint.h"
+#include "geo/cities.h"
+#include "geo/geolocation.h"
+#include "geo/ipalloc.h"
+#include "scenario/rdns.h"
+#include "simnet/latency_model.h"
+#include "tor/relay.h"
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace ting::scenario {
+
+struct TestbedOptions {
+  std::uint64_t seed = 1;
+  /// Fraction of relay networks with protocol-differential treatment
+  /// (Fig 5 finds ~35% anomalous on PlanetLab).
+  double differential_fraction = 0.35;
+  /// Latency/jitter configuration of the underlying network.
+  simnet::LatencyConfig latency;
+  /// Scales every relay's random queueing-delay mean (base forwarding cost
+  /// is untouched). Tests that compare estimates across scan engines set
+  /// this low: min-of-N sampling then converges well inside 1 ms, so any
+  /// residual disagreement is an engine bug rather than sampling noise.
+  double forward_queue_scale = 1.0;
+  /// Start the measurement host's controller session (blocking).
+  bool start_measurement_host = true;
+};
+
+/// One relay to instantiate.
+struct RelaySpec {
+  const geo::City* city = nullptr;
+  geo::HostKind kind = geo::HostKind::kDatacenter;
+  std::uint32_t bandwidth = 1000;
+  std::uint32_t flags = 0;
+  HostClass host_class = HostClass::kDatacenter;
+};
+
+/// Everything immutable about one relay: where it sits, how its network
+/// treats traffic, its full config, and its identity (keys generated once,
+/// at topology build). `rng_after_keygen` is the relay's rng state after
+/// identity generation, so a world instantiating the blueprint continues
+/// the relay's stochastic stream exactly where a from-scratch build would.
+struct RelayBlueprint {
+  geo::GeoPoint location{};
+  IpAddr ip;
+  simnet::NetworkPolicy policy;
+  std::uint32_t group_tag = 0;
+  tor::RelayConfig config;
+  crypto::IdentityKeys identity;
+  dir::Fingerprint fingerprint;
+  Rng rng_after_keygen{0};
+};
+
+class SharedTopology {
+ public:
+  /// Build the frozen topology for `specs`. Consumes the seed's RNG streams
+  /// in the exact order the historical monolithic world build did.
+  static std::shared_ptr<const SharedTopology> build(
+      const std::vector<RelaySpec>& specs, const TestbedOptions& options);
+
+  /// Like live_tor()/planetlab31() but stopping at the frozen topology.
+  static std::shared_ptr<const SharedTopology> live_tor(
+      std::size_t n, const TestbedOptions& options = {});
+  static std::shared_ptr<const SharedTopology> planetlab31(
+      const TestbedOptions& options = {});
+
+  const TestbedOptions& options() const { return options_; }
+  const std::vector<RelayBlueprint>& relays() const { return relays_; }
+  IpAddr measurement_ip() const { return measurement_ip_; }
+  const geo::GeoPoint& measurement_location() const {
+    return measurement_location_;
+  }
+  /// IP-allocator state after all build-time allocations; copied into each
+  /// world so later on-demand allocations (measurement-pool extras) draw
+  /// the same addresses everywhere.
+  const geo::IpAllocator& ipalloc_after_build() const { return ipalloc_; }
+  /// Geolocation service with every relay already registered.
+  const geo::GeolocationService& geolocation() const { return geolocation_; }
+  /// Frozen base-RTT table over [measurement host, relays...] in host-id
+  /// order; attached to each world's latency model.
+  const std::shared_ptr<const simnet::BaseRttTable>& base_rtt_table() const {
+    return base_rtt_table_;
+  }
+
+  std::vector<dir::Fingerprint> all_fingerprints() const;
+
+ private:
+  SharedTopology() = default;
+
+  TestbedOptions options_;
+  IpAddr measurement_ip_;
+  geo::GeoPoint measurement_location_{};
+  std::vector<RelayBlueprint> relays_;
+  geo::IpAllocator ipalloc_{0};
+  geo::GeolocationService geolocation_;
+  std::shared_ptr<const simnet::BaseRttTable> base_rtt_table_;
+};
+
+using TopologyPtr = std::shared_ptr<const SharedTopology>;
+
+}  // namespace ting::scenario

@@ -17,9 +17,9 @@ constexpr std::size_t kCompactionFloor = 64;
 
 EventLoop::EventLoop() {
   heap_.reserve(kCompactionFloor);
-  // Handler storage sized for a busy measurement world up front; rehashing
-  // the map mid-scan is pure overhead on the per-cell path.
-  handlers_.reserve(1024);
+  // Slot arena sized for a busy measurement world up front; growing it
+  // mid-scan is pure overhead on the per-cell path.
+  slots_.reserve(1024);
 }
 
 EventId EventLoop::schedule(Duration delay, std::function<void()> fn) {
@@ -28,18 +28,39 @@ EventId EventLoop::schedule(Duration delay, std::function<void()> fn) {
 
 EventId EventLoop::schedule_at(TimePoint when, std::function<void()> fn) {
   TING_CHECK_MSG(when >= now_, "cannot schedule into the past");
-  const EventId id = next_id_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  ++live_;
+  const EventId id = (static_cast<EventId>(s.generation) << 32) | slot;
   heap_.push_back(Event{when, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  handlers_.emplace(id, std::move(fn));
   return id;
 }
 
+void EventLoop::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  s.armed = false;
+  ++s.generation;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
 void EventLoop::cancel(EventId id) {
-  if (handlers_.erase(id) == 0) return;
-  cancelled_.insert(id);
-  if (cancelled_.size() >= kCompactionFloor &&
-      cancelled_.size() * 2 >= heap_.size())
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size() || is_stale(id)) return;
+  release(slot);
+  ++tombstones_;  // the heap entry stays parked until popped or compacted
+  if (tombstones_ >= kCompactionFloor && tombstones_ * 2 >= heap_.size())
     compact();
 }
 
@@ -51,26 +72,24 @@ EventLoop::Event EventLoop::pop_top() {
 }
 
 void EventLoop::compact() {
-  std::erase_if(heap_,
-                [this](const Event& e) { return cancelled_.contains(e.id); });
+  std::erase_if(heap_, [this](const Event& e) { return is_stale(e.id); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
-  cancelled_.clear();
+  tombstones_ = 0;
 }
 
 bool EventLoop::run_one() {
   while (!heap_.empty()) {
     const Event ev = pop_top();
-    if (cancelled_.erase(ev.id) > 0) continue;  // was cancelled
-    auto it = handlers_.find(ev.id);
-    if (it == handlers_.end()) continue;
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
+    if (is_stale(ev.id)) {  // was cancelled
+      --tombstones_;
+      continue;
+    }
+    std::function<void()> fn = std::move(slots_[slot_of(ev.id)].fn);
+    release(slot_of(ev.id));
     now_ = ev.when;
     fn();
     return true;
   }
-  // Queue drained: any tombstones left are unreachable — sweep them.
-  cancelled_.clear();
   return false;
 }
 
@@ -82,8 +101,9 @@ void EventLoop::run() {
 void EventLoop::run_until(TimePoint deadline) {
   while (!heap_.empty()) {
     // Peek without firing cancelled entries.
-    if (cancelled_.erase(heap_.front().id) > 0) {
+    if (is_stale(heap_.front().id)) {
       pop_top();
+      --tombstones_;
       continue;
     }
     if (heap_.front().when > deadline) break;
@@ -97,7 +117,10 @@ bool EventLoop::run_while_waiting_for(const std::function<bool()>& pred,
   const TimePoint deadline = now_ + timeout;
   while (!pred()) {
     // Drop cancelled entries so a stale top can't trigger a spurious timeout.
-    while (!heap_.empty() && cancelled_.erase(heap_.front().id) > 0) pop_top();
+    while (!heap_.empty() && is_stale(heap_.front().id)) {
+      pop_top();
+      --tombstones_;
+    }
     if (heap_.empty()) return false;
     if (heap_.front().when > deadline) {
       now_ = deadline;
@@ -109,7 +132,10 @@ bool EventLoop::run_while_waiting_for(const std::function<bool()>& pred,
 }
 
 std::optional<TimePoint> EventLoop::next_event_time() {
-  while (!heap_.empty() && cancelled_.erase(heap_.front().id) > 0) pop_top();
+  while (!heap_.empty() && is_stale(heap_.front().id)) {
+    pop_top();
+    --tombstones_;
+  }
   if (heap_.empty()) return std::nullopt;
   return heap_.front().when;
 }

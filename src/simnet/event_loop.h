@@ -11,13 +11,19 @@
 // vector lets the loop rebuild it without the tombstones once they outgrow
 // the live events — long scans with heavy deadline-cancel churn stay
 // compact instead of accumulating an unbounded cancelled set.
+//
+// Handlers live in a slot arena (struct-of-arrays with a free list) instead
+// of a hash map: an EventId encodes (generation << 32 | slot), so schedule,
+// cancel, and dispatch are all O(1) array indexing with no hashing and no
+// per-event node allocation — this is the hottest structure in the
+// simulator (every cell delivery is one schedule + one dispatch).
+// Generations distinguish a slot's reuse from stale heap entries pointing
+// at its previous tenants.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/time.h"
@@ -68,10 +74,10 @@ class EventLoop {
   /// traffic without fast-forwarding to far-future scheduled work.
   std::optional<TimePoint> next_event_time();
 
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_; }
   /// Cancelled events still parked in the heap (bounded by compaction;
   /// exposed so tests can pin the bound down).
-  std::size_t cancelled_tombstones() const { return cancelled_.size(); }
+  std::size_t cancelled_tombstones() const { return tombstones_; }
 
  private:
   struct Event {
@@ -85,19 +91,43 @@ class EventLoop {
       return a.seq > b.seq;
     }
   };
+  /// One arena slot. `generation` starts at 1 (so EventId 0 is never
+  /// issued — callers use 0 as a "no event" sentinel) and bumps on every
+  /// release, invalidating ids that still reference the old tenant.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t generation = 1;
+    bool armed = false;
+  };
+
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  /// True when a heap entry no longer references a live handler (its slot
+  /// was cancelled, or fired and re-let to a new tenant).
+  bool is_stale(EventId id) const {
+    const Slot& s = slots_[slot_of(id)];
+    return s.generation != generation_of(id) || !s.armed;
+  }
+  /// Disarm a slot and return it to the free list.
+  void release(std::uint32_t slot);
 
   /// Pop the top heap entry (caller checked non-empty).
   Event pop_top();
-  /// Rebuild the heap without tombstoned entries and clear the cancelled
-  /// set. Called when tombstones outnumber live events.
+  /// Rebuild the heap without tombstoned entries. Called when tombstones
+  /// outnumber live events.
   void compact();
 
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::vector<Event> heap_;  ///< min-heap via push_heap/pop_heap with Later
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;        ///< armed slots (= schedulable heap entries)
+  std::size_t tombstones_ = 0;  ///< heap entries whose slot was released
 };
 
 }  // namespace ting::simnet

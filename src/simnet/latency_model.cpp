@@ -47,9 +47,8 @@ double LatencyModel::inflation(HostId a, HostId b) const {
          u * (config_.inflation_max - config_.inflation_min);
 }
 
-Duration LatencyModel::base_rtt(HostId a, HostId b) const {
-  TING_CHECK(a < hosts_.size() && b < hosts_.size());
-  if (a == b) return Duration::from_ms(config_.intra_host_rtt_ms);
+double LatencyModel::base_rtt_ms_uncached(HostId a, HostId b) const {
+  if (a == b) return config_.intra_host_rtt_ms;
   const double km =
       geo::great_circle_km(hosts_[a].location, hosts_[b].location);
   double ms = geo::min_rtt_ms_for_distance(km) * inflation(a, b);
@@ -63,7 +62,27 @@ Duration LatencyModel::base_rtt(HostId a, HostId b) const {
     ms *= 1.0 + config_.cross_group_extra_min +
           u * (config_.cross_group_extra_max - config_.cross_group_extra_min);
   }
-  return Duration::from_ms(std::max(ms, config_.min_rtt_ms));
+  return std::max(ms, config_.min_rtt_ms);
+}
+
+Duration LatencyModel::base_rtt(HostId a, HostId b) const {
+  TING_CHECK(a < hosts_.size() && b < hosts_.size());
+  if (base_table_ && a < base_table_->n && b < base_table_->n)
+    return Duration::from_ms(base_table_->at(a, b));
+  return Duration::from_ms(base_rtt_ms_uncached(a, b));
+}
+
+std::shared_ptr<const BaseRttTable> LatencyModel::build_base_table() const {
+  auto table = std::make_shared<BaseRttTable>();
+  table->n = hosts_.size();
+  table->ms.resize(table->n * table->n);
+  for (HostId a = 0; a < table->n; ++a)
+    for (HostId b = a; b < table->n; ++b) {
+      const double ms = base_rtt_ms_uncached(a, b);
+      table->ms[a * table->n + b] = ms;
+      table->ms[b * table->n + a] = ms;  // base_rtt is symmetric
+    }
+  return table;
 }
 
 Duration LatencyModel::rtt(HostId a, HostId b, Protocol p) const {

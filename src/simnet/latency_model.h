@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "geo/geo.h"
@@ -69,6 +70,18 @@ struct LatencyConfig {
   double cross_group_extra_max = 0.0;
 };
 
+/// Dense precomputed base-RTT milliseconds over the first `n` hosts, frozen
+/// at topology-build time and shared read-only across shard worlds. The
+/// stored values are the exact doubles base_rtt() would compute (inflation
+/// hash, cross-group stretch, and floor already applied), so a table lookup
+/// is bit-identical to the on-the-fly path.
+struct BaseRttTable {
+  std::size_t n = 0;
+  std::vector<double> ms;  ///< n*n, row-major
+
+  double at(HostId a, HostId b) const { return ms[a * n + b]; }
+};
+
 class LatencyModel {
  public:
   explicit LatencyModel(LatencyConfig config = {});
@@ -98,10 +111,24 @@ class LatencyModel {
 
   const LatencyConfig& config() const { return config_; }
 
+  /// Precompute base_rtt for every pair of currently-registered hosts.
+  /// Pure (does not attach); the result can be shared across models built
+  /// from the same host sequence and config.
+  std::shared_ptr<const BaseRttTable> build_base_table() const;
+
+  /// Serve base_rtt() from a frozen table for host pairs it covers (ids
+  /// < table->n); hosts added later fall back to the on-the-fly path. The
+  /// table replaces a trig + hash evaluation on every packet delivery.
+  void attach_base_table(std::shared_ptr<const BaseRttTable> table) {
+    base_table_ = std::move(table);
+  }
+
  private:
   double inflation(HostId a, HostId b) const;
+  double base_rtt_ms_uncached(HostId a, HostId b) const;
 
   LatencyConfig config_;
+  std::shared_ptr<const BaseRttTable> base_table_;
   struct HostInfo {
     geo::GeoPoint location;
     NetworkPolicy policy;

@@ -970,18 +970,27 @@ ScanReport ParallelScanner::scan_deterministic(
     rng.shuffle(order);
   }
 
+  // Count every world reseed (per pair + per non-memoized half probe) into
+  // the report, without the reseed paths having to know about it.
+  ParallelScanOptions det = options;
+  det.reseed_world = [&report, reseed = options.reseed_world](
+                         std::uint64_t seed) {
+    ++report.reseeds;
+    reseed(seed);
+  };
+
   serial_scan_pairs(
       m, measurers_, cache_, nodes,
       std::deque<std::pair<std::size_t, std::size_t>>(order.begin(),
                                                       order.end()),
-      options, progress, report, loop, never_known,
+      det, progress, report, loop, never_known,
       [&](const dir::Fingerprint& x, const dir::Fingerprint& y) {
         // Teardown cells from the previous pair must not consume draws from
         // the freshly-seeded rngs, so quiesce the loop before reseeding.
         drain_in_flight(loop, kDrainHorizon);
-        if (options.half_cache != nullptr)
-          return measure_pair_memoized(m, options, x, y, loop, kDrainHorizon);
-        options.reseed_world(pair_reseed(options.pair_seed, x, y));
+        if (det.half_cache != nullptr)
+          return measure_pair_memoized(m, det, x, y, loop, kDrainHorizon);
+        det.reseed_world(pair_reseed(det.pair_seed, x, y));
         return m.measure_blocking(x, y);
       },
       // Zero timestamps: shard worlds run unrelated virtual clocks, and

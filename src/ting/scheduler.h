@@ -194,6 +194,16 @@ struct ScanReport {
   std::size_t half_cache_hits = 0;
   /// Echo samples the adaptive early-stop avoided, summed over all probes.
   std::size_t samples_saved = 0;
+
+  // ---- setup-vs-measurement observability ----------------------------------
+  /// Wall-clock milliseconds spent constructing shard worlds (summed across
+  /// shards; 0 for engines that were handed pre-built worlds). Makes the
+  /// setup-vs-measurement split visible per run: a sharded scan that burns
+  /// its parallelism budget cloning worlds shows up here, not as throughput.
+  double world_construct_ms = 0;
+  /// World reseeds performed by the deterministic engine (one per pair plus
+  /// one per non-memoized half probe). Summed across shards.
+  std::size_t reseeds = 0;
 };
 
 /// Progress callback: (pairs done, pairs total, last pair's result).

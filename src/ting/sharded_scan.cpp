@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -32,6 +33,8 @@ void merge_report(ScanReport& merged, const ScanReport& r) {
   merged.samples_saved += r.samples_saved;
   merged.time_building += r.time_building;
   merged.time_sampling += r.time_sampling;
+  merged.world_construct_ms += r.world_construct_ms;
+  merged.reseeds += r.reseeds;
   merged.max_in_flight += r.max_in_flight;
   merged.max_per_relay_in_flight =
       std::max(merged.max_per_relay_in_flight, r.max_per_relay_in_flight);
@@ -104,8 +107,13 @@ ScanReport ShardedScanner::scan_pairs(const std::vector<dir::Fingerprint>& nodes
 
   auto run_shard = [&](std::size_t s) {
     try {
+      const auto construct_start = std::chrono::steady_clock::now();
       std::unique_ptr<ShardWorld> world = factory_(s);
       TING_CHECK_MSG(world != nullptr, "shard factory returned null");
+      const double construct_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - construct_start)
+              .count();
       // Seed the shard-private matrix with the caller's entries so a
       // resumed scan (matrix preloaded from the journal) skips completed
       // pairs in every shard, not just in the merged output.
@@ -134,6 +142,7 @@ ScanReport ShardedScanner::scan_pairs(const std::vector<dir::Fingerprint>& nodes
         };
       results[s].report =
           scanner.scan_pairs(nodes, slices[s], opt, shard_progress);
+      results[s].report.world_construct_ms += construct_ms;
     } catch (...) {
       results[s].error = std::current_exception();
     }

@@ -18,7 +18,20 @@ Relay::Relay(simnet::Network& net, simnet::HostId host, RelayConfig config,
              std::uint64_t seed)
     : net_(net), host_(host), config_(std::move(config)), rng_(seed) {
   identity_ = crypto::IdentityKeys::generate(rng_);
+  init_descriptor_and_listen();
+}
 
+Relay::Relay(simnet::Network& net, simnet::HostId host, RelayConfig config,
+             crypto::IdentityKeys identity, Rng rng)
+    : net_(net),
+      host_(host),
+      config_(std::move(config)),
+      rng_(rng),
+      identity_(identity) {
+  init_descriptor_and_listen();
+}
+
+void Relay::init_descriptor_and_listen() {
   descriptor_.nickname = config_.nickname;
   descriptor_.fingerprint = dir::Fingerprint::of_identity(identity_.public_key);
   descriptor_.onion_key = identity_.public_key;

@@ -54,6 +54,11 @@ class Relay {
  public:
   Relay(simnet::Network& net, simnet::HostId host, RelayConfig config,
         std::uint64_t seed);
+  /// Construct from a precomputed identity (a shared-topology blueprint):
+  /// skips keygen. `rng` must be the post-keygen state of Rng(seed), so the
+  /// relay's stochastic stream continues exactly as the seeded ctor's would.
+  Relay(simnet::Network& net, simnet::HostId host, RelayConfig config,
+        crypto::IdentityKeys identity, Rng rng);
 
   Relay(const Relay&) = delete;
   Relay& operator=(const Relay&) = delete;
@@ -107,6 +112,10 @@ class Relay {
     std::map<std::uint16_t, ExitStream> streams;  ///< exit streams
   };
   using EntryPtr = std::shared_ptr<CircuitEntry>;
+
+  /// Shared ctor tail: assemble the descriptor from config + identity and
+  /// bind the ORPort listener.
+  void init_descriptor_and_listen();
 
   void on_or_connection(simnet::ConnPtr conn);
   void on_cell(const simnet::ConnPtr& conn, Bytes wire);

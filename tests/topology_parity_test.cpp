@@ -1,0 +1,146 @@
+// Parity between the shared-immutable-topology worlds and the legacy
+// clone-per-shard worlds: for the same seed and shard count the two
+// construction paths must be indistinguishable in every scan artifact —
+// merged matrix CSV, merged half-circuit cache CSV, and the daemon's
+// on-disk matrix — including with a fault plan active. This pins the
+// tentpole refactor's contract: sharing the topology is a pure setup-cost
+// optimization, never a behavioural change.
+//
+// Note this is parity at the SAME shard count W. Bit-identity ACROSS W
+// (sharded_scan_test) holds only without faults, because fault windows fire
+// at per-shard virtual times; shared-vs-legacy parity has no such caveat —
+// both paths build worlds with identical streams, so they agree even when
+// faults are active.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/daemon_world.h"
+#include "scenario/shard_world.h"
+#include "ting/daemon.h"
+#include "ting/half_circuit_cache.h"
+#include "ting/scheduler.h"
+#include "ting/sharded_scan.h"
+
+namespace ting::meas {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "missing file: " << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+scenario::ShardWorldOptions faulted_scan_world(bool share_topology) {
+  scenario::ShardWorldOptions o;
+  o.relays = 10;
+  o.scan_nodes = 8;
+  o.testbed.seed = 51;
+  o.testbed.differential_fraction = 0;
+  o.ting.samples = 10;
+  o.fault_spec = "loss:*:0.03";
+  o.share_topology = share_topology;
+  return o;
+}
+
+struct ScanArtifacts {
+  std::string matrix_csv;
+  std::string halves_csv;
+  ScanReport report;
+};
+
+ScanArtifacts run_sharded_scan(bool share_topology, std::size_t shards) {
+  const scenario::ShardWorldOptions wo = faulted_scan_world(share_topology);
+  const std::vector<dir::Fingerprint> nodes = scenario::shard_scan_nodes(wo);
+  RttMatrix m;
+  HalfCircuitCache halves;
+  ShardedScanner scanner(scenario::make_testbed_shard_factory(wo));
+  ShardedScanOptions so;
+  so.shards = shards;
+  so.pair_seed = 7;
+  so.half_cache = &halves;
+  so.attempts_per_pair = 6;  // ride out the 3% loss plan
+  ScanArtifacts a;
+  a.report = scanner.scan(nodes, m, so);
+  a.matrix_csv = m.to_csv();
+  a.halves_csv = halves.to_csv();
+  return a;
+}
+
+TEST(TopologyParityTest, ShardedScanMatchesLegacyClonesUnderFaults) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const ScanArtifacts shared = run_sharded_scan(true, shards);
+    const ScanArtifacts legacy = run_sharded_scan(false, shards);
+    EXPECT_EQ(shared.matrix_csv, legacy.matrix_csv) << "W=" << shards;
+    EXPECT_EQ(shared.halves_csv, legacy.halves_csv) << "W=" << shards;
+    // The deterministic replay machinery must be untouched by the
+    // construction path: same pair worklist, same per-pair reseeds.
+    EXPECT_EQ(shared.report.reseeds, legacy.report.reseeds) << "W=" << shards;
+    EXPECT_EQ(shared.report.measured, legacy.report.measured);
+    EXPECT_EQ(shared.report.failed, legacy.report.failed);
+    EXPECT_GT(shared.matrix_csv.size(), 0u);
+  }
+}
+
+scenario::DaemonWorldOptions faulted_daemon_world(bool share_topology,
+                                                 std::size_t shards) {
+  scenario::DaemonWorldOptions o;
+  o.relays = 10;
+  o.testbed.seed = 52;
+  o.testbed.differential_fraction = 0;
+  o.ting.samples = 8;
+  o.churn.seed = 53;
+  o.churn.churn_rate = 0.1;
+  o.churn.rejoin_rate = 0.5;
+  o.fault_spec = "loss:*:0.02";
+  o.shards = shards;
+  o.share_topology = share_topology;
+  return o;
+}
+
+TEST(TopologyParityTest, DaemonDeltaEpochMatchesLegacyClones) {
+  // Two epochs: epoch 0 measures the full mesh, epoch 1 only the churn
+  // delta — the persistent worlds carry half-warm state across the
+  // boundary, which is exactly where a construction-path divergence would
+  // surface.
+  const auto run = [](bool share_topology, const std::string& out) {
+    scenario::TestbedDaemonEnvironment env(faulted_daemon_world(
+        share_topology, /*shards=*/4));
+    DaemonOptions d;
+    d.epochs = 2;
+    d.out = out;
+    d.seed = 5;
+    d.config_tag = "topology-parity";
+    ScanDaemon daemon(env, d);
+    return daemon.run();
+  };
+  const std::string shared_out =
+      ::testing::TempDir() + "/parity_shared.tingmx";
+  const std::string legacy_out =
+      ::testing::TempDir() + "/parity_legacy.tingmx";
+  const DaemonReport shared = run(true, shared_out);
+  const DaemonReport legacy = run(false, legacy_out);
+
+  ASSERT_EQ(shared.epochs.size(), 2u);
+  ASSERT_EQ(legacy.epochs.size(), 2u);
+  for (std::size_t e = 0; e < 2; ++e) {
+    EXPECT_EQ(shared.epochs[e].scan.pairs_total,
+              legacy.epochs[e].scan.pairs_total) << "epoch " << e;
+    EXPECT_EQ(shared.epochs[e].scan.measured,
+              legacy.epochs[e].scan.measured) << "epoch " << e;
+    EXPECT_EQ(shared.epochs[e].scan.reseeds,
+              legacy.epochs[e].scan.reseeds) << "epoch " << e;
+  }
+  // Epoch 1 really was a delta, not a rescan.
+  EXPECT_LT(shared.epochs[1].scan.pairs_total,
+            shared.epochs[0].scan.pairs_total);
+  // The artifact both runs leave on disk is byte-identical.
+  EXPECT_EQ(read_file(shared_out), read_file(legacy_out));
+}
+
+}  // namespace
+}  // namespace ting::meas

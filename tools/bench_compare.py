@@ -3,7 +3,7 @@
 
 Two subcommands, both stdlib-only:
 
-  gate-speedup FRESH.json [--min-speedup 1.3] [--min-cpus 4]
+  gate-speedup FRESH.json [--min-speedup 2.0] [--min-cpus 4]
       Fail if the fresh run's host had >= --min-cpus CPUs but the sharded
       engine's wall-clock speedup_4_vs_1 came in under --min-speedup. On a
       host with fewer CPUs the gate records the numbers and passes (the
@@ -18,6 +18,18 @@ Two subcommands, both stdlib-only:
       scale), so it is comparable across machines where raw pairs/vhour is
       not; absolute pairs/vhour is additionally compared only when the two
       runs measured the same leg (same pairs and samples_per_circuit).
+
+  gate-construct FRESH.json [--min-speedup 5.0]
+      Gate over the world-construction leg: fail unless instantiating the
+      shard worlds over a shared immutable topology was at least
+      --min-speedup cheaper than the legacy clone-per-shard path. Both
+      sides measure what workers pay inside the factory call (the
+      ScanReport.world_construct_ms quantity); the topology's one-time
+      build on the coordinating thread is reported separately, since the
+      scan needs it regardless to derive the node list. The leg runs at a
+      fixed 100 relays x 4 shards (not scaled by TING_BENCH_SCALE), so the
+      ratio is stable across hosts: it measures work eliminated (per-shard
+      keygen, geography, base-RTT table), not host speed.
 
   gate-serve FRESH.json [--min-qps 10000]
       Gate over BENCH_serve.json (bench/serve_bench.cpp): fail unless the
@@ -119,6 +131,25 @@ def gate_regression(args):
     return 1 if failed else 0
 
 
+def gate_construct(args):
+    doc = load(args.fresh)
+    legacy = require(doc, args.fresh, "world_construction", "legacy_clone_ms")
+    shared = require(doc, args.fresh, "world_construction",
+                     "shared_topology_ms")
+    speedup = require(doc, args.fresh, "world_construction",
+                      "construct_speedup")
+    reseed = require(doc, args.fresh, "world_construction", "reseed_us")
+    print(f"world construction: legacy_clone_ms={legacy} "
+          f"shared_topology_ms={shared} construct_speedup={speedup} "
+          f"reseed_us={reseed}")
+    if speedup < args.min_speedup:
+        print(f"FAIL: shared-topology construction only {speedup}x faster "
+              f"than clone-per-shard (< {args.min_speedup})")
+        return 1
+    print(f"PASS: construct_speedup={speedup} >= {args.min_speedup}")
+    return 0
+
+
 def gate_serve(args):
     doc = load(args.fresh)
     qps = require(doc, args.fresh, "concurrent_queries_per_sec")
@@ -147,7 +178,7 @@ def main():
 
     sp = sub.add_parser("gate-speedup")
     sp.add_argument("fresh")
-    sp.add_argument("--min-speedup", type=float, default=1.3)
+    sp.add_argument("--min-speedup", type=float, default=2.0)
     sp.add_argument("--min-cpus", type=int, default=4)
     sp.set_defaults(func=gate_speedup)
 
@@ -156,6 +187,11 @@ def main():
     rp.add_argument("fresh")
     rp.add_argument("--max-regression", type=float, default=0.15)
     rp.set_defaults(func=gate_regression)
+
+    cp = sub.add_parser("gate-construct")
+    cp.add_argument("fresh")
+    cp.add_argument("--min-speedup", type=float, default=5.0)
+    cp.set_defaults(func=gate_construct)
 
     vp = sub.add_parser("gate-serve")
     vp.add_argument("fresh")

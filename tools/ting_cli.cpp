@@ -223,9 +223,11 @@ int cmd_scan(const Args& args) {
   std::signal(SIGTERM, handle_stop);
 
   if (args.kv.contains("shards")) {
-    // Sharded engine: W worker threads, each owning an independent clone of
-    // the world. With --parallel 1 (the default) pairs are measured
-    // deterministically — the merged matrix is bit-identical for any W.
+    // Sharded engine: W worker threads sharing one immutable topology, each
+    // owning only the mutable world half. With --parallel 1 (the default)
+    // pairs are measured deterministically — the merged matrix is
+    // bit-identical for any W. --no-share-topology restores the historical
+    // full-clone-per-shard behaviour (same output, slower setup).
     scenario::ShardWorldOptions swo;
     swo.relays = relays;
     swo.scan_nodes = nodes;
@@ -233,10 +235,17 @@ int cmd_scan(const Args& args) {
     swo.ting = cfg;
     swo.pool = static_cast<std::size_t>(parallel);
     swo.fault_spec = faults;
+    swo.share_topology = args.flag("share-topology", true);
+    // One topology build serves the node list and (when sharing) every
+    // shard world.
+    const scenario::TopologyPtr topology = scenario::shard_topology(swo);
     const std::vector<dir::Fingerprint> subset =
-        scenario::shard_scan_nodes(swo);
+        scenario::shard_scan_nodes(swo, topology);
     open_journal(subset.size());
-    meas::ShardedScanner scanner(scenario::make_testbed_shard_factory(swo));
+    meas::ShardedScanner scanner(
+        swo.share_topology
+            ? scenario::make_testbed_shard_factory(swo, topology)
+            : scenario::make_testbed_shard_factory(swo));
     meas::ShardedScanOptions scan_options;
     scan_options.per_relay_cap = cap;
     scan_options.pair_seed = options.seed;
@@ -321,6 +330,9 @@ int cmd_scan(const Args& args) {
               report.max_per_relay_in_flight, cap,
               report.time_building.sec() / 3600.0,
               report.time_sampling.sec() / 3600.0);
+  std::printf("setup: world construction %.1f ms across shards, "
+              "%zu world reseeds\n",
+              report.world_construct_ms, report.reseeds);
   std::printf("optimizations: %zu circuits built, %zu half-cache hits, "
               "%zu samples saved%s\n",
               report.circuits_built, report.half_cache_hits,
@@ -391,7 +403,11 @@ int cmd_daemon(const Args& args) {
   dwo.fault_spec = faults;
   dwo.shards = shards;
   dwo.pool = pool;
+  dwo.share_topology = args.flag("share-topology", true);
   scenario::TestbedDaemonEnvironment env(dwo);
+  std::printf("daemon: %zu persistent shard world(s) built in %.1f ms%s\n",
+              shards, env.world_construct_ms(),
+              dwo.share_topology ? " (shared topology)" : "");
 
   meas::DaemonOptions opt;
   opt.epochs = epochs;
@@ -426,14 +442,14 @@ int cmd_daemon(const Args& args) {
   const auto on_epoch = [](const meas::EpochStats& s) {
     std::printf("epoch %zu: %zu nodes (+%zu/-%zu), planned %zu "
                 "(%zu new, %zu expired, %zu over budget), measured %zu, "
-                "cached %zu, failed %zu, deferred %zu -> coverage %.1f%% "
-                "(%zu/%zu pairs fresh)\n",
+                "cached %zu, failed %zu, deferred %zu, %zu reseeds -> "
+                "coverage %.1f%% (%zu/%zu pairs fresh)\n",
                 s.epoch, s.nodes, s.joined, s.left, s.plan.pairs.size(),
                 s.plan.new_pairs, s.plan.expired_pairs,
                 s.plan.dropped_over_budget, s.scan.measured,
                 s.scan.from_cache, s.scan.failed, s.scan.deferred,
-                100 * s.coverage.coverage(), s.coverage.fresh,
-                s.coverage.total);
+                s.scan.reseeds, 100 * s.coverage.coverage(),
+                s.coverage.fresh, s.coverage.total);
     std::fflush(stdout);
   };
   const meas::DaemonReport report = daemon.run(on_epoch);
