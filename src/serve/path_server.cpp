@@ -129,12 +129,18 @@ void PathServer::publish(MatrixSnapshot snapshot,
 void PathServer::publish(const meas::SparseRttMatrix& matrix,
                          std::uint64_t epoch, TimePoint stamp,
                          const std::vector<dir::Fingerprint>& changed) {
-  publish(MatrixSnapshot::build(matrix, epoch, stamp), changed);
+  const SnapshotStorage storage = options_.float32_snapshot
+                                      ? SnapshotStorage::kFloat32
+                                      : SnapshotStorage::kFloat64;
+  publish(MatrixSnapshot::build(matrix, epoch, stamp, storage), changed);
 }
 
 void PathServer::publish(const meas::RttMatrix& matrix, std::uint64_t epoch,
                          TimePoint stamp) {
-  publish(MatrixSnapshot::build(matrix, epoch, stamp));
+  const SnapshotStorage storage = options_.float32_snapshot
+                                      ? SnapshotStorage::kFloat32
+                                      : SnapshotStorage::kFloat64;
+  publish(MatrixSnapshot::build(matrix, epoch, stamp, storage));
 }
 
 std::optional<double> PathServer::rtt(const dir::Fingerprint& a,

@@ -32,6 +32,13 @@
 
 namespace ting::serve {
 
+/// Storage precision of the flat RTT array. kFloat32 halves the dense image
+/// (288 MB → 144 MB at 6,000 relays) at ≤6e-8 relative rounding error —
+/// orders of magnitude below measurement noise, and NaN-coding survives the
+/// float↔double conversion. Opt-in (default float64) because the wide mode
+/// round-trips the stores' doubles bit-exactly.
+enum class SnapshotStorage : std::uint8_t { kFloat64, kFloat32 };
+
 class MatrixSnapshot {
  public:
   MatrixSnapshot() = default;
@@ -40,9 +47,11 @@ class MatrixSnapshot {
   /// `epoch`/`stamp` identify which checkpoint this image reflects (readers
   /// use them to reason about staleness; see PROTOCOL.md).
   static MatrixSnapshot build(const meas::RttMatrix& matrix,
-                              std::uint64_t epoch = 0, TimePoint stamp = {});
+                              std::uint64_t epoch = 0, TimePoint stamp = {},
+                              SnapshotStorage storage = SnapshotStorage::kFloat64);
   static MatrixSnapshot build(const meas::SparseRttMatrix& matrix,
-                              std::uint64_t epoch = 0, TimePoint stamp = {});
+                              std::uint64_t epoch = 0, TimePoint stamp = {},
+                              SnapshotStorage storage = SnapshotStorage::kFloat64);
 
   std::size_t node_count() const { return nodes_.size(); }
   /// All relays in the snapshot, sorted by fingerprint (index order).
@@ -58,8 +67,13 @@ class MatrixSnapshot {
 
   /// The query hot path: one array read, NaN when the pair is unmeasured
   /// (and on the diagonal — a relay has no RTT to itself worth serving).
+  /// Float32 images widen on read (NaN propagates), so every consumer —
+  /// DetourIndex, neighbor lists, band tables — is storage-agnostic.
   double rtt_raw(std::size_t i, std::size_t j) const {
-    return rtt_[i * nodes_.size() + j];
+    const std::size_t idx = i * nodes_.size() + j;
+    return storage_ == SnapshotStorage::kFloat32
+               ? static_cast<double>(rtt32_[idx])
+               : rtt_[idx];
   }
   bool has(std::size_t i, std::size_t j) const {
     return !std::isnan(rtt_raw(i, j));
@@ -83,6 +97,10 @@ class MatrixSnapshot {
 
   std::uint64_t epoch() const { return epoch_; }
   TimePoint stamp() const { return stamp_; }
+  SnapshotStorage storage() const { return storage_; }
+  /// Heap bytes of the flat RTT array plus the fingerprint index — the
+  /// number the float32 mode halves (modulo the index).
+  std::size_t memory_bytes() const;
 
  private:
   void index_nodes(std::vector<dir::Fingerprint> nodes);
@@ -90,7 +108,9 @@ class MatrixSnapshot {
 
   std::vector<dir::Fingerprint> nodes_;  ///< sorted; index order
   std::unordered_map<dir::Fingerprint, std::uint32_t> index_;
-  std::vector<double> rtt_;  ///< n×n, symmetric, NaN = unmeasured
+  SnapshotStorage storage_ = SnapshotStorage::kFloat64;
+  std::vector<double> rtt_;   ///< n×n, symmetric, NaN = unmeasured (float64)
+  std::vector<float> rtt32_;  ///< same image in float32 mode
   std::size_t pair_count_ = 0;
   std::uint64_t epoch_ = 0;
   TimePoint stamp_;

@@ -161,9 +161,12 @@ DaemonReport ScanDaemon::run(const EpochCallback& on_epoch,
     stats.left = delta.left.size();
 
     const TimePoint now = epoch_clock(options_.epoch_interval, e);
-    stats.plan =
-        plan_delta(matrix_, nodes, now,
-                   DeltaPlanOptions{options_.ttl, options_.budget});
+    const DeltaPlanOptions plan_opts{options_.ttl, options_.budget};
+    stats.plan = options_.incremental_planner
+                     ? planner_.plan_delta_incremental(matrix_, nodes,
+                                                       delta.joined, now,
+                                                       plan_opts)
+                     : plan_delta(matrix_, nodes, now, plan_opts);
 
     ScanOptions opt = options_.engine;
     opt.pair_seed = epoch_pair_seed(options_.seed, e);
@@ -183,26 +186,29 @@ DaemonReport ScanDaemon::run(const EpochCallback& on_epoch,
     const ScanJournal::Meta meta{1, opt.pair_seed, 0};
     const std::string jpath = journal_path(options_.out);
     std::unique_ptr<ScanJournal> journal;
-    const bool try_resume = options_.resume && e == start_epoch;
-    try {
-      journal = std::make_unique<ScanJournal>(
-          jpath, try_resume ? ScanJournal::Mode::kResume
-                            : ScanJournal::Mode::kFresh,
-          meta);
-    } catch (const CheckError&) {
-      // The journal on disk belongs to a *different* epoch: the previous
-      // process crashed after checkpointing its artifacts but before
-      // deleting the journal. Those pairs are already in the matrix —
-      // start this epoch's journal fresh.
-      journal = std::make_unique<ScanJournal>(jpath, ScanJournal::Mode::kFresh,
-                                              meta);
-    }
-    if (journal->records_recovered() > 0) {
-      journal->restore(epoch_matrix, opt.half_cache);
-      stats.journal_recovered = journal->pairs().size();
+    if (options_.journal) {
+      const bool try_resume = options_.resume && e == start_epoch;
+      try {
+        journal = std::make_unique<ScanJournal>(
+            jpath, try_resume ? ScanJournal::Mode::kResume
+                              : ScanJournal::Mode::kFresh,
+            meta);
+      } catch (const CheckError&) {
+        // The journal on disk belongs to a *different* epoch: the previous
+        // process crashed after checkpointing its artifacts but before
+        // deleting the journal. Those pairs are already in the matrix —
+        // start this epoch's journal fresh.
+        journal = std::make_unique<ScanJournal>(jpath,
+                                                ScanJournal::Mode::kFresh,
+                                                meta);
+      }
+      if (journal->records_recovered() > 0) {
+        journal->restore(epoch_matrix, opt.half_cache);
+        stats.journal_recovered = journal->pairs().size();
+      }
     }
     opt.journal = journal.get();
-    if (opt.half_cache != nullptr) {
+    if (opt.half_cache != nullptr && journal != nullptr) {
       ScanJournal* j = journal.get();
       opt.half_cache->set_store_observer(
           [j](const dir::Fingerprint& host_w, const dir::Fingerprint& relay,
@@ -221,6 +227,8 @@ DaemonReport ScanDaemon::run(const EpochCallback& on_epoch,
       // the next --resume re-enters this epoch and replays the journal.
       report.interrupted = true;
       stats.coverage = matrix_.coverage(nodes, now, options_.ttl);
+      stats.matrix_pairs = matrix_.size();
+      stats.matrix_bytes = matrix_.memory_bytes();
       report.epochs.push_back(stats);
       break;
     }
@@ -232,11 +240,15 @@ DaemonReport ScanDaemon::run(const EpochCallback& on_epoch,
     matrix_.absorb(epoch_matrix, now);
     matrix_.save_bin(options_.out);
     if (options_.half_cache) half_cache_.save_bin(halves_path(options_.out));
-    journal->remove_file();
-    journal.reset();
+    if (journal != nullptr) {
+      journal->remove_file();
+      journal.reset();
+    }
     write_state(e + 1);
 
     stats.coverage = matrix_.coverage(nodes, now, options_.ttl);
+    stats.matrix_pairs = matrix_.size();
+    stats.matrix_bytes = matrix_.memory_bytes();
     report.epochs.push_back(stats);
     report.epochs_completed = e + 1;
     if (options_.on_checkpoint) {
@@ -263,6 +275,7 @@ DaemonReport ScanDaemon::run(const EpochCallback& on_epoch,
   report.converged =
       !report.interrupted && report.final_coverage >= options_.coverage_target;
   report.matrix_pairs = matrix_.size();
+  report.matrix_bytes = matrix_.memory_bytes();
   return report;
 }
 

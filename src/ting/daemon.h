@@ -114,6 +114,16 @@ struct DaemonOptions {
   std::uint64_t seed = 1;
   /// Memoize half circuits across pairs and epochs (checkpointed).
   bool half_cache = true;
+  /// Plan epochs with the IncrementalDeltaPlanner (O(churn + expired +
+  /// budget) per steady-state epoch) instead of re-running plan_delta's full
+  /// C(n,2) census. The two produce identical plans (pinned by tests); this
+  /// knob exists so parity can keep being checked and regressions bisected.
+  bool incremental_planner = true;
+  /// Write the per-pair fsync'd journal. Disabling it trades pair-granular
+  /// crash resume for epoch-granular resume (the state file and matrix
+  /// checkpoint still make kill -9 safe at epoch boundaries) — at 6,000
+  /// relays the per-record fsync dominates an epoch's wall time.
+  bool journal = true;
   /// Graceful-shutdown flag (from a signal handler). Checked between pairs
   /// (via the engine) and between epochs.
   const std::atomic<bool>* stop = nullptr;
@@ -137,6 +147,10 @@ struct EpochStats {
   std::size_t journal_recovered = 0;
   /// Post-epoch freshness census over the current consensus.
   SparseRttMatrix::CoverageCount coverage;
+  /// Persistent store size after this epoch's absorb (pairs + estimated
+  /// heap bytes) — the per-epoch memory trajectory at 18M-entry scale.
+  std::size_t matrix_pairs = 0;
+  std::size_t matrix_bytes = 0;
 };
 
 struct DaemonReport {
@@ -146,6 +160,7 @@ struct DaemonReport {
   double final_coverage = 0;
   bool converged = false;          ///< final_coverage >= coverage_target
   std::size_t matrix_pairs = 0;
+  std::size_t matrix_bytes = 0;    ///< estimated store heap footprint
 };
 
 /// Per-epoch progress callback (invoked after each completed epoch).
@@ -199,6 +214,9 @@ class ScanDaemon {
   DaemonOptions options_;
   SparseRttMatrix matrix_;
   HalfCircuitCache half_cache_;
+  /// Carries the missing-pair backlog across epochs; unprimed at process
+  /// start, so the first epoch (fresh or resumed) runs one full census.
+  IncrementalDeltaPlanner planner_;
 };
 
 }  // namespace ting::meas

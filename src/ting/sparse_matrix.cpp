@@ -6,6 +6,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <unordered_set>
 
 #include "ting/bin_codec.h"
 #include "util/assert.h"
@@ -33,10 +34,32 @@ bool SparseRttMatrix::fresher(const Entry& l, const Entry& r) {
   return l.samples > r.samples;
 }
 
+void SparseRttMatrix::wheel_insert(const Key& k, TimePoint at) {
+  wheel_[at.ns()].push_back(k);
+}
+
+void SparseRttMatrix::wheel_maybe_compact() {
+  if (wheel_garbage_ <= entries_.size() + 64) return;
+  wheel_.clear();
+  wheel_garbage_ = 0;
+  for (const auto& [k, v] : entries_) wheel_insert(k, v.measured_at);
+}
+
 void SparseRttMatrix::set(const dir::Fingerprint& a, const dir::Fingerprint& b,
                           double rtt_ms, TimePoint measured_at, int samples) {
   TING_CHECK_MSG(!(a == b), "SparseRttMatrix: self-pairs are not meaningful");
-  entries_[key(a, b)] = Entry{rtt_ms, measured_at, samples};
+  const Key k = key(a, b);
+  auto [it, inserted] =
+      entries_.try_emplace(k, Entry{rtt_ms, measured_at, samples});
+  if (!inserted) {
+    const bool restamped = it->second.measured_at != measured_at;
+    it->second = Entry{rtt_ms, measured_at, samples};
+    // Same stamp: the existing wheel record still points at the live bucket.
+    if (!restamped) return;
+    ++wheel_garbage_;
+  }
+  wheel_insert(k, measured_at);
+  wheel_maybe_compact();
 }
 
 const SparseRttMatrix::Entry* SparseRttMatrix::entry(
@@ -66,10 +89,21 @@ bool SparseRttMatrix::is_fresh(const dir::Fingerprint& a,
 }
 
 void SparseRttMatrix::merge(const SparseRttMatrix& other) {
+  reserve_pairs(entries_.size() + other.entries_.size());
   for (const auto& [k, v] : other.entries_) {
     auto [it, inserted] = entries_.try_emplace(k, v);
-    if (!inserted && fresher(v, it->second)) it->second = v;
+    if (inserted) {
+      wheel_insert(k, v.measured_at);
+      continue;
+    }
+    if (!fresher(v, it->second)) continue;
+    const bool restamped = it->second.measured_at != v.measured_at;
+    it->second = v;
+    if (!restamped) continue;
+    ++wheel_garbage_;
+    wheel_insert(k, v.measured_at);
   }
+  wheel_maybe_compact();
 }
 
 void SparseRttMatrix::absorb(const RttMatrix& results, TimePoint stamp) {
@@ -94,7 +128,30 @@ std::size_t SparseRttMatrix::erase_relay(const dir::Fingerprint& relay) {
       ++it;
     }
   }
+  wheel_garbage_ += dropped;  // the wheel records go stale, not away
+  wheel_maybe_compact();
   return dropped;
+}
+
+void SparseRttMatrix::reserve_pairs(std::size_t pairs) {
+  entries_.max_load_factor(kMaxLoadFactor);
+  entries_.reserve(pairs);
+}
+
+std::size_t SparseRttMatrix::memory_bytes() const {
+  // libstdc++ hash nodes carry a next pointer plus a cached hash alongside
+  // the payload; the bucket array is one pointer per bucket.
+  constexpr std::size_t kHashNodeOverhead = 2 * sizeof(void*);
+  std::size_t bytes =
+      entries_.size() * (sizeof(std::pair<const Key, Entry>) + kHashNodeOverhead) +
+      entries_.bucket_count() * sizeof(void*);
+  // Wheel: a red-black tree node per distinct stamp plus the key vectors.
+  constexpr std::size_t kTreeNodeOverhead = 4 * sizeof(void*);
+  for (const auto& [at, keys] : wheel_) {
+    bytes += kTreeNodeOverhead + sizeof(std::int64_t) + sizeof(keys) +
+             keys.capacity() * sizeof(Key);
+  }
+  return bytes;
 }
 
 std::vector<std::pair<SparseRttMatrix::Key, SparseRttMatrix::Entry>>
@@ -133,35 +190,53 @@ double SparseRttMatrix::mean_rtt() const {
 
 std::vector<SparseRttMatrix::PairAge> SparseRttMatrix::expired_pairs(
     TimePoint now, Duration max_age) const {
+  // Walk wheel buckets oldest-first and stop at the TTL horizon; validate
+  // each record against the live entry (overwrites leave stale records
+  // behind). A pair re-stamped back to an earlier value can leave two valid
+  // records in one bucket, so dedupe after the sort.
   std::vector<PairAge> out;
-  for (const auto& [k, v] : entries_)
-    if (now - v.measured_at > max_age)
-      out.push_back(PairAge{k.a, k.b, v.measured_at});
+  for (const auto& [at_ns, keys] : wheel_) {
+    if (now.ns() - at_ns <= max_age.ns()) break;
+    for (const Key& k : keys) {
+      auto it = entries_.find(k);
+      if (it == entries_.end() || it->second.measured_at.ns() != at_ns)
+        continue;
+      out.push_back(PairAge{k.a, k.b, it->second.measured_at});
+    }
+  }
   std::sort(out.begin(), out.end(), [](const PairAge& l, const PairAge& r) {
     if (l.measured_at != r.measured_at) return l.measured_at < r.measured_at;
     if (l.a != r.a) return l.a < r.a;
     return l.b < r.b;
   });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const PairAge& l, const PairAge& r) {
+                          return l.a == r.a && l.b == r.b &&
+                                 l.measured_at == r.measured_at;
+                        }),
+            out.end());
   return out;
 }
 
 SparseRttMatrix::CoverageCount SparseRttMatrix::coverage(
     const std::vector<dir::Fingerprint>& nodes, TimePoint now,
     Duration max_age) const {
+  // Count over stored entries instead of probing all C(n,2) pairs: at 6,000
+  // relays the all-pairs probe is 18M hash lookups per epoch, while the
+  // store typically holds only what the budget has measured so far.
   CoverageCount c;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      ++c.total;
-      const Entry* e = entry(nodes[i], nodes[j]);
-      if (e == nullptr) {
-        ++c.missing;
-      } else if (now - e->measured_at <= max_age) {
-        ++c.fresh;
-      } else {
-        ++c.stale;
-      }
+  c.total = nodes.size() * (nodes.size() - 1) / 2;
+  const std::unordered_set<dir::Fingerprint> members(nodes.begin(),
+                                                     nodes.end());
+  for (const auto& [k, v] : entries_) {
+    if (!members.contains(k.a) || !members.contains(k.b)) continue;
+    if (now - v.measured_at <= max_age) {
+      ++c.fresh;
+    } else {
+      ++c.stale;
     }
   }
+  c.missing = c.total - c.fresh - c.stale;
   return c;
 }
 
@@ -231,7 +306,7 @@ SparseRttMatrix SparseRttMatrix::from_bin(const std::string& bin) {
                  "sparse matrix: truncated binary image ("
                      << bin.size() << " bytes for " << count << " records)");
   SparseRttMatrix m;
-  m.entries_.reserve(count);
+  m.reserve_pairs(count);
   for (std::uint64_t r = 0; r < count; ++r) {
     const std::size_t off = 16 + r * kBinRecordSize;
     const dir::Fingerprint a = get_fp(bin, off);

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -80,6 +81,9 @@ class SparseRttMatrix {
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+  /// Current entry-table load factor (capped at kMaxLoadFactor once
+  /// reserve_pairs has pinned the policy).
+  float load_factor() const { return entries_.load_factor(); }
   /// All distinct relays appearing in the matrix, sorted.
   std::vector<dir::Fingerprint> nodes() const;
   /// All recorded RTT values, in canonical pair order.
@@ -94,6 +98,8 @@ class SparseRttMatrix {
   };
   /// Every stored pair whose entry is older than `max_age` at `now`,
   /// oldest first (ties broken by pair, so the order is deterministic).
+  /// Served from the freshness wheel: O(expired + stale index records), not
+  /// O(size) — the incremental delta planner calls this every epoch.
   std::vector<PairAge> expired_pairs(TimePoint now, Duration max_age) const;
 
   /// Freshness census over the all-pairs set of `nodes`.
@@ -109,6 +115,26 @@ class SparseRttMatrix {
   };
   CoverageCount coverage(const std::vector<dir::Fingerprint>& nodes,
                          TimePoint now, Duration max_age) const;
+
+  /// Estimated heap footprint in bytes: hash-node payload + chaining
+  /// overhead per entry, the bucket pointer array, and the freshness wheel
+  /// (one Key per live-or-stale index record plus a tree node per distinct
+  /// stamp). An estimate — allocator rounding is not modeled — but it moves
+  /// with the store, which is what the daemon status lines and the 18M-entry
+  /// bench profile need.
+  std::size_t memory_bytes() const;
+
+  /// Bulk-load rehash policy: pin the load factor and size the bucket array
+  /// once up front instead of paying log2(n) incremental rehash storms while
+  /// millions of records stream in (from_bin and merge call this; callers
+  /// that fill via set() in a loop should too).
+  void reserve_pairs(std::size_t pairs);
+
+  /// Target load factor for the entry table. Below libstdc++'s default 1.0
+  /// to keep lookup chains short for the planner's per-epoch probes, but
+  /// high enough that the bucket array stays a minor term next to the
+  /// 18M-entry node storage.
+  static constexpr float kMaxLoadFactor = 0.9f;
 
   // ---- interop with the dense matrix ---------------------------------------
   RttMatrix to_rtt_matrix() const;
@@ -152,7 +178,24 @@ class SparseRttMatrix {
   /// every serialization and aggregate goes through.
   std::vector<std::pair<Key, Entry>> sorted_items() const;
 
+  /// Append an index record for `k` at stamp `at` to the freshness wheel.
+  void wheel_insert(const Key& k, TimePoint at);
+  /// Rebuild the wheel from entries_ once stale records outnumber live ones.
+  void wheel_maybe_compact();
+
   std::unordered_map<Key, Entry, KeyHash> entries_;
+
+  // Freshness wheel: measured_at (ns) -> pair keys recorded at that stamp,
+  // bucket order ascending so expired_pairs() walks oldest-first and stops
+  // at the TTL horizon. Maintained lazily: overwrites and erasures leave the
+  // old record in place (counted in wheel_garbage_) and enumeration skips
+  // records whose stamp no longer matches the live entry; a full rebuild
+  // triggers when garbage outgrows the live set, so amortized maintenance is
+  // O(1) per mutation and enumeration is O(expired + garbage), never
+  // O(size). The daemon stamps whole epochs with one clock value, so bucket
+  // counts stay tiny in practice.
+  std::map<std::int64_t, std::vector<Key>> wheel_;
+  std::size_t wheel_garbage_ = 0;
 };
 
 /// Load an RTT matrix of either format: sniffs the binary magic and falls

@@ -198,6 +198,115 @@ TEST(ScanDaemonTest, ShardCountDoesNotChangeTheMatrix) {
   EXPECT_EQ(read_file(out1), read_file(out2));
 }
 
+TEST(ScanDaemonTest, IncrementalPlannerOnOrOffIsByteIdentical) {
+  // The incremental planner is a performance path, not a policy change: the
+  // daemon must produce the same artifacts with it on or off — including
+  // across a crash/resume, where a fresh process starts with an unprimed
+  // planner mid-sequence.
+  const double churn = 0.1;
+  const std::string inc_out = ::testing::TempDir() + "/daemon_inc.tingmx";
+  const std::string full_out = ::testing::TempDir() + "/daemon_full.tingmx";
+  {
+    scenario::TestbedDaemonEnvironment env(small_world(61, churn));
+    DaemonOptions opts = daemon_opts(inc_out, 3);
+    opts.incremental_planner = true;
+    ScanDaemon daemon(env, opts);
+    EXPECT_FALSE(daemon.run().interrupted);
+  }
+  {
+    scenario::TestbedDaemonEnvironment env(small_world(61, churn));
+    DaemonOptions opts = daemon_opts(full_out, 3);
+    opts.incremental_planner = false;
+    ScanDaemon daemon(env, opts);
+    EXPECT_FALSE(daemon.run().interrupted);
+  }
+  EXPECT_EQ(read_file(inc_out), read_file(full_out));
+  EXPECT_EQ(read_file(inc_out + ".halves"), read_file(full_out + ".halves"));
+
+  // Interrupt an incremental-planner run mid-epoch, resume it (unprimed
+  // planner against the persisted matrix), and compare again.
+  const std::string cut_out = ::testing::TempDir() + "/daemon_inc_cut.tingmx";
+  {
+    scenario::TestbedDaemonEnvironment env(small_world(61, churn));
+    std::atomic<bool> stop{false};
+    DaemonOptions opts = daemon_opts(cut_out, 3);
+    opts.incremental_planner = true;
+    opts.stop = &stop;
+    ScanDaemon daemon(env, opts);
+    std::size_t results = 0;
+    const DaemonReport r = daemon.run(
+        {}, [&](std::size_t, std::size_t, const PairResult&) {
+          if (++results == 8) stop.store(true);
+        });
+    EXPECT_TRUE(r.interrupted);
+  }
+  {
+    scenario::TestbedDaemonEnvironment env(small_world(61, churn));
+    DaemonOptions opts = daemon_opts(cut_out, 3);
+    opts.incremental_planner = true;
+    opts.resume = true;
+    ScanDaemon daemon(env, opts);
+    EXPECT_FALSE(daemon.run().interrupted);
+  }
+  EXPECT_EQ(read_file(cut_out), read_file(inc_out));
+}
+
+TEST(ScanDaemonTest, JournalOffStillResumesAtEpochGranularity) {
+  // With the mid-epoch journal disabled the daemon still checkpoints the
+  // store after every epoch, so a kill between epochs resumes losslessly —
+  // an interrupted epoch just re-runs from its start.
+  const double churn = 0.1;
+  const std::string ref_out = ::testing::TempDir() + "/daemon_noj_ref.tingmx";
+  const std::string cut_out = ::testing::TempDir() + "/daemon_noj_cut.tingmx";
+  {
+    scenario::TestbedDaemonEnvironment env(small_world(71, churn));
+    DaemonOptions opts = daemon_opts(ref_out, 2);
+    opts.journal = false;
+    ScanDaemon daemon(env, opts);
+    EXPECT_FALSE(daemon.run().interrupted);
+  }
+  {
+    scenario::TestbedDaemonEnvironment env(small_world(71, churn));
+    std::atomic<bool> stop{false};
+    DaemonOptions opts = daemon_opts(cut_out, 2);
+    opts.journal = false;
+    opts.stop = &stop;
+    ScanDaemon daemon(env, opts);
+    std::size_t results = 0;
+    const DaemonReport r = daemon.run(
+        {}, [&](std::size_t, std::size_t, const PairResult&) {
+          if (++results == 8) stop.store(true);
+        });
+    EXPECT_TRUE(r.interrupted);
+    ASSERT_EQ(r.epochs.size(), 1u);
+    EXPECT_EQ(r.epochs[0].journal_recovered, 0u);
+  }
+  {
+    scenario::TestbedDaemonEnvironment env(small_world(71, churn));
+    DaemonOptions opts = daemon_opts(cut_out, 2);
+    opts.journal = false;
+    opts.resume = true;
+    ScanDaemon daemon(env, opts);
+    const DaemonReport r = daemon.run();
+    EXPECT_FALSE(r.interrupted);
+    // No journal to replay — the whole epoch re-measures.
+    EXPECT_EQ(r.epochs.front().journal_recovered, 0u);
+  }
+  EXPECT_EQ(read_file(cut_out), read_file(ref_out));
+}
+
+TEST(ScanDaemonTest, ReportsMatrixStoreFootprint) {
+  scenario::TestbedDaemonEnvironment env(small_world(81, 0.0));
+  const std::string out = ::testing::TempDir() + "/daemon_mem.tingmx";
+  ScanDaemon daemon(env, daemon_opts(out, 2));
+  const DaemonReport report = daemon.run();
+  ASSERT_FALSE(report.epochs.empty());
+  EXPECT_EQ(report.epochs.front().matrix_pairs, daemon.matrix().size());
+  EXPECT_GT(report.epochs.front().matrix_bytes, 0u);
+  EXPECT_EQ(report.matrix_pairs, daemon.matrix().size());
+  EXPECT_EQ(report.matrix_bytes, daemon.matrix().memory_bytes());
+}
+
 TEST(ScanDaemonTest, ResumeGuardsAgainstForeignStores) {
   scenario::TestbedDaemonEnvironment env(small_world(51, 0.0));
   const std::string out = ::testing::TempDir() + "/daemon_guard.tingmx";

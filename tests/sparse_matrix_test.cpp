@@ -4,12 +4,16 @@
 // the dense RttMatrix, and the load_matrix_any() format sniffer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "ting/rtt_matrix.h"
@@ -233,6 +237,100 @@ TEST(SparseRttMatrixTest, AggregatesMatchDense) {
   EXPECT_EQ(m.nodes(), dense.nodes());
   EXPECT_EQ(m.values(), dense.values());
   EXPECT_DOUBLE_EQ(m.mean_rtt(), dense.mean_rtt());
+}
+
+TEST(SparseRttMatrixTest, ExpiredPairsMatchBruteForceUnderRandomOps) {
+  // The freshness wheel (lazy invalidation + periodic compaction) must stay
+  // equivalent to re-scanning every entry, through any interleaving of
+  // inserts, overwrites, restamps, merges, and relay erasure.
+  Rng rng(911);
+  const std::size_t n = 14;
+  SparseRttMatrix m;
+  std::map<std::pair<std::size_t, std::size_t>, std::int64_t> reference;
+  const auto check = [&](std::int64_t now_s, std::int64_t ttl_s) {
+    std::vector<std::tuple<std::int64_t, std::size_t, std::size_t>> want;
+    for (const auto& [k, t] : reference)
+      if (now_s - t > ttl_s) want.emplace_back(t, k.first, k.second);
+    std::sort(want.begin(), want.end());
+    const auto got = m.expired_pairs(at(now_s), Duration::seconds(ttl_s));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].measured_at, at(std::get<0>(want[k])));
+      EXPECT_EQ(got[k].a, fp(std::get<1>(want[k])));
+      EXPECT_EQ(got[k].b, fp(std::get<2>(want[k])));
+    }
+  };
+  for (int round = 0; round < 40; ++round) {
+    for (int op = 0; op < 25; ++op) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      auto j = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      if (i == j) j = (j + 1) % n;
+      const std::pair<std::size_t, std::size_t> key = std::minmax(i, j);
+      const auto t = static_cast<std::int64_t>(rng.uniform_int(1, 200));
+      m.set(fp(key.first), fp(key.second), rng.uniform() * 100.0, at(t), 1);
+      reference[key] = t;
+    }
+    if (round % 7 == 3) {
+      // Merge a batch in. merge() is freshest-wins, and the expiry check
+      // only compares stamps, so the reference keeps the max stamp per pair
+      // (the equal-stamp value tiebreak cannot change measured_at).
+      SparseRttMatrix other;
+      for (int k = 0; k < 10; ++k) {
+        const auto i = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        auto j = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        if (i == j) j = (j + 1) % n;
+        const std::pair<std::size_t, std::size_t> key = std::minmax(i, j);
+        const auto t = static_cast<std::int64_t>(rng.uniform_int(1, 200));
+        other.set(fp(key.first), fp(key.second), 500.0 + k, at(t), 1);
+        const auto it = reference.find(key);
+        if (it == reference.end() || it->second < t) reference[key] = t;
+      }
+      m.merge(other);
+    }
+    if (round % 11 == 5) {
+      const std::size_t victim = rng.uniform_int(0, n - 1);
+      m.erase_relay(fp(victim));
+      std::erase_if(reference, [&](const auto& kv) {
+        return kv.first.first == victim || kv.first.second == victim;
+      });
+    }
+    check(210, static_cast<std::int64_t>(rng.uniform_int(1, 220)));
+  }
+}
+
+TEST(SparseRttMatrixTest, RestampBackToOldValueNotDuplicated) {
+  // Re-stamping a pair to a value it held before can leave two live-looking
+  // records in the same wheel bucket; enumeration must dedupe.
+  SparseRttMatrix m;
+  m.set(fp(1), fp(2), 1.0, at(10), 1);
+  m.set(fp(1), fp(2), 2.0, at(50), 1);
+  m.set(fp(1), fp(2), 3.0, at(10), 1);  // back to the original stamp
+  const auto expired = m.expired_pairs(at(100), Duration::seconds(5));
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].measured_at, at(10));
+  // Same-stamp overwrite is also not a new wheel record.
+  m.set(fp(1), fp(2), 4.0, at(10), 1);
+  EXPECT_EQ(m.expired_pairs(at(100), Duration::seconds(5)).size(), 1u);
+}
+
+TEST(SparseRttMatrixTest, MemoryBytesAndReservePolicy) {
+  SparseRttMatrix m;
+  const std::size_t empty_bytes = m.memory_bytes();
+  m.reserve_pairs(5000);
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t j = i + 1; j < 100; ++j)
+      if ((i + j) % 2 == 0) m.set(fp(i), fp(j), 1.0, at(1), 1);
+  ASSERT_GT(m.size(), 2000u);
+  const std::size_t full_bytes = m.memory_bytes();
+  EXPECT_GT(full_bytes, empty_bytes);
+  // The estimate should land in the right ballpark per entry: at least the
+  // raw key+entry payload, and not wildly above it (the 18M-entry budget in
+  // ROADMAP assumes a low-hundreds bytes/pair figure).
+  const double per_pair =
+      static_cast<double>(full_bytes) / static_cast<double>(m.size());
+  EXPECT_GT(per_pair, 48.0);
+  EXPECT_LT(per_pair, 512.0);
+  EXPECT_LE(m.load_factor(), SparseRttMatrix::kMaxLoadFactor + 0.01f);
 }
 
 TEST(SparseRttMatrixTest, SaveLoadAnySniffsFormat) {

@@ -39,6 +39,19 @@ Two subcommands, both stdlib-only:
       ~1000x higher on a 1-CPU container): it catches an accidental lock
       or a per-query rebuild, not host-speed variance.
 
+  gate-scale FRESH.json [--min-speedup 10] [--min-relays 6000]
+              [--max-daemon-rss-mb 2048] [--max-peak-rss-mb 4096]
+      Gate over BENCH_daemon.json's paper-scale leg (the synthetic
+      6,000-relay environment). Always fails if the incremental planner's
+      plan diverged from plan_delta's (a correctness bug). When the leg ran
+      at >= --min-relays, additionally requires the incremental planner to
+      beat the full C(n,2) census by --min-speedup and caps resident
+      memory: --max-daemon-rss-mb after the budgeted daemon epochs,
+      --max-peak-rss-mb after the 18M-entry full-mesh fill. Below
+      --min-relays (a TING_BENCH_SCALE-reduced run) the speedup and RSS
+      are recorded but informational — both are scale-bound, and the
+      equality check still gates.
+
 Exit status: 0 = pass, 1 = gate failed, 2 = unusable input.
 """
 
@@ -172,6 +185,48 @@ def gate_serve(args):
     return 1 if failed else 0
 
 
+def gate_scale(args):
+    doc = load(args.fresh)
+    relays = require(doc, args.fresh, "scale", "relays")
+    identical = require(doc, args.fresh, "scale", "planner_identical")
+    speedup = require(doc, args.fresh, "scale", "planner_speedup")
+    full_ms = require(doc, args.fresh, "scale", "plan_full_ms")
+    incr_ms = require(doc, args.fresh, "scale", "plan_incremental_ms")
+    fill_pairs = require(doc, args.fresh, "scale", "fill_pairs")
+    matrix_mb = require(doc, args.fresh, "scale", "matrix_memory_mb")
+    daemon_rss = require(doc, args.fresh, "scale", "daemon_rss_mb")
+    peak_rss = require(doc, args.fresh, "scale", "peak_rss_mb")
+    print(f"scale leg: relays={relays} fill_pairs={fill_pairs} "
+          f"matrix_memory_mb={matrix_mb}")
+    print(f"  planner: full={full_ms}ms incremental={incr_ms}ms "
+          f"speedup={speedup}x identical={identical}")
+    print(f"  rss: daemon={daemon_rss}MB peak={peak_rss}MB")
+    if not identical:
+        print("FAIL: incremental planner diverged from plan_delta")
+        return 1
+    if relays < args.min_relays:
+        print(f"PASS (informational): {relays} < {args.min_relays} relays, "
+              "speedup and RSS are scale-bound on this run")
+        return 0
+    failed = False
+    if speedup < args.min_speedup:
+        print(f"FAIL: incremental planner only {speedup}x faster than the "
+              f"full census at {relays} relays (< {args.min_speedup})")
+        failed = True
+    if daemon_rss > args.max_daemon_rss_mb:
+        print(f"FAIL: daemon epochs peaked at {daemon_rss} MB RSS "
+              f"(> {args.max_daemon_rss_mb})")
+        failed = True
+    if peak_rss > args.max_peak_rss_mb:
+        print(f"FAIL: process peaked at {peak_rss} MB RSS "
+              f"(> {args.max_peak_rss_mb})")
+        failed = True
+    if not failed:
+        print(f"PASS: identical plans, {speedup}x planner speedup, "
+              f"RSS within caps at {relays} relays")
+    return 1 if failed else 0
+
+
 def main():
     p = argparse.ArgumentParser(description=__doc__)
     sub = p.add_subparsers(dest="cmd", required=True)
@@ -197,6 +252,14 @@ def main():
     vp.add_argument("fresh")
     vp.add_argument("--min-qps", type=float, default=10000)
     vp.set_defaults(func=gate_serve)
+
+    gp = sub.add_parser("gate-scale")
+    gp.add_argument("fresh")
+    gp.add_argument("--min-speedup", type=float, default=10.0)
+    gp.add_argument("--min-relays", type=int, default=6000)
+    gp.add_argument("--max-daemon-rss-mb", type=float, default=2048)
+    gp.add_argument("--max-peak-rss-mb", type=float, default=4096)
+    gp.set_defaults(func=gate_scale)
 
     args = p.parse_args()
     sys.exit(args.func(args))

@@ -31,6 +31,7 @@
 #include "serve/path_server.h"
 #include "scenario/faults.h"
 #include "scenario/shard_world.h"
+#include "scenario/synthetic_env.h"
 #include "scenario/testbed.h"
 #include "scenario/timeline.h"
 #include "simnet/fault_plan.h"
@@ -367,7 +368,14 @@ int cmd_scan(const Args& args) {
 }
 
 int cmd_daemon(const Args& args) {
-  const auto relays = static_cast<std::size_t>(args.num("relays", 20));
+  // --synthetic [N]: swap the cell-level testbed for the paper-scale
+  // synthetic environment (scenario/synthetic_env.h); N is the consensus
+  // size and defaults to the paper's ~6,000 relays.
+  const bool synthetic = args.kv.contains("synthetic");
+  const long synth_n = args.num("synthetic", 0);
+  const auto relays = static_cast<std::size_t>(
+      synthetic ? (synth_n > 1 ? synth_n : args.num("relays", 6000))
+                : args.num("relays", 20));
   const auto epochs = static_cast<std::size_t>(args.num("epochs", 6));
   const auto budget = static_cast<std::size_t>(args.num("budget", 0));
   const auto shards = static_cast<std::size_t>(args.num("shards", 1));
@@ -379,35 +387,77 @@ int cmd_daemon(const Args& args) {
   const double rejoin = args.real("rejoin", 0.5);
   const double absent = args.real("absent", 0.0);
   const double coverage_target = args.real("coverage", 0.99);
+  const double noise = args.real("noise", 0.5);
+  const double fail_rate = args.real("fail-rate", 0.0);
   const std::string out = args.str("out", "daemon.tingmx");
   const std::string csv_out = args.str("csv", "");
   const std::string faults = args.str("faults", "");
   const bool resume = args.flag("resume", false);
-  const bool use_half_cache = args.flag("half-cache", true);
+  const bool use_half_cache = args.flag("half-cache", !synthetic);
   const bool adaptive = args.flag("adaptive-samples", true);
+  const bool use_journal = args.flag("journal", true);
+  const bool incremental = args.flag("incremental", true);
   if (relays < 2 || epochs < 1 || shards < 1 || pool < 1 ||
       epoch_hours <= 0 || ttl_hours <= 0) {
     std::fprintf(stderr, "daemon: bad sizing flags\n");
     return 2;
   }
 
-  scenario::DaemonWorldOptions dwo;
-  dwo.relays = relays;
-  dwo.testbed.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  dwo.ting.samples = samples;
-  dwo.ting.adaptive_samples = adaptive;
-  dwo.churn.seed = dwo.testbed.seed;
-  dwo.churn.churn_rate = churn;
-  dwo.churn.rejoin_rate = rejoin;
-  dwo.churn.initially_absent = absent;
-  dwo.fault_spec = faults;
-  dwo.shards = shards;
-  dwo.pool = pool;
-  dwo.share_topology = args.flag("share-topology", true);
-  scenario::TestbedDaemonEnvironment env(dwo);
-  std::printf("daemon: %zu persistent shard world(s) built in %.1f ms%s\n",
-              shards, env.world_construct_ms(),
-              dwo.share_topology ? " (shared topology)" : "");
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  std::unique_ptr<meas::DaemonEnvironment> env;
+  char tag[256];
+  if (synthetic) {
+    scenario::SyntheticEnvOptions seo;
+    seo.relays = relays;
+    seo.testbed.seed = seed;
+    seo.churn.seed = seed;
+    seo.churn.churn_rate = churn;
+    seo.churn.rejoin_rate = rejoin;
+    seo.churn.initially_absent = absent;
+    seo.noise_ms = noise;
+    seo.failure_rate = fail_rate;
+    seo.samples = samples;
+    auto senv = std::make_unique<scenario::SyntheticDaemonEnvironment>(seo);
+    std::printf("daemon: synthetic topology (%zu relays, %zu pairs) built "
+                "in %.1f ms\n",
+                relays, relays * (relays - 1) / 2,
+                senv->world_construct_ms());
+    env = std::move(senv);
+    std::snprintf(tag, sizeof(tag),
+                  "synthetic=1;relays=%zu;churn=%.6f;rejoin=%.6f;"
+                  "absent=%.6f;noise=%.6f;fail=%.6f;samples=%d",
+                  relays, churn, rejoin, absent, noise, fail_rate, samples);
+  } else {
+    scenario::DaemonWorldOptions dwo;
+    dwo.relays = relays;
+    dwo.testbed.seed = seed;
+    dwo.ting.samples = samples;
+    dwo.ting.adaptive_samples = adaptive;
+    dwo.churn.seed = dwo.testbed.seed;
+    dwo.churn.churn_rate = churn;
+    dwo.churn.rejoin_rate = rejoin;
+    dwo.churn.initially_absent = absent;
+    dwo.fault_spec = faults;
+    dwo.shards = shards;
+    dwo.pool = pool;
+    dwo.share_topology = args.flag("share-topology", true);
+    auto tenv = std::make_unique<scenario::TestbedDaemonEnvironment>(dwo);
+    std::printf("daemon: %zu persistent shard world(s) built in %.1f ms%s\n",
+                shards, tenv->world_construct_ms(),
+                dwo.share_topology ? " (shared topology)" : "");
+    env = std::move(tenv);
+    // Identify the world this store belongs to, so --resume against the
+    // wrong testbed or measurement config fails loudly instead of
+    // corrupting it. --shards is deliberately absent: deterministic output
+    // is shard-count-independent, so a store may resume under a different
+    // thread count. Likewise --journal / --incremental: neither changes
+    // the artifacts (pinned by tests), only crash granularity / plan cost.
+    std::snprintf(tag, sizeof(tag),
+                  "relays=%zu;churn=%.6f;rejoin=%.6f;absent=%.6f;samples=%d;"
+                  "adaptive=%d;half=%d;faults=%s",
+                  relays, churn, rejoin, absent, samples, adaptive ? 1 : 0,
+                  use_half_cache ? 1 : 0, faults.c_str());
+  }
 
   meas::DaemonOptions opt;
   opt.epochs = epochs;
@@ -417,39 +467,33 @@ int cmd_daemon(const Args& args) {
   opt.coverage_target = coverage_target;
   opt.out = out;
   opt.resume = resume;
-  opt.seed = dwo.testbed.seed;
+  opt.seed = seed;
   opt.half_cache = use_half_cache;
+  opt.journal = use_journal;
+  opt.incremental_planner = incremental;
   opt.stop = &g_stop;
   opt.engine.quarantine.enabled = args.flag("quarantine", true);
   opt.engine.quarantine.threshold =
       static_cast<int>(args.num("quarantine-threshold", 3));
-  // Identify the world this store belongs to, so --resume against the wrong
-  // testbed or measurement config fails loudly instead of corrupting it.
-  // --shards is deliberately absent: deterministic output is shard-count-
-  // independent, so a store may resume under a different thread count.
-  char tag[256];
-  std::snprintf(tag, sizeof(tag),
-                "relays=%zu;churn=%.6f;rejoin=%.6f;absent=%.6f;samples=%d;"
-                "adaptive=%d;half=%d;faults=%s",
-                relays, churn, rejoin, absent, samples, adaptive ? 1 : 0,
-                use_half_cache ? 1 : 0, faults.c_str());
   opt.config_tag = tag;
 
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
 
-  meas::ScanDaemon daemon(env, opt);
+  meas::ScanDaemon daemon(*env, opt);
   const auto on_epoch = [](const meas::EpochStats& s) {
     std::printf("epoch %zu: %zu nodes (+%zu/-%zu), planned %zu "
                 "(%zu new, %zu expired, %zu over budget), measured %zu, "
                 "cached %zu, failed %zu, deferred %zu, %zu reseeds -> "
-                "coverage %.1f%% (%zu/%zu pairs fresh)\n",
+                "coverage %.1f%% (%zu/%zu pairs fresh), store %zu pairs / "
+                "%.1f MB\n",
                 s.epoch, s.nodes, s.joined, s.left, s.plan.pairs.size(),
                 s.plan.new_pairs, s.plan.expired_pairs,
                 s.plan.dropped_over_budget, s.scan.measured,
                 s.scan.from_cache, s.scan.failed, s.scan.deferred,
                 s.scan.reseeds, 100 * s.coverage.coverage(),
-                s.coverage.fresh, s.coverage.total);
+                s.coverage.fresh, s.coverage.total, s.matrix_pairs,
+                static_cast<double>(s.matrix_bytes) / 1e6);
     std::fflush(stdout);
   };
   const meas::DaemonReport report = daemon.run(on_epoch);
@@ -462,9 +506,10 @@ int cmd_daemon(const Args& args) {
                  report.epochs_completed);
     return 130;
   }
-  std::printf("daemon: %zu epochs complete, %zu pairs stored, final "
-              "coverage %.2f%% (target %.0f%%) -> %s\n",
+  std::printf("daemon: %zu epochs complete, %zu pairs stored (%.1f MB), "
+              "final coverage %.2f%% (target %.0f%%) -> %s\n",
               report.epochs_completed, report.matrix_pairs,
+              static_cast<double>(report.matrix_bytes) / 1e6,
               100 * report.final_coverage, 100 * coverage_target,
               out.c_str());
   return report.converged ? 0 : 1;
@@ -486,14 +531,19 @@ int cmd_query(const Args& args) {
       static_cast<std::size_t>(args.num("candidates", 2000));
   so.max_length = static_cast<std::size_t>(args.num("max-length", 6));
   so.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  so.float32_snapshot = args.flag("float32", false);
   serve::PathServer server(so);
   server.publish(matrix);
   const auto st = server.state();
   const auto& nodes = st->snapshot.nodes();
-  std::printf("serving %zu relays, %zu pairs (%.1f%% coverage), "
-              "%.0f%% of measured pairs have a TIV detour\n",
+  std::printf("serving %zu relays, %zu pairs (%.1f%% coverage, %s image, "
+              "%.1f MB), %.0f%% of measured pairs have a TIV detour\n",
               st->snapshot.node_count(), st->snapshot.pair_count(),
               100 * st->snapshot.coverage(),
+              st->snapshot.storage() == serve::SnapshotStorage::kFloat32
+                  ? "float32"
+                  : "float64",
+              static_cast<double>(st->snapshot.memory_bytes()) / 1e6,
               100 * st->detours.tiv_fraction());
 
   const auto node_at = [&](long i) -> const dir::Fingerprint* {
@@ -565,7 +615,11 @@ int cmd_query(const Args& args) {
 /// publishes a fresh snapshot + detour index while (in a deployment)
 /// readers keep querying the previous one lock-free.
 int cmd_serve(const Args& args) {
-  const auto relays = static_cast<std::size_t>(args.num("relays", 20));
+  const bool synthetic = args.kv.contains("synthetic");
+  const long synth_n = args.num("synthetic", 0);
+  const auto relays = static_cast<std::size_t>(
+      synthetic ? (synth_n > 1 ? synth_n : args.num("relays", 6000))
+                : args.num("relays", 20));
   const auto epochs = static_cast<std::size_t>(args.num("epochs", 6));
   const auto budget = static_cast<std::size_t>(args.num("budget", 0));
   const auto shards = static_cast<std::size_t>(args.num("shards", 1));
@@ -581,17 +635,42 @@ int cmd_serve(const Args& args) {
     return 2;
   }
 
-  scenario::DaemonWorldOptions dwo;
-  dwo.relays = relays;
-  dwo.testbed.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  dwo.ting.samples = samples;
-  dwo.ting.adaptive_samples = true;
-  dwo.churn.seed = dwo.testbed.seed;
-  dwo.churn.churn_rate = churn;
-  dwo.churn.rejoin_rate = 0.5;
-  dwo.churn.initially_absent = 0.0;
-  dwo.shards = shards;
-  scenario::TestbedDaemonEnvironment env(dwo);
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  std::unique_ptr<meas::DaemonEnvironment> env;
+  char tag[256];
+  if (synthetic) {
+    scenario::SyntheticEnvOptions seo;
+    seo.relays = relays;
+    seo.testbed.seed = seed;
+    seo.churn.seed = seed;
+    seo.churn.churn_rate = churn;
+    seo.churn.rejoin_rate = 0.5;
+    seo.noise_ms = args.real("noise", 0.5);
+    seo.failure_rate = args.real("fail-rate", 0.0);
+    seo.samples = samples;
+    env = std::make_unique<scenario::SyntheticDaemonEnvironment>(seo);
+    std::snprintf(tag, sizeof(tag),
+                  "synthetic=1;relays=%zu;churn=%.6f;rejoin=%.6f;"
+                  "absent=%.6f;noise=%.6f;fail=%.6f;samples=%d",
+                  relays, churn, 0.5, 0.0, seo.noise_ms, seo.failure_rate,
+                  samples);
+  } else {
+    scenario::DaemonWorldOptions dwo;
+    dwo.relays = relays;
+    dwo.testbed.seed = seed;
+    dwo.ting.samples = samples;
+    dwo.ting.adaptive_samples = true;
+    dwo.churn.seed = dwo.testbed.seed;
+    dwo.churn.churn_rate = churn;
+    dwo.churn.rejoin_rate = 0.5;
+    dwo.churn.initially_absent = 0.0;
+    dwo.shards = shards;
+    env = std::make_unique<scenario::TestbedDaemonEnvironment>(dwo);
+    std::snprintf(tag, sizeof(tag),
+                  "relays=%zu;churn=%.6f;rejoin=%.6f;absent=%.6f;samples=%d;"
+                  "adaptive=%d;half=%d;faults=",
+                  relays, churn, 0.5, 0.0, samples, 1, 1);
+  }
 
   meas::DaemonOptions opt;
   opt.epochs = epochs;
@@ -600,19 +679,18 @@ int cmd_serve(const Args& args) {
   opt.budget = budget;
   opt.out = out;
   opt.resume = resume;
-  opt.seed = dwo.testbed.seed;
+  opt.seed = seed;
+  opt.half_cache = args.flag("half-cache", !synthetic);
+  opt.journal = args.flag("journal", true);
+  opt.incremental_planner = args.flag("incremental", true);
   opt.stop = &g_stop;
-  char tag[256];
-  std::snprintf(tag, sizeof(tag),
-                "relays=%zu;churn=%.6f;rejoin=%.6f;absent=%.6f;samples=%d;"
-                "adaptive=%d;half=%d;faults=",
-                relays, churn, 0.5, 0.0, samples, 1, 1);
   opt.config_tag = tag;
 
   serve::ServeOptions so;
   so.candidates_per_length =
       static_cast<std::size_t>(args.num("candidates", 500));
   so.seed = opt.seed;
+  so.float32_snapshot = args.flag("float32", false);
   serve::PathServer server(so);
   opt.on_checkpoint = [&server, &opt](
                           const meas::SparseRttMatrix& m,
@@ -624,9 +702,14 @@ int cmd_serve(const Args& args) {
                    changed);
     const auto st = server.state();
     std::printf("epoch %zu: published snapshot — %zu relays, %zu pairs "
-                "(%.1f%% coverage), %.0f%% TIV, %zu changed relays\n",
+                "(%.1f%% coverage, %s, %.1f MB), %.0f%% TIV, %zu changed "
+                "relays\n",
                 s.epoch, st->snapshot.node_count(),
                 st->snapshot.pair_count(), 100 * st->snapshot.coverage(),
+                st->snapshot.storage() == serve::SnapshotStorage::kFloat32
+                    ? "float32"
+                    : "float64",
+                static_cast<double>(st->snapshot.memory_bytes()) / 1e6,
                 100 * st->detours.tiv_fraction(), changed.size());
     std::fflush(stdout);
   };
@@ -634,7 +717,7 @@ int cmd_serve(const Args& args) {
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
 
-  meas::ScanDaemon daemon(env, opt);
+  meas::ScanDaemon daemon(*env, opt);
   const meas::DaemonReport report = daemon.run();
 
   if (report.interrupted) {
@@ -833,7 +916,8 @@ void usage() {
       "  daemon    continuous scan service              (--relays --epochs --budget --ttl-hours\n"
       "                                                  --epoch-hours --churn --rejoin --absent\n"
       "                                                  --coverage --samples --shards --pool\n"
-      "                                                  --faults --seed --out --csv --resume)\n"
+      "                                                  --faults --seed --out --csv --resume\n"
+      "                                                  --synthetic [N] --noise --fail-rate)\n"
       "  (scans the whole consensus in epochs: each epoch applies churn, plans\n"
       "   a delta worklist [new pairs first, then TTL-expired oldest-first, cut\n"
       "   to --budget pairs], measures it deterministically, and checkpoints the\n"
@@ -842,14 +926,23 @@ void usage() {
       "   resumes into the same epoch with --resume, byte-identically for\n"
       "   churn-only runs. exit: 0 converged to --coverage, 1 not converged,\n"
       "   130 interrupted)\n"
+      "  (--synthetic [N] answers pairs from the topology's base-RTT table plus\n"
+      "   deterministic jitter [--noise ms] and faults [--fail-rate p] — no\n"
+      "   circuit simulation, so daemon logic runs at the paper's full\n"
+      "   consensus: ting daemon --synthetic 6000 --budget 500000. Epochs are\n"
+      "   planned incrementally in O(churn + expired + budget) rather than by\n"
+      "   an all-pairs census; --no-incremental restores the full census\n"
+      "   [identical plans, pinned by tests], --no-journal trades pair-level\n"
+      "   crash resume for epoch-level to skip per-record fsyncs)\n"
       "  serve     daemon + path-selection serving      (--relays --epochs --budget --churn\n"
       "                                                  --samples --shards --candidates\n"
-      "                                                  --out --resume)\n"
+      "                                                  --out --resume --synthetic [N]\n"
+      "                                                  --float32)\n"
       "  (runs the continuous scan with the serving layer attached: each epoch\n"
       "   checkpoint publishes an immutable matrix snapshot + detour index via\n"
       "   one atomic pointer swap, so path queries never lock and never see a\n"
-      "   half-updated epoch)\n"
-      "  query     path-selection queries off a matrix  (--matrix, then one of:\n"
+      "   half-updated epoch; --float32 halves the dense snapshot image)\n"
+      "  query     path-selection queries off a matrix  (--matrix [--float32], then one of:\n"
       "                                                  --pair i,j | --through i --k n |\n"
       "                                                  --band lo:hi --length l --want n)\n"
       "  convert   matrix format conversion             (--matrix in [--csv out] [--bin out])\n"
