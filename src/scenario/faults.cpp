@@ -1,7 +1,11 @@
 #include "scenario/faults.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "scenario/testbed.h"
@@ -13,116 +17,258 @@ namespace ting::scenario {
 
 namespace {
 
-double parse_number(const std::string& field, const std::string& clause) {
+/// Context for parse errors: which clause (1-based) and which field failed.
+struct ClauseContext {
+  std::size_t index = 0;     ///< 1-based position in the spec
+  std::string text;          ///< the raw clause
+  std::string where() const {
+    std::ostringstream os;
+    os << "fault clause #" << index << " (`" << text << "`)";
+    return os.str();
+  }
+};
+
+double parse_number(const std::string& field, const char* field_name,
+                    const ClauseContext& ctx) {
   try {
     std::size_t pos = 0;
     const double v = std::stod(field, &pos);
-    TING_CHECK_MSG(pos == field.size(),
-                   "bad number '" << field << "' in fault clause: " << clause);
+    TING_CHECK_MSG(pos == field.size() && std::isfinite(v),
+                   ctx.where() << ": field <" << field_name << "> is not a "
+                               << "finite number: '" << field << "'");
     return v;
   } catch (const std::invalid_argument&) {
   } catch (const std::out_of_range&) {
   }
-  TING_CHECK_MSG(false,
-                 "bad number '" << field << "' in fault clause: " << clause);
+  TING_CHECK_MSG(false, ctx.where() << ": field <" << field_name
+                                    << "> is not a finite number: '" << field
+                                    << "'");
 }
 
-int parse_target(const std::string& field, const std::string& clause) {
+int parse_count(const std::string& field, const char* field_name,
+                const ClauseContext& ctx) {
+  const double v = parse_number(field, field_name, ctx);
+  const int n = static_cast<int>(v);
+  TING_CHECK_MSG(n >= 0 && static_cast<double>(n) == v,
+                 ctx.where() << ": field <" << field_name
+                             << "> must be a non-negative integer: '" << field
+                             << "'");
+  return n;
+}
+
+int parse_target(const std::string& field, const ClauseContext& ctx) {
   if (field == "*") return -1;
-  const double v = parse_number(field, clause);
-  const int idx = static_cast<int>(v);
-  TING_CHECK_MSG(idx >= 0 && static_cast<double>(idx) == v,
-                 "bad target '" << field << "' in fault clause: " << clause);
-  return idx;
+  return parse_count(field, "target", ctx);
 }
 
-FaultClause parse_clause(const std::string& text) {
-  const auto fields = split(text, ':');
-  TING_CHECK_MSG(!fields.empty(), "empty fault clause");
+FaultClause parse_clause(const ClauseContext& ctx) {
+  const auto fields = split(ctx.text, ':');
+  TING_CHECK_MSG(!fields.empty(), ctx.where() << ": empty fault clause");
   const std::string& kind = fields[0];
   FaultClause c;
   if (kind == "loss") {
     TING_CHECK_MSG(fields.size() == 3 || fields.size() == 5,
-                   "loss:<target>:<prob>[:<start_s>:<dur_s>] — got: " << text);
+                   ctx.where()
+                       << ": loss:<target>:<prob>[:<start_s>:<dur_s>]");
     c.kind = FaultClause::Kind::kLoss;
-    c.target = parse_target(fields[1], text);
-    c.prob = parse_number(fields[2], text);
+    c.target = parse_target(fields[1], ctx);
+    c.prob = parse_number(fields[2], "prob", ctx);
     TING_CHECK_MSG(c.prob >= 0 && c.prob <= 1,
-                   "loss probability out of [0, 1]: " << text);
+                   ctx.where() << ": field <prob> out of [0, 1]");
     if (fields.size() == 5) {
-      c.start_s = parse_number(fields[3], text);
-      c.duration_s = parse_number(fields[4], text);
+      c.start_s = parse_number(fields[3], "start_s", ctx);
+      c.duration_s = parse_number(fields[4], "dur_s", ctx);
     }
   } else if (kind == "degrade") {
     TING_CHECK_MSG(
         fields.size() == 4 || fields.size() == 6,
-        "degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>] — got: "
-            << text);
+        ctx.where()
+            << ": degrade:<target>:<extra_ms>:<jitter_ms>[:<start_s>:<dur_s>]");
     c.kind = FaultClause::Kind::kDegrade;
-    c.target = parse_target(fields[1], text);
-    c.extra_ms = parse_number(fields[2], text);
-    c.jitter_ms = parse_number(fields[3], text);
+    c.target = parse_target(fields[1], ctx);
+    c.extra_ms = parse_number(fields[2], "extra_ms", ctx);
+    c.jitter_ms = parse_number(fields[3], "jitter_ms", ctx);
+    TING_CHECK_MSG(c.extra_ms >= 0 && c.jitter_ms >= 0,
+                   ctx.where() << ": negative <extra_ms>/<jitter_ms>");
     if (fields.size() == 6) {
-      c.start_s = parse_number(fields[4], text);
-      c.duration_s = parse_number(fields[5], text);
+      c.start_s = parse_number(fields[4], "start_s", ctx);
+      c.duration_s = parse_number(fields[5], "dur_s", ctx);
     }
   } else if (kind == "crash") {
     TING_CHECK_MSG(fields.size() == 4,
-                   "crash:<target>:<start_s>:<dur_s> — got: " << text);
+                   ctx.where() << ": crash:<target>:<start_s>:<dur_s>");
     c.kind = FaultClause::Kind::kCrash;
-    c.target = parse_target(fields[1], text);
-    c.start_s = parse_number(fields[2], text);
-    c.duration_s = parse_number(fields[3], text);
+    c.target = parse_target(fields[1], ctx);
+    c.start_s = parse_number(fields[2], "start_s", ctx);
+    c.duration_s = parse_number(fields[3], "dur_s", ctx);
   } else if (kind == "churn") {
     TING_CHECK_MSG(fields.size() == 5,
-                   "churn:<events>:<start_s>:<period_s>:<down_s> — got: "
-                       << text);
+                   ctx.where()
+                       << ": churn:<events>:<start_s>:<period_s>:<down_s>");
     c.kind = FaultClause::Kind::kChurn;
-    c.events = static_cast<int>(parse_number(fields[1], text));
-    c.start_s = parse_number(fields[2], text);
-    c.period_s = parse_number(fields[3], text);
-    c.down_s = parse_number(fields[4], text);
+    c.events = parse_count(fields[1], "events", ctx);
+    c.start_s = parse_number(fields[2], "start_s", ctx);
+    c.period_s = parse_number(fields[3], "period_s", ctx);
+    c.down_s = parse_number(fields[4], "down_s", ctx);
     TING_CHECK_MSG(c.events >= 1 && c.period_s > 0 && c.down_s > 0,
-                   "churn needs events >= 1, period > 0, down > 0: " << text);
+                   ctx.where()
+                       << ": churn needs events >= 1, period > 0, down > 0");
   } else if (kind == "die") {
     TING_CHECK_MSG(fields.size() == 2 || fields.size() == 3,
-                   "die:<target>[:<start_s>] — got: " << text);
+                   ctx.where() << ": die:<target>[:<start_s>]");
     c.kind = FaultClause::Kind::kDie;
-    c.target = parse_target(fields[1], text);
-    if (fields.size() == 3) c.start_s = parse_number(fields[2], text);
+    c.target = parse_target(fields[1], ctx);
+    if (fields.size() == 3) c.start_s = parse_number(fields[2], "start_s", ctx);
+  } else if (kind == "diurnal") {
+    TING_CHECK_MSG(
+        fields.size() == 4 || fields.size() == 6,
+        ctx.where()
+            << ": diurnal:<target>:<peak_ms>:<period_s>[:<steps>:<periods>]");
+    c.kind = FaultClause::Kind::kDiurnal;
+    c.target = parse_target(fields[1], ctx);
+    c.extra_ms = parse_number(fields[2], "peak_ms", ctx);
+    c.period_s = parse_number(fields[3], "period_s", ctx);
+    TING_CHECK_MSG(c.extra_ms >= 0 && c.period_s > 0,
+                   ctx.where() << ": diurnal needs peak >= 0, period > 0");
+    if (fields.size() == 6) {
+      c.steps = parse_count(fields[4], "steps", ctx);
+      c.periods = parse_count(fields[5], "periods", ctx);
+      TING_CHECK_MSG(c.steps >= 2 && c.periods >= 1,
+                     ctx.where()
+                         << ": diurnal needs steps >= 2, periods >= 1");
+    }
+  } else if (kind == "flash") {
+    TING_CHECK_MSG(
+        fields.size() == 6,
+        ctx.where()
+            << ": flash:<target>:<start_s>:<dur_s>:<extra_ms>:<loss_prob>");
+    c.kind = FaultClause::Kind::kFlash;
+    c.target = parse_target(fields[1], ctx);
+    c.start_s = parse_number(fields[2], "start_s", ctx);
+    c.duration_s = parse_number(fields[3], "dur_s", ctx);
+    c.extra_ms = parse_number(fields[4], "extra_ms", ctx);
+    c.prob = parse_number(fields[5], "loss_prob", ctx);
+    TING_CHECK_MSG(c.duration_s > 0,
+                   ctx.where() << ": flash needs dur_s > 0");
+    TING_CHECK_MSG(c.extra_ms >= 0, ctx.where() << ": negative <extra_ms>");
+    TING_CHECK_MSG(c.prob >= 0 && c.prob <= 1,
+                   ctx.where() << ": field <loss_prob> out of [0, 1]");
   } else {
-    TING_CHECK_MSG(false, "unknown fault kind '" << kind << "' in: " << text);
+    TING_CHECK_MSG(false,
+                   ctx.where() << ": unknown fault kind '" << kind << "'");
   }
   TING_CHECK_MSG(c.start_s >= 0 && c.duration_s >= 0,
-                 "negative fault window in: " << text);
+                 ctx.where() << ": negative fault window");
   return c;
+}
+
+/// Shortest decimal representation that parses back to exactly `v`;
+/// integral values print as plain integers ("30", not "3e+01").
+std::string fmt_num(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::stod(buf) == v) return buf;
+  }
+  return buf;  // unreachable: 17 significant digits round-trip any double
+}
+
+std::string fmt_target(int target) {
+  return target < 0 ? "*" : std::to_string(target);
 }
 
 }  // namespace
 
+std::string FaultClause::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kLoss:
+      os << "loss:" << fmt_target(target) << ':' << fmt_num(prob);
+      if (start_s != 0 || duration_s != 0)
+        os << ':' << fmt_num(start_s) << ':' << fmt_num(duration_s);
+      break;
+    case Kind::kDegrade:
+      os << "degrade:" << fmt_target(target) << ':' << fmt_num(extra_ms)
+         << ':' << fmt_num(jitter_ms);
+      if (start_s != 0 || duration_s != 0)
+        os << ':' << fmt_num(start_s) << ':' << fmt_num(duration_s);
+      break;
+    case Kind::kCrash:
+      os << "crash:" << fmt_target(target) << ':' << fmt_num(start_s) << ':'
+         << fmt_num(duration_s);
+      break;
+    case Kind::kChurn:
+      os << "churn:" << events << ':' << fmt_num(start_s) << ':'
+         << fmt_num(period_s) << ':' << fmt_num(down_s);
+      break;
+    case Kind::kDie:
+      os << "die:" << fmt_target(target);
+      if (start_s != 0) os << ':' << fmt_num(start_s);
+      break;
+    case Kind::kDiurnal:
+      os << "diurnal:" << fmt_target(target) << ':' << fmt_num(extra_ms)
+         << ':' << fmt_num(period_s);
+      if (steps != 0 || periods != 0) os << ':' << steps << ':' << periods;
+      break;
+    case Kind::kFlash:
+      os << "flash:" << fmt_target(target) << ':' << fmt_num(start_s) << ':'
+         << fmt_num(duration_s) << ':' << fmt_num(extra_ms) << ':'
+         << fmt_num(prob);
+      break;
+  }
+  return os.str();
+}
+
 FaultSpec FaultSpec::parse(const std::string& text) {
   FaultSpec spec;
+  std::size_t index = 0;
   for (const std::string& raw : split(text, ';')) {
     const std::string clause = trim(raw);
+    ++index;
     if (clause.empty()) continue;
-    spec.clauses.push_back(parse_clause(clause));
+    spec.clauses.push_back(parse_clause(ClauseContext{index, clause}));
   }
   TING_CHECK_MSG(!spec.clauses.empty(), "empty fault spec");
   return spec;
 }
 
+std::string FaultSpec::to_string() const {
+  std::string out;
+  for (const FaultClause& c : clauses) {
+    if (!out.empty()) out += ';';
+    out += c.to_string();
+  }
+  return out;
+}
+
+void FaultSpec::validate_targets(std::size_t node_count) const {
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    const FaultClause& c = clauses[i];
+    if (c.kind == FaultClause::Kind::kChurn) continue;  // no target field
+    if (c.target < 0) continue;                         // '*'
+    TING_CHECK_MSG(static_cast<std::size_t>(c.target) < node_count,
+                   "fault clause #" << (i + 1) << " (`" << c.to_string()
+                                    << "`): target " << c.target
+                                    << " out of range (scan has " << node_count
+                                    << " nodes)");
+  }
+}
+
 void apply_fault_spec(const FaultSpec& spec, Testbed& tb,
                       const std::vector<dir::Fingerprint>& scan_nodes,
                       simnet::FaultPlan& plan, std::uint64_t seed) {
+  // All-or-nothing: reject any out-of-range target before the first clause
+  // schedules anything, so a bad spec can't leave a half-applied plan.
+  spec.validate_targets(scan_nodes.size());
+
   const auto targets_of = [&](const FaultClause& c) {
     std::vector<simnet::HostId> hosts;
     if (c.target < 0) {
       for (const dir::Fingerprint& fp : scan_nodes)
         hosts.push_back(tb.host_of(fp));
     } else {
-      TING_CHECK_MSG(static_cast<std::size_t>(c.target) < scan_nodes.size(),
-                     "fault target " << c.target << " out of range (scan has "
-                                     << scan_nodes.size() << " nodes)");
       hosts.push_back(tb.host_of(scan_nodes[static_cast<std::size_t>(c.target)]));
     }
     return hosts;
@@ -147,15 +293,49 @@ void apply_fault_spec(const FaultSpec& spec, Testbed& tb,
           plan.crash_window(h, Duration::from_ms(c.start_s * 1000.0),
                             Duration::from_ms(c.duration_s * 1000.0));
         break;
+      case FaultClause::Kind::kDiurnal: {
+        // A raised-cosine load curve approximated by stepwise degrade
+        // windows: step s of period p covers
+        //   [p*period + s*step_s, ... + step_s)
+        // at the curve's midpoint amplitude. Windows are shortened by 1 ms
+        // so a step's clear event never races the next step's apply.
+        const int steps = c.steps > 0 ? c.steps : 8;
+        const int periods = c.periods > 0 ? c.periods : 4;
+        const double step_s = c.period_s / steps;
+        const double window_ms = std::max(1.0, step_s * 1000.0 - 1.0);
+        for (int p = 0; p < periods; ++p) {
+          for (int s = 0; s < steps; ++s) {
+            const double phase = (s + 0.5) / steps;
+            const double extra =
+                c.extra_ms * 0.5 * (1.0 - std::cos(2.0 * M_PI * phase));
+            if (extra < 0.01) continue;  // curve trough: no measurable load
+            const double start_ms =
+                c.start_s * 1000.0 + (p * steps + s) * step_s * 1000.0;
+            for (const simnet::HostId h : targets_of(c))
+              plan.degrade_window(h, Duration::from_ms(start_ms),
+                                  Duration::from_ms(window_ms),
+                                  Duration::from_ms(extra),
+                                  Duration::from_ms(extra / 4.0));
+          }
+        }
+        break;
+      }
+      case FaultClause::Kind::kFlash:
+        for (const simnet::HostId h : targets_of(c)) {
+          plan.degrade_window(h, Duration::from_ms(c.start_s * 1000.0),
+                              Duration::from_ms(c.duration_s * 1000.0),
+                              Duration::from_ms(c.extra_ms),
+                              Duration::from_ms(c.extra_ms / 4.0));
+          if (c.prob > 0)
+            plan.loss_window(h, Duration::from_ms(c.start_s * 1000.0),
+                             Duration::from_ms(c.duration_s * 1000.0), c.prob);
+        }
+        break;
       case FaultClause::Kind::kDie: {
         std::vector<dir::Fingerprint> fps;
         if (c.target < 0) {
           fps = scan_nodes;
         } else {
-          TING_CHECK_MSG(
-              static_cast<std::size_t>(c.target) < scan_nodes.size(),
-              "fault target " << c.target << " out of range (scan has "
-                              << scan_nodes.size() << " nodes)");
           fps.push_back(scan_nodes[static_cast<std::size_t>(c.target)]);
         }
         for (const dir::Fingerprint& fp : fps) {

@@ -1,6 +1,6 @@
-// Fault-spec grammar for `ting scan --faults` and the examples: a compact
-// text form describing a FaultPlan, so CLI runs can inject the failure
-// modes a live scan sees without writing code.
+// Fault-spec grammar for `ting scan --faults`, scenario files, and the
+// examples: a compact text form describing a FaultPlan, so CLI runs can
+// inject the failure modes a live scan sees without writing code.
 //
 // Grammar (clauses separated by ';', fields by ':'):
 //
@@ -23,11 +23,30 @@
 //       scenario that trips the relay quarantine breaker); with a later
 //       start it vanishes mid-scan like unrecovered churn.
 //
+// Timeline-driven clauses (compiled down to sequences of the windows
+// above — the scenario DSL's dynamics layer):
+//
+//   diurnal:<target>:<peak_ms>:<period_s>[:<steps>:<periods>]
+//       A diurnal load curve: extra one-way latency following a raised
+//       cosine (0 at phase 0, <peak_ms> at half period), approximated by
+//       <steps> consecutive degrade windows per period [8], repeated for
+//       <periods> periods [4], starting at time 0.
+//   flash:<target>:<start_s>:<dur_s>:<extra_ms>:<loss_prob>
+//       A flash crowd: a sudden load spike on the target's link for the
+//       window — degraded latency (<extra_ms> one-way, jitter a quarter of
+//       it) plus packet loss with probability <loss_prob>.
+//
 //   <target> is a scan-node index, or '*' for every scan node.
 //
 // Example: "loss:*:0.05;crash:3:30:60;churn:2:10:45:90;die:5"
+//
+// FaultSpec::to_string() emits the canonical form of a parsed spec —
+// parse(to_string(s)) reproduces s exactly (doubles are printed with the
+// shortest representation that round-trips), so scenario files and the CLI
+// can echo the compiled fault plan.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -40,28 +59,50 @@ namespace ting::scenario {
 class Testbed;
 
 struct FaultClause {
-  enum class Kind { kLoss, kDegrade, kCrash, kChurn, kDie };
+  enum class Kind { kLoss, kDegrade, kCrash, kChurn, kDie, kDiurnal, kFlash };
   Kind kind = Kind::kLoss;
   int target = -1;  ///< scan-node index; -1 = '*' (all scan nodes)
-  double prob = 0;                      ///< loss
-  double extra_ms = 0, jitter_ms = 0;   ///< degrade
+  double prob = 0;                      ///< loss / flash loss probability
+  double extra_ms = 0, jitter_ms = 0;   ///< degrade; diurnal/flash peak
   double start_s = 0, duration_s = 0;   ///< window (duration 0 = forever)
   int events = 0;                       ///< churn: leave/rejoin cycles
   double period_s = 0, down_s = 0;      ///< churn cadence and downtime
+  int steps = 0;    ///< diurnal: degrade windows per period (0 = default 8)
+  int periods = 0;  ///< diurnal: periods scheduled (0 = default 4)
+
+  bool operator==(const FaultClause&) const = default;
+
+  /// Canonical single-clause text (the grammar above, minimal arity).
+  std::string to_string() const;
 };
 
 struct FaultSpec {
   std::vector<FaultClause> clauses;
 
-  /// Parse the grammar above; throws CheckError on malformed input.
+  bool operator==(const FaultSpec&) const = default;
+
+  /// Parse the grammar above; throws CheckError on malformed input. Errors
+  /// name the offending clause (1-based index and text) and field.
   static FaultSpec parse(const std::string& text);
+
+  /// Canonical ';'-joined text; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+
+  /// Check every clause's target index against the scan-node count,
+  /// throwing CheckError (with the clause index) on the first out-of-range
+  /// target. apply_fault_spec runs this before touching the plan, so a bad
+  /// spec never half-applies; callers that compile specs ahead of time
+  /// (scenario files) call it directly for early diagnostics.
+  void validate_targets(std::size_t node_count) const;
 };
 
 /// Instantiate a parsed spec against a testbed: loss/degrade/crash clauses
 /// resolve their targets to the scan nodes' hosts and are scheduled on the
-/// plan; churn clauses become directory_remove/directory_restore events
-/// (schedule drawn from make_scan_churn with `seed`). The testbed must
-/// outlive the plan's scheduled events.
+/// plan; diurnal/flash clauses expand into sequences of such windows; churn
+/// clauses become directory_remove/directory_restore events (schedule drawn
+/// from make_scan_churn with `seed`). Validates every clause target against
+/// `scan_nodes` up front, so a bad spec throws CheckError before any fault
+/// is scheduled. The testbed must outlive the plan's scheduled events.
 void apply_fault_spec(const FaultSpec& spec, Testbed& tb,
                       const std::vector<dir::Fingerprint>& scan_nodes,
                       simnet::FaultPlan& plan, std::uint64_t seed = 7);

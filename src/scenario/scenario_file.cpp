@@ -1,0 +1,287 @@
+#include "scenario/scenario_file.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/bytes.h"
+
+namespace ting::scenario {
+
+namespace {
+
+constexpr const char* kMagic = "ting-scenario";
+
+struct LineContext {
+  const std::string* origin = nullptr;
+  std::size_t line = 0;
+  std::string where() const {
+    std::ostringstream os;
+    os << *origin << ":" << line;
+    return os.str();
+  }
+};
+
+double parse_real(const std::string& value, const std::string& key,
+                  const LineContext& ctx) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    TING_CHECK_MSG(pos == value.size() && std::isfinite(v),
+                   ctx.where() << ": '" << key << "' is not a finite number: '"
+                               << value << "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  TING_CHECK_MSG(false, ctx.where() << ": '" << key
+                                    << "' is not a finite number: '" << value
+                                    << "'");
+}
+
+long parse_int(const std::string& value, const std::string& key,
+               const LineContext& ctx) {
+  const double v = parse_real(value, key, ctx);
+  const long n = static_cast<long>(v);
+  TING_CHECK_MSG(static_cast<double>(n) == v,
+                 ctx.where() << ": '" << key << "' must be an integer: '"
+                             << value << "'");
+  return n;
+}
+
+/// "a:b:c" relay-index triple (the congestion victim circuit).
+void parse_triple(const std::string& value, const std::string& key,
+                  const LineContext& ctx, int* a, int* b, int* c) {
+  const auto parts = split(value, ':');
+  TING_CHECK_MSG(parts.size() == 3,
+                 ctx.where() << ": '" << key
+                             << "' wants <entry>:<middle>:<exit> indices");
+  *a = static_cast<int>(parse_int(trim(parts[0]), key, ctx));
+  *b = static_cast<int>(parse_int(trim(parts[1]), key, ctx));
+  *c = static_cast<int>(parse_int(trim(parts[2]), key, ctx));
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char ch : name)
+    if (!(std::islower(static_cast<unsigned char>(ch)) ||
+          std::isdigit(static_cast<unsigned char>(ch)) || ch == '-'))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+ScenarioFile ScenarioFile::parse(const std::string& text,
+                                 const std::string& origin) {
+  ScenarioFile s;
+  s.origin = origin;
+  LineContext ctx;
+  ctx.origin = &s.origin;
+
+  enum class Section { kNone, kScenario, kTopology, kDynamics, kAdversary };
+  Section section = Section::kNone;
+  bool saw_magic = false;
+
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++ctx.line;
+    // Strip comments (a '#' anywhere starts one) and whitespace.
+    const std::size_t hash = raw.find('#');
+    const std::string line = trim(hash == std::string::npos
+                                      ? raw
+                                      : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (!saw_magic) {
+      // First significant line: "ting-scenario v<N>".
+      const auto parts = split(line, ' ');
+      TING_CHECK_MSG(parts.size() == 2 && parts[0] == kMagic &&
+                         parts[1].size() >= 2 && parts[1][0] == 'v',
+                     ctx.where()
+                         << ": expected header 'ting-scenario v1', got '"
+                         << line << "'");
+      s.version = static_cast<int>(
+          parse_int(parts[1].substr(1), "version", ctx));
+      TING_CHECK_MSG(s.version == 1, ctx.where()
+                                         << ": unsupported scenario version v"
+                                         << s.version << " (this build reads v1)");
+      saw_magic = true;
+      continue;
+    }
+
+    if (line.front() == '[') {
+      TING_CHECK_MSG(line.back() == ']',
+                     ctx.where() << ": unterminated section header: " << line);
+      const std::string name = trim(line.substr(1, line.size() - 2));
+      if (name == "scenario") section = Section::kScenario;
+      else if (name == "topology") section = Section::kTopology;
+      else if (name == "dynamics") section = Section::kDynamics;
+      else if (name == "adversary") section = Section::kAdversary;
+      else
+        TING_CHECK_MSG(false, ctx.where() << ": unknown section [" << name
+                                          << "] (expected scenario, topology, "
+                                          << "dynamics, or adversary)");
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    TING_CHECK_MSG(eq != std::string::npos,
+                   ctx.where() << ": expected 'key = value', got '" << line
+                               << "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    TING_CHECK_MSG(!key.empty() && !value.empty(),
+                   ctx.where() << ": empty key or value in '" << line << "'");
+
+    switch (section) {
+      case Section::kNone:
+        TING_CHECK_MSG(false, ctx.where() << ": '" << key
+                                          << "' appears before any section");
+        break;
+      case Section::kScenario:
+        if (key == "name") s.name = value;
+        else if (key == "summary") s.summary = value;
+        else
+          TING_CHECK_MSG(false, ctx.where() << ": unknown [scenario] key '"
+                                            << key << "'");
+        break;
+      case Section::kTopology:
+        if (key == "relays") {
+          s.relays = static_cast<std::size_t>(parse_int(value, key, ctx));
+        } else if (key == "nodes") {
+          s.nodes = static_cast<std::size_t>(parse_int(value, key, ctx));
+        } else if (key == "seed") {
+          s.seed = static_cast<std::uint64_t>(parse_int(value, key, ctx));
+        } else if (key == "differential") {
+          s.differential = parse_real(value, key, ctx);
+          TING_CHECK_MSG(s.differential >= 0 && s.differential <= 1,
+                         ctx.where() << ": 'differential' out of [0, 1]");
+        } else {
+          TING_CHECK_MSG(false, ctx.where() << ": unknown [topology] key '"
+                                            << key << "'");
+        }
+        break;
+      case Section::kDynamics:
+      case Section::kAdversary:
+        if (key == "fault") {
+          // The value is one or more clauses in the faults.h grammar;
+          // FaultSpec::parse reports the offending clause on error.
+          try {
+            const FaultSpec parsed = FaultSpec::parse(value);
+            s.faults.clauses.insert(s.faults.clauses.end(),
+                                    parsed.clauses.begin(),
+                                    parsed.clauses.end());
+          } catch (const CheckError& e) {
+            TING_CHECK_MSG(false, ctx.where() << ": " << e.what());
+          }
+        } else if (section == Section::kDynamics && key == "churn-rate") {
+          s.churn_rate = parse_real(value, key, ctx);
+          TING_CHECK_MSG(s.churn_rate >= 0 && s.churn_rate <= 1,
+                         ctx.where() << ": 'churn-rate' out of [0, 1]");
+        } else if (section == Section::kDynamics && key == "rejoin-rate") {
+          s.rejoin_rate = parse_real(value, key, ctx);
+          TING_CHECK_MSG(s.rejoin_rate >= 0 && s.rejoin_rate <= 1,
+                         ctx.where() << ": 'rejoin-rate' out of [0, 1]");
+        } else if (section == Section::kDynamics &&
+                   key == "initially-absent") {
+          s.initially_absent = parse_real(value, key, ctx);
+          TING_CHECK_MSG(s.initially_absent >= 0 && s.initially_absent < 1,
+                         ctx.where() << ": 'initially-absent' out of [0, 1)");
+        } else if (section == Section::kAdversary &&
+                   key == "congestion-rounds") {
+          s.congestion.rounds = static_cast<int>(parse_int(value, key, ctx));
+          TING_CHECK_MSG(s.congestion.rounds >= 1,
+                         ctx.where() << ": 'congestion-rounds' must be >= 1");
+          s.congestion.enabled = true;
+        } else if (section == Section::kAdversary &&
+                   key == "congestion-victim") {
+          parse_triple(value, key, ctx, &s.congestion.entry,
+                       &s.congestion.middle, &s.congestion.exit);
+          s.congestion.enabled = true;
+        } else if (section == Section::kAdversary &&
+                   key == "congestion-off-path") {
+          s.congestion.off_path = static_cast<int>(parse_int(value, key, ctx));
+          TING_CHECK_MSG(s.congestion.off_path >= 0,
+                         ctx.where() << ": 'congestion-off-path' must be >= 0");
+        } else {
+          TING_CHECK_MSG(false, ctx.where()
+                                    << ": unknown ["
+                                    << (section == Section::kDynamics
+                                            ? "dynamics"
+                                            : "adversary")
+                                    << "] key '" << key << "'");
+        }
+        break;
+    }
+  }
+
+  TING_CHECK_MSG(saw_magic,
+                 origin << ": not a scenario file (missing 'ting-scenario v1' "
+                        << "header)");
+  s.validate();
+  return s;
+}
+
+ScenarioFile ScenarioFile::load_file(const std::string& path) {
+  std::ifstream f(path);
+  TING_CHECK_MSG(f.good(), "cannot open scenario file: " << path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str(), path);
+}
+
+std::string ScenarioFile::fault_spec_string() const {
+  return faults.clauses.empty() ? "" : faults.to_string();
+}
+
+ChurnFeedOptions ScenarioFile::churn_options(
+    std::uint64_t seed_override) const {
+  ChurnFeedOptions o;
+  o.seed = seed_override;
+  o.churn_rate = churn_rate;
+  o.rejoin_rate = rejoin_rate;
+  o.initially_absent = initially_absent;
+  return o;
+}
+
+void ScenarioFile::validate() const {
+  TING_CHECK_MSG(valid_name(name),
+                 origin << ": [scenario] name must be non-empty [a-z0-9-]+ "
+                        << "(got '" << name << "')");
+  TING_CHECK_MSG(!summary.empty(), origin << ": [scenario] summary is required");
+  TING_CHECK_MSG(nodes >= 2, origin << ": [topology] nodes must be >= 2");
+  TING_CHECK_MSG(relays >= nodes,
+                 origin << ": [topology] relays (" << relays
+                        << ") must be >= nodes (" << nodes << ")");
+  // Fault targets index the scan subset; the daemon scans all relays, so
+  // nodes is the binding (smaller) bound.
+  faults.validate_targets(nodes);
+  if (congestion.enabled) {
+    TING_CHECK_MSG(congestion.entry >= 0 && congestion.middle >= 0 &&
+                       congestion.exit >= 0,
+                   origin << ": [adversary] congestion-victim is required "
+                          << "when the congestion attacker is armed");
+    TING_CHECK_MSG(congestion.entry != congestion.middle &&
+                       congestion.middle != congestion.exit &&
+                       congestion.entry != congestion.exit,
+                   origin << ": congestion-victim relays must be distinct");
+    // The attacker runs on the §4.1 31-relay probe testbed (see
+    // scenario_library.h); victim and control candidates index into it.
+    for (const int idx : {congestion.entry, congestion.middle,
+                          congestion.exit, congestion.off_path})
+      TING_CHECK_MSG(idx < 31,
+                     origin << ": congestion candidate index " << idx
+                            << " out of range for the 31-relay probe testbed");
+    TING_CHECK_MSG(congestion.off_path != congestion.entry &&
+                       congestion.off_path != congestion.middle &&
+                       congestion.off_path != congestion.exit,
+                   origin << ": congestion-off-path must not be on the "
+                          << "victim circuit");
+  }
+}
+
+}  // namespace ting::scenario

@@ -1,0 +1,119 @@
+// ScenarioFile — the declarative hostile-network description format.
+//
+// The `--faults` clause string grew one failure mode at a time; a scenario
+// file promotes it to a versioned, self-describing document (à la
+// Shadow/tornettools) covering all three layers a hostile-network
+// experiment needs:
+//
+//   topology    — world sizing and composition (relay count, scan-node
+//                 count, seed, protocol-differential fraction), sampled
+//                 from the same consensus-like distributions live_tor()
+//                 draws from;
+//   dynamics    — what the network does over time: fault clauses in the
+//                 faults.h grammar (including the timeline-driven diurnal
+//                 and flash clauses) plus the daemon's epoch-boundary churn
+//                 process (ChurnFeedOptions);
+//   adversaries — active attackers: targeted takedowns and dead clusters
+//                 (die:/crash: clauses) and a Murdoch–Danezis congestion
+//                 attacker whose probes drive analysis/congestion.
+//
+// Format: line-oriented, '#' comments, a magic+version first line, INI-like
+// sections with `key = value` entries. No external dependencies.
+//
+//   ting-scenario v1
+//
+//   [scenario]
+//   name = lossy-internet
+//   summary = sustained loss and degraded links across the mesh
+//
+//   [topology]
+//   relays = 18          # live_tor() consensus size
+//   nodes = 10           # scan subset for `ting scan` (daemon scans all)
+//   seed = 1
+//   differential = 0.35  # optional; protocol-differential network fraction
+//
+//   [dynamics]
+//   fault = loss:*:0.05              # repeated key; faults.h grammar
+//   fault = diurnal:*:6:120
+//   churn-rate = 0.05                # daemon epoch churn process
+//   rejoin-rate = 0.5
+//   initially-absent = 0
+//
+//   [adversary]
+//   fault = die:3                    # takedowns, dead clusters
+//   congestion-rounds = 4            # > 0 arms the congestion attacker
+//   congestion-victim = 2:5:8        # victim circuit (entry:middle:exit)
+//   congestion-off-path = 20         # control candidate for the probe
+//
+// Determinism contract: everything a scenario compiles to — the FaultSpec,
+// the ChurnFeedOptions, the topology options — is a pure function of the
+// file text, and every stochastic draw downstream is seeded, so two runs of
+// the same scenario (same CLI flags) produce byte-identical artifacts. The
+// scenario-matrix CI job pins this per library scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/churn_feed.h"
+#include "scenario/faults.h"
+
+namespace ting::scenario {
+
+/// The Murdoch–Danezis attacker a scenario can arm: the CLI builds the
+/// probe-calibrated §4.1 testbed, sets up a victim circuit through the
+/// given relays, and runs real congestion probes against an on-path and an
+/// off-path candidate (analysis/congestion.h), reporting the effect sizes.
+struct CongestionAdversary {
+  bool enabled = false;
+  int rounds = 4;                      ///< ON/OFF probe rounds
+  int entry = -1, middle = -1, exit = -1;  ///< victim circuit relay indices
+  int off_path = -1;                   ///< control candidate (not on circuit)
+};
+
+struct ScenarioFile {
+  int version = 1;
+  std::string name;     ///< [a-z0-9-]+, the `--scenario <name>` handle
+  std::string summary;  ///< one-line description for `ting scenario list`
+  std::string origin;   ///< where the text came from (path or "<embedded>")
+
+  // [topology]
+  std::size_t relays = 20;
+  std::size_t nodes = 12;
+  std::uint64_t seed = 1;
+  /// Protocol-differential network fraction; < 0 = keep the builder default.
+  double differential = -1;
+
+  // [dynamics] + [adversary] fault clauses, in file order.
+  FaultSpec faults;
+  /// Daemon epoch-boundary churn process ([dynamics] churn-rate etc.).
+  double churn_rate = 0;
+  double rejoin_rate = 0.5;
+  double initially_absent = 0;
+
+  // [adversary]
+  CongestionAdversary congestion;
+
+  /// Parse and validate a scenario document; throws CheckError with the
+  /// offending line number on malformed input. `origin` labels errors
+  /// (file path, or "<embedded:name>").
+  static ScenarioFile parse(const std::string& text, const std::string& origin);
+  /// Read + parse a file; throws CheckError if unreadable.
+  static ScenarioFile load_file(const std::string& path);
+
+  /// The compiled fault plan in canonical faults.h grammar ("" if none) —
+  /// what `ting scan --faults` would have been handed.
+  std::string fault_spec_string() const;
+  /// The daemon churn process this scenario describes.
+  ChurnFeedOptions churn_options(std::uint64_t seed_override) const;
+  /// True if any clause needs a live fault plan (everything except a spec
+  /// that is empty).
+  bool has_faults() const { return !faults.clauses.empty(); }
+
+  /// Cross-field validation (also run by parse): name shape, sizing sanity,
+  /// fault targets within the scan-node count, victim indices within range
+  /// and distinct. Throws CheckError.
+  void validate() const;
+};
+
+}  // namespace ting::scenario

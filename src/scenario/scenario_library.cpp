@@ -1,0 +1,178 @@
+// Generated-by-hand from examples/scenarios/*.ting — keep byte-identical
+// (the scenario-matrix CI lint runs `ting scenario show --raw <name>` and
+// diffs it against the file).
+#include "scenario/scenario_library.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace ting::scenario {
+
+namespace {
+
+constexpr const char* kCalm = R"ting(ting-scenario v1
+
+# A healthy network: no faults, no churn, no adversary. The control run
+# the hostile scenarios are compared against.
+
+[scenario]
+name = calm
+summary = healthy network, no faults - the control baseline
+
+[topology]
+relays = 20
+nodes = 12
+seed = 1
+)ting";
+
+constexpr const char* kLossyInternet = R"ting(ting-scenario v1
+
+# Sustained packet loss and degraded links across the whole mesh - the
+# ambient badness of measuring over the real internet.
+
+[scenario]
+name = lossy-internet
+summary = sustained loss and degraded links across the mesh
+
+[topology]
+relays = 18
+nodes = 10
+seed = 7
+
+[dynamics]
+fault = loss:*:0.03
+fault = degrade:*:4:1.5
+churn-rate = 0.02
+rejoin-rate = 0.5
+)ting";
+
+constexpr const char* kFlashCrowd = R"ting(ting-scenario v1
+
+# A sudden audience: load spikes slam individual relays' links mid-scan,
+# then subside. Windows overlap so the scan never sees a quiet mesh.
+
+[scenario]
+name = flash-crowd
+summary = sudden load spikes slam relay links mid-scan, then subside
+
+[topology]
+relays = 20
+nodes = 12
+seed = 3
+
+[dynamics]
+fault = flash:2:15:40:35:0.04
+fault = flash:7:45:30:50:0.06
+fault = flash:*:90:20:15:0.01
+)ting";
+
+constexpr const char* kDiurnal = R"ting(ting-scenario v1
+
+# Daily load curves: every relay's link latency follows a raised cosine
+# (quiet at midnight, peak at noon), compressed to two-minute days so a
+# scan crosses several of them.
+
+[scenario]
+name = diurnal
+summary = raised-cosine daily load curves on every link
+
+[topology]
+relays = 20
+nodes = 12
+seed = 5
+
+[dynamics]
+fault = diurnal:*:8:120
+churn-rate = 0.03
+)ting";
+
+constexpr const char* kCongestionAttack = R"ting(ting-scenario v1
+
+# A Murdoch-Danezis congestion adversary: while the scan maps the mesh, an
+# attacker floods candidate relays through one-hop circuits and watches a
+# victim stream's latency to decide which relays carry it (CCS'05; the
+# attack Ting's latency maps sharpen). The probe runs on the calibrated
+# 31-relay testbed; indices below address its relays.
+
+[scenario]
+name = congestion-attack
+summary = Murdoch-Danezis congestion probes against a victim circuit
+
+[topology]
+relays = 31
+nodes = 10
+seed = 901
+differential = 0
+
+[adversary]
+congestion-rounds = 4
+congestion-victim = 2:5:8
+congestion-off-path = 20
+)ting";
+
+constexpr const char* kMassacre = R"ting(ting-scenario v1
+
+# The worst night of the network's life: a dead cluster never comes up,
+# and a crash takes another relay down mid-scan. The quarantine breaker
+# must trip on the permanently failing relays and the scan must account
+# for every deferred pair.
+
+[scenario]
+name = massacre
+summary = dead clusters and takedowns; quarantine trips, pairs defer
+
+[topology]
+relays = 20
+nodes = 12
+seed = 11
+
+[adversary]
+fault = die:3
+fault = die:7
+fault = die:9
+fault = crash:1:30:60
+)ting";
+
+}  // namespace
+
+const std::vector<LibraryScenario>& scenario_library() {
+  static const std::vector<LibraryScenario> kLibrary = {
+      {"calm", kCalm},
+      {"lossy-internet", kLossyInternet},
+      {"flash-crowd", kFlashCrowd},
+      {"diurnal", kDiurnal},
+      {"congestion-attack", kCongestionAttack},
+      {"massacre", kMassacre},
+  };
+  return kLibrary;
+}
+
+const LibraryScenario* find_scenario(const std::string& name) {
+  for (const auto& entry : scenario_library())
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+ScenarioFile load_scenario(const std::string& name_or_path) {
+  if (const LibraryScenario* entry = find_scenario(name_or_path)) {
+    ScenarioFile s =
+        ScenarioFile::parse(entry->text, "<embedded:" + entry->name + ">");
+    TING_CHECK_MSG(s.name == entry->name,
+                   "embedded scenario '" << entry->name
+                                         << "' declares mismatched name '"
+                                         << s.name << "'");
+    return s;
+  }
+  if (std::ifstream probe(name_or_path); probe.good())
+    return ScenarioFile::load_file(name_or_path);
+  std::ostringstream known;
+  for (const auto& entry : scenario_library()) known << " " << entry.name;
+  TING_CHECK_MSG(false, "unknown scenario '"
+                            << name_or_path
+                            << "': not a library name (known:" << known.str()
+                            << ") and not a readable file");
+}
+
+}  // namespace ting::scenario

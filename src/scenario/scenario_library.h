@@ -1,0 +1,31 @@
+// The named scenario library: hostile-network scenario documents baked
+// into the binary so `ting scan --scenario lossy-internet` works with no
+// files on disk. Each entry's text is byte-identical to the matching
+// `examples/scenarios/<name>.ting` (the scenario-matrix CI lint diffs
+// them), so the on-disk copies double as editable starting points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_file.h"
+
+namespace ting::scenario {
+
+struct LibraryScenario {
+  std::string name;  ///< the `--scenario <name>` handle
+  std::string text;  ///< full scenario document (scenario_file.h format)
+};
+
+/// The embedded scenarios, in curriculum order (calm first, massacre last).
+const std::vector<LibraryScenario>& scenario_library();
+
+/// Look up an embedded scenario by name; nullptr if unknown.
+const LibraryScenario* find_scenario(const std::string& name);
+
+/// Resolve a `--scenario <name|path>` argument: a library name wins, then
+/// a readable file path; otherwise throws CheckError listing the known
+/// scenario names.
+ScenarioFile load_scenario(const std::string& name_or_path);
+
+}  // namespace ting::scenario

@@ -1,0 +1,376 @@
+// Tests for the scenario DSL: FaultSpec round-tripping (property test over
+// random valid specs, adversarial malformed inputs), all-or-nothing target
+// validation, the ScenarioFile parser's line-numbered diagnostics, and the
+// embedded scenario library's invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "scenario/faults.h"
+#include "scenario/scenario_file.h"
+#include "scenario/scenario_library.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace ting::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultSpec round-trip property test
+
+/// A random valid clause of the given kind; fields drawn from ranges the
+/// grammar accepts, including awkward doubles (long fractions).
+FaultClause random_clause(Rng& rng) {
+  FaultClause c;
+  const int kinds = 7;
+  c.kind = static_cast<FaultClause::Kind>(rng.next_below(kinds));
+  const auto target = [&] {
+    return rng.chance(0.25) ? -1 : static_cast<int>(rng.next_below(40));
+  };
+  const auto awkward = [&](double lo, double hi) {
+    // Mix round numbers with doubles needing many digits to round-trip.
+    return rng.chance(0.5) ? std::floor(rng.uniform(lo, hi))
+                           : rng.uniform(lo, hi);
+  };
+  switch (c.kind) {
+    case FaultClause::Kind::kLoss:
+      c.target = target();
+      c.prob = awkward(0, 1);
+      if (rng.chance(0.5)) {
+        c.start_s = awkward(0, 600);
+        c.duration_s = awkward(0, 600);
+      }
+      break;
+    case FaultClause::Kind::kDegrade:
+      c.target = target();
+      c.extra_ms = awkward(0, 200);
+      c.jitter_ms = awkward(0, 50);
+      if (rng.chance(0.5)) {
+        c.start_s = awkward(0, 600);
+        c.duration_s = awkward(0, 600);
+      }
+      break;
+    case FaultClause::Kind::kCrash:
+      c.target = target();
+      c.start_s = awkward(0, 600);
+      c.duration_s = awkward(0, 600);
+      break;
+    case FaultClause::Kind::kChurn:
+      c.events = 1 + static_cast<int>(rng.next_below(10));
+      c.start_s = awkward(0, 600);
+      c.period_s = awkward(1, 120);
+      c.down_s = awkward(1, 300);
+      break;
+    case FaultClause::Kind::kDie:
+      c.target = target();
+      if (rng.chance(0.5)) c.start_s = awkward(1, 600);
+      break;
+    case FaultClause::Kind::kDiurnal:
+      c.target = target();
+      c.extra_ms = awkward(0.5, 50);
+      c.period_s = awkward(10, 600);
+      if (rng.chance(0.5)) {
+        c.steps = 2 + static_cast<int>(rng.next_below(12));
+        c.periods = 1 + static_cast<int>(rng.next_below(6));
+      }
+      break;
+    case FaultClause::Kind::kFlash:
+      c.target = target();
+      c.start_s = awkward(0, 600);
+      c.duration_s = awkward(1, 300);
+      c.extra_ms = awkward(0, 200);
+      c.prob = awkward(0, 1);
+      break;
+  }
+  return c;
+}
+
+TEST(FaultSpecRoundTrip, RandomSpecsSurviveToStringParse) {
+  Rng rng(20150815);
+  for (int iter = 0; iter < 200; ++iter) {
+    FaultSpec spec;
+    const std::size_t n = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < n; ++i)
+      spec.clauses.push_back(random_clause(rng));
+    const std::string text = spec.to_string();
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " + text);
+    FaultSpec back;
+    ASSERT_NO_THROW(back = FaultSpec::parse(text));
+    // Exact field equality, doubles included: fmt_num guarantees the
+    // shortest representation that reparses to the same bits.
+    EXPECT_EQ(spec, back);
+    // And the canonical form is a fixed point.
+    EXPECT_EQ(text, back.to_string());
+  }
+}
+
+TEST(FaultSpecRoundTrip, SpecsWithNoClausesAreRejected) {
+  EXPECT_EQ(FaultSpec{}.to_string(), "");
+  // The CLI passes --faults only when nonempty, so an all-empty spec is a
+  // user error, not a no-op.
+  EXPECT_THROW(FaultSpec::parse(""), CheckError);
+  EXPECT_THROW(FaultSpec::parse(";;"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial malformed inputs: the legacy grammar
+
+TEST(FaultSpecParse, SkipsEmptyClausesButKeepsIndexing) {
+  // Trailing/duplicated separators are tolerated (empty clauses skipped)…
+  const FaultSpec s = FaultSpec::parse(";loss:*:0.1;;die:3;");
+  ASSERT_EQ(s.clauses.size(), 2u);
+  EXPECT_EQ(s.clauses[0].kind, FaultClause::Kind::kLoss);
+  EXPECT_EQ(s.clauses[1].kind, FaultClause::Kind::kDie);
+  // …but the clause counter still counts them, so errors in later clauses
+  // name their real position in the input.
+  try {
+    FaultSpec::parse(";loss:*:0.1;;die:oops");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("#4"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("die:oops"), std::string::npos);
+  }
+}
+
+struct BadInput {
+  const char* text;
+  const char* must_mention;  // substring of the diagnostic
+};
+
+TEST(FaultSpecParse, MalformedInputsNameClauseAndField) {
+  const std::vector<BadInput> cases = {
+      {"loss:*", "#1"},                        // missing arity
+      {"loss:*:0.1:5", "#1"},                  // window needs both fields
+      {"loss:*:1.5", "prob"},                  // out of range
+      {"loss:*:nan", "finite"},                // NaN rejected
+      {"loss:*:inf", "finite"},                // inf rejected
+      {"loss:*:-0.1", "prob"},                 // negative prob
+      {"degrade:2:-3:1", "extra_ms"},          // negative latency
+      {"degrade:2:3:-1", "jitter_ms"},         // negative jitter
+      {"degrade:2:3:1:-5:10", "window"},       // negative window start
+      {"crash:1:10", "#1"},                    // crash wants start+dur
+      {"churn:0:0:10:10", "events"},           // zero events
+      {"churn:2:0:10", "#1"},                  // churn arity
+      {"die:*:10:20", "#1"},                   // die arity
+      {"diurnal:*:5", "#1"},                   // diurnal arity
+      {"diurnal:*:-5:60", "peak"},             // negative peak
+      {"diurnal:*:5:0", "period"},             // zero period
+      {"diurnal:*:5:60:1:2", "steps"},         // < 2 steps
+      {"diurnal:*:5:60:4:0", "periods"},       // zero periods
+      {"flash:*:0:10:5", "#1"},                // flash arity
+      {"flash:*:0:10:5:1.2", "loss_prob"},     // flash prob range
+      {"flash:*:0:-10:5:0.1", "dur_s"},        // negative duration
+      {"warp:*:1", "unknown fault kind"},      // unknown kind
+      {"loss:abc:0.1", "target"},              // non-numeric target
+      {"loss:-2:0.1", "target"},               // negative explicit target
+      {"loss:1.5:0.1", "integer"},             // fractional target
+      {"loss:*:0.1;crash:zz:1:2", "#2"},       // second clause named
+  };
+  for (const BadInput& bad : cases) {
+    SCOPED_TRACE(bad.text);
+    try {
+      FaultSpec::parse(bad.text);
+      FAIL() << "accepted: " << bad.text;
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(bad.must_mention),
+                std::string::npos)
+          << "diagnostic for '" << bad.text << "' lacks '" << bad.must_mention
+          << "': " << e.what();
+    }
+  }
+}
+
+TEST(FaultSpecValidateTargets, NamesOffendingClause) {
+  const FaultSpec s = FaultSpec::parse("loss:*:0.1;die:3;crash:11:5:10");
+  EXPECT_NO_THROW(s.validate_targets(12));
+  try {
+    s.validate_targets(10);  // crash:11 is out of range
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("#3"), std::string::npos) << what;
+    EXPECT_NE(what.find("11"), std::string::npos) << what;
+    EXPECT_NE(what.find("10"), std::string::npos) << what;
+  }
+  // '*' and churn clauses carry no index to validate.
+  EXPECT_NO_THROW(
+      FaultSpec::parse("loss:*:0.5;churn:3:10:20:30").validate_targets(2));
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioFile parsing
+
+constexpr const char* kGood = R"(ting-scenario v1
+# a comment
+[scenario]
+name = unit-test
+summary = parser exercise   # trailing comment
+
+[topology]
+relays = 9
+nodes = 5
+seed = 77
+differential = 0.25
+
+[dynamics]
+fault = loss:*:0.125
+fault = diurnal:2:6.5:90:4:2
+churn-rate = 0.1
+rejoin-rate = 0.75
+initially-absent = 0.2
+
+[adversary]
+fault = die:4
+congestion-rounds = 5
+congestion-victim = 1:2:3
+congestion-off-path = 20
+)";
+
+TEST(ScenarioFileParse, ReadsEverySection) {
+  const ScenarioFile s = ScenarioFile::parse(kGood, "<test>");
+  EXPECT_EQ(s.version, 1);
+  EXPECT_EQ(s.name, "unit-test");
+  EXPECT_EQ(s.summary, "parser exercise");
+  EXPECT_EQ(s.relays, 9u);
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_EQ(s.seed, 77u);
+  EXPECT_DOUBLE_EQ(s.differential, 0.25);
+  ASSERT_EQ(s.faults.clauses.size(), 3u);
+  EXPECT_EQ(s.faults.clauses[0].kind, FaultClause::Kind::kLoss);
+  EXPECT_EQ(s.faults.clauses[1].kind, FaultClause::Kind::kDiurnal);
+  EXPECT_EQ(s.faults.clauses[2].kind, FaultClause::Kind::kDie);
+  EXPECT_EQ(s.fault_spec_string(), "loss:*:0.125;diurnal:2:6.5:90:4:2;die:4");
+  EXPECT_DOUBLE_EQ(s.churn_rate, 0.1);
+  EXPECT_DOUBLE_EQ(s.rejoin_rate, 0.75);
+  EXPECT_DOUBLE_EQ(s.initially_absent, 0.2);
+  EXPECT_TRUE(s.congestion.enabled);
+  EXPECT_EQ(s.congestion.rounds, 5);
+  EXPECT_EQ(s.congestion.entry, 1);
+  EXPECT_EQ(s.congestion.middle, 2);
+  EXPECT_EQ(s.congestion.exit, 3);
+  EXPECT_EQ(s.congestion.off_path, 20);
+  const ChurnFeedOptions churn = s.churn_options(99);
+  EXPECT_EQ(churn.seed, 99u);
+  EXPECT_DOUBLE_EQ(churn.churn_rate, 0.1);
+  EXPECT_DOUBLE_EQ(churn.rejoin_rate, 0.75);
+  EXPECT_DOUBLE_EQ(churn.initially_absent, 0.2);
+}
+
+/// The parser's diagnostics carry origin:line so a fat scenario file is
+/// debuggable; each bad document names its sick line.
+struct BadDoc {
+  std::string text;
+  const char* must_mention;
+};
+
+TEST(ScenarioFileParse, MalformedDocumentsNameTheLine) {
+  const std::string header = "ting-scenario v1\n[scenario]\nname = x\n"
+                             "summary = y\n";
+  const std::vector<BadDoc> cases = {
+      {"", "missing"},                                     // no magic at all
+      {"not-a-scenario v1\n", "expected header"},          // bad magic
+      {"ting-scenario v2\n", "unsupported scenario"},      // future version
+      {header + "[weird]\n", "<t>:5"},                     // unknown section
+      {header + "[topology\n", "unterminated"},            // bad header
+      {header + "nonsense\n", "expected 'key = value'"},   // not a kv line
+      {header + "[topology]\nrelays = four\n", "<t>:6"},   // non-numeric
+      {header + "[topology]\nwidth = 4\n", "unknown [topology] key"},
+      {header + "[scenario]\ncolor = red\n", "unknown [scenario] key"},
+      {header + "[dynamics]\nchurn-rate = 1.5\n", "out of [0, 1]"},
+      {header + "[dynamics]\nfault = loss:*:9\n", "<t>:6"},  // bad clause
+      {"ting-scenario v1\nname = x\n", "before any section"},
+      {header + "[adversary]\ncongestion-victim = 1:2\n", "entry"},
+  };
+  for (const BadDoc& bad : cases) {
+    SCOPED_TRACE(bad.text);
+    try {
+      ScenarioFile::parse(bad.text, "<t>");
+      FAIL() << "accepted: " << bad.text;
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(bad.must_mention),
+                std::string::npos)
+          << "diagnostic lacks '" << bad.must_mention << "': " << e.what();
+    }
+  }
+}
+
+TEST(ScenarioFileValidate, CatchesCrossFieldNonsense) {
+  const auto doc = [](const std::string& topology,
+                      const std::string& tail = "") {
+    return "ting-scenario v1\n[scenario]\nname = x\nsummary = y\n"
+           "[topology]\n" + topology + tail;
+  };
+  // relays < nodes
+  EXPECT_THROW(ScenarioFile::parse(doc("relays = 4\nnodes = 9\n"), "<t>"),
+               CheckError);
+  // fault target beyond the scan-node count
+  EXPECT_THROW(ScenarioFile::parse(
+                   doc("nodes = 5\n", "[dynamics]\nfault = die:7\n"), "<t>"),
+               CheckError);
+  // victim circuit with a repeated relay
+  EXPECT_THROW(
+      ScenarioFile::parse(
+          doc("nodes = 5\n",
+              "[adversary]\ncongestion-victim = 2:2:8\n"
+              "congestion-off-path = 20\n"),
+          "<t>"),
+      CheckError);
+  // bad name shape
+  EXPECT_THROW(ScenarioFile::parse("ting-scenario v1\n[scenario]\n"
+                                   "name = Bad Name\nsummary = y\n",
+                                   "<t>"),
+               CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// The embedded library
+
+TEST(ScenarioLibrary, EveryScenarioParsesAndDeclaresItsOwnName) {
+  ASSERT_GE(scenario_library().size(), 6u);
+  for (const LibraryScenario& entry : scenario_library()) {
+    SCOPED_TRACE(entry.name);
+    ScenarioFile s;
+    ASSERT_NO_THROW(s = ScenarioFile::parse(
+                        entry.text, "<embedded:" + entry.name + ">"));
+    EXPECT_EQ(s.name, entry.name);
+    // Every scenario's compiled fault string survives the round trip.
+    if (s.has_faults()) {
+      EXPECT_EQ(FaultSpec::parse(s.fault_spec_string()), s.faults);
+    }
+    // And resolves through the --scenario lookup path.
+    EXPECT_NO_THROW(load_scenario(entry.name));
+  }
+}
+
+TEST(ScenarioLibrary, HostileScenariosAreArmed) {
+  const ScenarioFile attack = load_scenario("congestion-attack");
+  EXPECT_TRUE(attack.congestion.enabled);
+  EXPECT_GE(attack.congestion.rounds, 1);
+
+  const ScenarioFile massacre = load_scenario("massacre");
+  int dead = 0;
+  for (const FaultClause& c : massacre.faults.clauses)
+    if (c.kind == FaultClause::Kind::kDie) ++dead;
+  EXPECT_GE(dead, 3) << "massacre needs a dead cluster big enough to trip "
+                        "the quarantine breaker";
+
+  const ScenarioFile calm = load_scenario("calm");
+  EXPECT_FALSE(calm.has_faults());
+  EXPECT_FALSE(calm.congestion.enabled);
+}
+
+TEST(ScenarioLibrary, UnknownNamesListTheLibrary) {
+  try {
+    load_scenario("no-such-scenario");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos);
+    EXPECT_NE(what.find("massacre"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace ting::scenario
